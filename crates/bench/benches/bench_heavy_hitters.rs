@@ -1,0 +1,39 @@
+//! Throughput of the Theorem 6/7 heavy-hitter estimators.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use sss_core::{SampledF1HeavyHitters, SampledF2HeavyHitters};
+use sss_stream::{BernoulliSampler, PlantedHeavyHitters, StreamGen};
+
+const N: u64 = 100_000;
+
+fn bench_hh(c: &mut Criterion) {
+    let stream = PlantedHeavyHitters::new(1 << 20, 8, 0.5).generate(N, 42);
+    let sampled = BernoulliSampler::new(0.2, 43).sample_to_vec(&stream);
+    let mut g = c.benchmark_group("hh_update");
+    g.throughput(Throughput::Elements(sampled.len() as u64));
+
+    g.bench_function("thm6_f1_hh", |b| {
+        b.iter(|| {
+            let mut hh = SampledF1HeavyHitters::new(0.05, 0.2, 0.05, 0.2, 7);
+            for &x in &sampled {
+                hh.update(black_box(x));
+            }
+            black_box(hh.report().len())
+        })
+    });
+
+    g.bench_function("thm7_f2_hh", |b| {
+        b.iter(|| {
+            let mut hh = SampledF2HeavyHitters::new(0.3, 0.2, 0.05, 0.2, 7);
+            for &x in &sampled {
+                hh.update(black_box(x));
+            }
+            black_box(hh.report().len())
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_hh);
+criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! E5 — Lemma 9: entropy admits **no** multiplicative approximation from a
+//! Bernoulli sample, even at constant rates.
+//!
+//! Scenario pair (part 1): `f_1 = n` (H = 0) versus `f_1 = n − k` plus
+//! `k = ⌈1/(10p)⌉` singletons (H > 0). With probability `> 9/10` no
+//! singleton survives sampling, making the two sampled streams literally
+//! identical — we measure how often that happens and what any estimator
+//! must therefore output.
+//!
+//! All-singleton stream (part 2): `H(f) = lg n` but `H(g) = lg|L|`, an
+//! additive `lg(1/p)` loss that no multiplicative promise can absorb.
+
+use sss_bench::table::fmt_g;
+use sss_bench::{print_header, run_trials, Table};
+use sss_core::SampledEntropyEstimator;
+use sss_stream::{BernoulliSampler, EntropyScenarioPair, ExactStats};
+
+fn main() {
+    print_header(
+        "E5: entropy impossibility (Lemma 9)",
+        "No multiplicative approximation of H(f) is possible in general, even for p > 1/2",
+        "scenario pair with k = ceil(1/(10p)) singletons; all-singleton stream; trials=200/20",
+    );
+
+    let n: u64 = 200_000;
+
+    // Part 1: how often are the sampled streams identical?
+    let mut t1 = Table::new(
+        "scenario pair: sampled streams coincide w.p. > 9/10",
+        &[
+            "p",
+            "k",
+            "H(f1)",
+            "H(f2)",
+            "P[samples identical]",
+            "est H on S2",
+        ],
+    );
+    for &p in &[0.5f64, 0.1, 0.02] {
+        let pair = EntropyScenarioPair::new(n, p, 1 << 21);
+        let s1 = pair.scenario_one(9);
+        let s2 = pair.scenario_two(9);
+        let h1 = ExactStats::from_stream(s1.iter().copied()).entropy();
+        let h2 = ExactStats::from_stream(s2.iter().copied()).entropy();
+        // A sampled copy of S2 equals (in distribution) a sampled copy of S1
+        // iff none of the k singletons survives.
+        let trials = 200;
+        let identical = run_trials(trials, 700, |seed| {
+            let mut sampler = BernoulliSampler::new(p, seed);
+            let mut survivors = 0u64;
+            let bulk = s2[0];
+            sampler.sample_slice(&s2, |x| {
+                if x != bulk {
+                    survivors += 1;
+                }
+            });
+            (survivors == 0) as u64 as f64
+        });
+        let p_same: f64 = identical.iter().sum::<f64>() / trials as f64;
+        // What the paper's own estimator says about scenario 2:
+        let est = {
+            let mut e = SampledEntropyEstimator::new(p, 2000, 31);
+            let mut sampler = BernoulliSampler::new(p, 33);
+            sampler.sample_slice(&s2, |x| e.update(x));
+            e.estimate()
+        };
+        t1.row(vec![
+            format!("{p}"),
+            pair.k().to_string(),
+            fmt_g(h1),
+            fmt_g(h2),
+            fmt_g(p_same),
+            fmt_g(est),
+        ]);
+    }
+    t1.print();
+
+    // Part 2: all-singleton stream.
+    let mut t2 = Table::new(
+        "all-singleton stream: additive lg(1/p) loss (Lemma 9 part 2)",
+        &["p", "H(f) = lg n", "lg(pn) (theory)", "estimated H(g)"],
+    );
+    for &p in &[0.5f64, 1.0 / 16.0, 1.0 / 64.0] {
+        let pair = EntropyScenarioPair::new(n, p, 1 << 21);
+        let stream = pair.all_singletons(13);
+        let hf = (n as f64).log2();
+        let expected = hf + p.log2();
+        let est = {
+            let mut e = SampledEntropyEstimator::new(p, 2000, 35);
+            let mut sampler = BernoulliSampler::new(p, 37);
+            sampler.sample_slice(&stream, |x| e.update(x));
+            e.estimate()
+        };
+        t2.row(vec![
+            format!("{p}"),
+            fmt_g(hf),
+            fmt_g(expected),
+            fmt_g(est),
+        ]);
+    }
+    t2.print();
+
+    println!(
+        "\nReading: in part 1 the two streams have entropies 0 vs > 0 yet\n\
+         their samples coincide with probability ~0.9 — any estimator's\n\
+         multiplicative error is unbounded on one of them. In part 2 the\n\
+         estimate tracks lg(pn), i.e. H(g), sitting a full lg(1/p) bits\n\
+         below H(f) = lg n: exactly Lemma 9's two failure modes."
+    );
+}

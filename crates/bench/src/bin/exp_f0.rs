@@ -1,0 +1,104 @@
+//! E4 — `F_0` under sub-sampling: Lemma 8's `4/√p` upper bound and
+//! Theorem 4's `Ω(1/√p)` lower bound.
+//!
+//! Part 1: Algorithm 2 (`X/√p` with a streaming `F_0(L)` sketch) across
+//! rates on a benign stream — the measured multiplicative error must stay
+//! below `4/√p`.
+//!
+//! Part 2: the Charikar-style hard pair (all-distinct vs. `n√p` values of
+//! frequency `1/√p`): `F_0(L)` is statistically indistinguishable across
+//! the pair, so *any* estimator — including Algorithm 2 — eats the
+//! `Θ(1/√p)` gap on one side. We report Algorithm 2's error on both.
+
+use sss_bench::table::fmt_g;
+use sss_bench::{print_header, run_trials, Summary, Table};
+use sss_core::{f0_lower_bound_factor, ApproxParams, SampledF0Estimator};
+use sss_stream::{BernoulliSampler, ExactStats, F0HardPair, StreamGen, UniformStream};
+
+fn main() {
+    print_header(
+        "E4: F0 estimation (Lemma 8 upper bound, Theorem 4 lower bound)",
+        "Algorithm 2 errs by at most 4/sqrt(p); no algorithm beats Omega(1/sqrt(p))",
+        "benign: uniform m=30k, n=300k; hard pair: n=200k tuned per p; trials=10",
+    );
+
+    let trials = 10;
+
+    // Part 1: benign stream, error vs bound.
+    let stream = UniformStream::new(30_000).generate(300_000, 21);
+    let truth = ExactStats::from_stream(stream.iter().copied()).f0() as f64;
+    let mut t1 = Table::new(
+        "Algorithm 2 on a benign stream",
+        &["p", "bound 4/sqrt(p)", "med mult err", "max mult err", "ok"],
+    );
+    for &p in &[1.0f64, 0.25, 0.0625, 0.01] {
+        let errs = run_trials(trials, 400, |seed| {
+            let mut est = SampledF0Estimator::new(p, 0.01, seed);
+            let mut sampler = BernoulliSampler::new(p, seed ^ 0xF0);
+            sampler.sample_slice(&stream, |x| est.update(x));
+            ApproxParams::mult_error(est.estimate(), truth)
+        });
+        let s = Summary::of(&errs);
+        let bound = 4.0 / p.sqrt();
+        t1.row(vec![
+            format!("{p}"),
+            fmt_g(bound),
+            fmt_g(s.median),
+            fmt_g(s.max),
+            (s.max <= bound).to_string(),
+        ]);
+    }
+    t1.print();
+
+    // Part 2: the hard pair.
+    let mut t2 = Table::new(
+        "hard pair: Algorithm 2's error on each side (Theorem 4)",
+        &[
+            "p",
+            "F0(A)",
+            "F0(B)",
+            "gap 1/sqrt(p)",
+            "err on A",
+            "err on B",
+            "worst",
+            "lower bnd",
+        ],
+    );
+    for &p in &[0.25f64, 0.0625, 0.01] {
+        let pair = F0HardPair::new(200_000, p, 1 << 21);
+        let a = pair.stream_a(5);
+        let b = pair.stream_b(5);
+        let f0a = ExactStats::from_stream(a.iter().copied()).f0() as f64;
+        let f0b = ExactStats::from_stream(b.iter().copied()).f0() as f64;
+        let err_on = |stream: &Vec<u64>, truth: f64| {
+            let errs = run_trials(trials, 800, |seed| {
+                let mut est = SampledF0Estimator::new(p, 0.01, seed);
+                let mut sampler = BernoulliSampler::new(p, seed ^ 0xF1);
+                sampler.sample_slice(stream, |x| est.update(x));
+                ApproxParams::mult_error(est.estimate(), truth)
+            });
+            Summary::of(&errs).median
+        };
+        let ea = err_on(&a, f0a);
+        let eb = err_on(&b, f0b);
+        t2.row(vec![
+            format!("{p}"),
+            fmt_g(f0a),
+            fmt_g(f0b),
+            fmt_g(pair.gap()),
+            fmt_g(ea),
+            fmt_g(eb),
+            fmt_g(ea.max(eb)),
+            fmt_g(f0_lower_bound_factor(p)),
+        ]);
+    }
+    t2.print();
+
+    println!(
+        "\nReading: part 1 shows the 4/sqrt(p) ceiling always holds. Part 2\n\
+         shows the flip side: the same estimator is near-exact on stream B\n\
+         but pays ~1/sqrt(p) on stream A, matching the Theorem 4 floor —\n\
+         sub-sampled F0 error genuinely scales as 1/sqrt(p), in both\n\
+         directions."
+    );
+}

@@ -1,0 +1,91 @@
+//! E12 (extension) — flow-size distribution recovery from the sampled
+//! stream (the Duffield et al. line the paper situates itself against,
+//! §1.3 [17, 18]).
+//!
+//! Part 1: EM unfolding recovers the shape of heavy-tailed flow-size
+//! distributions (total flows, mean size, CCDF markers) from a Bernoulli
+//! sample.
+//!
+//! Part 2: the unfolder's implied `F_0` on the Theorem 4 hard pair —
+//! parametric structure does not evade the information-theoretic floor:
+//! whichever side matches its implicit prior wins, the other loses.
+
+use sss_bench::table::fmt_g;
+use sss_bench::{print_header, Table};
+use sss_core::{FlowSizeUnfolder, SampledFlowHistogram};
+use sss_stream::{BernoulliSampler, ExactStats, F0HardPair, NetFlowStream, StreamGen};
+
+fn main() {
+    print_header(
+        "E12 (extension): flow-size distribution unfolding (paper §1.3 [17,18])",
+        "EM inversion of binomial thinning recovers the flow-size histogram from L",
+        "NetFlow traces (bounded Pareto); hard pair for the caveat; p in {0.3, 0.1}",
+    );
+
+    let mut t1 = Table::new(
+        "recovered flow statistics on a NetFlow trace (n = 500k packets)",
+        &[
+            "p",
+            "true flows",
+            "est flows",
+            "true mean",
+            "est mean",
+            "true P[sz>=10]",
+            "est P[sz>=10]",
+        ],
+    );
+    let trace = NetFlowStream::new(1 << 22, 1.2, 3000).generate(500_000, 3);
+    let exact = ExactStats::from_stream(trace.iter().copied());
+    let true_flows = exact.f0() as f64;
+    let true_mean = exact.n() as f64 / true_flows;
+    let big = exact.iter().filter(|&(_, f)| f >= 10).count() as f64 / true_flows;
+
+    for &p in &[0.3f64, 0.1] {
+        let mut hist = SampledFlowHistogram::new();
+        let mut sampler = BernoulliSampler::new(p, 11);
+        sampler.sample_slice(&trace, |x| hist.update(x));
+        let est = FlowSizeUnfolder::new(p, 4000, 300).unfold(&hist);
+        t1.row(vec![
+            format!("{p}"),
+            fmt_g(true_flows),
+            fmt_g(est.total_flows()),
+            fmt_g(true_mean),
+            fmt_g(est.mean_size()),
+            fmt_g(big),
+            fmt_g(est.ccdf(10)),
+        ]);
+    }
+    t1.print();
+
+    let mut t2 = Table::new(
+        "caveat: implied F0 on the Theorem 4 hard pair (p = 0.01)",
+        &["stream", "true F0", "unfolded F0", "mult err"],
+    );
+    let p = 0.01;
+    let pair = F0HardPair::new(200_000, p, 1 << 21);
+    for (name, stream) in [("A (distinct)", pair.stream_a(5)), ("B (1/sqrt p reps)", pair.stream_b(5))] {
+        let truth = ExactStats::from_stream(stream.iter().copied()).f0() as f64;
+        let mut hist = SampledFlowHistogram::new();
+        let mut sampler = BernoulliSampler::new(p, 13);
+        sampler.sample_slice(&stream, |x| hist.update(x));
+        let est = FlowSizeUnfolder::new(p, 64, 300).unfold(&hist);
+        let f0 = est.total_flows();
+        t2.row(vec![
+            name.to_string(),
+            fmt_g(truth),
+            fmt_g(f0),
+            fmt_g((f0 / truth).max(truth / f0)),
+        ]);
+    }
+    t2.print();
+
+    println!(
+        "\nReading: at p = 0.3 the unfolding recovers totals, mean and tail\n\
+         mass; at p = 0.1 the mice (sizes 1-2, the bulk of a Pareto trace)\n\
+         are mostly invisible and the flow total degrades — distribution\n\
+         recovery needs p well above 1/mean-flow-size, a premise Duffield\n\
+         et al. state too. On the hard pair the unfolder keeps the Theorem\n\
+         4 floor company: no model structure distinguishes streams whose\n\
+         samples are statistically identical."
+    );
+}

@@ -1,0 +1,107 @@
+//! E15 (ablation) — the Indyk–Woodruff level-set estimator's design knobs
+//! (DESIGN.md calls these out): CountSketch depth, the reliability slack,
+//! and the class ratio `ε′`.
+//!
+//! One knob varies per sweep, everything else at defaults; metric is the
+//! relative error of `C̃_2(L)` against exact `C_2(L)` on a mixed-class
+//! stream — exactly the quantity Algorithm 1 consumes (event `E²_ℓ`,
+//! Lemma 7).
+
+use sss_bench::table::fmt_g;
+use sss_bench::{print_header, run_trials, Summary, Table};
+use sss_core::{CollisionOracle, ExactCollisions, LevelSetCollisions};
+use sss_sketch::levelset::LevelSetConfig;
+use sss_stream::{BernoulliSampler, StreamGen, ZipfStream};
+
+fn c2_errors(
+    sampled: &[u64],
+    exact_c2: f64,
+    make: impl Fn() -> LevelSetConfig,
+    trials: u64,
+) -> Summary {
+    let errs = run_trials(trials, 900, |seed| {
+        let cfg = make();
+        let mut ls = LevelSetCollisions::new(2, &cfg, seed);
+        for &x in sampled {
+            ls.update(x);
+        }
+        (ls.estimate(2) - exact_c2).abs() / exact_c2
+    });
+    Summary::of(&errs)
+}
+
+fn main() {
+    print_header(
+        "E15 (ablation): Indyk-Woodruff level-set design knobs",
+        "depth drives recovery reliability; slack trades bias for variance; eps' sets class resolution",
+        "zipf(1.3) m=20k n=300k sampled at p=0.2; metric: rel err of C2(L); trials=8",
+    );
+
+    let stream = ZipfStream::new(20_000, 1.3).generate(300_000, 5);
+    let sampled = BernoulliSampler::new(0.2, 6).sample_to_vec(&stream);
+    let exact_c2 = {
+        let mut ex = ExactCollisions::new(2);
+        for &x in &sampled {
+            ex.update(x);
+        }
+        ex.estimate(2)
+    };
+    let trials = 8;
+    let base = || LevelSetConfig {
+        width: 512,
+        track: 512,
+        ..LevelSetConfig::for_universe(20_000, 512)
+    };
+
+    let mut t = Table::new(
+        "one knob at a time (defaults: depth=5, slack=32, eps'=0.1, width=512)",
+        &["knob", "value", "med err", "p90 err"],
+    );
+
+    for depth in [1usize, 3, 5, 9] {
+        let s = c2_errors(&sampled, exact_c2, || LevelSetConfig { depth, ..base() }, trials);
+        t.row(vec![
+            "depth".into(),
+            depth.to_string(),
+            fmt_g(s.median),
+            fmt_g(s.p90),
+        ]);
+    }
+    for slack in [2.0f64, 8.0, 32.0, 128.0] {
+        let s = c2_errors(&sampled, exact_c2, || LevelSetConfig { slack, ..base() }, trials);
+        t.row(vec![
+            "slack".into(),
+            format!("{slack}"),
+            fmt_g(s.median),
+            fmt_g(s.p90),
+        ]);
+    }
+    for eps_prime in [0.05f64, 0.1, 0.2, 0.4] {
+        let s = c2_errors(
+            &sampled,
+            exact_c2,
+            || LevelSetConfig {
+                eps_prime,
+                ..base()
+            },
+            trials,
+        );
+        t.row(vec![
+            "eps'".into(),
+            format!("{eps_prime}"),
+            fmt_g(s.median),
+            fmt_g(s.p90),
+        ]);
+    }
+    t.print();
+
+    println!(
+        "\nReading: depth 1 has no median concentration and fails; accuracy\n\
+         saturates by depth ~5. Tiny slack reads classes off levels where\n\
+         they are not yet reliable (bias); huge slack pushes classes deeper\n\
+         than necessary (subsampling variance) — the middle is flat, which\n\
+         is why a loose constant suffices, as the theory's poly-factors\n\
+         suggest. eps' trades class resolution against per-class occupancy\n\
+         with a broad optimum near 0.1."
+    );
+}

@@ -1,0 +1,36 @@
+//! Experiment harness: trial orchestration, summary statistics and table
+//! rendering for the per-theorem reproduction binaries (`src/bin/exp_*`).
+//!
+//! The paper is a theory paper — its "evaluation" is its theorems. Every
+//! binary in this crate regenerates the quantitative content of one claim
+//! as a table; `EXPERIMENTS.md` archives the output. All experiments are
+//! deterministic: trial `t` of an experiment uses seed `base_seed + t`.
+
+pub mod stats;
+pub mod table;
+
+pub use stats::{mean, quantile, std_dev, Summary};
+pub use table::Table;
+
+/// Run `trials` deterministic trials and collect one `f64` metric each.
+pub fn run_trials<F: FnMut(u64) -> f64>(trials: u64, base_seed: u64, mut f: F) -> Vec<f64> {
+    (0..trials).map(|t| f(base_seed + t)).collect()
+}
+
+/// Standard experiment header: claim, workload, and knobs.
+pub fn print_header(id: &str, claim: &str, workload: &str) {
+    println!("\n=== {id} ===");
+    println!("claim    : {claim}");
+    println!("workload : {workload}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_trials_is_deterministic_and_seeded() {
+        let a = run_trials(5, 100, |s| s as f64);
+        assert_eq!(a, vec![100.0, 101.0, 102.0, 103.0, 104.0]);
+    }
+}

@@ -1,0 +1,305 @@
+//! Adaptive sampling rates — the paper's open problem #2 (Conclusion):
+//! *"Suppose … the algorithm can change the sampling probability in an
+//! adaptive manner, depending on the current state of the stream. Is it
+//! possible to observe fewer elements overall and get the same
+//! accuracy?"*
+//!
+//! This module implements the `F_2` case as an extension. The key
+//! observation: the collision argument of §3 survives **per-occurrence
+//! importance weighting**. If the occurrence at position `t` was sampled
+//! with probability `p_t` (any rate schedule measurable with respect to
+//! the past — including schedules chosen adaptively from what has been
+//! sampled so far), then
+//!
+//! ```text
+//! Ĉ_2 = Σ_{sampled pairs (s, t), a_s = a_t} 1/(p_s·p_t)
+//! F̂_1 = Σ_{sampled t} 1/p_t
+//! ```
+//!
+//! are exactly unbiased for `C_2(P)` and `F_1(P)`, and
+//! `F̂_2 = 2·Ĉ_2 + F̂_1` (Lemma 1 with `k = 2`). Maintaining per-item
+//! weighted counts `w_i = Σ 1/p_t` makes the update `O(1)`: a new sampled
+//! occurrence of `i` at rate `p` adds `w_i/p` to `Ĉ_2` before bumping
+//! `w_i` by `1/p`. With a constant rate this specialises to Algorithm 1's
+//! estimator verbatim (tested).
+//!
+//! [`TargetCollisionsPolicy`] demonstrates the affirmative answer to the
+//! open problem: sample fast until enough collisions have been *observed*
+//! to pin the relative error, then throttle — on skewed streams this
+//! observes several times fewer elements than the fixed rate that reaches
+//! the same accuracy (experiment `exp_adaptive`).
+
+use sss_hash::{fp_hash_map, FpHashMap};
+
+/// `F_2` estimator under a piecewise-varying (possibly adaptive) sampling
+/// rate, via per-occurrence importance weighting.
+#[derive(Debug, Clone)]
+pub struct AdaptiveF2Estimator {
+    current_p: f64,
+    /// Per-item weighted sampled count `w_i = Σ 1/p_t`.
+    weighted: FpHashMap<u64, f64>,
+    c2_hat: f64,
+    f1_hat: f64,
+    samples: u64,
+}
+
+impl AdaptiveF2Estimator {
+    /// Estimator starting at rate `p0 ∈ (0, 1]`.
+    pub fn new(p0: f64) -> Self {
+        assert!(p0 > 0.0 && p0 <= 1.0, "rate must be in (0,1]");
+        Self {
+            current_p: p0,
+            weighted: fp_hash_map(),
+            c2_hat: 0.0,
+            f1_hat: 0.0,
+            samples: 0,
+        }
+    }
+
+    /// The rate currently in force.
+    pub fn current_rate(&self) -> f64 {
+        self.current_p
+    }
+
+    /// Change the sampling rate. Takes effect for subsequent updates; the
+    /// caller must apply the *same* rate to the sampling process itself.
+    /// Rates may depend on anything already observed (but not on the
+    /// future), which keeps the estimator unbiased.
+    pub fn set_rate(&mut self, p: f64) {
+        assert!(p > 0.0 && p <= 1.0, "rate must be in (0,1]");
+        self.current_p = p;
+    }
+
+    /// Sampled elements ingested — the "elements observed" cost the open
+    /// problem asks to minimise.
+    pub fn samples_seen(&self) -> u64 {
+        self.samples
+    }
+
+    /// Unweighted count of observed collisions (pairs within the sample),
+    /// the signal adaptive policies throttle on.
+    pub fn observed_c2_weighted(&self) -> f64 {
+        self.c2_hat
+    }
+
+    /// Ingest one element of the sampled stream, taken at the current rate.
+    pub fn update(&mut self, x: u64) {
+        self.samples += 1;
+        let inv_p = 1.0 / self.current_p;
+        let w = self.weighted.entry(x).or_insert(0.0);
+        self.c2_hat += *w * inv_p;
+        *w += inv_p;
+        self.f1_hat += inv_p;
+    }
+
+    /// Unbiased estimate of `F_1(P)`.
+    pub fn estimate_f1(&self) -> f64 {
+        self.f1_hat
+    }
+
+    /// Unbiased estimate of `C_2(P)`.
+    pub fn estimate_c2(&self) -> f64 {
+        self.c2_hat
+    }
+
+    /// The `F_2(P)` estimate `2·Ĉ_2 + F̂_1` (Lemma 1, `k = 2`).
+    pub fn estimate(&self) -> f64 {
+        2.0 * self.c2_hat + self.f1_hat
+    }
+
+    /// Memory footprint in 64-bit words.
+    pub fn space_words(&self) -> usize {
+        2 * self.weighted.len() + 4
+    }
+}
+
+/// A concrete adaptive policy: run at `p_high` until the weighted
+/// collision estimate crosses `target`, then drop to `p_low`.
+///
+/// Rationale: the relative standard deviation of `Ĉ_2` scales like
+/// `1/√(observed collisions)`; once enough collisions are banked, further
+/// elements refine the estimate only marginally, so the rate can fall by
+/// an order of magnitude with little accuracy loss — fewer elements
+/// observed overall for the same final error.
+#[derive(Debug, Clone)]
+pub struct TargetCollisionsPolicy {
+    /// Initial (exploration) rate.
+    pub p_high: f64,
+    /// Throttled rate.
+    pub p_low: f64,
+    /// Weighted-collision threshold at which to throttle.
+    pub target: f64,
+}
+
+impl TargetCollisionsPolicy {
+    /// The rate this policy mandates given the estimator's current state.
+    pub fn rate_for(&self, est: &AdaptiveF2Estimator) -> f64 {
+        if est.observed_c2_weighted() >= self.target {
+            self.p_low
+        } else {
+            self.p_high
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sss_hash::RngCore64;
+    use sss_stream::{BernoulliSampler, ExactStats, StreamGen, ZipfStream};
+
+    #[test]
+    fn constant_rate_matches_algorithm1() {
+        // With a single fixed rate the weighted estimator is algebraically
+        // identical to Algorithm 1 (k = 2, exact collisions).
+        let stream = ZipfStream::new(500, 1.2).generate(30_000, 1);
+        let p = 0.2;
+        let mut adaptive = AdaptiveF2Estimator::new(p);
+        let mut alg1 = crate::fk::SampledFkEstimator::exact(2, p);
+        let mut sampler = BernoulliSampler::new(p, 2);
+        sampler.sample_slice(&stream, |x| {
+            adaptive.update(x);
+            alg1.update(x);
+        });
+        let a = adaptive.estimate();
+        let b = alg1.estimate();
+        assert!((a - b).abs() <= 1e-6 * b, "{a} vs {b}");
+    }
+
+    #[test]
+    fn two_phase_estimate_is_unbiased() {
+        // First half sampled at 0.5, second half at 0.1: the cross-phase
+        // correction must keep the mean on target. A uniform stream keeps
+        // the trial variance small enough for a tight mean check.
+        let stream = {
+            use sss_stream::UniformStream;
+            UniformStream::new(300).generate(40_000, 3)
+        };
+        let truth = ExactStats::from_stream(stream.iter().copied()).fk(2);
+        let half = stream.len() / 2;
+        let trials = 100;
+        let mut sum = 0.0;
+        for seed in 0..trials {
+            let mut est = AdaptiveF2Estimator::new(0.5);
+            let mut rng = sss_hash::Xoshiro256pp::new(seed);
+            for (idx, &x) in stream.iter().enumerate() {
+                if idx == half {
+                    est.set_rate(0.2);
+                }
+                if rng.next_bool(est.current_rate()) {
+                    est.update(x);
+                }
+            }
+            sum += est.estimate();
+        }
+        let mean = sum / trials as f64;
+        assert!(
+            (mean - truth).abs() / truth < 0.03,
+            "mean {mean} vs truth {truth}"
+        );
+    }
+
+    #[test]
+    fn naive_single_rate_formula_is_biased_on_phased_sample() {
+        // When item occurrence correlates with the rate schedule (here: a
+        // hot item that appears only in the low-rate phase), Algorithm 1's
+        // fixed-p formula — even with the time-averaged rate — is
+        // systematically wrong, while the weighted estimator is not. This
+        // is why the adaptive extension needs new algebra.
+        let half = 20_000usize;
+        let mut stream = ZipfStream::new(300, 1.0).generate(half as u64, 5);
+        stream.extend(std::iter::repeat(999_999u64).take(half)); // phase-2-only elephant
+        let truth = ExactStats::from_stream(stream.iter().copied()).fk(2);
+        let (p1, p2) = (0.4, 0.04);
+        let p_avg = (p1 + p2) / 2.0;
+        let trials = 60;
+        let mut adaptive_sum = 0.0;
+        let mut naive_sum = 0.0;
+        for seed in 0..trials {
+            let mut est = AdaptiveF2Estimator::new(p1);
+            let mut naive = crate::fk::SampledFkEstimator::exact(2, p_avg);
+            let mut rng = sss_hash::Xoshiro256pp::new(1000 + seed);
+            for (idx, &x) in stream.iter().enumerate() {
+                if idx == half {
+                    est.set_rate(p2);
+                }
+                if rng.next_bool(est.current_rate()) {
+                    est.update(x);
+                    naive.update(x);
+                }
+            }
+            adaptive_sum += est.estimate();
+            naive_sum += naive.estimate();
+        }
+        let adaptive_err = (adaptive_sum / trials as f64 - truth).abs() / truth;
+        let naive_err = (naive_sum / trials as f64 - truth).abs() / truth;
+        // The elephant's pairs live entirely in the p2 phase; the naive
+        // formula scales them by 1/p_avg² instead of 1/p2² — a (p_avg/p2)²
+        // = 30x undercount of the dominant F2 term.
+        assert!(adaptive_err < 0.10, "adaptive err {adaptive_err}");
+        assert!(
+            naive_err > 0.5,
+            "naive err {naive_err} should be catastrophic"
+        );
+    }
+
+    #[test]
+    fn throttling_policy_saves_samples_on_skewed_streams() {
+        // The open-problem demonstration: same stream, (a) fixed p_high
+        // throughout vs (b) policy that throttles 10x after banking
+        // collisions. (b) must observe far fewer elements while staying
+        // within a few percent.
+        let stream = ZipfStream::new(2000, 1.5).generate(200_000, 7);
+        let truth = ExactStats::from_stream(stream.iter().copied()).fk(2);
+        let policy = TargetCollisionsPolicy {
+            p_high: 0.2,
+            p_low: 0.02,
+            target: 2.0 * truth / 100.0, // ~1% rel. sd territory
+        };
+        let mut fixed_samples = 0u64;
+        let mut adaptive_samples = 0u64;
+        let mut fixed_err = 0.0;
+        let mut adaptive_err = 0.0;
+        let trials = 10;
+        for seed in 0..trials {
+            // Fixed.
+            let mut est = AdaptiveF2Estimator::new(policy.p_high);
+            let mut rng = sss_hash::Xoshiro256pp::new(2000 + seed);
+            for &x in &stream {
+                if rng.next_bool(policy.p_high) {
+                    est.update(x);
+                }
+            }
+            fixed_samples += est.samples_seen();
+            fixed_err += (est.estimate() - truth).abs() / truth / trials as f64;
+            // Adaptive.
+            let mut est = AdaptiveF2Estimator::new(policy.p_high);
+            let mut rng = sss_hash::Xoshiro256pp::new(3000 + seed);
+            for &x in &stream {
+                let r = policy.rate_for(&est);
+                if r != est.current_rate() {
+                    est.set_rate(r);
+                }
+                if rng.next_bool(est.current_rate()) {
+                    est.update(x);
+                }
+            }
+            adaptive_samples += est.samples_seen();
+            adaptive_err += (est.estimate() - truth).abs() / truth / trials as f64;
+        }
+        assert!(
+            adaptive_samples * 2 < fixed_samples,
+            "adaptive {adaptive_samples} vs fixed {fixed_samples}"
+        );
+        assert!(adaptive_err < 0.08, "adaptive err {adaptive_err}");
+        assert!(fixed_err < 0.05, "fixed err {fixed_err}");
+    }
+
+    #[test]
+    fn empty_estimator_is_zero() {
+        let est = AdaptiveF2Estimator::new(0.5);
+        assert_eq!(est.estimate(), 0.0);
+        assert_eq!(est.estimate_f1(), 0.0);
+        assert_eq!(est.samples_seen(), 0);
+    }
+}

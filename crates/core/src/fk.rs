@@ -1,0 +1,290 @@
+//! Algorithm 1: frequency moments of the original stream from the sampled
+//! stream (paper §3, Theorem 1).
+//!
+//! The estimator observes only `L` and reconstructs `F_k(P)` through the
+//! collision recursion
+//!
+//! ```text
+//! φ̃_1 = F_1(L)/p
+//! φ̃_ℓ = C̃_ℓ(L)·ℓ!/p^ℓ + Σ_{i<ℓ} β^ℓ_i·φ̃_i          (ℓ = 2, …, k)
+//! ```
+//!
+//! using `E[C_ℓ(L)] = p^ℓ·C_ℓ(P)` (Lemma 2) and the falling-factorial
+//! identity (Lemma 1). With the error schedule of Lemma 3 the output is a
+//! `(1+ε, δ)`-estimator of `F_k(P)` in `Õ(p⁻¹m^{1−2/k})` space, provided
+//! `p = Ω̃(min(m,n)^{−1/k})`.
+
+use sss_sketch::levelset::LevelSetConfig;
+
+use crate::collisions::{CollisionOracle, ExactCollisions, LevelSetCollisions};
+use crate::stirling::{beta_coefficients, epsilon_schedule, factorial_f64, MAX_K};
+
+/// The paper's Algorithm 1, generic over the collision oracle.
+///
+/// ```
+/// use sss_core::SampledFkEstimator;
+///
+/// // The monitor sees a p = 0.5 Bernoulli sample of a stream whose
+/// // true F_2 is 3² + 2² + 1² = 14. Feed it the sampled elements:
+/// let mut est = SampledFkEstimator::exact(2, 0.5);
+/// for x in [7u64, 7, 9, 4] {
+///     est.update(x); // the surviving half of <7,7,7,9,9,4>
+/// }
+/// // φ̃_2 = 2·C_2(L)/p² + F_1(L)/p = 2·1/0.25 + 4/0.5 = 16 ≈ F_2(P).
+/// assert_eq!(est.estimate(), 16.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SampledFkEstimator<O: CollisionOracle> {
+    oracle: O,
+    k: u32,
+    p: f64,
+}
+
+impl SampledFkEstimator<ExactCollisions> {
+    /// Algorithm 1 with exact collision counting of the sampled stream
+    /// (space `O(F_0(L))`): isolates the sampling error.
+    pub fn exact(k: u32, p: f64) -> Self {
+        Self::with_oracle(ExactCollisions::new(k), k, p)
+    }
+}
+
+impl SampledFkEstimator<LevelSetCollisions> {
+    /// Algorithm 1 with the Indyk–Woodruff sketched collision oracle —
+    /// the paper's full small-space construction.
+    pub fn sketched(k: u32, p: f64, config: &LevelSetConfig, seed: u64) -> Self {
+        Self::with_oracle(LevelSetCollisions::new(k, config, seed), k, p)
+    }
+}
+
+impl<O: CollisionOracle> SampledFkEstimator<O> {
+    /// Algorithm 1 over an arbitrary collision oracle.
+    pub fn with_oracle(oracle: O, k: u32, p: f64) -> Self {
+        assert!((2..=MAX_K).contains(&k), "k must be in 2..={MAX_K}");
+        assert!(p > 0.0 && p <= 1.0, "sampling probability must be in (0,1]");
+        assert!(oracle.max_order() >= k, "oracle supports too few orders");
+        Self { oracle, k, p }
+    }
+
+    /// The moment order `k`.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// The sampling probability `p` the estimator corrects for.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Elements of the *sampled* stream seen so far.
+    pub fn samples_seen(&self) -> u64 {
+        self.oracle.n()
+    }
+
+    /// Memory footprint in 64-bit words.
+    pub fn space_words(&self) -> usize {
+        self.oracle.space_words()
+    }
+
+    /// Access the collision oracle (diagnostics, tests).
+    pub fn oracle(&self) -> &O {
+        &self.oracle
+    }
+
+    /// Ingest one element of the sampled stream `L`.
+    pub fn update(&mut self, x: u64) {
+        self.oracle.update(x);
+    }
+
+    /// The recursion of Algorithm 1: `φ̃_1 … φ̃_k`
+    /// (`result[ℓ-1] = φ̃_ℓ ≈ F_ℓ(P)`).
+    pub fn estimate_all(&self) -> Vec<f64> {
+        let mut phi = vec![0.0f64; self.k as usize];
+        phi[0] = self.oracle.n() as f64 / self.p;
+        for ell in 2..=self.k {
+            let c = self.oracle.estimate(ell);
+            let mut value = c * factorial_f64(ell) / self.p.powi(ell as i32);
+            let beta = beta_coefficients(ell);
+            for i in 1..ell {
+                value += beta[i as usize - 1] as f64 * phi[i as usize - 1];
+            }
+            phi[ell as usize - 1] = value;
+        }
+        phi
+    }
+
+    /// The `(1+ε, δ)` estimate `φ̃_k` of `F_k(P)`.
+    pub fn estimate(&self) -> f64 {
+        *self.estimate_all().last().expect("k >= 2")
+    }
+
+    /// Estimate of a single intermediate moment `F_ℓ(P)`, `1 ≤ ℓ ≤ k`.
+    pub fn estimate_moment(&self, ell: u32) -> f64 {
+        assert!(ell >= 1 && ell <= self.k);
+        self.estimate_all()[ell as usize - 1]
+    }
+}
+
+impl SampledFkEstimator<ExactCollisions> {
+    /// Merge a second monitor's estimator (same `k` and `p`): afterwards
+    /// `self` estimates the moments of the *concatenated* original stream.
+    /// Both monitors must have observed **disjoint parts** of `P`, each
+    /// Bernoulli-sampled at the same rate — the distributed deployment of
+    /// the paper's router scenario.
+    pub fn merge(&mut self, other: &SampledFkEstimator<ExactCollisions>) {
+        assert_eq!(self.k, other.k, "moment order mismatch");
+        assert!(
+            (self.p - other.p).abs() < 1e-12,
+            "sampling rates differ: {} vs {}",
+            self.p,
+            other.p
+        );
+        self.oracle.merge(&other.oracle);
+    }
+}
+
+/// Theorem 1's admissibility condition on the sampling probability:
+/// `p = Ω̃(min(m, n)^{−1/k})`. Returns the threshold with the polylog
+/// factors set to 1; sampling below it forfeits the guarantee regardless of
+/// space (Bar-Yossef's sampling lower bound, the paper's Theorem 4.33
+/// citation).
+pub fn min_sampling_probability(k: u32, m: u64, n: u64) -> f64 {
+    assert!(k >= 1);
+    let base = m.min(n).max(1) as f64;
+    base.powf(-1.0 / k as f64)
+}
+
+/// The per-level relative errors `ε_1 … ε_k` Algorithm 1 budgets for a
+/// final error of `eps` (re-export of the Lemma 3 schedule for callers
+/// configuring the collision oracle's `ε′ = ε_{ℓ−1}/4`).
+pub fn fk_error_schedule(k: u32, eps: f64) -> Vec<f64> {
+    epsilon_schedule(k, eps)
+}
+
+/// A recommended level-set configuration for estimating `F_k` of a stream
+/// over universe `m` sampled at rate `p`: width `∝ p⁻¹·m^{1−2/k}` (the
+/// paper's space bound) with floors that keep tiny cases functional.
+pub fn recommended_levelset_config(k: u32, m: u64, p: f64, eps: f64) -> LevelSetConfig {
+    let m_f = m.max(2) as f64;
+    // Õ(p⁻¹·m^{1−2/k}) with the leading poly(1/ε)·log m factors spelled
+    // out (they are what the Õ hides; without the log m the k = 2 width
+    // collapses to O(1/p) counters, starving recovery on wide universes).
+    let width_f = (m_f.powf(1.0 - 2.0 / k as f64) * m_f.log2() / (p * eps * eps)).ceil();
+    let width = (width_f as usize).clamp(64, 1 << 22);
+    let mut cfg = LevelSetConfig::for_universe(m, width);
+    // ε′ = ε_{k−1}/4 is the theory's choice; floor it for practicality.
+    let sched = epsilon_schedule(k, eps);
+    cfg.eps_prime = (sched[k as usize - 2] / 4.0).clamp(0.02, 0.25);
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sss_stream::{BernoulliSampler, ExactStats, StreamGen, UniformStream, ZipfStream};
+
+    /// With p = 1 and exact collisions, the recursion is the identity of
+    /// Lemma 1: the estimate equals F_k exactly.
+    #[test]
+    fn exact_at_p_one_recovers_moments_exactly() {
+        let stream = ZipfStream::new(500, 1.2).generate(20_000, 1);
+        let stats = ExactStats::from_stream(stream.iter().copied());
+        for k in 2..=5u32 {
+            let mut est = SampledFkEstimator::exact(k, 1.0);
+            for &x in &stream {
+                est.update(x);
+            }
+            let all = est.estimate_all();
+            for ell in 1..=k {
+                let truth = stats.fk(ell);
+                let got = all[ell as usize - 1];
+                assert!(
+                    (got - truth).abs() <= 1e-6 * truth,
+                    "k={k} ℓ={ell}: {got} vs {truth}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_f2_concentrates_on_uniform_stream() {
+        let stream = UniformStream::new(1000).generate(200_000, 2);
+        let truth = ExactStats::from_stream(stream.iter().copied()).fk(2);
+        let p = 0.1;
+        let mut errs = Vec::new();
+        for seed in 0..10u64 {
+            let mut est = SampledFkEstimator::exact(2, p);
+            let mut sampler = BernoulliSampler::new(p, seed);
+            sampler.sample_slice(&stream, |x| est.update(x));
+            errs.push((est.estimate() - truth).abs() / truth);
+        }
+        errs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        // Median trial within 5%, no trial catastrophically off.
+        assert!(errs[4] < 0.05, "median err {}", errs[4]);
+        assert!(errs[9] < 0.2, "worst err {}", errs[9]);
+    }
+
+    #[test]
+    fn sampled_f3_concentrates_on_zipf_stream() {
+        let stream = ZipfStream::new(2000, 1.1).generate(150_000, 3);
+        let truth = ExactStats::from_stream(stream.iter().copied()).fk(3);
+        let p = 0.2;
+        let mut errs = Vec::new();
+        for seed in 0..10u64 {
+            let mut est = SampledFkEstimator::exact(3, p);
+            let mut sampler = BernoulliSampler::new(p, seed);
+            sampler.sample_slice(&stream, |x| est.update(x));
+            errs.push((est.estimate() - truth).abs() / truth);
+        }
+        errs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!(errs[4] < 0.1, "median err {}", errs[4]);
+    }
+
+    #[test]
+    fn sketched_estimator_tracks_f2() {
+        let stream = ZipfStream::new(5000, 1.3).generate(100_000, 4);
+        let truth = ExactStats::from_stream(stream.iter().copied()).fk(2);
+        let p = 0.25;
+        let cfg = recommended_levelset_config(2, 5000, p, 0.2);
+        let mut est = SampledFkEstimator::sketched(2, p, &cfg, 5);
+        let mut sampler = BernoulliSampler::new(p, 6);
+        sampler.sample_slice(&stream, |x| est.update(x));
+        let rel = (est.estimate() - truth).abs() / truth;
+        assert!(rel < 0.3, "rel err {rel}");
+    }
+
+    #[test]
+    fn estimate_moment_consistency() {
+        let stream = UniformStream::new(100).generate(10_000, 7);
+        let mut est = SampledFkEstimator::exact(4, 1.0);
+        for &x in &stream {
+            est.update(x);
+        }
+        let all = est.estimate_all();
+        for ell in 1..=4u32 {
+            assert_eq!(est.estimate_moment(ell), all[ell as usize - 1]);
+        }
+        assert_eq!(est.estimate(), all[3]);
+    }
+
+    #[test]
+    fn min_p_matches_formula() {
+        assert!((min_sampling_probability(2, 10_000, 1 << 30) - 0.01).abs() < 1e-12);
+        assert!((min_sampling_probability(4, 1 << 20, 1 << 20) - (1u64 << 5) as f64 / (1u64 << 10) as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recommended_config_scales_with_p_and_k() {
+        let narrow = recommended_levelset_config(2, 1 << 20, 0.5, 0.1);
+        let wide = recommended_levelset_config(2, 1 << 20, 0.05, 0.1);
+        assert!(wide.width >= 9 * narrow.width, "width must scale as 1/p");
+        let k2 = recommended_levelset_config(2, 1 << 20, 0.1, 0.1);
+        let k4 = recommended_levelset_config(4, 1 << 20, 0.1, 0.1);
+        assert!(k4.width > k2.width, "higher k needs more width");
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be in")]
+    fn k_one_rejected() {
+        let _ = SampledFkEstimator::exact(1, 0.5);
+    }
+}

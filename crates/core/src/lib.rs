@@ -1,0 +1,52 @@
+//! Estimators for statistics of a stream observed only through Bernoulli
+//! sub-sampling.
+//!
+//! This crate is the reproduction of
+//!
+//! > McGregor, Pavan, Tirthapura, Woodruff.
+//! > *Space-Efficient Estimation of Statistics over Sub-Sampled Streams.*
+//! > PODS 2012 / Algorithmica 74(2), 2016.
+//!
+//! **Setting.** An original stream `P` over universe `[m]` is Bernoulli
+//! sampled at a known, fixed rate `p`; the algorithm sees only the sampled
+//! stream `L`, in one pass, in small space, and must estimate aggregates of
+//! `P`. Plain "estimate on `L` and rescale" fails for most aggregates; each
+//! estimator here implements the paper's correction:
+//!
+//! | Estimator | Paper result | Guarantee |
+//! |---|---|---|
+//! | [`SampledFkEstimator`] | Thm 1 (§3) | `(1+ε, δ)` for `F_k`, `k ≥ 2`, space `Õ(p⁻¹m^{1−2/k})` |
+//! | [`SampledF0Estimator`] | Lemma 8 (§4) | error `≤ 4/√p` — optimal up to constants (Thm 4) |
+//! | [`SampledEntropyEstimator`] | Thm 5 (§5) | constant factor when `H(f) = ω(p^{−1/2}n^{−1/6})` |
+//! | [`SampledF1HeavyHitters`] | Thm 6 (§6) | `(α, ε, δ)` `F_1`-heavy hitters when `F_1 ≥ Cp⁻¹α⁻¹ε⁻²log(n/δ)` |
+//! | [`SampledF2HeavyHitters`] | Thm 7 (§6) | `(α, 1−√p(1−ε))` `F_2`-heavy hitters, space `Õ(1/p)` |
+//!
+//! Baselines ([`baselines`]) cover Rusu–Dobra `F_2` scaling and the naive
+//! normalisations the introduction motivates against.
+
+pub mod adaptive;
+pub mod baselines;
+pub mod collisions;
+pub mod entropy;
+pub mod f0;
+pub mod fk;
+pub mod flows;
+pub mod heavy_hitters;
+pub mod numeric;
+pub mod params;
+pub mod stirling;
+
+pub use adaptive::{AdaptiveF2Estimator, TargetCollisionsPolicy};
+pub use baselines::{NaiveScaledF0, NaiveScaledFk, RusuDobraF2};
+pub use flows::{FlowSizeEstimate, FlowSizeUnfolder, SampledFlowHistogram};
+pub use collisions::{CollisionOracle, ExactCollisions, LevelSetCollisions};
+pub use entropy::SampledEntropyEstimator;
+pub use f0::{f0_lower_bound_factor, SampledF0Estimator};
+pub use fk::{
+    fk_error_schedule, min_sampling_probability, recommended_levelset_config,
+    SampledFkEstimator,
+};
+pub use heavy_hitters::{
+    theorem6_min_f1, theorem7_min_sqrt_f2, SampledF1HeavyHitters, SampledF2HeavyHitters,
+};
+pub use params::ApproxParams;

@@ -1,0 +1,92 @@
+//! Shared approximation-parameter plumbing.
+
+/// A `(1+ε, δ)` approximation target (paper, Definition 1: the output `X̃`
+/// satisfies `α⁻¹ ≤ X/X̃ ≤ α` with probability `≥ 1 − δ`, here with
+/// `α = 1+ε`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ApproxParams {
+    /// Relative error target `ε ∈ (0, 1)`.
+    pub epsilon: f64,
+    /// Failure probability `δ ∈ (0, 1)`.
+    pub delta: f64,
+}
+
+impl ApproxParams {
+    /// Validated construction.
+    pub fn new(epsilon: f64, delta: f64) -> Self {
+        assert!(
+            epsilon > 0.0 && epsilon < 1.0,
+            "epsilon must be in (0,1), got {epsilon}"
+        );
+        assert!(
+            delta > 0.0 && delta < 1.0,
+            "delta must be in (0,1), got {delta}"
+        );
+        Self { epsilon, delta }
+    }
+
+    /// Whether an estimate meets this target against a known truth, in the
+    /// multiplicative sense of Definition 1.
+    pub fn accepts(&self, estimate: f64, truth: f64) -> bool {
+        if truth == 0.0 {
+            return estimate == 0.0;
+        }
+        if estimate <= 0.0 {
+            return false;
+        }
+        let alpha = 1.0 + self.epsilon;
+        let ratio = truth / estimate;
+        (1.0 / alpha) <= ratio && ratio <= alpha
+    }
+
+    /// The multiplicative error `max(X/X̃, X̃/X)` of an estimate (`∞` when
+    /// exactly one of the two is zero; 1 when both are).
+    pub fn mult_error(estimate: f64, truth: f64) -> f64 {
+        if truth == 0.0 && estimate == 0.0 {
+            return 1.0;
+        }
+        if truth <= 0.0 || estimate <= 0.0 {
+            return f64::INFINITY;
+        }
+        (estimate / truth).max(truth / estimate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_within_band() {
+        let p = ApproxParams::new(0.1, 0.05);
+        assert!(p.accepts(100.0, 100.0));
+        assert!(p.accepts(109.0, 100.0));
+        assert!(p.accepts(92.0, 100.0)); // 100/92 ≈ 1.087 ≤ 1.1
+        assert!(!p.accepts(115.0, 100.0));
+        assert!(!p.accepts(89.0, 100.0));
+    }
+
+    #[test]
+    fn zero_handling() {
+        let p = ApproxParams::new(0.5, 0.1);
+        assert!(p.accepts(0.0, 0.0));
+        assert!(!p.accepts(1.0, 0.0));
+        assert!(!p.accepts(0.0, 1.0));
+        assert_eq!(ApproxParams::mult_error(0.0, 0.0), 1.0);
+        assert_eq!(ApproxParams::mult_error(1.0, 0.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn mult_error_is_symmetric() {
+        assert_eq!(
+            ApproxParams::mult_error(50.0, 100.0),
+            ApproxParams::mult_error(200.0, 100.0)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn rejects_bad_epsilon() {
+        let _ = ApproxParams::new(1.5, 0.1);
+    }
+}

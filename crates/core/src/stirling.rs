@@ -1,0 +1,199 @@
+//! The combinatorial coefficients of the paper's Lemma 1.
+//!
+//! Expanding the falling factorial shows
+//!
+//! ```text
+//! ℓ!·C_ℓ(P) = Σ_i f_i(f_i−1)…(f_i−ℓ+1) = Σ_{l=0}^{ℓ} s(ℓ,l)·F_l(P)
+//! ```
+//!
+//! where `s(ℓ,l)` are the **signed Stirling numbers of the first kind**, so
+//!
+//! ```text
+//! F_ℓ(P) = ℓ!·C_ℓ(P) + Σ_{l=1}^{ℓ−1} β^ℓ_l·F_l(P),    β^ℓ_l = −s(ℓ,l).
+//! ```
+//!
+//! The paper writes `β^ℓ_l = (−1)^{ℓ−l+1}·e_{ℓ−l}(1,…,ℓ−1)` via elementary
+//! symmetric polynomials; the two forms are equal (tested below). This
+//! module also provides `A_ℓ = Σ_l |β^ℓ_l|` and the error schedule
+//! `ε_{ℓ−1} = ε_ℓ/(A_ℓ+1)` of Lemma 3.
+
+/// Largest moment order the `i128` Stirling table supports without
+/// overflow (|s(ℓ,l)| ≤ ℓ! and 33! < 2^127).
+pub const MAX_K: u32 = 32;
+
+/// Signed Stirling numbers of the first kind `s(ℓ, l)` for `0 ≤ l ≤ ℓ`.
+///
+/// Computed by the triangle recurrence `s(ℓ+1, l) = s(ℓ, l−1) − ℓ·s(ℓ, l)`.
+pub fn stirling_first_row(ell: u32) -> Vec<i128> {
+    assert!(ell <= MAX_K, "moment order {ell} exceeds MAX_K = {MAX_K}");
+    let mut row = vec![0i128; ell as usize + 1];
+    row[0] = 1; // s(0,0) = 1
+    for n in 0..ell as usize {
+        // Transform row n into row n+1, right to left.
+        let mut next = vec![0i128; ell as usize + 1];
+        for l in 0..=n + 1 {
+            let from_prev = if l > 0 { row[l - 1] } else { 0 };
+            next[l] = from_prev - (n as i128) * row[l];
+        }
+        row = next;
+    }
+    row
+}
+
+/// The coefficients `β^ℓ_l = −s(ℓ, l)` for `l = 1, …, ℓ−1`
+/// (index 0 of the returned vector is `β^ℓ_1`).
+pub fn beta_coefficients(ell: u32) -> Vec<i128> {
+    assert!(ell >= 1);
+    let s = stirling_first_row(ell);
+    (1..ell as usize).map(|l| -s[l]).collect()
+}
+
+/// `A_ℓ = Σ_{l=1}^{ℓ−1} |β^ℓ_l|` (Lemma 3).
+pub fn a_ell(ell: u32) -> f64 {
+    beta_coefficients(ell)
+        .iter()
+        .map(|&b| b.unsigned_abs() as f64)
+        .sum()
+}
+
+/// The error schedule of Lemma 3: returns `ε_1, …, ε_k` (1-indexed in the
+/// paper; `schedule[ℓ-1] = ε_ℓ` here) with `ε_k = eps` and
+/// `ε_{ℓ−1} = ε_ℓ/(A_ℓ+1)`.
+pub fn epsilon_schedule(k: u32, eps: f64) -> Vec<f64> {
+    assert!(k >= 1);
+    assert!(eps > 0.0);
+    let mut sched = vec![0.0; k as usize];
+    sched[k as usize - 1] = eps;
+    for ell in (2..=k).rev() {
+        let e = sched[ell as usize - 1];
+        sched[ell as usize - 2] = e / (a_ell(ell) + 1.0);
+    }
+    sched
+}
+
+/// `ℓ!` as `f64` (exact for `ℓ ≤ 22`, within one ulp far beyond).
+pub fn factorial_f64(ell: u32) -> f64 {
+    (1..=ell as u64).map(|x| x as f64).product()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_rows_match_hand_expansion() {
+        // x(x−1) = x² − x
+        assert_eq!(stirling_first_row(2), vec![0, -1, 1]);
+        // x(x−1)(x−2) = x³ − 3x² + 2x
+        assert_eq!(stirling_first_row(3), vec![0, 2, -3, 1]);
+        // x(x−1)(x−2)(x−3) = x⁴ − 6x³ + 11x² − 6x
+        assert_eq!(stirling_first_row(4), vec![0, -6, 11, -6, 1]);
+    }
+
+    #[test]
+    fn beta_matches_paper_elementary_symmetric_formula() {
+        // β^ℓ_l = (−1)^{ℓ−l+1} · e_{ℓ−l}(1, 2, …, ℓ−1)
+        for ell in 2..=8u32 {
+            let beta = beta_coefficients(ell);
+            // Elementary symmetric polynomials of {1, …, ℓ−1} via the
+            // generating product Π (1 + j·t).
+            let mut e = vec![0i128; ell as usize];
+            e[0] = 1;
+            for j in 1..ell as i128 {
+                for d in (1..ell as usize).rev() {
+                    e[d] += j * e[d - 1];
+                }
+            }
+            for l in 1..ell {
+                let deg = (ell - l) as usize;
+                let sign = if deg % 2 == 0 { -1i128 } else { 1i128 }; // (−1)^{ℓ−l+1}
+                let expect = sign * e[deg];
+                assert_eq!(
+                    beta[l as usize - 1],
+                    expect,
+                    "β^{ell}_{l}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn falling_factorial_identity_numeric() {
+        // For a concrete frequency vector, F_ℓ = ℓ!·C_ℓ + Σ β^ℓ_l F_l.
+        let freqs: [u64; 4] = [7, 5, 2, 1];
+        for ell in 2..=4u32 {
+            let f_mom = |t: u32| -> f64 {
+                freqs.iter().map(|&f| (f as f64).powi(t as i32)).sum()
+            };
+            let c_ell: f64 = freqs
+                .iter()
+                .map(|&f| {
+                    let mut acc = 1.0;
+                    for j in 0..ell as u64 {
+                        acc *= if f >= j { (f - j) as f64 } else { 0.0 } / (j + 1) as f64;
+                    }
+                    if f >= ell as u64 {
+                        acc
+                    } else {
+                        0.0
+                    }
+                })
+                .sum();
+            let beta = beta_coefficients(ell);
+            let mut rhs = factorial_f64(ell) * c_ell;
+            for l in 1..ell {
+                rhs += beta[l as usize - 1] as f64 * f_mom(l);
+            }
+            assert!(
+                (rhs - f_mom(ell)).abs() < 1e-6,
+                "ℓ={ell}: {rhs} vs {}",
+                f_mom(ell)
+            );
+        }
+    }
+
+    #[test]
+    fn abs_row_sums_to_factorial() {
+        // Σ_l |s(ℓ,l)| = ℓ! (number of permutations by cycle count).
+        for ell in 1..=10u32 {
+            let sum: i128 = stirling_first_row(ell).iter().map(|&x| x.abs()).sum();
+            let fact: i128 = (1..=ell as i128).product();
+            assert_eq!(sum, fact, "ℓ={ell}");
+        }
+    }
+
+    #[test]
+    fn a_ell_values() {
+        assert_eq!(a_ell(2), 1.0); // |β²_1| = 1
+        assert_eq!(a_ell(3), 5.0); // 2 + 3
+        assert_eq!(a_ell(4), 23.0); // 6 + 11 + 6
+    }
+
+    #[test]
+    fn schedule_is_monotone_and_ends_at_eps() {
+        let k = 5;
+        let eps = 0.2;
+        let s = epsilon_schedule(k, eps);
+        assert_eq!(s.len(), 5);
+        assert_eq!(s[4], eps);
+        for w in s.windows(2) {
+            assert!(w[0] < w[1], "schedule must increase with ℓ");
+        }
+        // ε_4 = ε/(A_5+1); A_5 = 24+50+35+10 = 119.
+        assert!((s[3] - eps / 120.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn factorials() {
+        assert_eq!(factorial_f64(0), 1.0);
+        assert_eq!(factorial_f64(1), 1.0);
+        assert_eq!(factorial_f64(5), 120.0);
+        assert_eq!(factorial_f64(10), 3_628_800.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "MAX_K")]
+    fn order_cap_enforced() {
+        let _ = stirling_first_row(MAX_K + 1);
+    }
+}

@@ -1,0 +1,78 @@
+//! Bit-mixing finalizers and range/unit reductions shared by the hash
+//! families and sketches.
+
+/// A strong 64-bit finalizer (the SplitMix64 / MurmurHash3 `fmix64`
+/// constants). Bijective on `u64`, so it never loses entropy; used to spread
+/// the low-entropy outputs of algebraic hash families across all 64 bits
+/// before taking top bits (range reduction) or trailing zeros (levels).
+#[inline]
+pub fn fingerprint64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Map a uniform `u64` to `[0, range)` by the multiply-shift (Lemire)
+/// reduction — unbiased up to `O(range / 2^64)`.
+#[inline]
+pub fn reduce_range(h: u64, range: usize) -> usize {
+    debug_assert!(range > 0);
+    (((h as u128) * (range as u128)) >> 64) as usize
+}
+
+/// Map a uniform `u64` to a `f64` in `[0, 1)` using its top 53 bits.
+#[inline]
+pub fn to_unit_f64(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_is_injective_on_sample() {
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        for x in 0..100_000u64 {
+            assert!(seen.insert(fingerprint64(x)), "collision at {x}");
+        }
+    }
+
+    #[test]
+    fn fingerprint_differs_from_identity() {
+        assert_ne!(fingerprint64(0), 0);
+        assert_ne!(fingerprint64(1), 1);
+    }
+
+    #[test]
+    fn reduce_range_bounds() {
+        for r in [1usize, 2, 3, 7, 1000] {
+            assert!(reduce_range(u64::MAX, r) < r);
+            assert_eq!(reduce_range(0, r), 0);
+        }
+    }
+
+    #[test]
+    fn reduce_range_roughly_uniform() {
+        let r = 10usize;
+        let mut counts = vec![0u32; r];
+        let n = 100_000u64;
+        for x in 0..n {
+            counts[reduce_range(fingerprint64(x), r)] += 1;
+        }
+        let expected = n as f64 / r as f64;
+        for &c in &counts {
+            assert!((c as f64 - expected).abs() / expected < 0.05);
+        }
+    }
+
+    #[test]
+    fn unit_f64_bounds_and_spread() {
+        let lo = to_unit_f64(0);
+        let hi = to_unit_f64(u64::MAX);
+        assert_eq!(lo, 0.0);
+        assert!(hi < 1.0 && hi > 0.999_999);
+    }
+}

@@ -1,0 +1,243 @@
+//! AMS tug-of-war `F_2` sketch (Alon, Matias & Szegedy, JCSS 1999).
+//!
+//! Each atomic estimator keeps `Z = Σ_x s(x)·f_x` for a 4-wise independent
+//! sign `s`; `Z²` is an unbiased estimate of `F_2` with `Var[Z²] ≤ 2F_2²`.
+//! Averaging `r` copies divides the variance by `r`; the median of `c`
+//! averaged groups drives the failure probability down to `2^{−Ω(c)}`:
+//! the standard `(1+ε, δ)` estimator with `r = O(1/ε²)`, `c = O(log 1/δ)`.
+//!
+//! This is the `F_2(L)` black box of the **Rusu–Dobra baseline** (§1.3):
+//! estimate `F_2` of the sampled stream, then invert
+//! `E[F_2(L)] = p²F_2(P) + p(1−p)F_1(P)`.
+
+use sss_hash::{FourWiseSign, SplitMix64};
+
+/// AMS `F_2` estimator: `groups × copies` atomic counters.
+#[derive(Debug, Clone)]
+pub struct AmsF2 {
+    copies: usize,
+    /// Z values, group-major: groups × copies.
+    z: Vec<i64>,
+    signs: Vec<FourWiseSign>,
+    total: u64,
+}
+
+impl AmsF2 {
+    /// Sketch with `groups` median groups of `copies` averaged estimators.
+    pub fn new(groups: usize, copies: usize, seed: u64) -> Self {
+        assert!(groups >= 1 && copies >= 1, "dimensions must be positive");
+        let mut sm = SplitMix64::new(seed);
+        let n = groups * copies;
+        Self {
+            copies,
+            z: vec![0; n],
+            signs: (0..n).map(|_| FourWiseSign::new(sm.derive())).collect(),
+            total: 0,
+        }
+    }
+
+    /// Sketch sized for a `(1+eps, delta)` guarantee:
+    /// `copies = ⌈8/eps²⌉`, `groups = ⌈2·ln(1/delta)⌉` (odd, ≥ 3).
+    ///
+    /// **Cost warning.** Classic AMS touches *every* counter on *every*
+    /// update, so per-item time is `O(groups·copies) = O(ε⁻²·log 1/δ)` —
+    /// that is the real price of the tug-of-war sketch and exactly why
+    /// CountSketch's `O(d)`-per-update [`f2_estimate`] view
+    /// ("fast AMS") exists. A `2^22`-counter cap guards against accidental
+    /// quadratic blow-ups.
+    ///
+    /// [`f2_estimate`]: crate::countsketch::CountSketch::f2_estimate
+    pub fn with_error(eps: f64, delta: f64, seed: u64) -> Self {
+        assert!(eps > 0.0 && eps < 1.0);
+        assert!(delta > 0.0 && delta < 1.0);
+        let copies = (8.0 / (eps * eps)).ceil() as usize;
+        let mut groups = (2.0 * (1.0 / delta).ln()).ceil().max(3.0) as usize;
+        if groups % 2 == 0 {
+            groups += 1;
+        }
+        assert!(
+            copies.saturating_mul(groups) <= (1 << 22),
+            "AMS {groups}x{copies} exceeds the 2^22-counter safety cap"
+        );
+        Self::new(groups, copies, seed)
+    }
+
+    /// Number of median groups.
+    pub fn groups(&self) -> usize {
+        self.z.len() / self.copies
+    }
+
+    /// Estimators per group.
+    pub fn copies(&self) -> usize {
+        self.copies
+    }
+
+    /// Space in 64-bit words.
+    pub fn space_words(&self) -> usize {
+        self.z.len()
+    }
+
+    /// Total weight inserted.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Add `count` occurrences of `x` (negative allowed: linear sketch).
+    pub fn update(&mut self, x: u64, count: i64) {
+        self.total = self.total.wrapping_add(count.unsigned_abs());
+        for (zi, sign) in self.z.iter_mut().zip(&self.signs) {
+            *zi += sign.sign(x) * count;
+        }
+    }
+
+    /// The `(mean over copies, median over groups)` estimate of `F_2`.
+    pub fn estimate(&self) -> f64 {
+        let mut group_means: Vec<f64> = self
+            .z
+            .chunks_exact(self.copies)
+            .map(|group| {
+                group
+                    .iter()
+                    .map(|&z| (z as f64) * (z as f64))
+                    .sum::<f64>()
+                    / self.copies as f64
+            })
+            .collect();
+        group_means.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        let mid = group_means.len() / 2;
+        if group_means.len() % 2 == 1 {
+            group_means[mid]
+        } else {
+            (group_means[mid - 1] + group_means[mid]) / 2.0
+        }
+    }
+
+    /// Merge another sketch with identical dimensions and seed.
+    pub fn merge(&mut self, other: &AmsF2) {
+        assert_eq!(self.copies, other.copies, "copies mismatch");
+        assert_eq!(self.z.len(), other.z.len(), "groups mismatch");
+        for (a, b) in self.z.iter_mut().zip(&other.z) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sss_hash::{RngCore64, Xoshiro256pp};
+
+    fn exact_f2(stream: &[u64]) -> f64 {
+        let mut m = std::collections::HashMap::new();
+        for &x in stream {
+            *m.entry(x).or_insert(0u64) += 1;
+        }
+        m.values().map(|&f| (f as f64) * (f as f64)).sum()
+    }
+
+    #[test]
+    fn estimate_within_eps_on_uniform_stream() {
+        let mut rng = Xoshiro256pp::new(1);
+        let stream: Vec<u64> = (0..50_000).map(|_| rng.next_below(1000)).collect();
+        let f2 = exact_f2(&stream);
+        // Explicit dims: 7 groups × 128 copies ⇒ σ ≈ √(2/128) ≈ 12.5%/group.
+        let mut ams = AmsF2::new(7, 128, 2);
+        for &x in &stream {
+            ams.update(x, 1);
+        }
+        let est = ams.estimate();
+        assert!(
+            (est - f2).abs() / f2 < 0.15,
+            "est {est} vs {f2}"
+        );
+    }
+
+    #[test]
+    fn estimate_within_eps_on_skewed_stream() {
+        let mut rng = Xoshiro256pp::new(3);
+        let stream: Vec<u64> = (0..50_000)
+            .map(|_| {
+                if rng.next_bool(0.4) {
+                    rng.next_below(3)
+                } else {
+                    3 + rng.next_below(100_000)
+                }
+            })
+            .collect();
+        let f2 = exact_f2(&stream);
+        let mut ams = AmsF2::new(7, 128, 4);
+        for &x in &stream {
+            ams.update(x, 1);
+        }
+        let est = ams.estimate();
+        assert!((est - f2).abs() / f2 < 0.15, "est {est} vs {f2}");
+    }
+
+    #[test]
+    fn with_error_dimensions_and_cap() {
+        let ams = AmsF2::with_error(0.2, 0.1, 1);
+        assert!(ams.copies() >= 200);
+        assert_eq!(ams.groups() % 2, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "safety cap")]
+    fn with_error_rejects_absurd_dimensions() {
+        let _ = AmsF2::with_error(0.001, 0.001, 1);
+    }
+
+    #[test]
+    fn single_estimator_is_unbiased() {
+        // Mean of Z² across seeds ≈ F_2.
+        let stream: Vec<u64> = (0..200u64).collect(); // all distinct: F2 = 200
+        let trials = 500;
+        let mut sum = 0.0;
+        for seed in 0..trials {
+            let mut ams = AmsF2::new(1, 1, seed);
+            for &x in &stream {
+                ams.update(x, 1);
+            }
+            sum += ams.estimate();
+        }
+        let mean = sum / trials as f64;
+        assert!((mean - 200.0).abs() < 30.0, "mean = {mean}");
+    }
+
+    #[test]
+    fn deletions_cancel() {
+        let mut ams = AmsF2::new(3, 16, 5);
+        for x in 0..50u64 {
+            ams.update(x, 7);
+        }
+        for x in 0..50u64 {
+            ams.update(x, -7);
+        }
+        assert_eq!(ams.estimate(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_concatenation() {
+        let mut a = AmsF2::new(3, 8, 6);
+        let mut b = AmsF2::new(3, 8, 6);
+        let mut whole = AmsF2::new(3, 8, 6);
+        for x in 0..500u64 {
+            a.update(x % 13, 1);
+            whole.update(x % 13, 1);
+            b.update(x % 7, 1);
+            whole.update(x % 7, 1);
+        }
+        a.merge(&b);
+        assert_eq!(a.estimate(), whole.estimate());
+    }
+
+    #[test]
+    fn constant_stream_exact_for_any_signs() {
+        // One item: Z = ±n, Z² = n² = F2 exactly.
+        let mut ams = AmsF2::new(5, 4, 7);
+        for _ in 0..1000 {
+            ams.update(42, 1);
+        }
+        assert_eq!(ams.estimate(), 1_000_000.0);
+    }
+}

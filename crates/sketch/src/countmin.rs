@@ -1,0 +1,268 @@
+//! CountMin sketch (Cormode & Muthukrishnan, J. Algorithms 2005).
+//!
+//! `d` rows of `w` counters; row `r` adds each update to counter
+//! `h_r(x)`, and a point query returns the minimum over rows. For an
+//! insert-only stream the estimate `f̂_x` satisfies
+//!
+//! * `f̂_x ≥ f_x` always (one-sided error), and
+//! * `f̂_x ≤ f_x + (e/w)·F_1` with probability `≥ 1 − e^{−d}` per query,
+//!
+//! which is the `(α′, ε′, δ′)` black box Theorem 6 runs on the sampled
+//! stream. Rows use independent 2-wise polynomial hash functions, which the
+//! original analysis requires.
+
+use sss_hash::{PairwiseHash, SplitMix64};
+
+/// CountMin sketch over `u64` items with `u64` counts.
+///
+/// ```
+/// use sss_sketch::CountMin;
+///
+/// let mut cm = CountMin::with_error(0.01, 0.01, 42);
+/// for _ in 0..100 {
+///     cm.update(7, 1);
+/// }
+/// cm.update(8, 3);
+/// assert!(cm.query(7) >= 100);                    // never underestimates
+/// assert!(cm.query(7) <= 100 + cm.total() / 100); // ≤ f + ε·F1 w.h.p.
+/// ```
+#[derive(Debug, Clone)]
+pub struct CountMin {
+    width: usize,
+    counters: Vec<u64>, // row-major: d × w
+    hashes: Vec<PairwiseHash>,
+    total: u64,
+    conservative: bool,
+}
+
+impl CountMin {
+    /// Sketch with explicit dimensions: `depth` rows × `width` counters.
+    pub fn new(depth: usize, width: usize, seed: u64) -> Self {
+        assert!(depth >= 1 && width >= 1, "dimensions must be positive");
+        let mut sm = SplitMix64::new(seed);
+        Self {
+            width,
+            counters: vec![0; depth * width],
+            hashes: (0..depth).map(|_| PairwiseHash::new(sm.derive())).collect(),
+            total: 0,
+            conservative: false,
+        }
+    }
+
+    /// Sketch sized for the standard guarantee: point-query error at most
+    /// `eps·F_1` with failure probability `delta` — `w = ⌈e/eps⌉`,
+    /// `d = ⌈ln(1/delta)⌉`.
+    pub fn with_error(eps: f64, delta: f64, seed: u64) -> Self {
+        assert!(eps > 0.0 && eps < 1.0, "eps must be in (0,1)");
+        assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+        let width = (std::f64::consts::E / eps).ceil() as usize;
+        let depth = (1.0 / delta).ln().ceil().max(1.0) as usize;
+        Self::new(depth, width, seed)
+    }
+
+    /// Enable conservative update: increment only the minimal counters.
+    /// Tightens overestimation on skewed streams; estimates remain
+    /// one-sided (never below the true frequency).
+    pub fn conservative(mut self) -> Self {
+        self.conservative = true;
+        self
+    }
+
+    /// Number of rows.
+    pub fn depth(&self) -> usize {
+        self.hashes.len()
+    }
+
+    /// Counters per row.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Total weight inserted (`F_1` of the ingested stream).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Space in 64-bit words (counters only; hash seeds are `O(d)`).
+    pub fn space_words(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Add `count` occurrences of `x`.
+    pub fn update(&mut self, x: u64, count: u64) {
+        self.total += count;
+        if self.conservative {
+            let est = self.query(x);
+            let target = est + count;
+            for (r, h) in self.hashes.iter().enumerate() {
+                let c = &mut self.counters[r * self.width + h.hash_range(x, self.width)];
+                *c = (*c).max(target);
+            }
+        } else {
+            for (r, h) in self.hashes.iter().enumerate() {
+                self.counters[r * self.width + h.hash_range(x, self.width)] += count;
+            }
+        }
+    }
+
+    /// Point query: an overestimate of the frequency of `x`.
+    pub fn query(&self, x: u64) -> u64 {
+        self.hashes
+            .iter()
+            .enumerate()
+            .map(|(r, h)| self.counters[r * self.width + h.hash_range(x, self.width)])
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Merge another sketch built with the same dimensions and seed.
+    ///
+    /// # Panics
+    /// If dimensions or hash functions differ.
+    pub fn merge(&mut self, other: &CountMin) {
+        assert_eq!(self.width, other.width, "width mismatch");
+        assert_eq!(self.hashes, other.hashes, "incompatible hash functions");
+        assert_eq!(
+            self.conservative, other.conservative,
+            "cannot merge conservative with plain"
+        );
+        assert!(
+            !self.conservative,
+            "conservative sketches are not mergeable"
+        );
+        for (a, b) in self.counters.iter_mut().zip(&other.counters) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sss_hash::{RngCore64, Xoshiro256pp};
+
+    #[test]
+    fn never_underestimates() {
+        let mut cm = CountMin::new(4, 64, 1);
+        let mut rng = Xoshiro256pp::new(2);
+        let mut truth = std::collections::HashMap::new();
+        for _ in 0..20_000 {
+            let x = rng.next_below(500);
+            cm.update(x, 1);
+            *truth.entry(x).or_insert(0u64) += 1;
+        }
+        for (&x, &f) in &truth {
+            assert!(cm.query(x) >= f, "underestimate at {x}");
+        }
+    }
+
+    #[test]
+    fn error_bound_holds_with_slack() {
+        let eps = 0.01;
+        let mut cm = CountMin::with_error(eps, 0.01, 3);
+        let n = 100_000u64;
+        let mut rng = Xoshiro256pp::new(4);
+        let mut truth = std::collections::HashMap::new();
+        for _ in 0..n {
+            let x = rng.next_below(10_000);
+            cm.update(x, 1);
+            *truth.entry(x).or_insert(0u64) += 1;
+        }
+        let bound = (eps * n as f64) as u64;
+        let bad = truth
+            .iter()
+            .filter(|(&x, &f)| cm.query(x) > f + bound)
+            .count();
+        // delta = 1% per query; allow 3% of 10k queries.
+        assert!(bad <= truth.len() / 33, "bad = {bad} / {}", truth.len());
+    }
+
+    #[test]
+    fn absent_items_bounded_by_eps_f1() {
+        let mut cm = CountMin::with_error(0.005, 0.01, 5);
+        for x in 0..5000u64 {
+            cm.update(x, 3);
+        }
+        let f1 = cm.total() as f64;
+        let bound = (0.005 * f1) as u64;
+        let mut bad = 0;
+        for x in 100_000..101_000u64 {
+            if cm.query(x) > bound {
+                bad += 1;
+            }
+        }
+        assert!(bad <= 30, "bad = {bad}");
+    }
+
+    #[test]
+    fn conservative_update_never_underestimates_and_is_tighter() {
+        let mut plain = CountMin::new(3, 32, 7);
+        let mut cons = CountMin::new(3, 32, 7).conservative();
+        let mut rng = Xoshiro256pp::new(8);
+        let mut truth = std::collections::HashMap::new();
+        for _ in 0..20_000 {
+            // Skewed: item 0 is hot.
+            let x = if rng.next_bool(0.5) {
+                0
+            } else {
+                rng.next_below(2000)
+            };
+            plain.update(x, 1);
+            cons.update(x, 1);
+            *truth.entry(x).or_insert(0u64) += 1;
+        }
+        let mut plain_err = 0u64;
+        let mut cons_err = 0u64;
+        for (&x, &f) in &truth {
+            assert!(cons.query(x) >= f);
+            plain_err += plain.query(x) - f;
+            cons_err += cons.query(x) - f;
+        }
+        assert!(cons_err <= plain_err, "cons {cons_err} vs plain {plain_err}");
+    }
+
+    #[test]
+    fn merge_equals_concatenation() {
+        let mut a = CountMin::new(4, 128, 9);
+        let mut b = CountMin::new(4, 128, 9);
+        let mut whole = CountMin::new(4, 128, 9);
+        for x in 0..1000u64 {
+            a.update(x % 50, 1);
+            whole.update(x % 50, 1);
+        }
+        for x in 0..1000u64 {
+            b.update(x % 77, 2);
+            whole.update(x % 77, 2);
+        }
+        a.merge(&b);
+        assert_eq!(a.total(), whole.total());
+        for x in 0..100u64 {
+            assert_eq!(a.query(x), whole.query(x));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "incompatible")]
+    fn merge_rejects_different_seeds() {
+        let mut a = CountMin::new(2, 16, 1);
+        let b = CountMin::new(2, 16, 2);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn with_error_dimensions() {
+        let cm = CountMin::with_error(0.01, 0.001, 1);
+        assert!(cm.width() >= 271); // e/0.01 ≈ 271.8
+        assert!(cm.depth() >= 7); // ln(1000) ≈ 6.9
+    }
+
+    #[test]
+    fn weighted_updates() {
+        let mut cm = CountMin::new(4, 64, 10);
+        cm.update(42, 100);
+        cm.update(42, 23);
+        assert!(cm.query(42) >= 123);
+        assert_eq!(cm.total(), 123);
+    }
+}

@@ -1,0 +1,318 @@
+//! CountSketch (Charikar, Chen & Farach-Colton, TCS 2004).
+//!
+//! `d` rows of `w` counters; row `r` adds `s_r(x)·count` to counter
+//! `h_r(x)` where `s_r` is a 4-wise independent sign. The point query is
+//! the median over rows of `s_r(x)·counter`: an *unbiased* estimate with
+//! per-row standard deviation `≤ √(F_2/w)`, so
+//!
+//! `|f̂_x − f_x| ≤ √(8·F_2/w)` with probability `≥ 1 − 2^{−Ω(d)}`.
+//!
+//! This is the black box Theorem 7 runs on the sampled stream, and the
+//! frequency-recovery primitive inside the Indyk–Woodruff level sets.
+//! Each row additionally maintains its sum of squared counters
+//! incrementally, giving an `O(d)` estimate of `F_2` itself (the classic
+//! "fast AMS" view of CountSketch) — used both by the `F_2` heavy-hitter
+//! threshold and the level-set bucket selection.
+
+use sss_hash::{FourWiseSign, PairwiseHash, SplitMix64};
+
+/// CountSketch over `u64` items with `i64` counters.
+#[derive(Debug, Clone)]
+pub struct CountSketch {
+    width: usize,
+    counters: Vec<i64>, // row-major: d × w
+    bucket_hashes: Vec<PairwiseHash>,
+    sign_hashes: Vec<FourWiseSign>,
+    /// Per-row Σ counter² maintained incrementally (u128 to avoid overflow).
+    row_sumsq: Vec<u128>,
+    total: u64,
+}
+
+impl CountSketch {
+    /// Sketch with explicit dimensions: `depth` rows × `width` counters.
+    pub fn new(depth: usize, width: usize, seed: u64) -> Self {
+        assert!(depth >= 1 && width >= 1, "dimensions must be positive");
+        let mut sm = SplitMix64::new(seed);
+        Self {
+            width,
+            counters: vec![0; depth * width],
+            bucket_hashes: (0..depth).map(|_| PairwiseHash::new(sm.derive())).collect(),
+            sign_hashes: (0..depth).map(|_| FourWiseSign::new(sm.derive())).collect(),
+            row_sumsq: vec![0; depth],
+            total: 0,
+        }
+    }
+
+    /// Sketch sized so point queries err by at most `eps·√F_2` with failure
+    /// probability `delta`: `w = ⌈6/eps²⌉` (per-row Chebyshev at 2/3
+    /// success), `d = ⌈2·ln(1/delta)⌉` rows (odd, ≥ 5) for the median
+    /// boost.
+    ///
+    /// # Panics
+    /// If the requested dimensions exceed `2^27` counters (1 GiB) — pick a
+    /// larger `eps` or construct explicitly via [`CountSketch::new`].
+    pub fn with_error(eps: f64, delta: f64, seed: u64) -> Self {
+        assert!(eps > 0.0 && eps < 1.0, "eps must be in (0,1)");
+        assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+        let width = (6.0 / (eps * eps)).ceil() as usize;
+        let mut depth = (2.0 * (1.0 / delta).ln()).ceil().max(5.0) as usize;
+        if depth % 2 == 0 {
+            depth += 1; // odd depth makes the median well-defined
+        }
+        assert!(
+            width.saturating_mul(depth) <= (1 << 27),
+            "CountSketch {depth}x{width} exceeds the 2^27-counter safety cap"
+        );
+        Self::new(depth, width, seed)
+    }
+
+    /// Number of rows.
+    pub fn depth(&self) -> usize {
+        self.bucket_hashes.len()
+    }
+
+    /// Counters per row.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Total weight inserted.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Space in 64-bit words (counters + per-row aggregates).
+    pub fn space_words(&self) -> usize {
+        self.counters.len() + 2 * self.row_sumsq.len()
+    }
+
+    /// Add `count` occurrences of `x` (use negative for deletions; the
+    /// sketch is a linear map so turnstile updates are supported).
+    pub fn update(&mut self, x: u64, count: i64) {
+        self.total = self.total.wrapping_add(count.unsigned_abs());
+        for r in 0..self.depth() {
+            let b = self.bucket_hashes[r].hash_range(x, self.width);
+            let s = self.sign_hashes[r].sign(x);
+            let c = &mut self.counters[r * self.width + b];
+            let old = *c;
+            *c += s * count;
+            // Incremental Σc²: new² − old².
+            let old_sq = (old as i128) * (old as i128);
+            let new_sq = (*c as i128) * (*c as i128);
+            self.row_sumsq[r] = (self.row_sumsq[r] as i128 + (new_sq - old_sq)) as u128;
+        }
+    }
+
+    /// Point query: median over rows of the signed counter — an unbiased
+    /// frequency estimate.
+    pub fn query(&self, x: u64) -> i64 {
+        let mut ests: Vec<i64> = (0..self.depth())
+            .map(|r| {
+                let b = self.bucket_hashes[r].hash_range(x, self.width);
+                self.sign_hashes[r].sign(x) * self.counters[r * self.width + b]
+            })
+            .collect();
+        median_i64(&mut ests)
+    }
+
+    /// Estimate `F_2` of the ingested stream: median over rows of Σc².
+    /// Each row is an AMS-style unbiased estimator with relative standard
+    /// deviation `√(2/w)`.
+    pub fn f2_estimate(&self) -> f64 {
+        let mut rows: Vec<u128> = self.row_sumsq.clone();
+        rows.sort_unstable();
+        let mid = rows.len() / 2;
+        if rows.len() % 2 == 1 {
+            rows[mid] as f64
+        } else {
+            (rows[mid - 1] as f64 + rows[mid] as f64) / 2.0
+        }
+    }
+
+    /// Merge another sketch with identical dimensions and seeds.
+    pub fn merge(&mut self, other: &CountSketch) {
+        assert_eq!(self.width, other.width, "width mismatch");
+        assert_eq!(
+            self.bucket_hashes, other.bucket_hashes,
+            "incompatible hash functions"
+        );
+        for (a, b) in self.counters.iter_mut().zip(&other.counters) {
+            *a += b;
+        }
+        self.total += other.total;
+        // Recompute row sums (merging breaks the incremental identity).
+        for r in 0..self.depth() {
+            self.row_sumsq[r] = self.counters[r * self.width..(r + 1) * self.width]
+                .iter()
+                .map(|&c| ((c as i128) * (c as i128)) as u128)
+                .sum();
+        }
+    }
+}
+
+fn median_i64(v: &mut [i64]) -> i64 {
+    let mid = v.len() / 2;
+    let (_, m, _) = v.select_nth_unstable(mid);
+    let m = *m;
+    if v.len() % 2 == 1 {
+        m
+    } else {
+        let lower = v[..mid].iter().max().copied().unwrap_or(m);
+        // Average of the two central order statistics, rounding toward zero.
+        ((lower as i128 + m as i128) / 2) as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sss_hash::{RngCore64, Xoshiro256pp};
+
+    fn skewed_stream(n: u64, seed: u64) -> Vec<u64> {
+        let mut rng = Xoshiro256pp::new(seed);
+        (0..n)
+            .map(|_| {
+                if rng.next_bool(0.3) {
+                    rng.next_below(4) // 4 hot items
+                } else {
+                    4 + rng.next_below(5000)
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn point_query_error_within_f2_bound() {
+        let stream = skewed_stream(100_000, 1);
+        let mut cs = CountSketch::new(9, 1024, 2);
+        let mut truth = std::collections::HashMap::new();
+        let mut f2 = 0.0f64;
+        for &x in &stream {
+            cs.update(x, 1);
+            let e = truth.entry(x).or_insert(0i64);
+            f2 += 2.0 * *e as f64 + 1.0;
+            *e += 1;
+        }
+        let bound = (8.0 * f2 / 1024.0).sqrt();
+        let mut bad = 0;
+        for (&x, &f) in &truth {
+            if ((cs.query(x) - f).abs() as f64) > bound {
+                bad += 1;
+            }
+        }
+        assert!(bad <= truth.len() / 50, "bad = {bad}/{}", truth.len());
+    }
+
+    #[test]
+    fn estimates_are_unbiased_across_seeds() {
+        // Mean estimate of a fixed item over independent sketches ≈ truth.
+        let stream = skewed_stream(20_000, 3);
+        let truth = stream.iter().filter(|&&x| x == 0).count() as f64;
+        let mut sum = 0.0;
+        let trials = 60;
+        for seed in 0..trials {
+            let mut cs = CountSketch::new(1, 256, seed);
+            for &x in &stream {
+                cs.update(x, 1);
+            }
+            sum += cs.query(0) as f64;
+        }
+        let mean = sum / trials as f64;
+        assert!(
+            (mean - truth).abs() < 0.15 * truth,
+            "mean {mean} vs truth {truth}"
+        );
+    }
+
+    #[test]
+    fn f2_estimate_tracks_truth() {
+        let stream = skewed_stream(50_000, 5);
+        let mut cs = CountSketch::new(9, 2048, 6);
+        let mut truth = std::collections::HashMap::new();
+        for &x in &stream {
+            cs.update(x, 1);
+            *truth.entry(x).or_insert(0u64) += 1;
+        }
+        let f2: f64 = truth.values().map(|&f| (f as f64) * (f as f64)).sum();
+        let est = cs.f2_estimate();
+        assert!(
+            (est - f2).abs() / f2 < 0.1,
+            "est {est} vs f2 {f2}"
+        );
+    }
+
+    #[test]
+    fn incremental_sumsq_matches_recompute() {
+        let mut cs = CountSketch::new(3, 64, 7);
+        let stream = skewed_stream(5000, 8);
+        for &x in &stream {
+            cs.update(x, 1);
+        }
+        for r in 0..cs.depth() {
+            let direct: u128 = cs.counters[r * cs.width..(r + 1) * cs.width]
+                .iter()
+                .map(|&c| ((c as i128) * (c as i128)) as u128)
+                .sum();
+            assert_eq!(cs.row_sumsq[r], direct, "row {r}");
+        }
+    }
+
+    #[test]
+    fn turnstile_deletion_cancels() {
+        let mut cs = CountSketch::new(5, 128, 9);
+        for x in 0..100u64 {
+            cs.update(x, 5);
+        }
+        for x in 0..100u64 {
+            cs.update(x, -5);
+        }
+        for x in 0..100u64 {
+            assert_eq!(cs.query(x), 0);
+        }
+        assert_eq!(cs.f2_estimate(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_concatenation() {
+        let mut a = CountSketch::new(5, 256, 11);
+        let mut b = CountSketch::new(5, 256, 11);
+        let mut whole = CountSketch::new(5, 256, 11);
+        for x in 0..2000u64 {
+            a.update(x % 97, 1);
+            whole.update(x % 97, 1);
+            b.update(x % 31, 1);
+            whole.update(x % 31, 1);
+        }
+        a.merge(&b);
+        for x in 0..100u64 {
+            assert_eq!(a.query(x), whole.query(x));
+        }
+        assert_eq!(a.f2_estimate(), whole.f2_estimate());
+    }
+
+    #[test]
+    fn median_helper() {
+        let mut v = [3i64, 1, 2];
+        assert_eq!(median_i64(&mut v), 2);
+        let mut v = [4i64, 1, 3, 2];
+        assert_eq!(median_i64(&mut v), 2); // (2+3)/2 rounded toward zero
+        let mut v = [5i64];
+        assert_eq!(median_i64(&mut v), 5);
+        let mut v = [-5i64, -1, -3];
+        assert_eq!(median_i64(&mut v), -3);
+    }
+
+    #[test]
+    fn with_error_depth_is_odd() {
+        let cs = CountSketch::with_error(0.1, 0.01, 1);
+        assert_eq!(cs.depth() % 2, 1);
+        assert!(cs.width() >= 600);
+        assert!(cs.depth() >= 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "safety cap")]
+    fn with_error_rejects_absurd_dimensions() {
+        let _ = CountSketch::with_error(0.0001, 0.01, 1);
+    }
+}

@@ -1,0 +1,515 @@
+//! Streaming empirical-entropy estimation.
+//!
+//! An unbiased suffix-count estimator in the style of Chakrabarti, Cormode &
+//! McGregor (SODA 2007). A reservoir slot holds `(item a_J, r)` where `J` is
+//! a uniformly random position of the prefix and `r` counts occurrences of
+//! `a_J` in the suffix starting at `J`. The statistic
+//!
+//! ```text
+//! X(r) = r·lg(n/r) − (r−1)·lg(n/(r−1))
+//! ```
+//!
+//! telescopes to `E[X] = Σ_i (f_i/n)·lg(n/f_i) = H(f)` — exactly the
+//! paper's Definition 3. Averaging `t` independent slots concentrates the
+//! estimate; `X ∈ [−lg e, lg n]`, so `t = O(ε⁻²·log²n·log δ⁻¹)` gives a
+//! `(1+ε, δ)` *multiplicative* guarantee whenever `H` is bounded away from
+//! zero — precisely the regime of the paper's Theorem 5
+//! (`H(f) = ω(p^{−1/2}n^{−1/6})`).
+//!
+//! Low-entropy streams are dominated by one element `z`; there the plain
+//! estimator's variance explodes, and CCM's fix is to estimate the
+//! conditional entropy of the stream *without* `z` and recombine through
+//! the exact identity
+//!
+//! ```text
+//! H = (1−p_z)·H(S¬z) + (1−p_z)·lg 1/(1−p_z) + p_z·lg 1/p_z .
+//! ```
+//!
+//! We detect `z` with a Misra–Gries tracker and maintain a second reservoir
+//! over the conditional stream from the moment a majority candidate
+//! emerges (restarting it if the leader changes — leaders are stable on
+//! dominated streams; the approximation is documented, and the exact CCM
+//! leader-pair bookkeeping would cost the same space while adding nothing
+//! in the regimes exercised here).
+//!
+//! **Cost.** Slot replacements at position `n` happen with probability
+//! `1/n`, so each slot is replaced only `O(log n)` times; we pre-draw every
+//! slot's next replacement position (`P[N > t | at n] = n/t ⇒ N = ⌈n/U⌉`)
+//! and keep a min-heap of due positions, plus shared per-item suffix
+//! counters, making updates `O(1)` amortised instead of the naive `O(t)`.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use sss_hash::{fp_hash_map, FpHashMap, RngCore64, SplitMix64, Xoshiro256pp};
+
+use crate::misra_gries::MisraGries;
+
+/// One reservoir slot: the held item and the suffix-counter offset such
+/// that `r = tracker[item] − offset`.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    item: u64,
+    offset: u64,
+}
+
+/// A bank of `t` independent size-1 position reservoirs with shared
+/// suffix counters.
+#[derive(Debug, Clone)]
+struct SuffixReservoir {
+    slots: Vec<Slot>,
+    /// Min-heap of (next replacement position, slot index).
+    due: BinaryHeap<Reverse<(u64, u32)>>,
+    /// Occurrence counters for items currently held by ≥ 1 slot, counted
+    /// from each item's first adoption.
+    tracker: FpHashMap<u64, u64>,
+    /// How many slots hold each tracked item (for tracker GC).
+    holders: FpHashMap<u64, u32>,
+    n: u64,
+    rng: Xoshiro256pp,
+}
+
+impl SuffixReservoir {
+    fn new(t: usize, seed: u64) -> Self {
+        let mut due = BinaryHeap::with_capacity(t);
+        for i in 0..t {
+            due.push(Reverse((1, i as u32))); // every slot adopts position 1
+        }
+        Self {
+            slots: vec![
+                Slot {
+                    item: u64::MAX,
+                    offset: 0
+                };
+                t
+            ],
+            due,
+            tracker: fp_hash_map(),
+            holders: fp_hash_map(),
+            n: 0,
+            rng: Xoshiro256pp::new(seed),
+        }
+    }
+
+    fn reset(&mut self) {
+        let t = self.slots.len();
+        self.due.clear();
+        for i in 0..t {
+            self.slots[i] = Slot {
+                item: u64::MAX,
+                offset: 0,
+            };
+            self.due.push(Reverse((self.n + 1, i as u32)));
+        }
+        self.tracker.clear();
+        self.holders.clear();
+    }
+
+    #[inline]
+    fn update(&mut self, x: u64) {
+        self.n += 1;
+        let n = self.n;
+        // Suffix counters for any slots already holding x.
+        if let Some(c) = self.tracker.get_mut(&x) {
+            *c += 1;
+        }
+        // Replacements due at this position.
+        while let Some(&Reverse((pos, idx))) = self.due.peek() {
+            if pos != n {
+                debug_assert!(pos > n, "missed replacement at {pos} < {n}");
+                break;
+            }
+            self.due.pop();
+            let slot = &mut self.slots[idx as usize];
+            // Release the old item.
+            if slot.item != u64::MAX {
+                let h = self.holders.get_mut(&slot.item).expect("held item tracked");
+                *h -= 1;
+                if *h == 0 {
+                    self.holders.remove(&slot.item);
+                    self.tracker.remove(&slot.item);
+                }
+            }
+            // Adopt x at this position (r starts at 1 = this occurrence).
+            let c = *self.tracker.entry(x).or_insert(1);
+            slot.item = x;
+            slot.offset = c - 1;
+            *self.holders.entry(x).or_insert(0) += 1;
+            // Next replacement: P[N > t | at n] = n/t  ⇒  N = ⌈n/U⌉ > n.
+            let u = self.rng.next_f64().max(1e-18);
+            let next = (n as f64 / u).ceil();
+            let next = if next.is_finite() && next < u64::MAX as f64 {
+                (next as u64).max(n + 1)
+            } else {
+                u64::MAX
+            };
+            self.due.push(Reverse((next, idx)));
+        }
+    }
+
+    /// Mean of the unbiased statistic `X(r)` over filled slots.
+    fn mean_x(&self) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        let n = self.n as f64;
+        let mut sum = 0.0;
+        let mut filled = 0usize;
+        for s in &self.slots {
+            if s.item == u64::MAX {
+                continue;
+            }
+            let r = self.tracker[&s.item] - s.offset;
+            sum += x_statistic(r, n);
+            filled += 1;
+        }
+        if filled == 0 {
+            0.0
+        } else {
+            sum / filled as f64
+        }
+    }
+
+    fn space_words(&self) -> usize {
+        2 * self.slots.len() + self.due.len() + 2 * (self.tracker.len() + self.holders.len())
+    }
+}
+
+/// Streaming estimator of the empirical entropy `H(f)` in bits.
+#[derive(Debug, Clone)]
+pub struct EntropyEstimator {
+    plain: SuffixReservoir,
+    cond: SuffixReservoir,
+    mg: MisraGries,
+    n: u64,
+    /// Length of the conditional (leader-free) stream since leader adoption.
+    cond_n: u64,
+    leader: Option<u64>,
+}
+
+/// Fraction of the stream a Misra–Gries candidate must hold before the
+/// dominant-element correction kicks in.
+const LEADER_SHARE: f64 = 0.5;
+
+/// Leadership is re-evaluated every this many updates (the Misra–Gries
+/// argmax costs a table scan; per-item granularity buys nothing).
+const LEADER_REFRESH: u64 = 32;
+
+impl EntropyEstimator {
+    /// Estimator with `t` reservoir slots (per reservoir).
+    pub fn new(t: usize, seed: u64) -> Self {
+        assert!(t >= 1, "need at least one slot");
+        let mut sm = SplitMix64::new(seed);
+        Self {
+            plain: SuffixReservoir::new(t, sm.derive()),
+            cond: SuffixReservoir::new(t, sm.derive()),
+            mg: MisraGries::new(128),
+            n: 0,
+            cond_n: 0,
+            leader: None,
+        }
+    }
+
+    /// Estimator sized for relative error `eps` at confidence `1 − delta`
+    /// on streams of length up to `2^log2_n` with entropy `≥ 1` bit.
+    pub fn with_error(eps: f64, delta: f64, log2_n: f64, seed: u64) -> Self {
+        assert!(eps > 0.0 && eps < 1.0);
+        assert!(delta > 0.0 && delta < 1.0);
+        let t = ((log2_n * log2_n) * (2.0 / delta).ln() / (eps * eps)).ceil() as usize;
+        Self::new(t.max(16), seed)
+    }
+
+    /// Stream length ingested so far.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Space in 64-bit words (both reservoirs + the Misra–Gries table).
+    pub fn space_words(&self) -> usize {
+        self.plain.space_words() + self.cond.space_words() + 2 * 128
+    }
+
+    /// Ingest one occurrence of `x`.
+    pub fn update(&mut self, x: u64) {
+        self.n += 1;
+        self.mg.update(x);
+        self.plain.update(x);
+        if self.n % LEADER_REFRESH == 0 {
+            self.refresh_leader();
+        }
+        if let Some(z) = self.leader {
+            if x != z {
+                self.cond_n += 1;
+                self.cond.update(x);
+            }
+        }
+    }
+
+    fn refresh_leader(&mut self) {
+        let candidate = self.mg.top().filter(|&(_, c)| {
+            (c as f64 + self.mg.error_bound()) >= LEADER_SHARE * self.n as f64
+        });
+        match (self.leader, candidate) {
+            (Some(z), Some((top, _))) if z == top => {}
+            (_, Some((top, _))) => {
+                // New (or first) leader: restart the conditional reservoir.
+                self.leader = Some(top);
+                self.cond_n = 0;
+                self.cond.reset();
+            }
+            (Some(_), None) => {
+                // Leader lost dominance; fall back to the plain estimator.
+                self.leader = None;
+                self.cond_n = 0;
+                self.cond.reset();
+            }
+            (None, None) => {}
+        }
+    }
+
+    /// The estimated share of the dominant element, if one is tracked.
+    pub fn leader_share(&self) -> Option<(u64, f64)> {
+        let z = self.leader?;
+        // The Misra–Gries count underestimates by at most n/(k+1); split
+        // the difference to centre the estimate.
+        let est = self.mg.query(z) as f64 + self.mg.error_bound() / 2.0;
+        Some((z, (est / self.n as f64).min(1.0)))
+    }
+
+    /// Estimate `H(f)` in bits (clamped to `[0, lg n]`).
+    pub fn estimate(&self) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        let est = match self.leader_share() {
+            Some((_, pz)) if pz >= LEADER_SHARE => {
+                // Dominant-element decomposition (exact identity):
+                // H = (1−p_z)·H(S¬z) + (1−p_z)·lg 1/(1−p_z) + p_z·lg 1/p_z.
+                let q = (1.0 - pz).max(0.0);
+                let mut h = pz * (1.0 / pz).log2();
+                if q > 0.0 && self.cond_n > 0 {
+                    let h_cond = self.cond.mean_x().max(0.0);
+                    h += q * h_cond + q * (1.0 / q).log2();
+                }
+                h
+            }
+            _ => self.plain.mean_x(),
+        };
+        est.clamp(0.0, (self.n as f64).log2())
+    }
+}
+
+/// The unbiased per-slot statistic `X(r) = r·lg(n/r) − (r−1)·lg(n/(r−1))`.
+fn x_statistic(r: u64, n: f64) -> f64 {
+    debug_assert!(r >= 1);
+    let r = r as f64;
+    let first = r * (n / r).log2();
+    if r <= 1.0 {
+        first
+    } else {
+        first - (r - 1.0) * (n / (r - 1.0)).log2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sss_hash::{RngCore64, Xoshiro256pp};
+
+    fn exact_entropy(stream: &[u64]) -> f64 {
+        let mut m = std::collections::HashMap::new();
+        for &x in stream {
+            *m.entry(x).or_insert(0u64) += 1;
+        }
+        let n = stream.len() as f64;
+        m.values()
+            .map(|&f| (f as f64 / n) * (n / f as f64).log2())
+            .sum()
+    }
+
+    #[test]
+    fn x_statistic_telescopes_to_entropy() {
+        // Direct check of unbiasedness on a small frequency vector:
+        // Σ_i Σ_{j=1}^{f_i} X(j) = n·H.
+        let freqs = [5u64, 3, 2];
+        let n: u64 = freqs.iter().sum();
+        let mut total = 0.0;
+        for &f in &freqs {
+            for j in 1..=f {
+                total += x_statistic(j, n as f64);
+            }
+        }
+        let h: f64 = freqs
+            .iter()
+            .map(|&f| (f as f64 / n as f64) * (n as f64 / f as f64).log2())
+            .sum();
+        assert!((total / n as f64 - h).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reservoir_matches_naive_replacement_chain() {
+        // The skip-based reservoir must hold a uniform position: check the
+        // inclusion probability of the first element across seeds.
+        let n = 50u64;
+        let trials = 4000u64;
+        let mut first_held = 0u64;
+        for seed in 0..trials {
+            let mut r = SuffixReservoir::new(1, seed);
+            for x in 0..n {
+                r.update(1000 + x); // all distinct
+            }
+            // Slot holds the item adopted at its sampled position; since all
+            // items are distinct, item == 1000 + pos.
+            if r.slots[0].item == 1000 {
+                first_held += 1;
+            }
+        }
+        let rate = first_held as f64 / trials as f64;
+        let expect = 1.0 / n as f64;
+        assert!(
+            (rate - expect).abs() < 0.01,
+            "rate {rate} vs expect {expect}"
+        );
+    }
+
+    #[test]
+    fn suffix_counts_are_exact() {
+        // Constant stream: the slot's r must equal (n − sampled_pos + 1).
+        let mut r = SuffixReservoir::new(4, 9);
+        for _ in 0..1000 {
+            r.update(7);
+        }
+        for s in &r.slots {
+            assert_eq!(s.item, 7);
+            let rr = r.tracker[&7] - s.offset;
+            assert!((1..=1000).contains(&rr));
+        }
+        // Σ X over a full pass telescopes; the mean is bounded by lg n.
+        assert!(r.mean_x().abs() <= 1000f64.log2());
+    }
+
+    #[test]
+    fn uniform_stream_entropy() {
+        let mut rng = Xoshiro256pp::new(1);
+        let stream: Vec<u64> = (0..60_000).map(|_| rng.next_below(256)).collect();
+        let h = exact_entropy(&stream); // ≈ 8 bits
+        let mut e = EntropyEstimator::new(3000, 2);
+        for &x in &stream {
+            e.update(x);
+        }
+        let est = e.estimate();
+        assert!((est - h).abs() / h < 0.05, "est {est} vs {h}");
+    }
+
+    #[test]
+    fn constant_stream_entropy_is_zero() {
+        let mut e = EntropyEstimator::new(500, 3);
+        for _ in 0..50_000 {
+            e.update(7);
+        }
+        assert!(e.estimate() < 0.02, "est = {}", e.estimate());
+    }
+
+    #[test]
+    fn dominated_stream_uses_correction() {
+        // 90% one item, 10% uniform over 1024 — low but nonzero entropy.
+        let mut rng = Xoshiro256pp::new(4);
+        let stream: Vec<u64> = (0..80_000)
+            .map(|_| {
+                if rng.next_bool(0.9) {
+                    1_000_000
+                } else {
+                    rng.next_below(1024)
+                }
+            })
+            .collect();
+        let h = exact_entropy(&stream);
+        let mut e = EntropyEstimator::new(3000, 5);
+        for &x in &stream {
+            e.update(x);
+        }
+        let (z, share) = e.leader_share().expect("leader detected");
+        assert_eq!(z, 1_000_000);
+        assert!((share - 0.9).abs() < 0.05, "share = {share}");
+        let est = e.estimate();
+        assert!((est - h).abs() / h < 0.15, "est {est} vs {h}");
+    }
+
+    #[test]
+    fn all_distinct_stream_has_lg_n_entropy() {
+        let n = 16_384u64;
+        let mut e = EntropyEstimator::new(1000, 6);
+        for x in 0..n {
+            e.update(x);
+        }
+        let est = e.estimate();
+        // H = lg n = 14 exactly (every r = 1 ⇒ X = lg n, zero variance).
+        assert!((est - 14.0).abs() < 1e-9, "est = {est}");
+    }
+
+    #[test]
+    fn estimate_is_clamped_to_valid_range() {
+        let mut e = EntropyEstimator::new(4, 7); // tiny: noisy
+        let mut rng = Xoshiro256pp::new(8);
+        for _ in 0..10_000 {
+            e.update(rng.next_below(4));
+        }
+        let est = e.estimate();
+        assert!(est >= 0.0 && est <= (10_000f64).log2());
+    }
+
+    #[test]
+    fn empty_estimator_returns_zero() {
+        let e = EntropyEstimator::new(10, 9);
+        assert_eq!(e.estimate(), 0.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let build = |seed| {
+            let mut e = EntropyEstimator::new(100, seed);
+            let mut rng = Xoshiro256pp::new(99);
+            for _ in 0..5000 {
+                e.update(rng.next_below(32));
+            }
+            e.estimate()
+        };
+        assert_eq!(build(1), build(1));
+        assert_ne!(build(1), build(2));
+    }
+
+    #[test]
+    fn two_point_distribution() {
+        // H = 1 bit for a 50/50 stream over two items.
+        let mut e = EntropyEstimator::new(2000, 10);
+        for i in 0..40_000u64 {
+            e.update(i % 2);
+        }
+        let est = e.estimate();
+        assert!((est - 1.0).abs() < 0.05, "est = {est}");
+    }
+
+    #[test]
+    fn with_error_sizing_scales() {
+        let small = EntropyEstimator::with_error(0.2, 0.1, 20.0, 1);
+        let large = EntropyEstimator::with_error(0.05, 0.1, 20.0, 1);
+        assert!(large.space_words() > 10 * small.space_words());
+    }
+
+    #[test]
+    fn leader_lost_falls_back_to_plain() {
+        // First 60k items constant (leader forms), then 60k uniform over
+        // 512 (leader loses dominance): final estimate must track the
+        // overall entropy, not the stale decomposition.
+        let mut e = EntropyEstimator::new(3000, 11);
+        let mut stream = vec![7u64; 60_000];
+        let mut rng = Xoshiro256pp::new(12);
+        stream.extend((0..60_000).map(|_| 1000 + rng.next_below(512)));
+        let h = exact_entropy(&stream);
+        for &x in &stream {
+            e.update(x);
+        }
+        let est = e.estimate();
+        assert!((est - h).abs() / h < 0.2, "est {est} vs {h}");
+    }
+}

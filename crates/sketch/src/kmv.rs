@@ -1,0 +1,262 @@
+//! Bottom-k (KMV) distinct-count sketch (Bar-Yossef et al. 2002 /
+//! Beyer et al. 2007 unbiased variant).
+//!
+//! Hash every item into `[0, 1)` (via a 64-bit hashed domain) and keep the
+//! `k` smallest distinct hash values. If the k-th smallest is `v`, then
+//! `F̂_0 = (k − 1)/v` is an unbiased estimate with relative standard
+//! deviation `≈ 1/√(k−2)`. With `k = 16` this is already far inside the
+//! `(1/2, δ)`-accuracy Algorithm 2 requires of its `F_0(L)` black box;
+//! [`MedianF0`] median-boosts independent copies to drive `δ` down.
+
+use std::collections::BTreeSet;
+
+use sss_hash::{PairwiseHash, SplitMix64};
+
+/// Bottom-k distinct sketch.
+///
+/// ```
+/// use sss_sketch::KmvSketch;
+///
+/// let mut kmv = KmvSketch::new(256, 1);
+/// for x in 0..10_000u64 {
+///     kmv.update(x % 5_000); // 5_000 distinct values, each twice
+/// }
+/// let est = kmv.estimate();
+/// assert!((est - 5_000.0).abs() / 5_000.0 < 0.3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct KmvSketch {
+    k: usize,
+    hash: PairwiseHash,
+    /// The k smallest distinct hashed values seen so far (64-bit domain).
+    smallest: BTreeSet<u64>,
+}
+
+impl KmvSketch {
+    /// Sketch keeping the `k ≥ 3` smallest hash values.
+    pub fn new(k: usize, seed: u64) -> Self {
+        assert!(k >= 3, "k must be >= 3 for the unbiased estimator");
+        Self {
+            k,
+            hash: PairwiseHash::new(seed),
+            smallest: BTreeSet::new(),
+        }
+    }
+
+    /// Capacity `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Space in 64-bit words.
+    pub fn space_words(&self) -> usize {
+        self.k
+    }
+
+    /// Ingest one occurrence of `x` (duplicates hash identically and are
+    /// absorbed by the set — the sketch counts *distinct* items).
+    pub fn update(&mut self, x: u64) {
+        let h = sss_hash::fingerprint64(self.hash.hash(x));
+        if self.smallest.len() < self.k {
+            self.smallest.insert(h);
+        } else {
+            let &max = self.smallest.iter().next_back().expect("non-empty");
+            if h < max && self.smallest.insert(h) {
+                self.smallest.remove(&max);
+            }
+        }
+    }
+
+    /// Estimate the number of distinct items seen.
+    pub fn estimate(&self) -> f64 {
+        if self.smallest.len() < self.k {
+            // Fewer than k distinct items: the set is exact.
+            return self.smallest.len() as f64;
+        }
+        let kth = *self.smallest.iter().next_back().expect("non-empty") as f64;
+        // Normalise the 64-bit domain to (0, 1].
+        let v = (kth + 1.0) / (u64::MAX as f64 + 1.0);
+        (self.k as f64 - 1.0) / v
+    }
+
+    /// Merge another sketch with the same `k` and seed.
+    pub fn merge(&mut self, other: &KmvSketch) {
+        assert_eq!(self.k, other.k, "k mismatch");
+        assert_eq!(self.hash, other.hash, "incompatible hash functions");
+        for &h in &other.smallest {
+            self.smallest.insert(h);
+        }
+        while self.smallest.len() > self.k {
+            let &max = self.smallest.iter().next_back().expect("non-empty");
+            self.smallest.remove(&max);
+        }
+    }
+}
+
+/// Median of independent [`KmvSketch`] copies: a `(1+ε, δ)` distinct-count
+/// estimator with `copies = O(log 1/δ)`.
+#[derive(Debug, Clone)]
+pub struct MedianF0 {
+    sketches: Vec<KmvSketch>,
+}
+
+impl MedianF0 {
+    /// `copies` independent bottom-`k` sketches.
+    pub fn new(k: usize, copies: usize, seed: u64) -> Self {
+        assert!(copies >= 1);
+        let mut sm = SplitMix64::new(seed);
+        Self {
+            sketches: (0..copies).map(|_| KmvSketch::new(k, sm.derive())).collect(),
+        }
+    }
+
+    /// Sized for a `(1+eps, delta)` guarantee:
+    /// `k = ⌈4/eps²⌉ + 2`, `copies = ⌈8·ln(1/delta)⌉` (odd).
+    pub fn with_error(eps: f64, delta: f64, seed: u64) -> Self {
+        assert!(eps > 0.0 && eps < 1.0);
+        assert!(delta > 0.0 && delta < 1.0);
+        let k = (4.0 / (eps * eps)).ceil() as usize + 2;
+        let mut copies = (8.0 * (1.0 / delta).ln()).ceil().max(1.0) as usize;
+        if copies % 2 == 0 {
+            copies += 1;
+        }
+        Self::new(k, copies, seed)
+    }
+
+    /// Ingest one occurrence of `x`.
+    pub fn update(&mut self, x: u64) {
+        for s in &mut self.sketches {
+            s.update(x);
+        }
+    }
+
+    /// Median-of-copies distinct-count estimate.
+    pub fn estimate(&self) -> f64 {
+        let mut ests: Vec<f64> = self.sketches.iter().map(|s| s.estimate()).collect();
+        ests.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        let mid = ests.len() / 2;
+        if ests.len() % 2 == 1 {
+            ests[mid]
+        } else {
+            (ests[mid - 1] + ests[mid]) / 2.0
+        }
+    }
+
+    /// Merge another estimator built with the same `(k, copies, seed)`:
+    /// the result summarises the union of both inputs.
+    pub fn merge(&mut self, other: &MedianF0) {
+        assert_eq!(
+            self.sketches.len(),
+            other.sketches.len(),
+            "copies mismatch"
+        );
+        for (a, b) in self.sketches.iter_mut().zip(&other.sketches) {
+            a.merge(b);
+        }
+    }
+
+    /// Space in 64-bit words.
+    pub fn space_words(&self) -> usize {
+        self.sketches.iter().map(|s| s.space_words()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_below_capacity() {
+        let mut s = KmvSketch::new(64, 1);
+        for x in 0..40u64 {
+            s.update(x);
+            s.update(x); // duplicates ignored
+        }
+        assert_eq!(s.estimate(), 40.0);
+    }
+
+    #[test]
+    fn estimate_concentrates() {
+        let mut s = KmvSketch::new(1024, 2);
+        let truth = 100_000u64;
+        for x in 0..truth {
+            s.update(x * 7 + 3);
+        }
+        let est = s.estimate();
+        let rel = (est - truth as f64).abs() / truth as f64;
+        // σ ≈ 1/√1022 ≈ 3.1%; allow 4σ.
+        assert!(rel < 0.13, "rel err = {rel}");
+    }
+
+    #[test]
+    fn duplicates_do_not_inflate() {
+        let mut s = KmvSketch::new(256, 3);
+        for _ in 0..100 {
+            for x in 0..1000u64 {
+                s.update(x);
+            }
+        }
+        let est = s.estimate();
+        assert!((est - 1000.0).abs() / 1000.0 < 0.25, "est = {est}");
+    }
+
+    #[test]
+    fn merge_equals_union() {
+        let mut a = KmvSketch::new(128, 4);
+        let mut b = KmvSketch::new(128, 4);
+        let mut u = KmvSketch::new(128, 4);
+        for x in 0..5000u64 {
+            a.update(x);
+            u.update(x);
+        }
+        for x in 2500..7500u64 {
+            b.update(x);
+            u.update(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.estimate(), u.estimate());
+    }
+
+    #[test]
+    fn median_f0_tighter_than_single() {
+        let truth = 50_000u64;
+        let mut worst_single = 0.0f64;
+        for seed in 0..5u64 {
+            let mut s = KmvSketch::new(66, seed);
+            for x in 0..truth {
+                s.update(x);
+            }
+            worst_single =
+                worst_single.max((s.estimate() - truth as f64).abs() / truth as f64);
+        }
+        let mut m = MedianF0::new(66, 9, 77);
+        for x in 0..truth {
+            m.update(x);
+        }
+        let med_err = (m.estimate() - truth as f64).abs() / truth as f64;
+        // Median of 9 should beat the worst of 5 singles almost surely.
+        assert!(
+            med_err <= worst_single + 0.02,
+            "median {med_err} vs worst single {worst_single}"
+        );
+    }
+
+    #[test]
+    fn with_error_estimate_within_eps() {
+        let mut m = MedianF0::with_error(0.25, 0.05, 5);
+        let truth = 20_000u64;
+        for x in 0..truth {
+            m.update(x);
+        }
+        let rel = (m.estimate() - truth as f64).abs() / truth as f64;
+        assert!(rel < 0.25, "rel = {rel}");
+    }
+
+    #[test]
+    fn empty_sketch_estimates_zero() {
+        let s = KmvSketch::new(16, 9);
+        assert_eq!(s.estimate(), 0.0);
+        let m = MedianF0::new(16, 3, 9);
+        assert_eq!(m.estimate(), 0.0);
+    }
+}

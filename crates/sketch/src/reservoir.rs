@@ -1,0 +1,230 @@
+//! Reservoir sampling.
+//!
+//! The related-work substrate (§1.3 cites Vitter's algorithm R and its
+//! descendants) and the randomness backbone of the entropy estimator:
+//! a uniform sample of *positions* of the stream, maintained in one pass.
+//!
+//! * [`ReservoirSampler`] — classic algorithm R: slot `i` of the reservoir
+//!   is a uniform draw from the prefix at all times.
+//! * [`WeightedReservoir`] — Efraimidis–Spirakis weighted sampling
+//!   (`key = u^{1/w}`), covering the weighted-stream generalisations the
+//!   paper's related work discusses.
+
+use std::collections::BinaryHeap;
+
+use sss_hash::{RngCore64, Xoshiro256pp};
+
+/// Uniform k-out-of-n reservoir (algorithm R).
+#[derive(Debug, Clone)]
+pub struct ReservoirSampler<T> {
+    capacity: usize,
+    items: Vec<T>,
+    seen: u64,
+    rng: Xoshiro256pp,
+}
+
+impl<T> ReservoirSampler<T> {
+    /// Reservoir holding `capacity ≥ 1` items.
+    pub fn new(capacity: usize, seed: u64) -> Self {
+        assert!(capacity >= 1, "capacity must be positive");
+        Self {
+            capacity,
+            items: Vec::with_capacity(capacity),
+            seen: 0,
+            rng: Xoshiro256pp::new(seed),
+        }
+    }
+
+    /// Number of stream elements offered so far.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// The current sample (uniform without replacement from the prefix).
+    pub fn sample(&self) -> &[T] {
+        &self.items
+    }
+
+    /// Offer the next stream element.
+    pub fn offer(&mut self, x: T) {
+        self.seen += 1;
+        if self.items.len() < self.capacity {
+            self.items.push(x);
+        } else {
+            let j = self.rng.next_below(self.seen);
+            if (j as usize) < self.capacity {
+                self.items[j as usize] = x;
+            }
+        }
+    }
+}
+
+/// Efraimidis–Spirakis weighted reservoir: each item gets key `u^{1/w}`;
+/// the `k` largest keys form a weighted sample without replacement.
+#[derive(Debug, Clone)]
+pub struct WeightedReservoir<T> {
+    capacity: usize,
+    /// Min-heap on key via `Reverse`-style ordering of (−key) — we store
+    /// (key, tiebreak, item) in a BinaryHeap of `HeapEntry`.
+    heap: BinaryHeap<HeapEntry<T>>,
+    counter: u64,
+    rng: Xoshiro256pp,
+}
+
+#[derive(Debug, Clone)]
+struct HeapEntry<T> {
+    /// Negated key so the max-heap pops the *smallest* key first.
+    neg_key: f64,
+    tiebreak: u64,
+    item: T,
+}
+
+impl<T> PartialEq for HeapEntry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.neg_key == other.neg_key && self.tiebreak == other.tiebreak
+    }
+}
+impl<T> Eq for HeapEntry<T> {}
+impl<T> PartialOrd for HeapEntry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for HeapEntry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.neg_key
+            .partial_cmp(&other.neg_key)
+            .expect("keys are never NaN")
+            .then(self.tiebreak.cmp(&other.tiebreak))
+    }
+}
+
+impl<T> WeightedReservoir<T> {
+    /// Weighted reservoir holding `capacity ≥ 1` items.
+    pub fn new(capacity: usize, seed: u64) -> Self {
+        assert!(capacity >= 1, "capacity must be positive");
+        Self {
+            capacity,
+            heap: BinaryHeap::with_capacity(capacity + 1),
+            counter: 0,
+            rng: Xoshiro256pp::new(seed),
+        }
+    }
+
+    /// Offer an element with positive weight `w`.
+    pub fn offer(&mut self, x: T, w: f64) {
+        assert!(w > 0.0, "weights must be positive");
+        self.counter += 1;
+        // key = u^{1/w}; store −key so the heap root is the smallest key.
+        let u = (1.0 - self.rng.next_f64()).max(f64::MIN_POSITIVE);
+        let key = u.powf(1.0 / w);
+        let entry = HeapEntry {
+            neg_key: -key,
+            tiebreak: self.counter,
+            item: x,
+        };
+        if self.heap.len() < self.capacity {
+            self.heap.push(entry);
+        } else if let Some(min) = self.heap.peek() {
+            if key > -min.neg_key {
+                self.heap.pop();
+                self.heap.push(entry);
+            }
+        }
+    }
+
+    /// The current weighted sample.
+    pub fn sample(&self) -> Vec<&T> {
+        self.heap.iter().map(|e| &e.item).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reservoir_fills_then_holds_capacity() {
+        let mut r = ReservoirSampler::new(10, 1);
+        for x in 0..5u64 {
+            r.offer(x);
+        }
+        assert_eq!(r.sample().len(), 5);
+        for x in 5..1000u64 {
+            r.offer(x);
+        }
+        assert_eq!(r.sample().len(), 10);
+        assert_eq!(r.seen(), 1000);
+    }
+
+    #[test]
+    fn reservoir_is_uniform() {
+        // Inclusion probability of element 0 across seeds ≈ k/n.
+        let k = 5;
+        let n = 100u64;
+        let trials = 20_000;
+        let mut hits = 0u64;
+        for seed in 0..trials {
+            let mut r = ReservoirSampler::new(k, seed);
+            for x in 0..n {
+                r.offer(x);
+            }
+            if r.sample().contains(&0) {
+                hits += 1;
+            }
+        }
+        let rate = hits as f64 / trials as f64;
+        let expect = k as f64 / n as f64;
+        assert!((rate - expect).abs() < 0.01, "rate {rate} expect {expect}");
+    }
+
+    #[test]
+    fn reservoir_uniform_over_positions_chi2_smoke() {
+        // Single-slot reservoir: position of retained element uniform on [0,n).
+        let n = 20u64;
+        let trials = 40_000;
+        let mut counts = vec![0u64; n as usize];
+        for seed in 0..trials {
+            let mut r = ReservoirSampler::new(1, seed);
+            for x in 0..n {
+                r.offer(x);
+            }
+            counts[r.sample()[0] as usize] += 1;
+        }
+        let expected = trials as f64 / n as f64;
+        let chi2: f64 = counts
+            .iter()
+            .map(|&c| {
+                let d = c as f64 - expected;
+                d * d / expected
+            })
+            .sum();
+        // df = 19; P[chi2 > 45] < 0.001.
+        assert!(chi2 < 45.0, "chi2 = {chi2}");
+    }
+
+    #[test]
+    fn weighted_reservoir_prefers_heavy_items() {
+        let trials = 4000;
+        let mut heavy_hits = 0u64;
+        for seed in 0..trials {
+            let mut r = WeightedReservoir::new(1, seed);
+            r.offer("light", 1.0);
+            r.offer("heavy", 9.0);
+            if *r.sample()[0] == "heavy" {
+                heavy_hits += 1;
+            }
+        }
+        let rate = heavy_hits as f64 / trials as f64;
+        assert!((rate - 0.9).abs() < 0.03, "rate = {rate}");
+    }
+
+    #[test]
+    fn weighted_reservoir_capacity() {
+        let mut r = WeightedReservoir::new(3, 7);
+        for x in 0..100u64 {
+            r.offer(x, 1.0 + (x % 5) as f64);
+        }
+        assert_eq!(r.sample().len(), 3);
+    }
+}

@@ -1,0 +1,164 @@
+//! SpaceSaving (Metwally, Agrawal & El Abbadi, ICDT 2005).
+//!
+//! The other classic `O(k)`-counter frequent-items summary: when a new item
+//! arrives and the table is full, the *minimum* counter is reassigned to it
+//! and incremented, recording the possible overestimate. Point queries are
+//! overestimates by at most `n/k`; every item with `f_x > n/k` is tracked.
+//! Provided as an alternative heavy-hitter backend (the paper's Theorem 6
+//! only needs *some* `(α, ε)` reporter on the sampled stream).
+
+use std::collections::BTreeSet;
+
+use sss_hash::{fp_hash_map, FpHashMap};
+
+/// SpaceSaving summary with `k` counters.
+#[derive(Debug, Clone)]
+pub struct SpaceSaving {
+    k: usize,
+    /// item → (count, overestimation error at adoption time)
+    table: FpHashMap<u64, (u64, u64)>,
+    /// (count, item) ordered set for O(log k) minimum extraction.
+    by_count: BTreeSet<(u64, u64)>,
+    n: u64,
+}
+
+impl SpaceSaving {
+    /// Summary with `k ≥ 1` counters (overestimate `≤ n/k`).
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "need at least one counter");
+        Self {
+            k,
+            table: fp_hash_map(),
+            by_count: BTreeSet::new(),
+            n: 0,
+        }
+    }
+
+    /// Number of stream elements ingested.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// The deterministic overestimation bound `n/k`.
+    pub fn error_bound(&self) -> f64 {
+        self.n as f64 / self.k as f64
+    }
+
+    /// Ingest one occurrence of `x`.
+    pub fn update(&mut self, x: u64) {
+        self.n += 1;
+        if let Some(&(c, e)) = self.table.get(&x) {
+            self.by_count.remove(&(c, x));
+            self.table.insert(x, (c + 1, e));
+            self.by_count.insert((c + 1, x));
+        } else if self.table.len() < self.k {
+            self.table.insert(x, (1, 0));
+            self.by_count.insert((1, x));
+        } else {
+            // Evict the minimum counter; adopt its count as our error.
+            let &(min_c, min_i) = self.by_count.iter().next().expect("non-empty");
+            self.by_count.remove(&(min_c, min_i));
+            self.table.remove(&min_i);
+            self.table.insert(x, (min_c + 1, min_c));
+            self.by_count.insert((min_c + 1, x));
+        }
+    }
+
+    /// Upper-bound estimate of the frequency of `x` (0 if untracked);
+    /// `f_x ≤ query(x) ≤ f_x + n/k` for tracked items.
+    pub fn query(&self, x: u64) -> u64 {
+        self.table.get(&x).map(|&(c, _)| c).unwrap_or(0)
+    }
+
+    /// Guaranteed lower bound on the frequency of `x` (count − error).
+    pub fn query_lower(&self, x: u64) -> u64 {
+        self.table.get(&x).map(|&(c, e)| c - e).unwrap_or(0)
+    }
+
+    /// Tracked `(item, count, error)` rows sorted by decreasing count.
+    pub fn items(&self) -> Vec<(u64, u64, u64)> {
+        let mut v: Vec<(u64, u64, u64)> = self
+            .table
+            .iter()
+            .map(|(&i, &(c, e))| (i, c, e))
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sss_hash::{RngCore64, Xoshiro256pp};
+
+    #[test]
+    fn estimates_bracket_truth() {
+        let mut ss = SpaceSaving::new(20);
+        let mut rng = Xoshiro256pp::new(1);
+        let mut truth = std::collections::HashMap::new();
+        for _ in 0..50_000 {
+            let x = if rng.next_bool(0.5) {
+                rng.next_below(5)
+            } else {
+                5 + rng.next_below(10_000)
+            };
+            ss.update(x);
+            *truth.entry(x).or_insert(0u64) += 1;
+        }
+        let bound = ss.error_bound();
+        for (&x, &f) in &truth {
+            let q = ss.query(x);
+            if q > 0 {
+                assert!(q >= f || x >= 5, "tracked heavy item underestimated");
+                assert!(q as f64 <= f as f64 + bound, "item {x}: {q} > {f}+{bound}");
+                assert!(ss.query_lower(x) <= f);
+            }
+        }
+    }
+
+    #[test]
+    fn heavy_items_never_evicted() {
+        let k = 10;
+        let mut ss = SpaceSaving::new(k);
+        let n = 100_000u64;
+        // Item 0 holds 20% of the stream: f > n/k.
+        let mut rng = Xoshiro256pp::new(2);
+        for _ in 0..n {
+            let x = if rng.next_bool(0.2) {
+                0
+            } else {
+                1 + rng.next_below(50_000)
+            };
+            ss.update(x);
+        }
+        assert!(ss.query(0) > 0, "heavy item evicted");
+        assert!(ss.query_lower(0) > 0);
+    }
+
+    #[test]
+    fn table_capacity_respected() {
+        let mut ss = SpaceSaving::new(4);
+        for x in 0..1000u64 {
+            ss.update(x);
+        }
+        assert!(ss.items().len() <= 4);
+        // Counts sum to n (SpaceSaving invariant).
+        let total: u64 = ss.items().iter().map(|&(_, c, _)| c).sum();
+        assert_eq!(total, 1000);
+    }
+
+    #[test]
+    fn exact_when_under_capacity() {
+        let mut ss = SpaceSaving::new(100);
+        for _ in 0..7 {
+            ss.update(1);
+        }
+        for _ in 0..3 {
+            ss.update(2);
+        }
+        assert_eq!(ss.query(1), 7);
+        assert_eq!(ss.query(2), 3);
+        assert_eq!(ss.query_lower(1), 7);
+    }
+}

@@ -1,0 +1,401 @@
+//! Candidate tracking: turning point-query sketches into heavy-hitter
+//! *reporters*.
+//!
+//! A CountMin/CountSketch answers "how often did `x` appear?" but Theorems
+//! 6 and 7 need the set `S` of `O(1/α)` heavy items. On insert-only streams
+//! the standard construction tracks candidates online: after updating item
+//! `x`, re-estimate it; if the estimate crosses the current threshold, admit
+//! it to a bounded candidate table. At query time candidates are
+//! re-estimated and filtered against the final threshold. Any item above
+//! the *final* threshold must have crossed every intermediate threshold at
+//! its last arrival (thresholds only grow), so recall is preserved.
+
+use sss_hash::{fp_hash_map, FpHashMap};
+
+use crate::countmin::CountMin;
+use crate::countsketch::CountSketch;
+
+/// A bounded table of candidate heavy hitters keyed by estimated frequency.
+#[derive(Debug, Clone)]
+pub struct TopKTracker {
+    cap: usize,
+    est: FpHashMap<u64, f64>,
+}
+
+impl TopKTracker {
+    /// Tracker retaining roughly the top `cap` candidates.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap >= 1, "capacity must be positive");
+        Self {
+            cap,
+            est: fp_hash_map(),
+        }
+    }
+
+    /// Insert or refresh a candidate with its current estimate. The table
+    /// lazily prunes to the top `cap` whenever it doubles.
+    pub fn offer(&mut self, item: u64, estimate: f64) {
+        self.est.insert(item, estimate);
+        if self.est.len() >= 2 * self.cap {
+            self.prune();
+        }
+    }
+
+    fn prune(&mut self) {
+        let mut v: Vec<(u64, f64)> = self.est.iter().map(|(&i, &e)| (i, e)).collect();
+        v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN").then(a.0.cmp(&b.0)));
+        v.truncate(self.cap);
+        self.est = v.into_iter().collect();
+    }
+
+    /// All current candidates (unpruned view), unspecified order.
+    pub fn candidates(&self) -> impl Iterator<Item = u64> + '_ {
+        self.est.keys().copied()
+    }
+
+    /// Number of tracked candidates.
+    pub fn len(&self) -> usize {
+        self.est.len()
+    }
+
+    /// Whether no candidates are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.est.is_empty()
+    }
+}
+
+/// CountMin-backed `F_1` heavy-hitter reporter: report every item whose
+/// estimated frequency is at least `α·n`, with per-item `(1 ± ε·F_1/f)`
+/// frequency estimates.
+#[derive(Debug, Clone)]
+pub struct CmHeavyHitters {
+    cm: CountMin,
+    tracker: TopKTracker,
+    alpha: f64,
+}
+
+impl CmHeavyHitters {
+    /// Reporter for the threshold `α·F_1` using a CountMin with point-query
+    /// error `eps·F_1` and failure probability `delta`.
+    pub fn new(alpha: f64, eps: f64, delta: f64, seed: u64) -> Self {
+        assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1)");
+        let cap = (4.0 / alpha).ceil() as usize;
+        Self {
+            cm: CountMin::with_error(eps, delta, seed),
+            tracker: TopKTracker::new(cap),
+            alpha,
+        }
+    }
+
+    /// The reporting fraction `α`.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Stream length ingested.
+    pub fn n(&self) -> u64 {
+        self.cm.total()
+    }
+
+    /// Space in 64-bit words (sketch + candidate table).
+    pub fn space_words(&self) -> usize {
+        self.cm.space_words() + 2 * self.tracker.len()
+    }
+
+    /// Ingest one occurrence of `x`.
+    pub fn update(&mut self, x: u64) {
+        self.cm.update(x, 1);
+        let est = self.cm.query(x);
+        if (est as f64) >= self.alpha * self.cm.total() as f64 {
+            self.tracker.offer(x, est as f64);
+        }
+    }
+
+    /// Report `(item, estimated frequency)` for every candidate whose final
+    /// estimate is at least `α·n`, sorted by decreasing estimate.
+    pub fn report(&self) -> Vec<(u64, u64)> {
+        let threshold = self.alpha * self.cm.total() as f64;
+        let mut out: Vec<(u64, u64)> = self
+            .tracker
+            .candidates()
+            .map(|i| (i, self.cm.query(i)))
+            .filter(|&(_, e)| e as f64 >= threshold)
+            .collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        out
+    }
+}
+
+/// Misra–Gries-backed `F_1` heavy-hitter reporter — the deterministic
+/// insert-only alternative the paper names alongside CountMin (§6). Holds
+/// `k = ⌈2/(ε·α)⌉` counters so every `α`-heavy item survives with count
+/// error below `ε·α·n`; estimates are one-sided (under-counts), so recall
+/// filtering uses the `count + n/(k+1)` upper bound.
+#[derive(Debug, Clone)]
+pub struct MgHeavyHitters {
+    mg: crate::misra_gries::MisraGries,
+    alpha: f64,
+    k: usize,
+}
+
+impl MgHeavyHitters {
+    /// Reporter for the threshold `α·F_1` with relative frequency error
+    /// `eps` on reported items.
+    pub fn new(alpha: f64, eps: f64) -> Self {
+        assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1)");
+        assert!(eps > 0.0 && eps < 1.0, "eps must be in (0,1)");
+        let k = (2.0 / (eps * alpha)).ceil() as usize;
+        Self {
+            mg: crate::misra_gries::MisraGries::new(k),
+            alpha,
+            k,
+        }
+    }
+
+    /// The reporting fraction `α`.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Stream length ingested.
+    pub fn n(&self) -> u64 {
+        self.mg.n()
+    }
+
+    /// Space in 64-bit words (two words per counter).
+    pub fn space_words(&self) -> usize {
+        2 * self.k
+    }
+
+    /// Ingest one occurrence of `x`.
+    pub fn update(&mut self, x: u64) {
+        self.mg.update(x);
+    }
+
+    /// Report `(item, estimated frequency)` for every item whose frequency
+    /// *could* reach `α·n` (count + deterministic error bound), sorted by
+    /// decreasing estimate. The reported estimate is the bias-centred
+    /// `count + bound/2`.
+    pub fn report(&self) -> Vec<(u64, u64)> {
+        let bound = self.mg.error_bound();
+        let threshold = self.alpha * self.mg.n() as f64;
+        let mut out: Vec<(u64, u64)> = self
+            .mg
+            .items()
+            .into_iter()
+            .filter(|&(_, c)| c as f64 + bound >= threshold)
+            .map(|(i, c)| (i, c + (bound / 2.0) as u64))
+            .collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        out
+    }
+}
+
+/// CountSketch-backed `F_2` heavy-hitter reporter: report every item whose
+/// estimated frequency is at least `α·√F̂_2`.
+#[derive(Debug, Clone)]
+pub struct CsHeavyHitters {
+    cs: CountSketch,
+    tracker: TopKTracker,
+    alpha: f64,
+}
+
+impl CsHeavyHitters {
+    /// Reporter for the threshold `α·√F_2` using a CountSketch with
+    /// point-query error `eps·√F_2` and failure probability `delta`.
+    pub fn new(alpha: f64, eps: f64, delta: f64, seed: u64) -> Self {
+        assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1)");
+        // At most 1/α² items can be α-heavy in F_2; keep slack.
+        let cap = (4.0 / (alpha * alpha)).ceil().min(1e6) as usize;
+        Self {
+            cs: CountSketch::with_error(eps, delta, seed),
+            tracker: TopKTracker::new(cap),
+            alpha,
+        }
+    }
+
+    /// The reporting fraction `α`.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Stream length ingested.
+    pub fn n(&self) -> u64 {
+        self.cs.total()
+    }
+
+    /// Current `√F̂_2` threshold base.
+    pub fn f2_sqrt(&self) -> f64 {
+        self.cs.f2_estimate().sqrt()
+    }
+
+    /// Space in 64-bit words.
+    pub fn space_words(&self) -> usize {
+        self.cs.space_words() + 2 * self.tracker.len()
+    }
+
+    /// Ingest one occurrence of `x`.
+    pub fn update(&mut self, x: u64) {
+        self.cs.update(x, 1);
+        let est = self.cs.query(x);
+        if est as f64 >= self.alpha * self.f2_sqrt() {
+            self.tracker.offer(x, est as f64);
+        }
+    }
+
+    /// Report `(item, estimated frequency)` for candidates above the final
+    /// `α·√F̂_2` threshold, sorted by decreasing estimate.
+    pub fn report(&self) -> Vec<(u64, u64)> {
+        let threshold = self.alpha * self.f2_sqrt();
+        let mut out: Vec<(u64, u64)> = self
+            .tracker
+            .candidates()
+            .map(|i| (i, self.cs.query(i).max(0) as u64))
+            .filter(|&(_, e)| e as f64 >= threshold)
+            .collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sss_hash::{RngCore64, Xoshiro256pp};
+
+    fn planted_stream(n: u64, heavies: &[u64], share: f64, seed: u64) -> Vec<u64> {
+        let mut rng = Xoshiro256pp::new(seed);
+        (0..n)
+            .map(|_| {
+                if rng.next_bool(share) {
+                    heavies[rng.next_below(heavies.len() as u64) as usize]
+                } else {
+                    1_000_000 + rng.next_below(500_000)
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn tracker_keeps_top_items() {
+        let mut t = TopKTracker::new(3);
+        for i in 0..100u64 {
+            t.offer(i, i as f64);
+        }
+        let kept: Vec<u64> = t.candidates().collect();
+        // After pruning, the heaviest recent items must survive.
+        assert!(kept.contains(&99));
+        assert!(kept.len() < 10);
+    }
+
+    #[test]
+    fn cm_hh_finds_planted_heavies_no_false_positives() {
+        let heavies = [3u64, 17, 99];
+        let stream = planted_stream(200_000, &heavies, 0.6, 1);
+        let mut hh = CmHeavyHitters::new(0.1, 0.01, 0.01, 2);
+        for &x in &stream {
+            hh.update(x);
+        }
+        let report = hh.report();
+        let found: Vec<u64> = report.iter().map(|&(i, _)| i).collect();
+        for &h in &heavies {
+            assert!(found.contains(&h), "missing heavy {h}");
+        }
+        // Background items have share ≈ 0.4/500k each — far below α − ε.
+        for &(i, _) in &report {
+            assert!(heavies.contains(&i), "false positive {i}");
+        }
+    }
+
+    #[test]
+    fn cm_hh_estimates_are_close() {
+        let heavies = [5u64];
+        let stream = planted_stream(100_000, &heavies, 0.5, 3);
+        let truth = stream.iter().filter(|&&x| x == 5).count() as f64;
+        let mut hh = CmHeavyHitters::new(0.2, 0.005, 0.01, 4);
+        for &x in &stream {
+            hh.update(x);
+        }
+        let report = hh.report();
+        assert_eq!(report[0].0, 5);
+        let est = report[0].1 as f64;
+        assert!((est - truth).abs() / truth < 0.02, "est {est} truth {truth}");
+    }
+
+    #[test]
+    fn cs_hh_finds_f2_heavies() {
+        // One item with f ≈ 3000 over n=100k background singletons:
+        // F_2 ≈ 9e6 + 1e5 ⇒ √F_2 ≈ 3017, so the item is α-heavy for α=0.5
+        // while every background item (f=1) is hopeless.
+        let mut stream: Vec<u64> = (1_000_000..1_100_000u64).collect();
+        stream.extend(std::iter::repeat(42u64).take(3000));
+        // Deterministic shuffle.
+        let mut rng = Xoshiro256pp::new(5);
+        for i in (1..stream.len()).rev() {
+            let j = rng.next_below(i as u64 + 1) as usize;
+            stream.swap(i, j);
+        }
+        let mut hh = CsHeavyHitters::new(0.5, 0.05, 0.01, 6);
+        for &x in &stream {
+            hh.update(x);
+        }
+        let report = hh.report();
+        assert!(!report.is_empty(), "no heavy hitter found");
+        assert_eq!(report[0].0, 42);
+        let est = report[0].1 as f64;
+        assert!((est - 3000.0).abs() / 3000.0 < 0.1, "est = {est}");
+        for &(i, _) in &report {
+            assert_eq!(i, 42, "false positive {i}");
+        }
+    }
+
+    #[test]
+    fn empty_reporters_report_nothing() {
+        let hh = CmHeavyHitters::new(0.1, 0.1, 0.1, 7);
+        assert!(hh.report().is_empty());
+        let hh = CsHeavyHitters::new(0.1, 0.1, 0.1, 8);
+        assert!(hh.report().is_empty());
+        let hh = MgHeavyHitters::new(0.1, 0.1);
+        assert!(hh.report().is_empty());
+    }
+
+    #[test]
+    fn mg_hh_finds_planted_heavies() {
+        let heavies = [3u64, 17, 99];
+        let stream = planted_stream(200_000, &heavies, 0.6, 9);
+        let mut hh = MgHeavyHitters::new(0.1, 0.2);
+        for &x in &stream {
+            hh.update(x);
+        }
+        let report = hh.report();
+        let found: Vec<u64> = report.iter().map(|&(i, _)| i).collect();
+        for &h in &heavies {
+            assert!(found.contains(&h), "missing heavy {h}");
+        }
+        // Reported estimates within 20% of truth for the heavies.
+        for &(i, est) in &report {
+            if heavies.contains(&i) {
+                let truth = stream.iter().filter(|&&x| x == i).count() as f64;
+                assert!(
+                    (est as f64 - truth).abs() / truth <= 0.2,
+                    "item {i}: est {est} vs {truth}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mg_hh_rejects_light_items() {
+        // Uniform chaff only: nothing reaches the alpha threshold.
+        let mut rng = Xoshiro256pp::new(10);
+        let mut hh = MgHeavyHitters::new(0.05, 0.2);
+        for _ in 0..100_000 {
+            hh.update(rng.next_below(50_000));
+        }
+        assert!(
+            hh.report().is_empty(),
+            "false positives: {:?}",
+            hh.report()
+        );
+    }
+}

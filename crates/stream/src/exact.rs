@@ -1,0 +1,313 @@
+//! Exact (offline) statistics: the ground truth every estimator is measured
+//! against.
+//!
+//! `ExactStats` ingests a stream into a frequency map and computes the exact
+//! value of each aggregate the paper studies. It is *not* a small-space
+//! streaming algorithm — it is the referee.
+
+use sss_hash::{fp_hash_map, FpHashMap};
+
+use crate::types::Item;
+
+/// Exact frequency statistics of a stream.
+#[derive(Debug, Clone, Default)]
+pub struct ExactStats {
+    freqs: FpHashMap<Item, u64>,
+    n: u64,
+}
+
+impl ExactStats {
+    /// Empty statistics.
+    pub fn new() -> Self {
+        Self {
+            freqs: fp_hash_map(),
+            n: 0,
+        }
+    }
+
+    /// Ingest every element of `stream`.
+    pub fn from_stream<I: IntoIterator<Item = Item>>(stream: I) -> Self {
+        let mut s = Self::new();
+        for x in stream {
+            s.push(x);
+        }
+        s
+    }
+
+    /// Ingest one element.
+    #[inline]
+    pub fn push(&mut self, x: Item) {
+        *self.freqs.entry(x).or_insert(0) += 1;
+        self.n += 1;
+    }
+
+    /// Stream length `n = F_1`.
+    #[inline]
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Number of distinct elements `F_0`.
+    #[inline]
+    pub fn f0(&self) -> u64 {
+        self.freqs.len() as u64
+    }
+
+    /// Frequency of `x` (0 if absent).
+    #[inline]
+    pub fn freq(&self, x: Item) -> u64 {
+        self.freqs.get(&x).copied().unwrap_or(0)
+    }
+
+    /// Iterate over `(item, frequency)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (Item, u64)> + '_ {
+        self.freqs.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// The `k`-th frequency moment `F_k = Σ_i f_i^k` as `f64`.
+    ///
+    /// `f64` keeps ≥ 15 significant digits, far below the multiplicative
+    /// error targets of any experiment here; use [`Self::fk_u128`] when an
+    /// exact integer is required and representable.
+    pub fn fk(&self, k: u32) -> f64 {
+        self.freqs
+            .values()
+            .map(|&f| (f as f64).powi(k as i32))
+            .sum()
+    }
+
+    /// The `k`-th frequency moment as an exact `u128`, or `None` on overflow.
+    pub fn fk_u128(&self, k: u32) -> Option<u128> {
+        let mut total: u128 = 0;
+        for &f in self.freqs.values() {
+            let mut term: u128 = 1;
+            for _ in 0..k {
+                term = term.checked_mul(f as u128)?;
+            }
+            total = total.checked_add(term)?;
+        }
+        Some(total)
+    }
+
+    /// The number of `ℓ`-wise collisions `C_ℓ = Σ_i binom(f_i, ℓ)`
+    /// (paper, Definition 2), as `f64`.
+    pub fn collisions(&self, l: u32) -> f64 {
+        self.freqs.values().map(|&f| binom_f64(f, l)).sum()
+    }
+
+    /// `C_ℓ` as an exact `u128`, or `None` on overflow.
+    pub fn collisions_u128(&self, l: u32) -> Option<u128> {
+        let mut total: u128 = 0;
+        for &f in self.freqs.values() {
+            total = total.checked_add(binom_u128(f, l)?)?;
+        }
+        Some(total)
+    }
+
+    /// Empirical entropy `H(f) = Σ (f_i/n)·lg(n/f_i)` in bits
+    /// (paper, Definition 3). Zero for an empty stream.
+    pub fn entropy(&self) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        let n = self.n as f64;
+        self.freqs
+            .values()
+            .map(|&f| {
+                let f = f as f64;
+                (f / n) * (n / f).log2()
+            })
+            .sum()
+    }
+
+    /// Items with `f_i ≥ α·F_1`, sorted by decreasing frequency
+    /// (the paper's `F_1` heavy hitters, Definition 4 with `k = 1`).
+    pub fn heavy_hitters_f1(&self, alpha: f64) -> Vec<(Item, u64)> {
+        let threshold = alpha * self.n as f64;
+        self.hh_above(threshold)
+    }
+
+    /// Items with `f_i ≥ α·√F_2`, sorted by decreasing frequency
+    /// (Definition 4 with `k = 2`).
+    pub fn heavy_hitters_f2(&self, alpha: f64) -> Vec<(Item, u64)> {
+        let threshold = alpha * self.fk(2).sqrt();
+        self.hh_above(threshold)
+    }
+
+    fn hh_above(&self, threshold: f64) -> Vec<(Item, u64)> {
+        let mut out: Vec<(Item, u64)> = self
+            .freqs
+            .iter()
+            .filter(|(_, &f)| f as f64 >= threshold)
+            .map(|(&i, &f)| (i, f))
+            .collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        out
+    }
+
+    /// The full frequency vector as a sorted `Vec` (for tests and reports).
+    pub fn freq_vector(&self) -> Vec<(Item, u64)> {
+        let mut v: Vec<(Item, u64)> = self.iter().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+/// `binom(f, ℓ)` over `f64` via the factored product `Π_{j=0}^{ℓ−1} (f−j)/(j+1)`.
+pub fn binom_f64(f: u64, l: u32) -> f64 {
+    if (f as u128) < l as u128 {
+        return 0.0;
+    }
+    let mut acc = 1.0f64;
+    for j in 0..l as u64 {
+        acc *= (f - j) as f64 / (j + 1) as f64;
+    }
+    acc
+}
+
+/// Exact `binom(f, ℓ)` as `u128`, or `None` on overflow.
+pub fn binom_u128(f: u64, l: u32) -> Option<u128> {
+    if (f as u128) < l as u128 {
+        return Some(0);
+    }
+    let mut acc: u128 = 1;
+    for j in 0..l as u64 {
+        acc = acc.checked_mul((f - j) as u128)?;
+        acc /= (j + 1) as u128; // exact: product of i consecutive ints is divisible by i!
+    }
+    Some(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ExactStats {
+        // 3×a, 2×b, 1×c  → n=6, F0=3, F2=9+4+1=14, F3=27+8+1=36
+        ExactStats::from_stream([1u64, 1, 1, 2, 2, 3])
+    }
+
+    #[test]
+    fn basic_counts() {
+        let s = sample();
+        assert_eq!(s.n(), 6);
+        assert_eq!(s.f0(), 3);
+        assert_eq!(s.freq(1), 3);
+        assert_eq!(s.freq(2), 2);
+        assert_eq!(s.freq(3), 1);
+        assert_eq!(s.freq(42), 0);
+    }
+
+    #[test]
+    fn moments() {
+        let s = sample();
+        assert_eq!(s.fk(1), 6.0);
+        assert_eq!(s.fk(2), 14.0);
+        assert_eq!(s.fk(3), 36.0);
+        assert_eq!(s.fk_u128(2), Some(14));
+        assert_eq!(s.fk_u128(3), Some(36));
+        assert_eq!(s.fk(0), 3.0); // x^0 = 1 per distinct item
+    }
+
+    #[test]
+    fn collisions_match_binomials() {
+        let s = sample();
+        // C_2 = C(3,2)+C(2,2)+C(1,2) = 3+1+0 = 4
+        assert_eq!(s.collisions(2), 4.0);
+        assert_eq!(s.collisions_u128(2), Some(4));
+        // C_3 = C(3,3) = 1
+        assert_eq!(s.collisions(3), 1.0);
+        assert_eq!(s.collisions_u128(3), Some(1));
+        // C_1 = n
+        assert_eq!(s.collisions(1), 6.0);
+    }
+
+    #[test]
+    fn falling_factorial_identity_small() {
+        // ℓ!·C_ℓ = Σ f(f−1)…(f−ℓ+1): check ℓ=2 on the sample.
+        let s = sample();
+        let lhs = 2.0 * s.collisions(2);
+        let rhs: f64 = [3u64, 2, 1]
+            .iter()
+            .map(|&f| (f * (f - 1)) as f64)
+            .sum();
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn entropy_uniform_and_constant() {
+        let c = ExactStats::from_stream(std::iter::repeat(7u64).take(100));
+        assert_eq!(c.entropy(), 0.0);
+
+        let u = ExactStats::from_stream(0..8u64);
+        assert!((u.entropy() - 3.0).abs() < 1e-12); // lg 8 = 3 bits
+    }
+
+    #[test]
+    fn entropy_matches_hand_computation() {
+        let s = sample();
+        let n = 6.0f64;
+        let expect = (3.0 / n) * (n / 3.0f64).log2()
+            + (2.0 / n) * (n / 2.0f64).log2()
+            + (1.0 / n) * n.log2();
+        assert!((s.entropy() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heavy_hitters_thresholds() {
+        let s = sample();
+        // αF1 with α=0.4 → threshold 2.4 → only item 1 (f=3).
+        let hh = s.heavy_hitters_f1(0.4);
+        assert_eq!(hh, vec![(1, 3)]);
+        // α=0.3 → threshold 1.8 → items 1 and 2.
+        let hh = s.heavy_hitters_f1(0.3);
+        assert_eq!(hh, vec![(1, 3), (2, 2)]);
+        // F2 HH: √F2 = √14 ≈ 3.74; α=0.8 → threshold ≈ 2.99 → item 1 only.
+        let hh = s.heavy_hitters_f2(0.8);
+        assert_eq!(hh, vec![(1, 3)]);
+    }
+
+    #[test]
+    fn binom_helpers_agree() {
+        for f in 0..40u64 {
+            for l in 0..6u32 {
+                let exact = binom_u128(f, l).unwrap() as f64;
+                assert!(
+                    (binom_f64(f, l) - exact).abs() <= 1e-9 * exact.max(1.0),
+                    "binom({f},{l})"
+                );
+            }
+        }
+        assert_eq!(binom_u128(5, 2), Some(10));
+        assert_eq!(binom_u128(10, 3), Some(120));
+        assert_eq!(binom_u128(3, 5), Some(0));
+    }
+
+    #[test]
+    fn empty_stream_is_all_zero() {
+        let s = ExactStats::new();
+        assert_eq!(s.n(), 0);
+        assert_eq!(s.f0(), 0);
+        assert_eq!(s.fk(2), 0.0);
+        assert_eq!(s.entropy(), 0.0);
+        assert!(s.heavy_hitters_f1(0.1).is_empty());
+    }
+
+    #[test]
+    fn fk_u128_overflow_is_none() {
+        let mut s = ExactStats::new();
+        // One item with frequency 2^40; k=4 → 2^160 overflows u128.
+        for _ in 0..(1u64 << 20) {
+            s.push(9);
+        }
+        // simulate huge frequency directly:
+        let s2 = {
+            let mut t = ExactStats::new();
+            t.freqs.insert(1, u64::MAX);
+            t.n = u64::MAX;
+            t
+        };
+        assert!(s2.fk_u128(3).is_none());
+        assert!(s.fk_u128(4).is_some());
+    }
+}

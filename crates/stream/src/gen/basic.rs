@@ -1,0 +1,147 @@
+//! Elementary stream shapes: uniform, constant, all-distinct.
+//!
+//! These are the extremal frequency profiles the paper's analyses keep
+//! returning to: the constant stream maximises `F_k` and minimises entropy,
+//! the all-distinct stream does the reverse, and the uniform stream sits at
+//! the `F_0·(F_1/F_0)^k` balance point used in the proof of Lemma 2.
+
+use sss_hash::{RngCore64, Xoshiro256pp};
+
+use super::StreamGen;
+use crate::types::Item;
+
+/// Independent uniform draws over `[0, m)`.
+#[derive(Debug, Clone)]
+pub struct UniformStream {
+    m: u64,
+}
+
+impl UniformStream {
+    /// Uniform stream over a universe of size `m ≥ 1`.
+    pub fn new(m: u64) -> Self {
+        assert!(m >= 1);
+        Self { m }
+    }
+}
+
+impl StreamGen for UniformStream {
+    fn universe(&self) -> u64 {
+        self.m
+    }
+
+    fn emit(&self, n: u64, seed: u64, f: &mut dyn FnMut(Item)) {
+        let mut rng = Xoshiro256pp::new(seed);
+        for _ in 0..n {
+            f(rng.next_below(self.m));
+        }
+    }
+}
+
+/// The same item repeated `n` times.
+#[derive(Debug, Clone)]
+pub struct ConstantStream {
+    item: Item,
+    m: u64,
+}
+
+impl ConstantStream {
+    /// Stream that repeats `item` within universe `[0, m)`.
+    pub fn new(item: Item, m: u64) -> Self {
+        assert!(item < m);
+        Self { item, m }
+    }
+}
+
+impl StreamGen for ConstantStream {
+    fn universe(&self) -> u64 {
+        self.m
+    }
+
+    fn emit(&self, n: u64, _seed: u64, f: &mut dyn FnMut(Item)) {
+        for _ in 0..n {
+            f(self.item);
+        }
+    }
+}
+
+/// A stream of `n` pairwise-distinct items (`F_0 = n`, entropy `lg n`).
+///
+/// Items are a seed-dependent affine permutation of `0..n` inside a universe
+/// of size `m ≥ n`.
+#[derive(Debug, Clone)]
+pub struct DistinctStream {
+    m: u64,
+}
+
+impl DistinctStream {
+    /// All-distinct stream within universe `[0, m)`; requires `n ≤ m` at
+    /// generation time.
+    pub fn new(m: u64) -> Self {
+        assert!(m >= 1);
+        Self { m }
+    }
+}
+
+impl StreamGen for DistinctStream {
+    fn universe(&self) -> u64 {
+        self.m
+    }
+
+    fn emit(&self, n: u64, seed: u64, f: &mut dyn FnMut(Item)) {
+        assert!(n <= self.m, "DistinctStream needs n <= m ({n} > {})", self.m);
+        let perm = super::AffinePermutation::new(self.m, seed);
+        for x in 0..n {
+            f(perm.apply(x));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::ExactStats;
+
+    #[test]
+    fn uniform_covers_universe() {
+        let g = UniformStream::new(100);
+        let s = ExactStats::from_stream(g.generate(50_000, 1));
+        assert_eq!(s.n(), 50_000);
+        assert_eq!(s.f0(), 100); // coupon collector long since done
+        // max/min frequency ratio should be modest
+        let freqs: Vec<u64> = s.iter().map(|(_, f)| f).collect();
+        let max = *freqs.iter().max().unwrap() as f64;
+        let min = *freqs.iter().min().unwrap() as f64;
+        assert!(max / min < 1.5, "max {max} min {min}");
+    }
+
+    #[test]
+    fn constant_stream_is_one_item() {
+        let g = ConstantStream::new(5, 10);
+        let s = ExactStats::from_stream(g.generate(1000, 9));
+        assert_eq!(s.f0(), 1);
+        assert_eq!(s.freq(5), 1000);
+        assert_eq!(s.entropy(), 0.0);
+    }
+
+    #[test]
+    fn distinct_stream_has_f0_equal_n() {
+        let g = DistinctStream::new(10_000);
+        let s = ExactStats::from_stream(g.generate(10_000, 2));
+        assert_eq!(s.f0(), 10_000);
+        assert!((s.entropy() - (10_000f64).log2()).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "n <= m")]
+    fn distinct_stream_rejects_n_above_m() {
+        let g = DistinctStream::new(10);
+        let _ = g.generate(11, 0);
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let g = UniformStream::new(64);
+        assert_eq!(g.generate(1000, 5), g.generate(1000, 5));
+        assert_ne!(g.generate(1000, 5), g.generate(1000, 6));
+    }
+}

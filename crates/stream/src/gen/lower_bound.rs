@@ -1,0 +1,183 @@
+//! Hard instance families behind the paper's lower bounds.
+//!
+//! These are not `StreamGen` workloads: each produces a *pair* of streams
+//! whose Bernoulli samples are (nearly) indistinguishable while the target
+//! statistic differs by the lower-bound gap.
+
+use super::AffinePermutation;
+use crate::types::Item;
+
+/// Hard pair for `F_0` estimation (Theorem 4, via Charikar et al.).
+///
+/// * Stream **A**: `n` pairwise-distinct items — `F_0 = n`.
+/// * Stream **B**: `⌈n√p⌉` distinct items, each repeated `≈ 1/√p` times —
+///   `F_0 ≈ n√p`.
+///
+/// Under Bernoulli sampling at rate `p`, both sampled streams contain
+/// `≈ pn` elements, and in **B** each surviving value appears once with
+/// probability `1 − O(√p)`, so the two distributions of `F_0(L)` converge as
+/// `p → 0` while `F_0(A)/F_0(B) = 1/√p`. Any estimator is therefore off by a
+/// factor `≥ p^{−1/4}`-ish on one of the pair — and the natural scaled
+/// estimator (Algorithm 2) lands at `F_0(L)/√p ≈ n√p`, exact on **B** and a
+/// full `1/√p` factor low on **A**, matching Lemma 8's `O(1/√p)` ceiling.
+#[derive(Debug, Clone)]
+pub struct F0HardPair {
+    n: u64,
+    p: f64,
+    m: u64,
+}
+
+impl F0HardPair {
+    /// A hard pair of length-`n` streams tuned against sampling rate `p`,
+    /// over universe `[0, m)` with `m ≥ n`.
+    pub fn new(n: u64, p: f64, m: u64) -> Self {
+        assert!(p > 0.0 && p <= 1.0);
+        assert!(m >= n, "universe must hold n distinct items");
+        assert!(n >= 1);
+        Self { n, p, m }
+    }
+
+    /// Stream A: all distinct, `F_0 = n`.
+    pub fn stream_a(&self, seed: u64) -> Vec<Item> {
+        let perm = AffinePermutation::new(self.m, seed);
+        (0..self.n).map(|x| perm.apply(x)).collect()
+    }
+
+    /// Stream B: `⌈n√p⌉` distinct values in round-robin, `F_0 = ⌈n√p⌉`.
+    pub fn stream_b(&self, seed: u64) -> Vec<Item> {
+        let distinct = self.distinct_b();
+        let perm = AffinePermutation::new(self.m, seed);
+        (0..self.n).map(|x| perm.apply(x % distinct)).collect()
+    }
+
+    /// The number of distinct items in stream B.
+    pub fn distinct_b(&self) -> u64 {
+        ((self.n as f64) * self.p.sqrt()).ceil().max(1.0) as u64
+    }
+
+    /// The `F_0` gap `F_0(A) / F_0(B) ≈ 1/√p` that some estimator must miss.
+    pub fn gap(&self) -> f64 {
+        self.n as f64 / self.distinct_b() as f64
+    }
+}
+
+/// Hard instances for entropy estimation (Lemma 9).
+///
+/// Scenario 1: `f_1 = n` (entropy 0).
+/// Scenario 2: `f_1 = n − k` plus `k` distinct singletons with
+/// `k = ⌈1/(10p)⌉` (entropy `Θ(k·log n / n)`).
+///
+/// With probability `> 9/10` none of the `k` singletons survives sampling at
+/// rate `p`, so the two sampled streams are literally identically
+/// distributed conditioned on that event — yet the entropies differ by an
+/// unbounded multiplicative factor.
+#[derive(Debug, Clone)]
+pub struct EntropyScenarioPair {
+    n: u64,
+    p: f64,
+    m: u64,
+}
+
+impl EntropyScenarioPair {
+    /// A scenario pair of length-`n` streams tuned against rate `p`, over
+    /// universe `[0, m)`.
+    pub fn new(n: u64, p: f64, m: u64) -> Self {
+        assert!(p > 0.0 && p <= 1.0);
+        let k = Self::k_for(p);
+        assert!(m > k, "universe must hold k singletons plus the bulk item");
+        assert!(n > k, "stream must be longer than k = ceil(1/(10p))");
+        Self { n, p, m }
+    }
+
+    /// The number of planted singletons `k = ⌈1/(10p)⌉`.
+    pub fn k(&self) -> u64 {
+        Self::k_for(self.p)
+    }
+
+    fn k_for(p: f64) -> u64 {
+        (1.0 / (10.0 * p)).ceil() as u64
+    }
+
+    /// Scenario 1: the bulk item repeated `n` times. `H = 0`.
+    pub fn scenario_one(&self, seed: u64) -> Vec<Item> {
+        let perm = AffinePermutation::new(self.m, seed);
+        let bulk = perm.apply(0);
+        vec![bulk; self.n as usize]
+    }
+
+    /// Scenario 2: bulk item `n − k` times, then `k` distinct singletons.
+    /// `H = (Θ(1) + lg n)·k/n > 0`.
+    pub fn scenario_two(&self, seed: u64) -> Vec<Item> {
+        let k = self.k();
+        let perm = AffinePermutation::new(self.m, seed);
+        let bulk = perm.apply(0);
+        let mut out = vec![bulk; (self.n - k) as usize];
+        out.extend((1..=k).map(|j| perm.apply(j)));
+        out
+    }
+
+    /// The all-singleton stream of Lemma 9 part 2: `H(f) = lg n`, while the
+    /// sampled stream has `H(g) = lg |L| ≈ lg(pn)` — an additive loss of
+    /// `lg(1/p)` that no post-processing can recover.
+    pub fn all_singletons(&self, seed: u64) -> Vec<Item> {
+        assert!(self.m >= self.n);
+        let perm = AffinePermutation::new(self.m, seed);
+        (0..self.n).map(|x| perm.apply(x)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::ExactStats;
+
+    #[test]
+    fn f0_pair_has_sqrt_p_gap() {
+        let pair = F0HardPair::new(100_000, 0.01, 1 << 20);
+        let a = ExactStats::from_stream(pair.stream_a(1));
+        let b = ExactStats::from_stream(pair.stream_b(1));
+        assert_eq!(a.f0(), 100_000);
+        assert_eq!(b.f0(), pair.distinct_b());
+        assert_eq!(b.f0(), 10_000); // n√p = 1e5·0.1
+        assert!((pair.gap() - 10.0).abs() < 1e-9);
+        assert_eq!(a.n(), b.n());
+    }
+
+    #[test]
+    fn entropy_pair_matches_lemma9() {
+        let p = 0.02;
+        let pair = EntropyScenarioPair::new(10_000, p, 1 << 16);
+        assert_eq!(pair.k(), 5); // ceil(1/(0.2)) = 5
+        let s1 = ExactStats::from_stream(pair.scenario_one(3));
+        let s2 = ExactStats::from_stream(pair.scenario_two(3));
+        assert_eq!(s1.entropy(), 0.0);
+        assert!(s2.entropy() > 0.0);
+        assert_eq!(s1.n(), s2.n());
+        assert_eq!(s2.f0(), 1 + pair.k());
+        // H(f2) ≈ (Θ(1)+lg n)·k/n
+        let k = pair.k() as f64;
+        let n = 10_000f64;
+        let approx = n.log2() * k / n;
+        assert!(
+            s2.entropy() > 0.5 * approx && s2.entropy() < 3.0 * approx,
+            "H = {} vs approx {}",
+            s2.entropy(),
+            approx
+        );
+    }
+
+    #[test]
+    fn all_singletons_has_full_entropy() {
+        let pair = EntropyScenarioPair::new(4096, 0.1, 1 << 14);
+        let s = ExactStats::from_stream(pair.all_singletons(9));
+        assert!((s.entropy() - 12.0).abs() < 1e-9); // lg 4096
+    }
+
+    #[test]
+    fn scenarios_share_bulk_item() {
+        let pair = EntropyScenarioPair::new(1000, 0.5, 1 << 12);
+        let s1 = pair.scenario_one(4);
+        let s2 = pair.scenario_two(4);
+        assert_eq!(s1[0], s2[0]);
+    }
+}

@@ -1,0 +1,116 @@
+//! Workload generators for the original stream `P`.
+//!
+//! Each generator is a reproducible distribution over streams: the stream is
+//! a pure function of `(generator config, n, seed)`. Generators `emit`
+//! elements through a callback so experiments can pipe them straight into a
+//! sampler without materialising `P` when they don't need to.
+
+mod basic;
+mod lower_bound;
+mod netflow;
+mod planted;
+mod zipf;
+
+pub use basic::{ConstantStream, DistinctStream, UniformStream};
+pub use lower_bound::{EntropyScenarioPair, F0HardPair};
+pub use netflow::NetFlowStream;
+pub use planted::PlantedHeavyHitters;
+pub use zipf::ZipfStream;
+
+use crate::types::Item;
+use sss_hash::{RngCore64, SplitMix64};
+
+/// A reproducible stream distribution.
+pub trait StreamGen {
+    /// Universe size `m`: every emitted item lies in `[0, m)`.
+    fn universe(&self) -> u64;
+
+    /// Emit a stream of length `n` determined by `seed`.
+    fn emit(&self, n: u64, seed: u64, f: &mut dyn FnMut(Item));
+
+    /// Materialise the stream into a `Vec`.
+    fn generate(&self, n: u64, seed: u64) -> Vec<Item> {
+        let mut out = Vec::with_capacity(n.min(1 << 28) as usize);
+        self.emit(n, seed, &mut |x| out.push(x));
+        out
+    }
+}
+
+/// A random affine bijection `x ↦ (a·x + b) mod m` on `[0, m)`.
+///
+/// Used by generators to decouple an item's *rank* in the frequency
+/// distribution from its *identifier*, so that sketches never benefit from
+/// item ids being small consecutive integers.
+#[derive(Debug, Clone)]
+pub struct AffinePermutation {
+    a: u64,
+    b: u64,
+    m: u64,
+}
+
+impl AffinePermutation {
+    /// Draw a random bijection on `[0, m)` from `seed`.
+    pub fn new(m: u64, seed: u64) -> Self {
+        assert!(m >= 1);
+        let mut rng = SplitMix64::new(seed);
+        // A multiplier coprime with m is invertible mod m; rejection-sample.
+        let a = loop {
+            let cand = 1 + rng.next_below(m);
+            if gcd(cand, m) == 1 {
+                break cand;
+            }
+        };
+        let b = rng.next_below(m);
+        Self { a, b, m }
+    }
+
+    /// Apply the permutation.
+    #[inline]
+    pub fn apply(&self, x: u64) -> u64 {
+        debug_assert!(x < self.m);
+        (((self.a as u128) * (x as u128) + self.b as u128) % self.m as u128) as u64
+    }
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn affine_permutation_is_bijective() {
+        for m in [1u64, 2, 7, 64, 100, 101] {
+            let p = AffinePermutation::new(m, 3);
+            let mut seen = vec![false; m as usize];
+            for x in 0..m {
+                let y = p.apply(x);
+                assert!(y < m);
+                assert!(!seen[y as usize], "m={m}, collision at {x}");
+                seen[y as usize] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn affine_permutation_varies_with_seed() {
+        let m = 1000;
+        let p1 = AffinePermutation::new(m, 1);
+        let p2 = AffinePermutation::new(m, 2);
+        let moved = (0..m).filter(|&x| p1.apply(x) != p2.apply(x)).count();
+        assert!(moved > 900);
+    }
+
+    #[test]
+    fn gcd_small_cases() {
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(7, 13), 1);
+        assert_eq!(gcd(0, 5), 5);
+        assert_eq!(gcd(5, 0), 5);
+    }
+}

@@ -1,0 +1,123 @@
+//! Streams with planted heavy hitters over a light background.
+//!
+//! The heavy-hitter experiments (Theorems 6 and 7) need streams where the
+//! target set is known by construction: `h` planted items share a fixed
+//! fraction `β` of the stream, and the remaining mass is spread uniformly
+//! over the rest of the universe so that no background item comes close to
+//! the threshold.
+
+use sss_hash::{RngCore64, Xoshiro256pp};
+
+use super::{AffinePermutation, StreamGen};
+use crate::types::Item;
+
+/// A stream with `h` planted heavy items carrying total share `β`.
+#[derive(Debug, Clone)]
+pub struct PlantedHeavyHitters {
+    m: u64,
+    num_heavy: u64,
+    heavy_share: f64,
+}
+
+impl PlantedHeavyHitters {
+    /// `num_heavy` items (ids decided by a seeded permutation) each receive
+    /// an equal slice of the total share `heavy_share ∈ (0, 1)`; the
+    /// remaining `1 − heavy_share` is uniform over the other `m − num_heavy`
+    /// universe items.
+    pub fn new(m: u64, num_heavy: u64, heavy_share: f64) -> Self {
+        assert!(num_heavy >= 1 && num_heavy < m, "need 1 <= num_heavy < m");
+        assert!(
+            heavy_share > 0.0 && heavy_share < 1.0,
+            "heavy_share must be in (0,1)"
+        );
+        Self {
+            m,
+            num_heavy,
+            heavy_share,
+        }
+    }
+
+    /// The planted heavy item identifiers for a given seed, heaviest-first
+    /// (all planted items are equally heavy; order is by internal rank).
+    pub fn heavy_items(&self, seed: u64) -> Vec<Item> {
+        let perm = AffinePermutation::new(self.m, seed ^ PLANT_SALT);
+        (0..self.num_heavy).map(|r| perm.apply(r)).collect()
+    }
+
+    /// Per-item probability of each planted heavy item.
+    pub fn heavy_prob(&self) -> f64 {
+        self.heavy_share / self.num_heavy as f64
+    }
+}
+
+/// Salt decorrelating identifier placement from arrival order.
+const PLANT_SALT: u64 = 0x9EA7_1111_2222_3333;
+
+impl StreamGen for PlantedHeavyHitters {
+    fn universe(&self) -> u64 {
+        self.m
+    }
+
+    fn emit(&self, n: u64, seed: u64, f: &mut dyn FnMut(Item)) {
+        let mut rng = Xoshiro256pp::new(seed);
+        let perm = AffinePermutation::new(self.m, seed ^ PLANT_SALT);
+        let light = self.m - self.num_heavy;
+        for _ in 0..n {
+            let rank = if rng.next_bool(self.heavy_share) {
+                rng.next_below(self.num_heavy)
+            } else {
+                self.num_heavy + rng.next_below(light)
+            };
+            f(perm.apply(rank));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::ExactStats;
+
+    #[test]
+    fn heavy_items_get_their_share() {
+        let g = PlantedHeavyHitters::new(10_000, 4, 0.4);
+        let n = 200_000;
+        let seed = 5;
+        let s = ExactStats::from_stream(g.generate(n, seed));
+        let heavies = g.heavy_items(seed);
+        assert_eq!(heavies.len(), 4);
+        for &h in &heavies {
+            let share = s.freq(h) as f64 / n as f64;
+            assert!((share - 0.1).abs() < 0.01, "share of {h} = {share}");
+        }
+        // Background items are far below the per-heavy share.
+        let max_light = s
+            .iter()
+            .filter(|(i, _)| !heavies.contains(i))
+            .map(|(_, f)| f)
+            .max()
+            .unwrap();
+        assert!((max_light as f64 / n as f64) < 0.01);
+    }
+
+    #[test]
+    fn heavy_ids_match_generated_stream() {
+        let g = PlantedHeavyHitters::new(1000, 2, 0.5);
+        let seed = 9;
+        let s = ExactStats::from_stream(g.generate(50_000, seed));
+        let mut top: Vec<(Item, u64)> = s.iter().collect();
+        top.sort_by_key(|&(_, f)| std::cmp::Reverse(f));
+        let top2: Vec<Item> = top.iter().take(2).map(|&(i, _)| i).collect();
+        let mut expect = g.heavy_items(seed);
+        expect.sort_unstable();
+        let mut got = top2.clone();
+        got.sort_unstable();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "heavy_share")]
+    fn rejects_unit_share() {
+        let _ = PlantedHeavyHitters::new(10, 1, 1.0);
+    }
+}

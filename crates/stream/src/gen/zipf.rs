@@ -1,0 +1,163 @@
+//! Zipf-distributed streams.
+//!
+//! Rank `r ∈ {1, …, m}` is drawn with probability `r^{−s} / H_{m,s}`. Skewed
+//! streams are where the paper's `F_k` and heavy-hitter machinery earns its
+//! keep: a handful of ranks dominate `F_k` while the tail dominates `F_0`.
+//!
+//! Sampling uses an explicit cumulative table with binary search — exact for
+//! every exponent `s ≥ 0` (including `s ≤ 1`, where rejection samplers
+//! break), at `O(m)` memory in the generator and `O(log m)` time per draw.
+
+use sss_hash::{RngCore64, Xoshiro256pp};
+
+use super::{AffinePermutation, StreamGen};
+use crate::types::Item;
+
+/// Salt decorrelating the rank-permutation seed from the draw seed.
+const PERMUTATION_SALT: u64 = 0x5A1F_0DD5_EED5_0001;
+
+/// Zipf(s) stream over a universe of size `m`.
+#[derive(Debug, Clone)]
+pub struct ZipfStream {
+    m: u64,
+    s: f64,
+    /// cdf[r] = P[rank ≤ r+1]; last entry is 1 (up to rounding).
+    cdf: Vec<f64>,
+    /// Map rank → item id, decorrelating rank from identifier.
+    permute: bool,
+}
+
+impl ZipfStream {
+    /// Zipf stream with exponent `s ≥ 0` over `[0, m)`, with rank-to-id
+    /// permutation enabled.
+    pub fn new(m: u64, s: f64) -> Self {
+        Self::with_permutation(m, s, true)
+    }
+
+    /// As [`ZipfStream::new`], controlling whether rank `r` is re-labelled by
+    /// a random bijection (`permute = false` keeps item id = rank − 1, which
+    /// is convenient in tests).
+    pub fn with_permutation(m: u64, s: f64, permute: bool) -> Self {
+        assert!(m >= 1, "universe must be non-empty");
+        assert!(s >= 0.0 && s.is_finite(), "exponent must be finite and >= 0");
+        let mut cdf = Vec::with_capacity(m as usize);
+        let mut acc = 0.0f64;
+        for r in 1..=m {
+            acc += (r as f64).powf(-s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in cdf.iter_mut() {
+            *v /= total;
+        }
+        Self {
+            m,
+            s,
+            cdf,
+            permute,
+        }
+    }
+
+    /// The exponent `s`.
+    pub fn exponent(&self) -> f64 {
+        self.s
+    }
+
+    /// Draw one rank in `{0, …, m−1}` (0-based; rank 0 is the heaviest).
+    #[inline]
+    fn draw_rank(&self, u: f64) -> u64 {
+        self.cdf.partition_point(|&c| c < u) as u64
+    }
+}
+
+impl StreamGen for ZipfStream {
+    fn universe(&self) -> u64 {
+        self.m
+    }
+
+    fn emit(&self, n: u64, seed: u64, f: &mut dyn FnMut(Item)) {
+        let mut rng = Xoshiro256pp::new(seed);
+        let perm = self
+            .permute
+            .then(|| AffinePermutation::new(self.m, seed ^ PERMUTATION_SALT));
+        for _ in 0..n {
+            let rank = self.draw_rank(rng.next_f64());
+            let item = match &perm {
+                Some(p) => p.apply(rank),
+                None => rank,
+            };
+            f(item);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::ExactStats;
+
+    #[test]
+    fn rank_one_dominates_with_high_skew() {
+        let g = ZipfStream::with_permutation(1000, 1.5, false);
+        let s = ExactStats::from_stream(g.generate(100_000, 1));
+        // P[rank 1] = 1/ζ-ish; with s=1.5, p_1 ≈ 1/2.61 ≈ 0.38.
+        let share = s.freq(0) as f64 / s.n() as f64;
+        assert!((share - 0.38).abs() < 0.03, "share = {share}");
+        // Monotone head: f_0 ≥ f_1 ≥ f_2 with slack.
+        assert!(s.freq(0) > s.freq(1));
+        assert!(s.freq(1) > s.freq(2));
+    }
+
+    #[test]
+    fn zero_exponent_is_uniform() {
+        let g = ZipfStream::with_permutation(50, 0.0, false);
+        let s = ExactStats::from_stream(g.generate(100_000, 2));
+        assert_eq!(s.f0(), 50);
+        let max = s.iter().map(|(_, f)| f).max().unwrap() as f64;
+        let min = s.iter().map(|(_, f)| f).min().unwrap() as f64;
+        assert!(max / min < 1.3, "max/min = {}", max / min);
+    }
+
+    #[test]
+    fn s_below_one_is_supported() {
+        let g = ZipfStream::with_permutation(100, 0.5, false);
+        let s = ExactStats::from_stream(g.generate(50_000, 3));
+        // Head heavier than tail but all items present.
+        assert_eq!(s.f0(), 100);
+        assert!(s.freq(0) > s.freq(99));
+    }
+
+    #[test]
+    fn permutation_changes_ids_not_frequencies() {
+        let n = 20_000;
+        let gp = ZipfStream::with_permutation(64, 1.2, true);
+        let gn = ZipfStream::with_permutation(64, 1.2, false);
+        let sp = ExactStats::from_stream(gp.generate(n, 7));
+        let sn = ExactStats::from_stream(gn.generate(n, 7));
+        // Same multiset of frequencies…
+        let mut fp: Vec<u64> = sp.iter().map(|(_, f)| f).collect();
+        let mut fn_: Vec<u64> = sn.iter().map(|(_, f)| f).collect();
+        fp.sort_unstable();
+        fn_.sort_unstable();
+        assert_eq!(fp, fn_);
+        // …but the heaviest id is (almost surely) not 0 in the permuted one.
+        let heavy_id = sp.iter().max_by_key(|&(_, f)| f).unwrap().0;
+        let _ = heavy_id; // permutation may map 0→0 with prob 1/m; no assert.
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_normalised() {
+        let g = ZipfStream::new(1000, 1.1);
+        for w in g.cdf.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert!((g.cdf.last().unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = ZipfStream::new(256, 1.0);
+        assert_eq!(g.generate(5000, 11), g.generate(5000, 11));
+        assert_ne!(g.generate(5000, 11), g.generate(5000, 12));
+    }
+}

@@ -1,0 +1,30 @@
+//! Stream model, workload generators, Bernoulli samplers and exact
+//! statistics.
+//!
+//! This crate provides the *environment* of the paper's setting:
+//!
+//! * an original stream `P = <a_1 … a_n>` over universe `[m]`, produced by a
+//!   [`StreamGen`] workload generator (Zipf, uniform, planted heavy hitters,
+//!   synthetic NetFlow traffic, lower-bound instances, …);
+//! * the Bernoulli sub-sampling process producing the sampled stream `L`
+//!   ([`sampler::BernoulliSampler`]), plus the deterministic 1-in-N variant
+//!   used by routers;
+//! * exact, offline ground truth ([`exact::ExactStats`]) for every statistic
+//!   the estimators target: `F_0`, `F_k`, entropy, heavy hitters, and the
+//!   `ℓ`-wise collision counts `C_ℓ` at the heart of the paper's `F_k`
+//!   algorithm.
+
+pub mod exact;
+pub mod gen;
+pub mod sample_hold;
+pub mod sampler;
+pub mod types;
+
+pub use exact::ExactStats;
+pub use gen::{
+    ConstantStream, DistinctStream, EntropyScenarioPair, F0HardPair, NetFlowStream,
+    PlantedHeavyHitters, StreamGen, UniformStream, ZipfStream,
+};
+pub use sample_hold::SampleAndHold;
+pub use sampler::{BernoulliSampler, OneInNSampler};
+pub use types::Item;

@@ -1,0 +1,232 @@
+//! Sub-sampling processes that turn the original stream `P` into the sampled
+//! stream `L`.
+//!
+//! The paper's model is **Bernoulli sampling**: every element of `P`
+//! independently survives with probability `p`, fixed in advance and known
+//! to the algorithm (§1.1, §2). [`BernoulliSampler`] implements it two ways:
+//!
+//! * a per-element coin flip ([`BernoulliSampler::keep`]), and
+//! * a skip-based iterator ([`BernoulliSampler::sample_iter`]) that draws
+//!   `Geometric(p)` gaps, doing `O(1)` RNG work per *sampled* element —
+//!   the standard trick for sampling at very low rates.
+//!
+//! [`OneInNSampler`] is the deterministic "1 out of every N packets"
+//! variant that sampled NetFlow also supports (§1.3); it is provided for
+//! the router-scenario examples and for contrasting the two models.
+
+use sss_hash::{RngCore64, Xoshiro256pp};
+
+use crate::types::Item;
+
+/// Bernoulli sampler with survival probability `p`.
+#[derive(Debug, Clone)]
+pub struct BernoulliSampler {
+    p: f64,
+    rng: Xoshiro256pp,
+}
+
+impl BernoulliSampler {
+    /// Create a sampler with rate `p ∈ (0, 1]` and a deterministic seed.
+    ///
+    /// # Panics
+    /// If `p` is not in `(0, 1]`.
+    pub fn new(p: f64, seed: u64) -> Self {
+        assert!(p > 0.0 && p <= 1.0, "sampling probability must be in (0,1], got {p}");
+        Self {
+            p,
+            rng: Xoshiro256pp::new(seed),
+        }
+    }
+
+    /// The sampling probability.
+    #[inline]
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Per-element coin flip: does the next element of `P` survive into `L`?
+    #[inline]
+    pub fn keep(&mut self) -> bool {
+        self.rng.next_bool(self.p)
+    }
+
+    /// Sample a borrowed slice, invoking `f` for every surviving element.
+    /// Skip-based: cost is `O(|L|)` RNG draws, not `O(|P|)`.
+    pub fn sample_slice<F: FnMut(Item)>(&mut self, data: &[Item], mut f: F) {
+        let mut idx = self.rng.next_geometric(self.p);
+        while (idx as usize) < data.len() {
+            f(data[idx as usize]);
+            let gap = self.rng.next_geometric(self.p);
+            idx = match idx.checked_add(1).and_then(|i| i.checked_add(gap)) {
+                Some(i) => i,
+                None => break,
+            };
+        }
+    }
+
+    /// Collect the sampled sub-stream of a slice into a `Vec`.
+    pub fn sample_to_vec(&mut self, data: &[Item]) -> Vec<Item> {
+        // E[|L|] = p·n; reserve with slack to avoid regrowth.
+        let mut out = Vec::with_capacity(((data.len() as f64) * self.p * 1.1) as usize + 16);
+        self.sample_slice(data, |x| out.push(x));
+        out
+    }
+
+    /// Wrap an arbitrary iterator over `P` into an iterator over `L`.
+    pub fn sample_iter<I>(self, inner: I) -> SampledIter<I>
+    where
+        I: Iterator<Item = Item>,
+    {
+        SampledIter {
+            inner,
+            sampler: self,
+        }
+    }
+}
+
+/// Iterator adapter produced by [`BernoulliSampler::sample_iter`].
+#[derive(Debug, Clone)]
+pub struct SampledIter<I> {
+    inner: I,
+    sampler: BernoulliSampler,
+}
+
+impl<I: Iterator<Item = Item>> Iterator for SampledIter<I> {
+    type Item = Item;
+
+    #[inline]
+    fn next(&mut self) -> Option<Item> {
+        let gap = self.sampler.rng.next_geometric(self.sampler.p);
+        if gap >= usize::MAX as u64 {
+            return None;
+        }
+        self.inner.nth(gap as usize)
+    }
+}
+
+/// Deterministic 1-in-N sampling (periodic): keeps elements at positions
+/// `N−1, 2N−1, …` (0-based). The expected rate matches Bernoulli sampling
+/// with `p = 1/N`, but survival events are *not* independent — several
+/// estimators in this workspace are biased under it, which the examples
+/// demonstrate.
+#[derive(Debug, Clone)]
+pub struct OneInNSampler {
+    every: u64,
+    seen: u64,
+}
+
+impl OneInNSampler {
+    /// Keep one element out of every `every` (must be ≥ 1).
+    pub fn new(every: u64) -> Self {
+        assert!(every >= 1, "period must be >= 1");
+        Self { every, seen: 0 }
+    }
+
+    /// Does the next element survive?
+    #[inline]
+    pub fn keep(&mut self) -> bool {
+        self.seen += 1;
+        if self.seen == self.every {
+            self.seen = 0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Collect the periodic sub-stream of a slice.
+    pub fn sample_to_vec(&mut self, data: &[Item]) -> Vec<Item> {
+        data.iter().copied().filter(|_| self.keep()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_concentrates_around_p() {
+        let data: Vec<Item> = (0..200_000u64).collect();
+        for &p in &[0.01, 0.1, 0.5, 1.0] {
+            let mut s = BernoulliSampler::new(p, 42);
+            let kept = s.sample_to_vec(&data);
+            let rate = kept.len() as f64 / data.len() as f64;
+            // 5 sigma of Bin(n, p)/n.
+            let sigma = (p * (1.0 - p) / data.len() as f64).sqrt();
+            assert!(
+                (rate - p).abs() <= 5.0 * sigma + 1e-12,
+                "p={p}: rate={rate}"
+            );
+        }
+    }
+
+    #[test]
+    fn p_one_keeps_everything_in_order() {
+        let data: Vec<Item> = (0..1000u64).collect();
+        let mut s = BernoulliSampler::new(1.0, 7);
+        assert_eq!(s.sample_to_vec(&data), data);
+    }
+
+    #[test]
+    fn sampling_preserves_order() {
+        let data: Vec<Item> = (0..50_000u64).collect();
+        let mut s = BernoulliSampler::new(0.1, 3);
+        let kept = s.sample_to_vec(&data);
+        for w in kept.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn iterator_and_slice_paths_agree() {
+        let data: Vec<Item> = (0..30_000u64).collect();
+        let mut s1 = BernoulliSampler::new(0.05, 99);
+        let via_slice = s1.sample_to_vec(&data);
+        let s2 = BernoulliSampler::new(0.05, 99);
+        let via_iter: Vec<Item> = s2.sample_iter(data.iter().copied()).collect();
+        assert_eq!(via_slice, via_iter);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let data: Vec<Item> = (0..10_000u64).collect();
+        let a = BernoulliSampler::new(0.2, 5).sample_to_vec(&data);
+        let b = BernoulliSampler::new(0.2, 5).sample_to_vec(&data);
+        let c = BernoulliSampler::new(0.2, 6).sample_to_vec(&data);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn per_item_survival_is_p_marginally() {
+        // Element at a fixed position survives with probability ~p across seeds.
+        let data: Vec<Item> = (0..100u64).collect();
+        let p = 0.3;
+        let trials = 20_000u64;
+        let mut hits = 0u64;
+        for seed in 0..trials {
+            let mut s = BernoulliSampler::new(p, seed);
+            let kept = s.sample_to_vec(&data);
+            if kept.contains(&50) {
+                hits += 1;
+            }
+        }
+        let rate = hits as f64 / trials as f64;
+        assert!((rate - p).abs() < 0.02, "rate = {rate}");
+    }
+
+    #[test]
+    fn one_in_n_is_periodic() {
+        let data: Vec<Item> = (0..20u64).collect();
+        let mut s = OneInNSampler::new(5);
+        assert_eq!(s.sample_to_vec(&data), vec![4, 9, 14, 19]);
+        let mut s1 = OneInNSampler::new(1);
+        assert_eq!(s1.sample_to_vec(&data), data);
+    }
+
+    #[test]
+    #[should_panic(expected = "sampling probability")]
+    fn zero_p_rejected() {
+        let _ = BernoulliSampler::new(0.0, 1);
+    }
+}

@@ -1,0 +1,7 @@
+//! Basic stream types.
+
+/// A stream element: an identifier from the universe `[m] = {0, …, m−1}`.
+///
+/// The paper indexes items from 1; we use 0-based `u64` identifiers
+/// throughout, which is immaterial to every statistic involved.
+pub type Item = u64;

@@ -1,0 +1,101 @@
+//! Entropy-based anomaly detection over sampled traffic.
+//!
+//! ```text
+//! cargo run --release --example entropy_anomaly
+//! ```
+//!
+//! A classic monitoring use of stream entropy: the empirical entropy of
+//! destination addresses is low and stable under normal traffic
+//! (conversations concentrate on popular services) and spikes during
+//! scanning or DDoS-style dispersion. The monitor only sees a Bernoulli
+//! sample; Theorem 5 says entropy estimated on the sample is a
+//! constant-factor proxy for the true entropy as long as the true entropy
+//! is not vanishing — exactly what a threshold detector needs.
+
+use subsampled_streams::core::SampledEntropyEstimator;
+use subsampled_streams::hash::{RngCore64, Xoshiro256pp};
+use subsampled_streams::stream::{BernoulliSampler, ExactStats};
+
+/// Normal epoch: destinations concentrate on a handful of services.
+fn normal_epoch(n: u64, seed: u64) -> Vec<u64> {
+    let mut rng = Xoshiro256pp::new(seed);
+    (0..n)
+        .map(|_| {
+            if rng.next_bool(0.85) {
+                rng.next_below(8) // 8 popular services
+            } else {
+                8 + rng.next_below(2000) // background chatter
+            }
+        })
+        .collect()
+}
+
+/// Scan epoch: a scanner sweeps the address space — destinations disperse.
+fn scan_epoch(n: u64, seed: u64) -> Vec<u64> {
+    let mut rng = Xoshiro256pp::new(seed);
+    (0..n)
+        .map(|i| {
+            if rng.next_bool(0.5) {
+                // normal background
+                if rng.next_bool(0.85) {
+                    rng.next_below(8)
+                } else {
+                    8 + rng.next_below(2000)
+                }
+            } else {
+                // scanner: fresh address per probe
+                1_000_000 + seed * 1_000_000 + i
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let n = 300_000u64;
+    let p = 0.05;
+    println!("destination-entropy monitor, Bernoulli sampled at p = {p}");
+    println!("epoch length {n} packets; alarm threshold: estimate > 2x baseline\n");
+    println!(
+        "{:>6}  {:>8}  {:>10}  {:>10}  {:>7}",
+        "epoch", "kind", "true H", "est H(g)", "alarm"
+    );
+
+    let mut baseline: Option<f64> = None;
+    for epoch in 0..6u64 {
+        let is_scan = epoch == 3 || epoch == 4;
+        let packets = if is_scan {
+            scan_epoch(n, 50 + epoch)
+        } else {
+            normal_epoch(n, 50 + epoch)
+        };
+        let true_h = ExactStats::from_stream(packets.iter().copied()).entropy();
+
+        let mut est = SampledEntropyEstimator::new(p, 2000, 70 + epoch);
+        let mut sampler = BernoulliSampler::new(p, 90 + epoch);
+        sampler.sample_slice(&packets, |x| est.update(x));
+        let h = est.estimate();
+
+        // 1.5x over baseline: comfortably above estimator noise, and robust
+        // to the lg(1/p) bits a singleton-heavy anomaly loses to sampling
+        // (the Lemma 9 part-2 effect pulls the *estimate* of scan entropy
+        // toward lg(p·n_scan), so thresholds must not assume H is seen in
+        // full).
+        let base = *baseline.get_or_insert(h);
+        let alarm = h > 1.5 * base;
+        println!(
+            "{:>6}  {:>8}  {:>10.3}  {:>10.3}  {:>7}",
+            epoch,
+            if is_scan { "SCAN" } else { "normal" },
+            true_h,
+            h,
+            if alarm { "*** " } else { "-" }
+        );
+    }
+
+    println!(
+        "\nTakeaway: the sampled-entropy estimate cleanly separates scan\n\
+         epochs from normal ones while touching 5% of the packets. (The\n\
+         scan pushes H far above the Theorem 5 threshold, so the\n\
+         constant-factor guarantee applies on both sides of the alarm.)"
+    );
+}

@@ -1,0 +1,87 @@
+//! Quickstart: estimate statistics of a stream you never saw.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! The setting of McGregor–Pavan–Tirthapura–Woodruff: an original stream
+//! `P` passes by at line rate; the monitor sees only a Bernoulli sample
+//! `L` (rate `p`), processes it in one pass and small space, and answers
+//! questions about `P`.
+
+use subsampled_streams::core::{
+    SampledEntropyEstimator, SampledF0Estimator, SampledF1HeavyHitters, SampledFkEstimator,
+};
+use subsampled_streams::stream::{BernoulliSampler, ExactStats, StreamGen, ZipfStream};
+
+fn main() {
+    // The original stream: 1M Zipf-distributed items over a 100k universe.
+    let n = 1_000_000;
+    let m = 100_000;
+    let p = 0.05; // the monitor sees 5% of the traffic
+    let stream = ZipfStream::new(m, 1.2).generate(n, 1);
+
+    // Ground truth (the referee — not available to the monitor).
+    let exact = ExactStats::from_stream(stream.iter().copied());
+
+    // The estimators observe only the sampled stream.
+    let mut f2 = SampledFkEstimator::exact(2, p);
+    let mut f0 = SampledF0Estimator::new(p, 0.05, 7);
+    let mut entropy = SampledEntropyEstimator::new(p, 2000, 7);
+    let mut hh = SampledF1HeavyHitters::new(0.02, 0.2, 0.05, p, 7);
+
+    let mut sampler = BernoulliSampler::new(p, 99);
+    let mut seen = 0u64;
+    sampler.sample_slice(&stream, |x| {
+        seen += 1;
+        f2.update(x);
+        f0.update(x);
+        entropy.update(x);
+        hh.update(x);
+    });
+
+    println!("original stream : n = {n}, universe = {m}");
+    println!("sampled stream  : {seen} elements (p = {p})\n");
+
+    let rel = |est: f64, truth: f64| 100.0 * (est - truth).abs() / truth;
+
+    let t2 = exact.fk(2);
+    println!(
+        "F2      : estimate {:>14.0}   truth {:>14.0}   err {:>5.2}%",
+        f2.estimate(),
+        t2,
+        rel(f2.estimate(), t2)
+    );
+
+    let t0 = exact.f0() as f64;
+    println!(
+        "F0      : estimate {:>14.0}   truth {:>14.0}   (error ceiling {:.1}x — Thm 4 says no estimator can beat O(1/sqrt(p)))",
+        f0.estimate(),
+        t0,
+        f0.error_factor()
+    );
+
+    let th = exact.entropy();
+    println!(
+        "entropy : estimate {:>14.3}   truth {:>14.3}   err {:>5.2}%  (constant-factor regime: H >> {:.3})",
+        entropy.estimate(),
+        th,
+        rel(entropy.estimate(), th),
+        entropy.guarantee_threshold(n)
+    );
+
+    println!("\nheavy hitters (f_i >= 2% of F1), frequencies rescaled by 1/p:");
+    let truth_hh = exact.heavy_hitters_f1(0.02);
+    for (item, f_est) in hh.report() {
+        let f_true = exact.freq(item);
+        println!(
+            "  item {item:>12}   est {f_est:>9.0}   true {f_true:>9}   err {:>5.2}%",
+            rel(f_est, f_true as f64)
+        );
+    }
+    println!(
+        "  ({} reported / {} true heavy hitters)",
+        hh.report().len(),
+        truth_hh.len()
+    );
+}

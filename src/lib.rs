@@ -1,0 +1,40 @@
+//! # Space-efficient estimation of statistics over sub-sampled streams
+//!
+//! A Rust implementation of McGregor, Pavan, Tirthapura & Woodruff
+//! (PODS 2012 / Algorithmica 2016). An original stream `P` is Bernoulli
+//! sampled at a known rate `p`; the monitor sees only the sampled stream
+//! `L` and must estimate aggregates of `P` in one pass and small space.
+//!
+//! This facade re-exports the four workspace crates:
+//!
+//! * [`hash`] — PRNGs and k-wise independent hash families,
+//! * [`stream`] — workload generators, samplers and exact ground truth,
+//! * [`sketch`] — the classic streaming substrates (CountMin,
+//!   CountSketch, Misra–Gries, AMS, KMV, HyperLogLog, Indyk–Woodruff
+//!   level sets, entropy estimation, reservoir/priority sampling),
+//! * [`core`] — the paper's estimators: `F_k` (Algorithm 1), `F_0`
+//!   (Algorithm 2), entropy (Theorem 5), heavy hitters (Theorems 6–7),
+//!   the baselines, and the flow-distribution / adaptive-rate extensions.
+//!
+//! ```
+//! use subsampled_streams::core::SampledFkEstimator;
+//! use subsampled_streams::stream::{BernoulliSampler, ExactStats, StreamGen, ZipfStream};
+//!
+//! // The original stream — which the monitor never sees in full.
+//! let p = 0.1;
+//! let stream = ZipfStream::new(10_000, 1.2).generate(100_000, 1);
+//! let truth = ExactStats::from_stream(stream.iter().copied()).fk(2);
+//!
+//! // The monitor: Algorithm 1 over the Bernoulli sample.
+//! let mut est = SampledFkEstimator::exact(2, p);
+//! let mut sampler = BernoulliSampler::new(p, 99);
+//! sampler.sample_slice(&stream, |x| est.update(x));
+//!
+//! let rel_err = (est.estimate() - truth).abs() / truth;
+//! assert!(rel_err < 0.1, "F2 within 10% from a 10% sample");
+//! ```
+
+pub use sss_core as core;
+pub use sss_hash as hash;
+pub use sss_sketch as sketch;
+pub use sss_stream as stream;

@@ -1,0 +1,245 @@
+//! Property-based tests (proptest) on the core invariants that hold for
+//! *every* input, not just the sampled workloads.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use subsampled_streams::core::stirling::{
+    a_ell, beta_coefficients, epsilon_schedule, factorial_f64,
+};
+use subsampled_streams::core::{CollisionOracle, ExactCollisions, SampledFkEstimator};
+use subsampled_streams::sketch::{CountMin, CountSketch, KmvSketch, MisraGries};
+use subsampled_streams::stream::exact::{binom_f64, binom_u128};
+use subsampled_streams::stream::{BernoulliSampler, ExactStats};
+
+proptest! {
+    /// Lemma 1 as a property: F_ℓ = ℓ!·C_ℓ + Σ β^ℓ_i·F_i for arbitrary
+    /// frequency vectors.
+    #[test]
+    fn falling_factorial_identity(freqs in vec(1u64..200, 1..40), ell in 2u32..6) {
+        let f = |t: u32| -> f64 {
+            freqs.iter().map(|&x| (x as f64).powi(t as i32)).sum()
+        };
+        let c_ell: f64 = freqs.iter().map(|&x| binom_f64(x, ell)).sum();
+        let beta = beta_coefficients(ell);
+        let mut rhs = factorial_f64(ell) * c_ell;
+        for i in 1..ell {
+            rhs += beta[i as usize - 1] as f64 * f(i);
+        }
+        let lhs = f(ell);
+        prop_assert!((lhs - rhs).abs() <= 1e-9 * lhs.max(1.0), "{lhs} vs {rhs}");
+    }
+
+    /// Incremental collision counting equals the closed form on any stream.
+    #[test]
+    fn collision_oracle_incremental_equals_batch(stream in vec(0u64..50, 0..500)) {
+        let mut oracle = ExactCollisions::new(4);
+        for &x in &stream {
+            oracle.update(x);
+        }
+        let stats = ExactStats::from_stream(stream.iter().copied());
+        for ell in 1..=4u32 {
+            let exact = stats.collisions(ell);
+            prop_assert!(
+                (oracle.estimate(ell) - exact).abs() <= 1e-9 * exact.max(1.0)
+            );
+        }
+    }
+
+    /// Algorithm 1 at p = 1 is the exact moment, for any stream and k.
+    #[test]
+    fn algorithm1_is_exact_at_p_one(stream in vec(0u64..100, 1..400), k in 2u32..6) {
+        let mut est = SampledFkEstimator::exact(k, 1.0);
+        for &x in &stream {
+            est.update(x);
+        }
+        let truth = ExactStats::from_stream(stream.iter().copied()).fk(k);
+        prop_assert!((est.estimate() - truth).abs() <= 1e-6 * truth.max(1.0));
+    }
+
+    /// CountMin never underestimates, on any stream.
+    #[test]
+    fn countmin_one_sided(stream in vec(0u64..64, 0..800), seed in 0u64..100) {
+        let mut cm = CountMin::new(3, 16, seed);
+        let mut truth = std::collections::HashMap::new();
+        for &x in &stream {
+            cm.update(x, 1);
+            *truth.entry(x).or_insert(0u64) += 1;
+        }
+        for (&x, &f) in &truth {
+            prop_assert!(cm.query(x) >= f);
+        }
+    }
+
+    /// CountSketch is exactly linear: sketch(A) + sketch(B) = sketch(A·B).
+    #[test]
+    fn countsketch_linearity(
+        a in vec(0u64..64, 0..200),
+        b in vec(0u64..64, 0..200),
+        seed in 0u64..100,
+    ) {
+        let mut sa = CountSketch::new(3, 32, seed);
+        let mut sb = CountSketch::new(3, 32, seed);
+        let mut sw = CountSketch::new(3, 32, seed);
+        for &x in &a {
+            sa.update(x, 1);
+            sw.update(x, 1);
+        }
+        for &x in &b {
+            sb.update(x, 1);
+            sw.update(x, 1);
+        }
+        sa.merge(&sb);
+        for x in 0..64u64 {
+            prop_assert_eq!(sa.query(x), sw.query(x));
+        }
+    }
+
+    /// Misra–Gries respects its deterministic error band on any stream.
+    #[test]
+    fn misra_gries_error_band(stream in vec(0u64..32, 1..800), k in 1usize..16) {
+        let mut mg = MisraGries::new(k);
+        let mut truth = std::collections::HashMap::new();
+        for &x in &stream {
+            mg.update(x);
+            *truth.entry(x).or_insert(0u64) += 1;
+        }
+        let bound = mg.error_bound();
+        for (&x, &f) in &truth {
+            let q = mg.query(x);
+            prop_assert!(q <= f);
+            prop_assert!(q as f64 >= f as f64 - bound);
+        }
+    }
+
+    /// KMV merge is union: merging in any split equals the whole.
+    #[test]
+    fn kmv_merge_is_union(stream in vec(0u64..10_000, 0..600), cut in 0usize..600) {
+        let cut = cut.min(stream.len());
+        let mut a = KmvSketch::new(32, 7);
+        let mut b = KmvSketch::new(32, 7);
+        let mut whole = KmvSketch::new(32, 7);
+        for &x in &stream[..cut] {
+            a.update(x);
+            whole.update(x);
+        }
+        for &x in &stream[cut..] {
+            b.update(x);
+            whole.update(x);
+        }
+        a.merge(&b);
+        prop_assert_eq!(a.estimate(), whole.estimate());
+    }
+
+    /// The Bernoulli sampler keeps a subsequence: order preserved, length
+    /// ≤ n, and every kept element occurs in the original.
+    #[test]
+    fn sampler_yields_subsequence(stream in vec(0u64..1000, 0..500), seed in 0u64..50) {
+        let mut sampler = BernoulliSampler::new(0.3, seed);
+        let kept = sampler.sample_to_vec(&stream);
+        prop_assert!(kept.len() <= stream.len());
+        // Subsequence check via two-pointer scan.
+        let mut it = stream.iter();
+        for &k in &kept {
+            prop_assert!(it.any(|&x| x == k), "not a subsequence");
+        }
+    }
+
+    /// Exact binomial helpers agree wherever both are defined.
+    #[test]
+    fn binom_helpers_agree(f in 0u64..100_000, l in 0u32..8) {
+        let exact = binom_u128(f, l).expect("no overflow in range") as f64;
+        let approx = binom_f64(f, l);
+        prop_assert!((approx - exact).abs() <= 1e-9 * exact.max(1.0));
+    }
+
+    /// The ε-schedule is positive, increasing, and ends at ε.
+    #[test]
+    fn epsilon_schedule_shape(k in 2u32..10, eps in 0.01f64..0.9) {
+        let sched = epsilon_schedule(k, eps);
+        prop_assert_eq!(sched.len(), k as usize);
+        prop_assert!((sched[k as usize - 1] - eps).abs() < 1e-15);
+        for w in sched.windows(2) {
+            prop_assert!(w[0] > 0.0 && w[0] < w[1]);
+        }
+        // Consistency with A_ℓ: ε_{ℓ−1}·(A_ℓ+1) = ε_ℓ.
+        for ell in 2..=k {
+            let lhs = sched[ell as usize - 2] * (a_ell(ell) + 1.0);
+            prop_assert!((lhs - sched[ell as usize - 1]).abs() < 1e-12);
+        }
+    }
+
+    /// Entropy of any stream lies in [0, lg F_0] and the exact-stats value
+    /// is consistent with direct computation.
+    #[test]
+    fn entropy_bounds(stream in vec(0u64..64, 1..500)) {
+        let stats = ExactStats::from_stream(stream.iter().copied());
+        let h = stats.entropy();
+        prop_assert!(h >= -1e-12);
+        prop_assert!(h <= (stats.f0() as f64).log2() + 1e-12);
+    }
+
+    /// ExactCollisions merge equals concatenation on arbitrary splits.
+    #[test]
+    fn collision_merge_is_concatenation(
+        a in vec(0u64..40, 0..300),
+        b in vec(0u64..40, 0..300),
+    ) {
+        let mut oa = ExactCollisions::new(4);
+        let mut ob = ExactCollisions::new(4);
+        let mut whole = ExactCollisions::new(4);
+        for &x in &a {
+            oa.update(x);
+            whole.update(x);
+        }
+        for &x in &b {
+            ob.update(x);
+            whole.update(x);
+        }
+        oa.merge(&ob);
+        for ell in 1..=4u32 {
+            let m = oa.estimate(ell);
+            let w = whole.estimate(ell);
+            prop_assert!((m - w).abs() <= 1e-6 * w.max(1.0), "C_{}: {} vs {}", ell, m, w);
+        }
+    }
+
+    /// The moments are monotone in ℓ for any stream (f_i ≥ 1 ⇒ F_ℓ ≤ F_{ℓ+1}),
+    /// so Algorithm 1 at p = 1 must produce a monotone φ̃ sequence.
+    #[test]
+    fn moment_monotonicity_at_p_one(stream in vec(0u64..50, 1..400)) {
+        let mut est = SampledFkEstimator::exact(5, 1.0);
+        for &x in &stream {
+            est.update(x);
+        }
+        let phis = est.estimate_all();
+        for w in phis.windows(2) {
+            prop_assert!(w[1] >= w[0] - 1e-9 * w[0].abs());
+        }
+    }
+
+    /// Frequency moments obey the Cauchy–Schwarz chain F_ℓ² ≤ F_{ℓ−1}·F_{ℓ+1}
+    /// (log-convexity) on every frequency vector — the inequality behind the
+    /// paper's F_ℓ^{1/ℓ} manipulations in Lemma 2.
+    #[test]
+    fn moments_are_log_convex(freqs in vec(1u64..1000, 1..60)) {
+        let f = |t: i32| -> f64 {
+            freqs.iter().map(|&x| (x as f64).powi(t)).sum()
+        };
+        for ell in 1..5i32 {
+            let lhs = f(ell) * f(ell);
+            let rhs = f(ell - 1) * f(ell + 1);
+            prop_assert!(lhs <= rhs * (1.0 + 1e-12), "ℓ={}: {} > {}", ell, lhs, rhs);
+        }
+    }
+
+    /// binom_pmf is a genuine pmf for arbitrary parameters.
+    #[test]
+    fn binom_pmf_normalised(n in 1u64..300, p in 0.01f64..0.99) {
+        use subsampled_streams::core::numeric::binom_pmf;
+        let total: f64 = (0..=n).map(|k| binom_pmf(n, k, p)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        let mean: f64 = (0..=n).map(|k| k as f64 * binom_pmf(n, k, p)).sum();
+        prop_assert!((mean - n as f64 * p).abs() < 1e-6 * (n as f64 * p));
+    }
+}
