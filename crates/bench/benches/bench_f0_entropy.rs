@@ -1,41 +1,40 @@
-//! Throughput of Algorithm 2 (`F_0`) and the Theorem 5 entropy estimator.
+//! Throughput of Algorithm 2 (`F_0`) and the Theorem 5 entropy estimator,
+//! per-item vs batched.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use sss_bench::BenchGroup;
 use sss_core::{SampledEntropyEstimator, SampledF0Estimator};
 use sss_stream::{BernoulliSampler, StreamGen, UniformStream};
 
 const N: u64 = 100_000;
 
-fn bench_f0_entropy(c: &mut Criterion) {
+fn main() {
     let stream = UniformStream::new(1 << 14).generate(N, 42);
     let sampled = BernoulliSampler::new(0.2, 43).sample_to_vec(&stream);
-    let mut g = c.benchmark_group("f0_entropy_update");
-    g.throughput(Throughput::Elements(sampled.len() as u64));
+    let mut g = BenchGroup::new("f0_entropy_update", sampled.len() as u64);
 
-    g.bench_function("alg2_f0", |b| {
-        b.iter(|| {
-            let mut est = SampledF0Estimator::new(0.2, 0.05, 7);
-            for &x in &sampled {
-                est.update(black_box(x));
-            }
-            black_box(est.estimate())
-        })
+    g.bench("alg2_f0", || {
+        let mut est = SampledF0Estimator::new(0.2, 0.05, 7);
+        for &x in &sampled {
+            est.update(x);
+        }
+        est.estimate()
+    });
+
+    g.bench("alg2_f0_batched", || {
+        let mut est = SampledF0Estimator::new(0.2, 0.05, 7);
+        for chunk in sampled.chunks(4096) {
+            est.update_batch(chunk);
+        }
+        est.estimate()
     });
 
     for t in [256usize, 2048] {
-        g.bench_function(format!("entropy_t{t}"), |b| {
-            b.iter(|| {
-                let mut est = SampledEntropyEstimator::new(0.2, t, 7);
-                for &x in &sampled {
-                    est.update(black_box(x));
-                }
-                black_box(est.estimate())
-            })
+        g.bench(&format!("entropy_t{t}"), || {
+            let mut est = SampledEntropyEstimator::new(0.2, t, 7);
+            for &x in &sampled {
+                est.update(x);
+            }
+            est.estimate()
         });
     }
-
-    g.finish();
 }
-
-criterion_group!(benches, bench_f0_entropy);
-criterion_main!(benches);

@@ -1,72 +1,61 @@
 //! Throughput of Algorithm 1 (both collision oracles) and of the
-//! Indyk–Woodruff level-set structure itself.
+//! Indyk–Woodruff level-set structure itself, per-item vs batched.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use sss_bench::BenchGroup;
 use sss_core::{recommended_levelset_config, SampledFkEstimator};
 use sss_sketch::levelset::{LevelSetConfig, LevelSetEstimator};
 use sss_stream::{BernoulliSampler, StreamGen, ZipfStream};
+use std::hint::black_box;
 
 const N: u64 = 100_000;
 
-fn sampled_stream(p: f64) -> Vec<u64> {
+fn main() {
     let stream = ZipfStream::new(1 << 16, 1.2).generate(N, 42);
-    BernoulliSampler::new(p, 43).sample_to_vec(&stream)
-}
-
-fn bench_fk(c: &mut Criterion) {
-    let sampled = sampled_stream(0.2);
-    let mut g = c.benchmark_group("fk_update");
-    g.throughput(Throughput::Elements(sampled.len() as u64));
+    let sampled = BernoulliSampler::new(0.2, 43).sample_to_vec(&stream);
+    let mut g = BenchGroup::new("fk_update", sampled.len() as u64);
 
     for k in [2u32, 4] {
-        g.bench_function(format!("alg1_exact_k{k}"), |b| {
-            b.iter(|| {
-                let mut est = SampledFkEstimator::exact(k, 0.2);
-                for &x in &sampled {
-                    est.update(black_box(x));
-                }
-                black_box(est.estimate())
-            })
+        g.bench(&format!("alg1_exact_k{k}"), || {
+            let mut est = SampledFkEstimator::exact(k, 0.2);
+            for &x in &sampled {
+                est.update(x);
+            }
+            est.estimate()
+        });
+        g.bench(&format!("alg1_exact_k{k}_batched"), || {
+            let mut est = SampledFkEstimator::exact(k, 0.2);
+            for chunk in sampled.chunks(4096) {
+                est.update_batch(chunk);
+            }
+            est.estimate()
         });
     }
 
-    g.bench_function("alg1_sketched_k2_w512", |b| {
-        let cfg = LevelSetConfig::for_universe(1 << 16, 512);
-        b.iter(|| {
-            let mut est = SampledFkEstimator::sketched(2, 0.2, &cfg, 7);
-            for &x in &sampled {
-                est.update(black_box(x));
-            }
-            black_box(est.estimate())
-        })
+    let cfg = LevelSetConfig::for_universe(1 << 16, 512);
+    g.bench("alg1_sketched_k2_w512", || {
+        let mut est = SampledFkEstimator::sketched(2, 0.2, &cfg, 7);
+        for &x in &sampled {
+            est.update(x);
+        }
+        est.estimate()
     });
 
-    g.bench_function("levelset_update_only_w512", |b| {
-        let cfg = LevelSetConfig::for_universe(1 << 16, 512);
-        b.iter(|| {
-            let mut ls = LevelSetEstimator::new(&cfg, 7);
-            for &x in &sampled {
-                ls.update(black_box(x));
-            }
-            black_box(ls.n())
-        })
+    g.bench("levelset_update_only_w512", || {
+        let mut ls = LevelSetEstimator::new(&cfg, 7);
+        for &x in &sampled {
+            ls.update(x);
+        }
+        ls.n()
     });
-
-    g.finish();
 
     // Query cost (estimate from a built structure) — the paper's
-    // O~(p^-1 m^(1-2/k)) output-time claim.
-    let mut q = c.benchmark_group("fk_query");
-    let cfg = recommended_levelset_config(2, 1 << 16, 0.2, 0.2);
-    let mut est = SampledFkEstimator::sketched(2, 0.2, &cfg, 7);
+    // O~(p^-1 m^(1-2/k)) output-time claim. One element per "run" so the
+    // ns/elem column reads as ns/query.
+    let mut q = BenchGroup::new("fk_query", 1);
+    let qcfg = recommended_levelset_config(2, 1 << 16, 0.2, 0.2);
+    let mut est = SampledFkEstimator::sketched(2, 0.2, &qcfg, 7);
     for &x in &sampled {
         est.update(x);
     }
-    q.bench_function("alg1_sketched_estimate", |b| {
-        b.iter(|| black_box(est.estimate()))
-    });
-    q.finish();
+    q.bench("alg1_sketched_estimate", || black_box(est.estimate()));
 }
-
-criterion_group!(benches, bench_fk);
-criterion_main!(benches);

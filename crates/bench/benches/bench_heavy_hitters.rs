@@ -1,39 +1,47 @@
-//! Throughput of the Theorem 6/7 heavy-hitter estimators.
+//! Throughput of the Theorem 6/7 heavy-hitter estimators, per-item vs
+//! batched (the batched path sketches row-major and admits candidates at
+//! batch boundaries).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use sss_bench::BenchGroup;
 use sss_core::{SampledF1HeavyHitters, SampledF2HeavyHitters};
 use sss_stream::{BernoulliSampler, PlantedHeavyHitters, StreamGen};
 
 const N: u64 = 100_000;
 
-fn bench_hh(c: &mut Criterion) {
+fn main() {
     let stream = PlantedHeavyHitters::new(1 << 20, 8, 0.5).generate(N, 42);
     let sampled = BernoulliSampler::new(0.2, 43).sample_to_vec(&stream);
-    let mut g = c.benchmark_group("hh_update");
-    g.throughput(Throughput::Elements(sampled.len() as u64));
+    let mut g = BenchGroup::new("hh_update", sampled.len() as u64);
 
-    g.bench_function("thm6_f1_hh", |b| {
-        b.iter(|| {
-            let mut hh = SampledF1HeavyHitters::new(0.05, 0.2, 0.05, 0.2, 7);
-            for &x in &sampled {
-                hh.update(black_box(x));
-            }
-            black_box(hh.report().len())
-        })
+    g.bench("thm6_f1_hh", || {
+        let mut hh = SampledF1HeavyHitters::new(0.05, 0.2, 0.05, 0.2, 7);
+        for &x in &sampled {
+            hh.update(x);
+        }
+        hh.report().len()
     });
 
-    g.bench_function("thm7_f2_hh", |b| {
-        b.iter(|| {
-            let mut hh = SampledF2HeavyHitters::new(0.3, 0.2, 0.05, 0.2, 7);
-            for &x in &sampled {
-                hh.update(black_box(x));
-            }
-            black_box(hh.report().len())
-        })
+    g.bench("thm6_f1_hh_batched", || {
+        let mut hh = SampledF1HeavyHitters::new(0.05, 0.2, 0.05, 0.2, 7);
+        for chunk in sampled.chunks(4096) {
+            hh.update_batch(chunk);
+        }
+        hh.report().len()
     });
 
-    g.finish();
+    g.bench("thm7_f2_hh", || {
+        let mut hh = SampledF2HeavyHitters::new(0.3, 0.2, 0.05, 0.2, 7);
+        for &x in &sampled {
+            hh.update(x);
+        }
+        hh.report().len()
+    });
+
+    g.bench("thm7_f2_hh_batched", || {
+        let mut hh = SampledF2HeavyHitters::new(0.3, 0.2, 0.05, 0.2, 7);
+        for chunk in sampled.chunks(4096) {
+            hh.update_batch(chunk);
+        }
+        hh.report().len()
+    });
 }
-
-criterion_group!(benches, bench_hh);
-criterion_main!(benches);

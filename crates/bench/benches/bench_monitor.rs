@@ -1,0 +1,72 @@
+//! The batched monitor hot path: per-item `Monitor::update` (one virtual
+//! dispatch per estimator per element) vs `Monitor::update_batch` (one
+//! dispatch per estimator per chunk, estimator state cache-resident for
+//! the whole chunk). Also times the underlying per-estimator batch paths
+//! in isolation.
+
+use sss_bench::BenchGroup;
+use sss_core::{MonitorBuilder, SampledF0Estimator, SubsampledEstimator};
+use sss_stream::{BernoulliSampler, StreamGen, ZipfStream};
+
+const N: u64 = 400_000;
+const BATCH: usize = 4096;
+
+fn build_monitor(p: f64) -> sss_core::Monitor {
+    MonitorBuilder::with_seed(p, 7)
+        .f0(0.05)
+        .fk(2)
+        .entropy(512)
+        .f1_heavy_hitters(0.05, 0.2, 0.05)
+        .build()
+}
+
+fn main() {
+    let p = 0.25;
+    let stream = ZipfStream::new(1 << 16, 1.2).generate(N, 42);
+    let sampled = BernoulliSampler::new(p, 43).sample_to_vec(&stream);
+
+    let mut g = BenchGroup::new("monitor_ingestion", sampled.len() as u64);
+
+    g.bench("update_per_item", || {
+        let mut m = build_monitor(p);
+        for &x in &sampled {
+            m.update(x);
+        }
+        m.samples_seen()
+    });
+
+    g.bench(&format!("update_batch_{BATCH}"), || {
+        let mut m = build_monitor(p);
+        for chunk in sampled.chunks(BATCH) {
+            m.update_batch(chunk);
+        }
+        m.samples_seen()
+    });
+
+    g.bench("sampler_feed_batched", || {
+        let mut m = build_monitor(p);
+        let mut sampler = BernoulliSampler::new(p, 43);
+        sampler.sample_batches(&stream, BATCH, |chunk| m.update_batch(chunk));
+        m.samples_seen()
+    });
+
+    let speedup = g.median_of("update_per_item") / g.median_of(&format!("update_batch_{BATCH}"));
+    println!("\nbatch speedup over per-item: {speedup:.2}x");
+
+    // Isolated substrate: the F0 estimator's copy-major batch loop.
+    let mut s = BenchGroup::new("f0_estimator_ingestion", sampled.len() as u64);
+    s.bench("f0_update_per_item", || {
+        let mut est = SampledF0Estimator::new(p, 0.05, 7);
+        for &x in &sampled {
+            est.update(x);
+        }
+        est.samples_seen()
+    });
+    s.bench("f0_update_batch", || {
+        let mut est = SampledF0Estimator::new(p, 0.05, 7);
+        for chunk in sampled.chunks(BATCH) {
+            SubsampledEstimator::update_batch(&mut est, chunk);
+        }
+        est.samples_seen()
+    });
+}

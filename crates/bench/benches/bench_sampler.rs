@@ -1,45 +1,48 @@
 //! Cost of the Bernoulli sampling layer itself: per-element coin flips vs
 //! the skip-based geometric sampler (whose cost is per *sampled* element —
-//! the enabler of the §1.2 sub-linear total-work claim).
+//! the enabler of the §1.2 sub-linear total-work claim), plus the batched
+//! feed.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use sss_bench::BenchGroup;
 use sss_stream::{BernoulliSampler, StreamGen, UniformStream};
+use std::hint::black_box;
 
 const N: u64 = 1_000_000;
 
-fn bench_sampler(c: &mut Criterion) {
+fn main() {
     let stream = UniformStream::new(1 << 20).generate(N, 42);
-    let mut g = c.benchmark_group("bernoulli_sampler");
-    g.throughput(Throughput::Elements(N));
+    let mut g = BenchGroup::new("bernoulli_sampler", N);
 
     for &p in &[0.5f64, 0.01] {
-        g.bench_function(format!("skip_based_p{p}"), |b| {
-            b.iter(|| {
-                let mut s = BernoulliSampler::new(p, 7);
-                let mut count = 0u64;
-                s.sample_slice(&stream, |x| {
-                    count += black_box(x) & 1;
-                });
-                black_box(count)
-            })
+        g.bench(&format!("skip_based_p{p}"), || {
+            let mut s = BernoulliSampler::new(p, 7);
+            let mut count = 0u64;
+            s.sample_slice(&stream, |x| {
+                count += black_box(x) & 1;
+            });
+            count
         });
 
-        g.bench_function(format!("per_item_flip_p{p}"), |b| {
-            b.iter(|| {
-                let mut s = BernoulliSampler::new(p, 7);
-                let mut count = 0u64;
-                for &x in &stream {
-                    if s.keep() {
-                        count += black_box(x) & 1;
-                    }
+        g.bench(&format!("batched_4096_p{p}"), || {
+            let mut s = BernoulliSampler::new(p, 7);
+            let mut count = 0u64;
+            s.sample_batches(&stream, 4096, |chunk| {
+                for &x in chunk {
+                    count += black_box(x) & 1;
                 }
-                black_box(count)
-            })
+            });
+            count
+        });
+
+        g.bench(&format!("per_item_flip_p{p}"), || {
+            let mut s = BernoulliSampler::new(p, 7);
+            let mut count = 0u64;
+            for &x in &stream {
+                if s.keep() {
+                    count += black_box(x) & 1;
+                }
+            }
+            count
         });
     }
-
-    g.finish();
 }
-
-criterion_group!(benches, bench_sampler);
-criterion_main!(benches);

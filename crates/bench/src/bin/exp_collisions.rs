@@ -25,7 +25,10 @@ fn main() {
     let workloads: Vec<(&str, Vec<u64>)> = vec![
         ("constant", ConstantStream::new(3, 10).generate(n, 61)),
         ("uniform m=1k", UniformStream::new(1000).generate(n, 62)),
-        ("zipf(1.5) m=10k", ZipfStream::new(10_000, 1.5).generate(n, 63)),
+        (
+            "zipf(1.5) m=10k",
+            ZipfStream::new(10_000, 1.5).generate(n, 63),
+        ),
     ];
 
     let mut table = Table::new(
@@ -58,9 +61,8 @@ fn main() {
                 let sd = std_dev(&samples);
                 let expect = p.powi(ell as i32) * c_p;
                 // Lemma 2 bound with constant 4: Var <= 4 p^(2l-1) F_l^(2-1/l).
-                let var_bound = 4.0
-                    * p.powi(2 * ell as i32 - 1)
-                    * f_ell.powf(2.0 - 1.0 / ell as f64);
+                let var_bound =
+                    4.0 * p.powi(2 * ell as i32 - 1) * f_ell.powf(2.0 - 1.0 / ell as f64);
                 table.row(vec![
                     name.to_string(),
                     ell.to_string(),

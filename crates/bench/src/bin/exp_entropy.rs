@@ -23,7 +23,10 @@ fn main() {
     let trials = 8;
     let workloads: Vec<(&str, Vec<u64>)> = vec![
         ("zipf(2.0) m=64", ZipfStream::new(64, 2.0).generate(n, 51)),
-        ("zipf(1.2) m=4096", ZipfStream::new(4096, 1.2).generate(n, 52)),
+        (
+            "zipf(1.2) m=4096",
+            ZipfStream::new(4096, 1.2).generate(n, 52),
+        ),
         ("uniform m=256", UniformStream::new(256).generate(n, 53)),
         ("uniform m=8192", UniformStream::new(8192).generate(n, 54)),
     ];
@@ -51,8 +54,7 @@ fn main() {
             });
             let s = Summary::of(&ratios);
             let min = ratios.iter().copied().fold(f64::INFINITY, f64::min);
-            let threshold =
-                SampledEntropyEstimator::new(p, 16, 0).guarantee_threshold(n);
+            let threshold = SampledEntropyEstimator::new(p, 16, 0).guarantee_threshold(n);
             table.row(vec![
                 name.to_string(),
                 fmt_g(h),

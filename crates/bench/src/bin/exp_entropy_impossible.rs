@@ -91,12 +91,7 @@ fn main() {
             sampler.sample_slice(&stream, |x| e.update(x));
             e.estimate()
         };
-        t2.row(vec![
-            format!("{p}"),
-            fmt_g(hf),
-            fmt_g(expected),
-            fmt_g(est),
-        ]);
+        t2.row(vec![format!("{p}"), fmt_g(hf), fmt_g(expected), fmt_g(est)]);
     }
     t2.print();
 

@@ -31,7 +31,14 @@ fn main() {
     for k in [2u32, 3, 4] {
         let mut table = Table::new(
             &format!("F_{k}: multiplicative error of Algorithm 1 (exact collisions)"),
-            &["workload", "p", "p_min(thm)", "med err", "p90 err", "max err"],
+            &[
+                "workload",
+                "p",
+                "p_min(thm)",
+                "med err",
+                "p90 err",
+                "max err",
+            ],
         );
         for (name, stream) in &workloads {
             let truth = ExactStats::from_stream(stream.iter().copied()).fk(k);

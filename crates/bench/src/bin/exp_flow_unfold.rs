@@ -63,7 +63,10 @@ fn main() {
     );
     let p = 0.01;
     let pair = F0HardPair::new(200_000, p, 1 << 21);
-    for (name, stream) in [("A (distinct)", pair.stream_a(5)), ("B (1/sqrt p reps)", pair.stream_b(5))] {
+    for (name, stream) in [
+        ("A (distinct)", pair.stream_a(5)),
+        ("B (1/sqrt p reps)", pair.stream_b(5)),
+    ] {
         let truth = ExactStats::from_stream(stream.iter().copied()).f0() as f64;
         let mut hist = SampledFlowHistogram::new();
         let mut sampler = BernoulliSampler::new(p, 13);

@@ -18,7 +18,7 @@ fn elephant_stream(n_background: u64, elephant: u64, freq: u64, seed: u64) -> Ve
     let mut stream: Vec<u64> = (0..n_background)
         .map(|i| sss_hash::fingerprint64(i ^ (seed << 32)))
         .collect();
-    stream.extend(std::iter::repeat(elephant).take(freq as usize));
+    stream.extend(std::iter::repeat_n(elephant, freq as usize));
     let mut rng = sss_hash::Xoshiro256pp::new(seed);
     for i in (1..stream.len()).rev() {
         let j = rng.next_below(i as u64 + 1) as usize;

@@ -59,7 +59,12 @@ fn main() {
     );
 
     for depth in [1usize, 3, 5, 9] {
-        let s = c2_errors(&sampled, exact_c2, || LevelSetConfig { depth, ..base() }, trials);
+        let s = c2_errors(
+            &sampled,
+            exact_c2,
+            || LevelSetConfig { depth, ..base() },
+            trials,
+        );
         t.row(vec![
             "depth".into(),
             depth.to_string(),
@@ -68,7 +73,12 @@ fn main() {
         ]);
     }
     for slack in [2.0f64, 8.0, 32.0, 128.0] {
-        let s = c2_errors(&sampled, exact_c2, || LevelSetConfig { slack, ..base() }, trials);
+        let s = c2_errors(
+            &sampled,
+            exact_c2,
+            || LevelSetConfig { slack, ..base() },
+            trials,
+        );
         t.row(vec![
             "slack".into(),
             format!("{slack}"),

@@ -71,7 +71,12 @@ fn main() {
     // Part 2: AMS copies RD needs to match our error.
     let mut t2 = Table::new(
         "AMS copies Rusu-Dobra needs to reach <= 10% median error",
-        &["p", "copies needed", "counters total", "growth vs previous p"],
+        &[
+            "p",
+            "copies needed",
+            "counters total",
+            "growth vs previous p",
+        ],
     );
     let mut prev: Option<f64> = None;
     for &p in &[0.3f64, 0.1, 0.03] {

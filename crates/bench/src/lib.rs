@@ -8,9 +8,11 @@
 
 pub mod stats;
 pub mod table;
+pub mod timing;
 
 pub use stats::{mean, quantile, std_dev, Summary};
 pub use table::Table;
+pub use timing::BenchGroup;
 
 /// Run `trials` deterministic trials and collect one `f64` metric each.
 pub fn run_trials<F: FnMut(u64) -> f64>(trials: u64, base_seed: u64, mut f: F) -> Vec<f64> {

@@ -1,0 +1,96 @@
+//! Minimal dependency-free benchmark harness (the container carries no
+//! criterion; benches are `harness = false` binaries built on this).
+//!
+//! Usage pattern:
+//!
+//! ```no_run
+//! let mut b = sss_bench::timing::BenchGroup::new("sketch_update", 100_000);
+//! b.bench("countmin", || {
+//!     // ... do 100_000 elements of work, return something observable
+//!     42u64
+//! });
+//! ```
+//!
+//! Each closure runs once to warm up, then `REPS` timed repetitions; the
+//! report is the **median** per-element time (robust to scheduler noise)
+//! plus min, and throughput in Melem/s. The closure's return value is
+//! written through [`std::hint::black_box`] so the work cannot be
+//! optimised away.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Timed repetitions per benchmark (after one warm-up run).
+pub const REPS: usize = 7;
+
+/// A group of benchmarks over workloads of a fixed element count.
+pub struct BenchGroup {
+    name: String,
+    elements: u64,
+    /// Collected `(label, median ns/elem, min ns/elem)` rows.
+    results: Vec<(String, f64, f64)>,
+}
+
+impl BenchGroup {
+    /// A group whose benchmarks each process `elements` elements per run.
+    pub fn new(name: &str, elements: u64) -> Self {
+        println!("\n== {name} ({elements} elements/run, median of {REPS} runs) ==");
+        println!(
+            "{:<36} {:>12} {:>12} {:>12}",
+            "benchmark", "ns/elem", "min", "Melem/s"
+        );
+        Self {
+            name: name.to_string(),
+            elements,
+            results: Vec::new(),
+        }
+    }
+
+    /// Run one benchmark: warm up once, then time `REPS` repetitions of
+    /// `f` and report per-element cost.
+    pub fn bench<T, F: FnMut() -> T>(&mut self, label: &str, mut f: F) {
+        black_box(f()); // warm-up: page in code and data
+        let mut times: Vec<f64> = (0..REPS)
+            .map(|_| {
+                let t0 = Instant::now();
+                black_box(f());
+                t0.elapsed().as_nanos() as f64 / self.elements as f64
+            })
+            .collect();
+        times.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        let median = times[times.len() / 2];
+        let min = times[0];
+        println!(
+            "{label:<36} {median:>12.2} {min:>12.2} {:>12.1}",
+            1e3 / median
+        );
+        self.results.push((label.to_string(), median, min));
+    }
+
+    /// The recorded `(label, median ns/elem, min ns/elem)` rows.
+    pub fn results(&self) -> &[(String, f64, f64)] {
+        &self.results
+    }
+
+    /// Median ns/elem of a recorded benchmark (panics if absent).
+    pub fn median_of(&self, label: &str) -> f64 {
+        self.results
+            .iter()
+            .find(|(l, _, _)| l == label)
+            .unwrap_or_else(|| panic!("no benchmark '{label}' in group '{}'", self.name))
+            .1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_records_results() {
+        let mut g = BenchGroup::new("selftest", 1000);
+        g.bench("noop_sum", || (0..1000u64).sum::<u64>());
+        assert_eq!(g.results().len(), 1);
+        assert!(g.median_of("noop_sum") >= 0.0);
+    }
+}

@@ -31,6 +31,8 @@
 
 use sss_hash::{fp_hash_map, FpHashMap};
 
+use crate::estimate::{Estimate, Guarantee, Statistic, SubsampledEstimator};
+
 /// `F_2` estimator under a piecewise-varying (possibly adaptive) sampling
 /// rate, via per-occurrence importance weighting.
 #[derive(Debug, Clone)]
@@ -107,9 +109,74 @@ impl AdaptiveF2Estimator {
         2.0 * self.c2_hat + self.f1_hat
     }
 
+    /// Ingest a batch of consecutive sampled elements, all taken at the
+    /// current rate.
+    pub fn update_batch(&mut self, xs: &[u64]) {
+        for &x in xs {
+            self.update(x);
+        }
+    }
+
+    /// Merge a second monitor's estimator over a **disjoint** slice of
+    /// `P`. The cross-shard pairs of each shared item contribute
+    /// `w_self(i)·w_other(i) = Σ_{(s,t) cross} 1/(p_s·p_t)` — exactly the
+    /// importance-weighted count of the pairs neither shard saw alone, so
+    /// the merged estimator is still unbiased.
+    pub fn merge(&mut self, other: &AdaptiveF2Estimator) {
+        self.c2_hat += other.c2_hat;
+        self.f1_hat += other.f1_hat;
+        self.samples += other.samples;
+        for (&i, &wb) in &other.weighted {
+            let w = self.weighted.entry(i).or_insert(0.0);
+            self.c2_hat += *w * wb;
+            *w += wb;
+        }
+    }
+
     /// Memory footprint in 64-bit words.
     pub fn space_words(&self) -> usize {
         2 * self.weighted.len() + 4
+    }
+}
+
+impl SubsampledEstimator for AdaptiveF2Estimator {
+    fn statistic(&self) -> Statistic {
+        Statistic::Fk(2)
+    }
+
+    fn update(&mut self, x: u64) {
+        AdaptiveF2Estimator::update(self, x);
+    }
+
+    fn update_batch(&mut self, xs: &[u64]) {
+        AdaptiveF2Estimator::update_batch(self, xs);
+    }
+
+    fn merge(&mut self, other: &Self) {
+        AdaptiveF2Estimator::merge(self, other);
+    }
+
+    fn estimate(&self) -> Estimate {
+        // Unbiased under any past-measurable rate schedule, but the paper
+        // proves no worst-case (ε, δ) for it — an extension, not a theorem.
+        Estimate::scalar(
+            AdaptiveF2Estimator::estimate(self),
+            Guarantee::Heuristic,
+            self.current_p,
+            self.samples,
+        )
+    }
+
+    fn space_bytes(&self) -> usize {
+        8 * self.space_words()
+    }
+
+    fn p(&self) -> f64 {
+        self.current_p
+    }
+
+    fn samples_seen(&self) -> u64 {
+        self.samples
     }
 }
 
@@ -208,7 +275,7 @@ mod tests {
         // is why the adaptive extension needs new algebra.
         let half = 20_000usize;
         let mut stream = ZipfStream::new(300, 1.0).generate(half as u64, 5);
-        stream.extend(std::iter::repeat(999_999u64).take(half)); // phase-2-only elephant
+        stream.extend(std::iter::repeat_n(999_999u64, half)); // phase-2-only elephant
         let truth = ExactStats::from_stream(stream.iter().copied()).fk(2);
         let (p1, p2) = (0.4, 0.04);
         let p_avg = (p1 + p2) / 2.0;

@@ -19,6 +19,8 @@ use sss_hash::{fp_hash_map, FpHashMap};
 use sss_sketch::ams::AmsF2;
 use sss_sketch::kmv::MedianF0;
 
+use crate::estimate::{Estimate, Guarantee, Statistic, SubsampledEstimator};
+
 /// Rusu–Dobra estimator of `F_2(P)` from the sampled stream.
 #[derive(Debug, Clone)]
 pub struct RusuDobraF2 {
@@ -67,11 +69,67 @@ impl RusuDobraF2 {
         self.ams.update(x, 1);
     }
 
+    /// Ingest a batch of consecutive elements of `L` (estimator-major
+    /// inner loop; see [`AmsF2::update_batch`]).
+    pub fn update_batch(&mut self, xs: &[u64]) {
+        self.n_sampled += xs.len() as u64;
+        self.ams.update_batch(xs);
+    }
+
+    /// Merge a second monitor's estimator (same dimensions, seed and `p`):
+    /// AMS sketches are linear, so the merge is exact.
+    pub fn merge(&mut self, other: &RusuDobraF2) {
+        assert!((self.p - other.p).abs() < 1e-12, "sampling rates differ");
+        self.ams.merge(&other.ams);
+        self.n_sampled += other.n_sampled;
+    }
+
     /// The inversion `F̂_2(P) = (F̂_2(L) − (1−p)·F_1(L)) / p²`.
     pub fn estimate(&self) -> f64 {
         let f2_l = self.ams.estimate();
         let f1_l = self.n_sampled as f64;
         ((f2_l - (1.0 - self.p) * f1_l) / (self.p * self.p)).max(0.0)
+    }
+}
+
+impl SubsampledEstimator for RusuDobraF2 {
+    fn statistic(&self) -> Statistic {
+        Statistic::Fk(2)
+    }
+
+    fn update(&mut self, x: u64) {
+        RusuDobraF2::update(self, x);
+    }
+
+    fn update_batch(&mut self, xs: &[u64]) {
+        RusuDobraF2::update_batch(self, xs);
+    }
+
+    fn merge(&mut self, other: &Self) {
+        RusuDobraF2::merge(self, other);
+    }
+
+    fn estimate(&self) -> Estimate {
+        // Unbiased, but the (1+ε, δ) translation to F_2(P) costs Õ(1/p²)
+        // space (E9) — no packaged worst-case guarantee at this size.
+        Estimate::scalar(
+            RusuDobraF2::estimate(self),
+            Guarantee::Heuristic,
+            self.p,
+            self.n_sampled,
+        )
+    }
+
+    fn space_bytes(&self) -> usize {
+        8 * self.space_words()
+    }
+
+    fn p(&self) -> f64 {
+        self.p
+    }
+
+    fn samples_seen(&self) -> u64 {
+        self.n_sampled
     }
 }
 
@@ -82,6 +140,7 @@ pub struct NaiveScaledFk {
     freqs: FpHashMap<u64, u64>,
     k: u32,
     p: f64,
+    n_sampled: u64,
 }
 
 impl NaiveScaledFk {
@@ -93,12 +152,37 @@ impl NaiveScaledFk {
             freqs: fp_hash_map(),
             k,
             p,
+            n_sampled: 0,
         }
     }
 
     /// Ingest one element of the sampled stream `L`.
     pub fn update(&mut self, x: u64) {
+        self.n_sampled += 1;
         *self.freqs.entry(x).or_insert(0) += 1;
+    }
+
+    /// Ingest a batch of consecutive elements of `L`.
+    pub fn update_batch(&mut self, xs: &[u64]) {
+        for &x in xs {
+            self.update(x);
+        }
+    }
+
+    /// Merge a second baseline (same `k` and `p`): exact frequency-map
+    /// union.
+    pub fn merge(&mut self, other: &NaiveScaledFk) {
+        assert_eq!(self.k, other.k, "moment order mismatch");
+        assert!((self.p - other.p).abs() < 1e-12, "sampling rates differ");
+        for (&i, &g) in &other.freqs {
+            *self.freqs.entry(i).or_insert(0) += g;
+        }
+        self.n_sampled += other.n_sampled;
+    }
+
+    /// Elements of the sampled stream ingested.
+    pub fn samples_seen(&self) -> u64 {
+        self.n_sampled
     }
 
     /// `F_k(L) / p^k`.
@@ -112,11 +196,51 @@ impl NaiveScaledFk {
     }
 }
 
+impl SubsampledEstimator for NaiveScaledFk {
+    fn statistic(&self) -> Statistic {
+        Statistic::Fk(self.k)
+    }
+
+    fn update(&mut self, x: u64) {
+        NaiveScaledFk::update(self, x);
+    }
+
+    fn update_batch(&mut self, xs: &[u64]) {
+        NaiveScaledFk::update_batch(self, xs);
+    }
+
+    fn merge(&mut self, other: &Self) {
+        NaiveScaledFk::merge(self, other);
+    }
+
+    fn estimate(&self) -> Estimate {
+        Estimate::scalar(
+            NaiveScaledFk::estimate(self),
+            Guarantee::Heuristic,
+            self.p,
+            self.samples_seen(),
+        )
+    }
+
+    fn space_bytes(&self) -> usize {
+        16 * self.freqs.len()
+    }
+
+    fn p(&self) -> f64 {
+        self.p
+    }
+
+    fn samples_seen(&self) -> u64 {
+        NaiveScaledFk::samples_seen(self)
+    }
+}
+
 /// Naive `F_0` baseline: `F_0(L)/p`.
 #[derive(Debug, Clone)]
 pub struct NaiveScaledF0 {
     inner: MedianF0,
     p: f64,
+    n_sampled: u64,
 }
 
 impl NaiveScaledF0 {
@@ -126,17 +250,72 @@ impl NaiveScaledF0 {
         Self {
             inner: MedianF0::with_error(0.25, 0.05, seed),
             p,
+            n_sampled: 0,
         }
     }
 
     /// Ingest one element of the sampled stream `L`.
     pub fn update(&mut self, x: u64) {
+        self.n_sampled += 1;
         self.inner.update(x);
+    }
+
+    /// Ingest a batch of consecutive elements of `L`.
+    pub fn update_batch(&mut self, xs: &[u64]) {
+        self.n_sampled += xs.len() as u64;
+        self.inner.update_batch(xs);
+    }
+
+    /// Merge a second baseline built with the same seed and `p` (bottom-k
+    /// union).
+    pub fn merge(&mut self, other: &NaiveScaledF0) {
+        assert!((self.p - other.p).abs() < 1e-12, "sampling rates differ");
+        self.inner.merge(&other.inner);
+        self.n_sampled += other.n_sampled;
     }
 
     /// `F̂_0(L) / p`.
     pub fn estimate(&self) -> f64 {
         self.inner.estimate() / self.p
+    }
+}
+
+impl SubsampledEstimator for NaiveScaledF0 {
+    fn statistic(&self) -> Statistic {
+        Statistic::F0
+    }
+
+    fn update(&mut self, x: u64) {
+        NaiveScaledF0::update(self, x);
+    }
+
+    fn update_batch(&mut self, xs: &[u64]) {
+        NaiveScaledF0::update_batch(self, xs);
+    }
+
+    fn merge(&mut self, other: &Self) {
+        NaiveScaledF0::merge(self, other);
+    }
+
+    fn estimate(&self) -> Estimate {
+        Estimate::scalar(
+            NaiveScaledF0::estimate(self),
+            Guarantee::Heuristic,
+            self.p,
+            self.n_sampled,
+        )
+    }
+
+    fn space_bytes(&self) -> usize {
+        8 * self.inner.space_words()
+    }
+
+    fn p(&self) -> f64 {
+        self.p
+    }
+
+    fn samples_seen(&self) -> u64 {
+        self.n_sampled
     }
 }
 
@@ -231,16 +410,13 @@ mod tests {
         // so the naive 1/p scaling overestimates by 1/p exactly.
         let mut stream = Vec::new();
         for item in 0..2000u64 {
-            stream.extend(std::iter::repeat(item).take(100));
+            stream.extend(std::iter::repeat_n(item, 100));
         }
         let p = 0.2;
         let mut naive = NaiveScaledF0::new(p, 5);
         let mut sampler = BernoulliSampler::new(p, 6);
         sampler.sample_slice(&stream, |x| naive.update(x));
         let ratio = naive.estimate() / 2000.0;
-        assert!(
-            (ratio - 1.0 / p).abs() / (1.0 / p) < 0.3,
-            "ratio = {ratio}"
-        );
+        assert!((ratio - 1.0 / p).abs() / (1.0 / p) < 0.3, "ratio = {ratio}");
     }
 }

@@ -20,6 +20,23 @@ pub trait CollisionOracle {
     /// Ingest one element of the sampled stream.
     fn update(&mut self, x: u64);
 
+    /// Ingest a batch of consecutive elements (semantically identical to
+    /// one-by-one updates).
+    fn update_batch(&mut self, xs: &[u64]) {
+        for &x in xs {
+            self.update(x);
+        }
+    }
+
+    /// Merge a second oracle of the same configuration: afterwards `self`
+    /// summarises the concatenation of both ingested streams.
+    ///
+    /// # Panics
+    /// If the oracles are incompatible (different order or sketch seeds).
+    fn merge(&mut self, other: &Self)
+    where
+        Self: Sized;
+
     /// Exact number of elements ingested (`F_1(L)`; a single counter).
     fn n(&self) -> u64;
 
@@ -64,31 +81,6 @@ impl ExactCollisions {
     pub fn distinct(&self) -> u64 {
         self.freqs.len() as u64
     }
-
-    /// Merge another oracle: afterwards `self` summarises the
-    /// concatenation of both ingested streams. Per shared item the
-    /// collision counts are patched in closed form,
-    /// `ΔC_ℓ = binom(a+b, ℓ) − binom(a, ℓ) − binom(b, ℓ)` — `O(k)` per
-    /// item of `other`.
-    pub fn merge(&mut self, other: &ExactCollisions) {
-        assert_eq!(self.c.len(), other.c.len(), "order mismatch");
-        let k = self.c.len() as u32 - 1;
-        // Start from the sum of both accumulators, then patch shared items.
-        for ell in 1..=k as usize {
-            self.c[ell] += other.c[ell];
-        }
-        for (&item, &b) in &other.freqs {
-            let a = self.freq(item);
-            if a > 0 {
-                for ell in 2..=k {
-                    self.c[ell as usize] +=
-                        binom_f64(a + b, ell) - binom_f64(a, ell) - binom_f64(b, ell);
-                }
-            }
-            self.freqs.insert(item, a + b);
-        }
-        self.n += other.n;
-    }
 }
 
 /// `binom(f, ℓ)` over `f64` (local copy; `sss-stream` is a dev-dependency
@@ -122,6 +114,29 @@ impl CollisionOracle for ExactCollisions {
             binom *= (old - (j - 1)) as f64 / j as f64;
             self.c[ell as usize] += binom;
         }
+    }
+
+    /// Merge per shared item by patching the collision counts in closed
+    /// form, `ΔC_ℓ = binom(a+b, ℓ) − binom(a, ℓ) − binom(b, ℓ)` — `O(k)`
+    /// per item of `other`.
+    fn merge(&mut self, other: &Self) {
+        assert_eq!(self.c.len(), other.c.len(), "order mismatch");
+        let k = self.c.len() as u32 - 1;
+        // Start from the sum of both accumulators, then patch shared items.
+        for ell in 1..=k as usize {
+            self.c[ell] += other.c[ell];
+        }
+        for (&item, &b) in &other.freqs {
+            let a = self.freq(item);
+            if a > 0 {
+                for ell in 2..=k {
+                    self.c[ell as usize] +=
+                        binom_f64(a + b, ell) - binom_f64(a, ell) - binom_f64(b, ell);
+                }
+            }
+            self.freqs.insert(item, a + b);
+        }
+        self.n += other.n;
     }
 
     fn n(&self) -> u64 {
@@ -174,12 +189,24 @@ impl CollisionOracle for LevelSetCollisions {
         self.inner.update(x);
     }
 
+    fn update_batch(&mut self, xs: &[u64]) {
+        self.inner.update_batch(xs);
+    }
+
+    fn merge(&mut self, other: &Self) {
+        assert_eq!(self.max_order, other.max_order, "order mismatch");
+        self.inner.merge(&other.inner);
+    }
+
     fn n(&self) -> u64 {
         self.inner.n()
     }
 
     fn estimate(&self, ell: u32) -> f64 {
-        assert!(ell >= 1 && ell <= self.max_order, "order {ell} out of range");
+        assert!(
+            ell >= 1 && ell <= self.max_order,
+            "order {ell} out of range"
+        );
         self.inner.collision_estimate(ell)
     }
 
@@ -249,10 +276,10 @@ mod tests {
         // Mixed-frequency stream exercising both recovery regimes.
         let mut stream = Vec::new();
         for hot in 0..5u64 {
-            stream.extend(std::iter::repeat(sss_hash::fingerprint64(hot)).take(2000));
+            stream.extend(std::iter::repeat_n(sss_hash::fingerprint64(hot), 2000));
         }
         for light in 100..4100u64 {
-            stream.extend(std::iter::repeat(sss_hash::fingerprint64(light)).take(3));
+            stream.extend(std::iter::repeat_n(sss_hash::fingerprint64(light), 3));
         }
         let cfg = LevelSetConfig::for_universe(1 << 16, 512);
         let mut ls = LevelSetCollisions::new(3, &cfg, 7);

@@ -17,12 +17,18 @@
 
 use sss_sketch::entropy::EntropyEstimator;
 
+use crate::estimate::{Estimate, Guarantee, Statistic, SubsampledEstimator};
+
 /// Theorem 5's estimator: a streaming multiplicative estimate of `H(g)`
 /// interpreted as a constant-factor estimate of `H(f)`.
 #[derive(Debug, Clone)]
 pub struct SampledEntropyEstimator {
     inner: EntropyEstimator,
     p: f64,
+    /// Entropy mass folded in from merged shards: `Σ n_shard·Ĥ_shard`.
+    merged_weight: f64,
+    /// Sampled elements those shards had seen.
+    merged_n: u64,
 }
 
 impl SampledEntropyEstimator {
@@ -33,6 +39,8 @@ impl SampledEntropyEstimator {
         Self {
             inner: EntropyEstimator::new(t, seed),
             p,
+            merged_weight: 0.0,
+            merged_n: 0,
         }
     }
 
@@ -41,9 +49,10 @@ impl SampledEntropyEstimator {
         self.p
     }
 
-    /// Elements of the sampled stream ingested (`n′ = |L|`).
+    /// Elements of the sampled stream ingested (`n′ = |L|`), including
+    /// merged shards.
     pub fn samples_seen(&self) -> u64 {
-        self.inner.n()
+        self.inner.n() + self.merged_n
     }
 
     /// Memory footprint in 64-bit words.
@@ -56,10 +65,43 @@ impl SampledEntropyEstimator {
         self.inner.update(x);
     }
 
+    /// Ingest a batch of consecutive elements of `L`.
+    pub fn update_batch(&mut self, xs: &[u64]) {
+        self.inner.update_batch(xs);
+    }
+
+    /// Merge a second monitor's estimator (same `p`): afterwards `self`
+    /// reports the length-weighted average of the shard entropies,
+    /// `Σ n_s·Ĥ_s / Σ n_s`.
+    ///
+    /// Unlike the collision and bottom-k merges this is **approximate**:
+    /// the suffix-count reservoir is not mergeable, and the weighted
+    /// average is the entropy of the *mixture* of the shard distributions
+    /// minus their Jensen–Shannon divergence. When shards carry slices of
+    /// the same traffic mix (the sharded-monitor deployment) the
+    /// divergence term vanishes and the merge is consistent; adversarially
+    /// disjoint shards can lose up to `lg(#shards)` bits — still inside
+    /// Theorem 5's constant-factor contract whenever `H(f)` is above its
+    /// admissibility threshold by that margin.
+    pub fn merge(&mut self, other: &SampledEntropyEstimator) {
+        assert!((self.p - other.p).abs() < 1e-12, "sampling rates differ");
+        self.merged_weight += other.inner.n() as f64 * other.inner.estimate() + other.merged_weight;
+        self.merged_n += other.inner.n() + other.merged_n;
+    }
+
     /// The estimate of `H(g)` (entropy of the sampled stream, bits) —
     /// Theorem 5's constant-factor approximation of `H(f)` in its regime.
+    /// After [`Self::merge`], the length-weighted average over shards.
     pub fn estimate(&self) -> f64 {
-        self.inner.estimate()
+        let n_local = self.inner.n();
+        if self.merged_n == 0 {
+            return self.inner.estimate();
+        }
+        let total = (n_local + self.merged_n) as f64;
+        if total == 0.0 {
+            return 0.0;
+        }
+        (n_local as f64 * self.inner.estimate() + self.merged_weight) / total
     }
 
     /// The `pn`-normalised entropy `H_pn(g) = Σ (g_i/pn)·lg(pn/g_i)` of
@@ -71,7 +113,7 @@ impl SampledEntropyEstimator {
     /// the two views agree up to vanishing terms; `H_pn` is the quantity
     /// Lemma 10's two-sided bounds are stated for.
     pub fn estimate_hpn(&self, n_original: u64) -> f64 {
-        let n_prime = self.inner.n() as f64;
+        let n_prime = self.samples_seen() as f64;
         if n_prime == 0.0 {
             return 0.0;
         }
@@ -93,12 +135,50 @@ impl SampledEntropyEstimator {
     }
 }
 
+impl SubsampledEstimator for SampledEntropyEstimator {
+    fn statistic(&self) -> Statistic {
+        Statistic::Entropy
+    }
+
+    fn update(&mut self, x: u64) {
+        SampledEntropyEstimator::update(self, x);
+    }
+
+    fn update_batch(&mut self, xs: &[u64]) {
+        SampledEntropyEstimator::update_batch(self, xs);
+    }
+
+    fn merge(&mut self, other: &Self) {
+        SampledEntropyEstimator::merge(self, other);
+    }
+
+    fn estimate(&self) -> Estimate {
+        Estimate::scalar(
+            SampledEntropyEstimator::estimate(self),
+            Guarantee::ConstantFactor,
+            self.p,
+            self.samples_seen(),
+        )
+    }
+
+    fn space_bytes(&self) -> usize {
+        8 * self.space_words()
+    }
+
+    fn p(&self) -> f64 {
+        self.p
+    }
+
+    fn samples_seen(&self) -> u64 {
+        SampledEntropyEstimator::samples_seen(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use sss_stream::{
-        BernoulliSampler, EntropyScenarioPair, ExactStats, StreamGen, UniformStream,
-        ZipfStream,
+        BernoulliSampler, EntropyScenarioPair, ExactStats, StreamGen, UniformStream, ZipfStream,
     };
 
     fn run(stream: &[u64], p: f64, t: usize, seed: u64) -> SampledEntropyEstimator {
@@ -146,10 +226,7 @@ mod tests {
         let est = run(&stream, p, 4000, 6);
         let hpn = est.estimate_hpn(stream.len() as u64);
         // |H_pn − H(g)| = O(log m/√(pn)): tiny here; allow estimator noise.
-        assert!(
-            (hpn - hg).abs() / hg < 0.1,
-            "hpn {hpn} vs hg {hg}"
-        );
+        assert!((hpn - hg).abs() / hg < 0.1, "hpn {hpn} vs hg {hg}");
     }
 
     #[test]

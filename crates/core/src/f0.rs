@@ -10,6 +10,8 @@
 
 use sss_sketch::kmv::MedianF0;
 
+use crate::estimate::{Estimate, Guarantee, Statistic, SubsampledEstimator};
+
 /// Algorithm 2: `F_0(P)` estimation by scaled streaming `F_0(L)`.
 ///
 /// ```
@@ -68,6 +70,13 @@ impl SampledF0Estimator {
         self.inner.update(x);
     }
 
+    /// Ingest a batch of consecutive elements of `L` (copy-major inner
+    /// loop; see [`MedianF0::update_batch`]).
+    pub fn update_batch(&mut self, xs: &[u64]) {
+        self.n_sampled += xs.len() as u64;
+        self.inner.update_batch(xs);
+    }
+
     /// The streaming estimate `X ≈ F_0(L)` before rescaling.
     pub fn estimate_sampled(&self) -> f64 {
         self.inner.estimate()
@@ -95,12 +104,50 @@ impl SampledF0Estimator {
     /// streams — bottom-k sketches are exactly mergeable, so distributed
     /// monitors lose nothing.
     pub fn merge(&mut self, other: &SampledF0Estimator) {
-        assert!(
-            (self.p - other.p).abs() < 1e-12,
-            "sampling rates differ"
-        );
+        assert!((self.p - other.p).abs() < 1e-12, "sampling rates differ");
         self.inner.merge(&other.inner);
         self.n_sampled += other.n_sampled;
+    }
+}
+
+impl SubsampledEstimator for SampledF0Estimator {
+    fn statistic(&self) -> Statistic {
+        Statistic::F0
+    }
+
+    fn update(&mut self, x: u64) {
+        SampledF0Estimator::update(self, x);
+    }
+
+    fn update_batch(&mut self, xs: &[u64]) {
+        SampledF0Estimator::update_batch(self, xs);
+    }
+
+    fn merge(&mut self, other: &Self) {
+        SampledF0Estimator::merge(self, other);
+    }
+
+    fn estimate(&self) -> Estimate {
+        Estimate::scalar(
+            SampledF0Estimator::estimate(self),
+            Guarantee::BoundedFactor {
+                factor: self.error_factor(),
+            },
+            self.p,
+            self.n_sampled,
+        )
+    }
+
+    fn space_bytes(&self) -> usize {
+        8 * self.space_words()
+    }
+
+    fn p(&self) -> f64 {
+        self.p
+    }
+
+    fn samples_seen(&self) -> u64 {
+        self.n_sampled
     }
 }
 
@@ -128,7 +175,7 @@ mod tests {
         // Uniform-frequency stream: every item appears ~8 times.
         let mut stream = Vec::new();
         for item in 0..30_000u64 {
-            stream.extend(std::iter::repeat(sss_hash::fingerprint64(item)).take(8));
+            stream.extend(std::iter::repeat_n(sss_hash::fingerprint64(item), 8));
         }
         let truth = ExactStats::from_stream(stream.iter().copied()).f0() as f64;
         for &p in &[0.05f64, 0.1, 0.5, 1.0] {
@@ -150,7 +197,7 @@ mod tests {
         // *overestimates* by exactly 1/√p — still within the 4/√p bound.
         let mut stream = Vec::new();
         for item in 0..1000u64 {
-            stream.extend(std::iter::repeat(item).take(200));
+            stream.extend(std::iter::repeat_n(item, 200));
         }
         let p = 0.25;
         let mut est = SampledF0Estimator::new(p, 0.01, 3);
@@ -158,10 +205,7 @@ mod tests {
         sampler.sample_slice(&stream, |x| est.update(x));
         // F0(L) ≈ 1000 (every item survives w.h.p.), estimate ≈ 1000/0.5.
         let e = est.estimate();
-        assert!(
-            (e - 2000.0).abs() / 2000.0 < 0.2,
-            "estimate = {e}"
-        );
+        assert!((e - 2000.0).abs() / 2000.0 < 0.2, "estimate = {e}");
         assert!(mult_error(e, 1000.0) <= est.error_factor());
     }
 

@@ -17,6 +17,8 @@
 use sss_sketch::levelset::LevelSetConfig;
 
 use crate::collisions::{CollisionOracle, ExactCollisions, LevelSetCollisions};
+use crate::estimate::{Estimate, Guarantee, Statistic, SubsampledEstimator};
+use crate::params::ApproxParams;
 use crate::stirling::{beta_coefficients, epsilon_schedule, factorial_f64, MAX_K};
 
 /// The paper's Algorithm 1, generic over the collision oracle.
@@ -38,6 +40,7 @@ pub struct SampledFkEstimator<O: CollisionOracle> {
     oracle: O,
     k: u32,
     p: f64,
+    target: Option<ApproxParams>,
 }
 
 impl SampledFkEstimator<ExactCollisions> {
@@ -62,7 +65,20 @@ impl<O: CollisionOracle> SampledFkEstimator<O> {
         assert!((2..=MAX_K).contains(&k), "k must be in 2..={MAX_K}");
         assert!(p > 0.0 && p <= 1.0, "sampling probability must be in (0,1]");
         assert!(oracle.max_order() >= k, "oracle supports too few orders");
-        Self { oracle, k, p }
+        Self {
+            oracle,
+            k,
+            p,
+            target: None,
+        }
+    }
+
+    /// Record the `(1+ε, δ)` target this estimator was sized for, so the
+    /// typed [`Estimate`] carries it (the oracle configuration, not this
+    /// label, is what realises the contract).
+    pub fn with_target(mut self, target: ApproxParams) -> Self {
+        self.target = Some(target);
+        self
     }
 
     /// The moment order `k`.
@@ -95,6 +111,29 @@ impl<O: CollisionOracle> SampledFkEstimator<O> {
         self.oracle.update(x);
     }
 
+    /// Ingest a batch of consecutive elements of `L`.
+    pub fn update_batch(&mut self, xs: &[u64]) {
+        self.oracle.update_batch(xs);
+    }
+
+    /// Merge a second monitor's estimator (same `k`, `p` and oracle
+    /// configuration): afterwards `self` estimates the moments of the
+    /// *concatenated* original stream. Both monitors must have observed
+    /// **disjoint parts** of `P`, each Bernoulli-sampled at the same rate
+    /// — the distributed deployment of the paper's router scenario. Exact
+    /// for [`ExactCollisions`] (frequency algebra); within sketch error
+    /// for [`LevelSetCollisions`] (linear CountSketch merge).
+    pub fn merge(&mut self, other: &Self) {
+        assert_eq!(self.k, other.k, "moment order mismatch");
+        assert!(
+            (self.p - other.p).abs() < 1e-12,
+            "sampling rates differ: {} vs {}",
+            self.p,
+            other.p
+        );
+        self.oracle.merge(&other.oracle);
+    }
+
     /// The recursion of Algorithm 1: `φ̃_1 … φ̃_k`
     /// (`result[ℓ-1] = φ̃_ℓ ≈ F_ℓ(P)`).
     pub fn estimate_all(&self) -> Vec<f64> {
@@ -124,21 +163,44 @@ impl<O: CollisionOracle> SampledFkEstimator<O> {
     }
 }
 
-impl SampledFkEstimator<ExactCollisions> {
-    /// Merge a second monitor's estimator (same `k` and `p`): afterwards
-    /// `self` estimates the moments of the *concatenated* original stream.
-    /// Both monitors must have observed **disjoint parts** of `P`, each
-    /// Bernoulli-sampled at the same rate — the distributed deployment of
-    /// the paper's router scenario.
-    pub fn merge(&mut self, other: &SampledFkEstimator<ExactCollisions>) {
-        assert_eq!(self.k, other.k, "moment order mismatch");
-        assert!(
-            (self.p - other.p).abs() < 1e-12,
-            "sampling rates differ: {} vs {}",
+impl<O: CollisionOracle> SubsampledEstimator for SampledFkEstimator<O> {
+    fn statistic(&self) -> Statistic {
+        Statistic::Fk(self.k)
+    }
+
+    fn update(&mut self, x: u64) {
+        SampledFkEstimator::update(self, x);
+    }
+
+    fn update_batch(&mut self, xs: &[u64]) {
+        SampledFkEstimator::update_batch(self, xs);
+    }
+
+    fn merge(&mut self, other: &Self) {
+        SampledFkEstimator::merge(self, other);
+    }
+
+    fn estimate(&self) -> Estimate {
+        Estimate::scalar(
+            SampledFkEstimator::estimate(self),
+            Guarantee::Multiplicative {
+                target: self.target,
+            },
             self.p,
-            other.p
-        );
-        self.oracle.merge(&other.oracle);
+            self.samples_seen(),
+        )
+    }
+
+    fn space_bytes(&self) -> usize {
+        8 * self.space_words()
+    }
+
+    fn p(&self) -> f64 {
+        self.p
+    }
+
+    fn samples_seen(&self) -> u64 {
+        SampledFkEstimator::samples_seen(self)
     }
 }
 
@@ -269,7 +331,12 @@ mod tests {
     #[test]
     fn min_p_matches_formula() {
         assert!((min_sampling_probability(2, 10_000, 1 << 30) - 0.01).abs() < 1e-12);
-        assert!((min_sampling_probability(4, 1 << 20, 1 << 20) - (1u64 << 5) as f64 / (1u64 << 10) as f64).abs() < 1e-9);
+        assert!(
+            (min_sampling_probability(4, 1 << 20, 1 << 20)
+                - (1u64 << 5) as f64 / (1u64 << 10) as f64)
+                .abs()
+                < 1e-9
+        );
     }
 
     #[test]

@@ -260,10 +260,7 @@ mod tests {
         );
         // Packet total: 2·20000 + 50·500 = 65_000.
         let pkts = est.total_packets();
-        assert!(
-            (pkts - 65_000.0).abs() / 65_000.0 < 0.1,
-            "packets {pkts}"
-        );
+        assert!((pkts - 65_000.0).abs() / 65_000.0 < 0.1, "packets {pkts}");
     }
 
     #[test]
@@ -292,10 +289,7 @@ mod tests {
             total > 3.0 * observed,
             "no reinflation: {total} vs observed {observed}"
         );
-        assert!(
-            (total - 50_000.0).abs() / 50_000.0 < 0.15,
-            "total {total}"
-        );
+        assert!((total - 50_000.0).abs() / 50_000.0 < 0.15, "total {total}");
     }
 
     #[test]

@@ -18,6 +18,8 @@
 
 use sss_sketch::topk::{CmHeavyHitters, CsHeavyHitters};
 
+use crate::estimate::{Estimate, Guarantee, Statistic, SubsampledEstimator};
+
 /// Theorem 6: `F_1` heavy hitters of `P` from CountMin over `L`.
 ///
 /// ```
@@ -90,6 +92,26 @@ impl SampledF1HeavyHitters {
         self.inner.update(x);
     }
 
+    /// Ingest a batch of consecutive elements of `L` (row-major sketch
+    /// pass, end-of-batch candidate admission).
+    pub fn update_batch(&mut self, xs: &[u64]) {
+        self.inner.update_batch(xs);
+    }
+
+    /// Merge a second monitor's reporter (same parameters and sketch
+    /// seed): afterwards the report covers the concatenated original
+    /// stream.
+    pub fn merge(&mut self, other: &SampledF1HeavyHitters) {
+        assert!(
+            (self.alpha - other.alpha).abs() < 1e-15
+                && (self.eps - other.eps).abs() < 1e-15
+                && (self.delta - other.delta).abs() < 1e-15
+                && (self.p - other.p).abs() < 1e-12,
+            "parameter mismatch"
+        );
+        self.inner.merge(&other.inner);
+    }
+
     /// Report `(item, estimated f_i in P)` sorted by decreasing estimate;
     /// frequencies are the sampled estimates scaled by `1/p` and satisfy
     /// `f′_i ∈ (1±ε)·f_i` under the theorem's premise.
@@ -111,6 +133,49 @@ impl SampledF1HeavyHitters {
 /// Theorem 6's premise threshold on `F_1(P)` (constant `C = 4`).
 pub fn theorem6_min_f1(p: f64, alpha: f64, eps: f64, delta: f64, n: u64) -> f64 {
     4.0 * (n as f64 / delta).ln() / (p * alpha * eps * eps)
+}
+
+impl SubsampledEstimator for SampledF1HeavyHitters {
+    fn statistic(&self) -> Statistic {
+        Statistic::F1HeavyHitters
+    }
+
+    fn update(&mut self, x: u64) {
+        SampledF1HeavyHitters::update(self, x);
+    }
+
+    fn update_batch(&mut self, xs: &[u64]) {
+        SampledF1HeavyHitters::update_batch(self, xs);
+    }
+
+    fn merge(&mut self, other: &Self) {
+        SampledF1HeavyHitters::merge(self, other);
+    }
+
+    fn estimate(&self) -> Estimate {
+        Estimate::heavy_hitters(
+            self.report(),
+            Guarantee::HeavyHitters {
+                alpha: self.alpha,
+                eps: self.eps,
+                delta: self.delta,
+            },
+            self.p,
+            self.samples_seen(),
+        )
+    }
+
+    fn space_bytes(&self) -> usize {
+        8 * self.space_words()
+    }
+
+    fn p(&self) -> f64 {
+        self.p
+    }
+
+    fn samples_seen(&self) -> u64 {
+        SampledF1HeavyHitters::samples_seen(self)
+    }
 }
 
 /// Theorem 7: `F_2` heavy hitters of `P` from CountSketch over `L`.
@@ -173,6 +238,24 @@ impl SampledF2HeavyHitters {
         self.inner.update(x);
     }
 
+    /// Ingest a batch of consecutive elements of `L`.
+    pub fn update_batch(&mut self, xs: &[u64]) {
+        self.inner.update_batch(xs);
+    }
+
+    /// Merge a second monitor's reporter (same parameters and sketch
+    /// seed).
+    pub fn merge(&mut self, other: &SampledF2HeavyHitters) {
+        assert!(
+            (self.alpha - other.alpha).abs() < 1e-15
+                && (self.eps - other.eps).abs() < 1e-15
+                && (self.delta - other.delta).abs() < 1e-15
+                && (self.p - other.p).abs() < 1e-12,
+            "parameter mismatch"
+        );
+        self.inner.merge(&other.inner);
+    }
+
     /// Report `(item, estimated f_i in P)` sorted by decreasing estimate.
     pub fn report(&self) -> Vec<(u64, f64)> {
         self.inner
@@ -197,6 +280,49 @@ impl SampledF2HeavyHitters {
 /// Theorem 7's premise threshold on `√F_2(P)` (constant `C = 1`).
 pub fn theorem7_min_sqrt_f2(p: f64, alpha: f64, eps: f64, delta: f64, n: u64) -> f64 {
     (n as f64 / delta).ln() / (p.powf(1.5) * alpha * eps * eps)
+}
+
+impl SubsampledEstimator for SampledF2HeavyHitters {
+    fn statistic(&self) -> Statistic {
+        Statistic::F2HeavyHitters
+    }
+
+    fn update(&mut self, x: u64) {
+        SampledF2HeavyHitters::update(self, x);
+    }
+
+    fn update_batch(&mut self, xs: &[u64]) {
+        SampledF2HeavyHitters::update_batch(self, xs);
+    }
+
+    fn merge(&mut self, other: &Self) {
+        SampledF2HeavyHitters::merge(self, other);
+    }
+
+    fn estimate(&self) -> Estimate {
+        Estimate::heavy_hitters(
+            self.report(),
+            Guarantee::HeavyHitters {
+                alpha: self.alpha,
+                eps: self.eps,
+                delta: self.delta,
+            },
+            self.p,
+            self.samples_seen(),
+        )
+    }
+
+    fn space_bytes(&self) -> usize {
+        8 * self.space_words()
+    }
+
+    fn p(&self) -> f64 {
+        self.p
+    }
+
+    fn samples_seen(&self) -> u64 {
+        SampledF2HeavyHitters::samples_seen(self)
+    }
 }
 
 #[cfg(test)]
@@ -256,7 +382,7 @@ mod tests {
         let n_background = 200_000u64;
         let elephant_freq = 8_000u64;
         let mut stream: Vec<u64> = (0..n_background).map(sss_hash::fingerprint64).collect();
-        stream.extend(std::iter::repeat(42u64).take(elephant_freq as usize));
+        stream.extend(std::iter::repeat_n(42u64, elephant_freq as usize));
         let mut rng = sss_hash::Xoshiro256pp::new(5);
         use sss_hash::RngCore64;
         for i in (1..stream.len()).rev() {
@@ -277,10 +403,7 @@ mod tests {
             // Nothing below the theorem's weakened cutoff may appear.
             let cutoff = (1.0 - 0.2) * p.sqrt() * 0.5 * sqrt_f2;
             for &(i, _) in &report {
-                assert!(
-                    stats.freq(i) as f64 >= cutoff,
-                    "p={p}: false positive {i}"
-                );
+                assert!(stats.freq(i) as f64 >= cutoff, "p={p}: false positive {i}");
             }
             // Frequency estimate of the elephant within 25%.
             let est = report.iter().find(|&&(i, _)| i == 42).unwrap().1;

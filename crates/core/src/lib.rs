@@ -23,30 +23,53 @@
 //!
 //! Baselines ([`baselines`]) cover Rusu–Dobra `F_2` scaling and the naive
 //! normalisations the introduction motivates against.
+//!
+//! ## The unified API
+//!
+//! Every estimator above (plus the baselines and the adaptive-rate
+//! extension) implements [`SubsampledEstimator`]: `update` /
+//! `update_batch` over the sampled stream, `merge` for distributed
+//! monitors over disjoint traffic, a typed [`Estimate`] carrying the
+//! point value, its [`Guarantee`] and provenance, and honest
+//! `space_bytes` accounting. The [`Monitor`] front-end (see
+//! [`monitor`]) registers any subset of statistics and drives them all
+//! in a single pass:
+//!
+//! ```
+//! use sss_core::{MonitorBuilder, Statistic};
+//!
+//! let mut monitor = MonitorBuilder::new(0.5).f0(0.05).fk(2).build();
+//! monitor.update_batch(&[7, 7, 9, 4]);
+//! let f2 = monitor.estimate(Statistic::Fk(2)).unwrap();
+//! assert_eq!(f2.value, 16.0); // 2·C₂/p² + F₁(L)/p on the toy sample
+//! ```
 
 pub mod adaptive;
 pub mod baselines;
 pub mod collisions;
 pub mod entropy;
+pub mod estimate;
 pub mod f0;
 pub mod fk;
 pub mod flows;
 pub mod heavy_hitters;
+pub mod monitor;
 pub mod numeric;
 pub mod params;
 pub mod stirling;
 
 pub use adaptive::{AdaptiveF2Estimator, TargetCollisionsPolicy};
 pub use baselines::{NaiveScaledF0, NaiveScaledFk, RusuDobraF2};
-pub use flows::{FlowSizeEstimate, FlowSizeUnfolder, SampledFlowHistogram};
 pub use collisions::{CollisionOracle, ExactCollisions, LevelSetCollisions};
 pub use entropy::SampledEntropyEstimator;
+pub use estimate::{Estimate, Guarantee, Statistic, SubsampledEstimator};
 pub use f0::{f0_lower_bound_factor, SampledF0Estimator};
 pub use fk::{
-    fk_error_schedule, min_sampling_probability, recommended_levelset_config,
-    SampledFkEstimator,
+    fk_error_schedule, min_sampling_probability, recommended_levelset_config, SampledFkEstimator,
 };
+pub use flows::{FlowSizeEstimate, FlowSizeUnfolder, SampledFlowHistogram};
 pub use heavy_hitters::{
     theorem6_min_f1, theorem7_min_sqrt_f2, SampledF1HeavyHitters, SampledF2HeavyHitters,
 };
+pub use monitor::{Monitor, MonitorBuilder};
 pub use params::ApproxParams;

@@ -1,0 +1,484 @@
+//! The single-pass monitor: register any subset of the paper's statistics
+//! and drive them all over one Bernoulli-sampled stream.
+//!
+//! The paper's deployment picture (§1) is a router that forwards a packet
+//! stream, samples it at rate `p`, and hands the sample to a monitor that
+//! must answer *several* questions about the original traffic — how many
+//! flows, how skewed, which elephants. Each theorem gives one estimator;
+//! [`Monitor`] runs them together so the sampled stream is consumed once:
+//!
+//! ```
+//! use sss_core::monitor::MonitorBuilder;
+//! use sss_core::Statistic;
+//!
+//! let mut monitor = MonitorBuilder::new(0.25)
+//!     .f0(0.05)
+//!     .fk(2)
+//!     .entropy(512)
+//!     .f1_heavy_hitters(0.1, 0.2, 0.05)
+//!     .build();
+//!
+//! // One pass over the sampled stream (batched hot path).
+//! monitor.update_batch(&[7, 7, 9, 4, 7, 9]);
+//!
+//! let f2 = monitor.estimate(Statistic::Fk(2)).unwrap();
+//! assert!(f2.value > 0.0);
+//! assert_eq!(monitor.samples_seen(), 6);
+//! ```
+//!
+//! Monitors built from the **same builder configuration** (rate, seed and
+//! registration sequence) are mergeable: each registered estimator merges
+//! with its counterpart, so a collector can combine per-site monitors
+//! into one answering for the union of all traffic
+//! (`examples/distributed_collector.rs`).
+
+use std::any::Any;
+
+use sss_hash::SplitMix64;
+use sss_sketch::levelset::LevelSetConfig;
+
+use crate::entropy::SampledEntropyEstimator;
+use crate::estimate::{Estimate, Statistic, SubsampledEstimator};
+use crate::f0::SampledF0Estimator;
+use crate::fk::{recommended_levelset_config, SampledFkEstimator};
+use crate::heavy_hitters::{SampledF1HeavyHitters, SampledF2HeavyHitters};
+use crate::params::ApproxParams;
+
+/// Object-safe adapter over [`SubsampledEstimator`] so a [`Monitor`] can
+/// hold heterogeneous estimators. `merge` is recovered through `Any`
+/// downcasting (both sides must be the same concrete type).
+trait DynEstimator {
+    fn update(&mut self, x: u64);
+    fn update_batch(&mut self, xs: &[u64]);
+    fn estimate(&self) -> Estimate;
+    fn statistic(&self) -> Statistic;
+    fn space_bytes(&self) -> usize;
+    fn as_any(&self) -> &dyn Any;
+    fn merge_dyn(&mut self, other: &dyn Any);
+}
+
+impl<T: SubsampledEstimator + Any> DynEstimator for T {
+    fn update(&mut self, x: u64) {
+        SubsampledEstimator::update(self, x);
+    }
+
+    fn update_batch(&mut self, xs: &[u64]) {
+        SubsampledEstimator::update_batch(self, xs);
+    }
+
+    fn estimate(&self) -> Estimate {
+        SubsampledEstimator::estimate(self)
+    }
+
+    fn statistic(&self) -> Statistic {
+        SubsampledEstimator::statistic(self)
+    }
+
+    fn space_bytes(&self) -> usize {
+        SubsampledEstimator::space_bytes(self)
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn merge_dyn(&mut self, other: &dyn Any) {
+        let other = other
+            .downcast_ref::<T>()
+            .expect("monitor merge: estimator type mismatch at the same slot");
+        SubsampledEstimator::merge(self, other);
+    }
+}
+
+struct Entry {
+    label: String,
+    est: Box<dyn DynEstimator>,
+}
+
+/// Builder for a [`Monitor`]: pick the sampling rate, register statistics,
+/// build. Two monitors are mergeable iff they were built with the same
+/// rate, seed and registration sequence (so every sketch pair shares its
+/// hash functions).
+pub struct MonitorBuilder {
+    p: f64,
+    seeds: SplitMix64,
+    entries: Vec<Entry>,
+}
+
+impl MonitorBuilder {
+    /// Builder for sampling rate `p ∈ (0, 1]` with the default sketch
+    /// seed.
+    pub fn new(p: f64) -> Self {
+        Self::with_seed(p, 0x5u64 << 60 | 0x5353)
+    }
+
+    /// Builder with an explicit sketch seed (per-estimator seeds are
+    /// derived from it in registration order).
+    pub fn with_seed(p: f64, seed: u64) -> Self {
+        assert!(
+            p > 0.0 && p <= 1.0,
+            "sampling probability must be in (0,1], got {p}"
+        );
+        Self {
+            p,
+            seeds: SplitMix64::new(seed),
+            entries: Vec::new(),
+        }
+    }
+
+    fn push(mut self, label: String, est: Box<dyn DynEstimator>) -> Self {
+        assert!(
+            self.entries.iter().all(|e| e.label != label),
+            "statistic '{label}' registered twice — use register() with a distinct label"
+        );
+        self.entries.push(Entry { label, est });
+        self
+    }
+
+    /// Register Algorithm 2: `F_0(P)` within `4/√p` at confidence
+    /// `1 − delta` (Lemma 8).
+    pub fn f0(mut self, delta: f64) -> Self {
+        let seed = self.seeds.derive();
+        let est = SampledF0Estimator::new(self.p, delta, seed);
+        self.push(Statistic::F0.to_string(), Box::new(est))
+    }
+
+    /// Register Algorithm 1 with exact collision counting: a `(1+ε, δ)`
+    /// estimator of `F_k(P)` in `O(F_0(L))` space.
+    pub fn fk(mut self, k: u32) -> Self {
+        let est = SampledFkEstimator::exact(k, self.p);
+        let _ = self.seeds.derive(); // keep seed schedule aligned across variants
+        self.push(Statistic::Fk(k).to_string(), Box::new(est))
+    }
+
+    /// Register Algorithm 1 with the Indyk–Woodruff sketched collision
+    /// oracle sized by [`recommended_levelset_config`] for universe `m`
+    /// and target error `eps` — the paper's full small-space pipeline.
+    pub fn fk_sketched(mut self, k: u32, m: u64, eps: f64) -> Self {
+        let seed = self.seeds.derive();
+        let cfg = recommended_levelset_config(k, m, self.p, eps);
+        let est = SampledFkEstimator::sketched(k, self.p, &cfg, seed)
+            .with_target(ApproxParams::new(eps, 0.1));
+        self.push(Statistic::Fk(k).to_string(), Box::new(est))
+    }
+
+    /// Register Algorithm 1 (sketched) with an explicit level-set
+    /// configuration.
+    pub fn fk_sketched_with(mut self, k: u32, cfg: &LevelSetConfig) -> Self {
+        let seed = self.seeds.derive();
+        let est = SampledFkEstimator::sketched(k, self.p, cfg, seed);
+        self.push(Statistic::Fk(k).to_string(), Box::new(est))
+    }
+
+    /// Register Theorem 5: constant-factor entropy with `slots` reservoir
+    /// slots.
+    pub fn entropy(mut self, slots: usize) -> Self {
+        let seed = self.seeds.derive();
+        let est = SampledEntropyEstimator::new(self.p, slots, seed);
+        self.push(Statistic::Entropy.to_string(), Box::new(est))
+    }
+
+    /// Register Theorem 6: `(α, ε, δ)` `F_1` heavy hitters.
+    pub fn f1_heavy_hitters(mut self, alpha: f64, eps: f64, delta: f64) -> Self {
+        let seed = self.seeds.derive();
+        let est = SampledF1HeavyHitters::new(alpha, eps, delta, self.p, seed);
+        self.push(Statistic::F1HeavyHitters.to_string(), Box::new(est))
+    }
+
+    /// Register Theorem 7: `(α, 1 − √p(1−ε))` `F_2` heavy hitters.
+    pub fn f2_heavy_hitters(mut self, alpha: f64, eps: f64, delta: f64) -> Self {
+        let seed = self.seeds.derive();
+        let est = SampledF2HeavyHitters::new(alpha, eps, delta, self.p, seed);
+        self.push(Statistic::F2HeavyHitters.to_string(), Box::new(est))
+    }
+
+    /// Register an arbitrary [`SubsampledEstimator`] under an explicit
+    /// label — the escape hatch for baselines, sketched variants riding
+    /// alongside exact ones, and extensions.
+    pub fn register<E>(mut self, label: &str, est: E) -> Self
+    where
+        E: SubsampledEstimator + Any,
+    {
+        let _ = self.seeds.derive();
+        self.push(label.to_string(), Box::new(est))
+    }
+
+    /// Finish: a monitor driving every registered estimator.
+    pub fn build(self) -> Monitor {
+        Monitor {
+            p: self.p,
+            entries: self.entries,
+            samples: 0,
+        }
+    }
+}
+
+/// A single-pass monitor over the sampled stream `L`, fanning each element
+/// (or batch) out to every registered estimator.
+pub struct Monitor {
+    p: f64,
+    entries: Vec<Entry>,
+    samples: u64,
+}
+
+impl Monitor {
+    /// The sampling rate all registered estimators correct for.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Number of registered estimators.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no estimators are registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Elements of the sampled stream ingested by this monitor (excluding
+    /// merged shards; per-estimator provenance includes them).
+    pub fn samples_seen(&self) -> u64 {
+        self.samples
+    }
+
+    /// Total memory footprint of all registered estimators, in bytes.
+    pub fn space_bytes(&self) -> usize {
+        self.entries.iter().map(|e| e.est.space_bytes()).sum()
+    }
+
+    /// Ingest one element of the sampled stream.
+    pub fn update(&mut self, x: u64) {
+        self.samples += 1;
+        for e in &mut self.entries {
+            e.est.update(x);
+        }
+    }
+
+    /// Ingest a batch of consecutive sampled elements — the hot path.
+    /// Each estimator consumes the whole batch while its state is cache-
+    /// resident, and the per-element virtual dispatch of [`Monitor::update`]
+    /// is amortised over the batch.
+    pub fn update_batch(&mut self, xs: &[u64]) {
+        self.samples += xs.len() as u64;
+        for e in &mut self.entries {
+            e.est.update_batch(xs);
+        }
+    }
+
+    /// Merge a monitor built from the **same builder configuration** that
+    /// observed a disjoint part of the original stream: every estimator
+    /// merges with its counterpart.
+    ///
+    /// # Panics
+    /// If the monitors were built differently (rate, registration sequence
+    /// or estimator types disagree).
+    pub fn merge(&mut self, other: &Monitor) {
+        assert!(
+            (self.p - other.p).abs() < 1e-12,
+            "sampling rates differ: {} vs {}",
+            self.p,
+            other.p
+        );
+        assert_eq!(
+            self.entries.len(),
+            other.entries.len(),
+            "monitors register different statistics"
+        );
+        for (mine, theirs) in self.entries.iter_mut().zip(&other.entries) {
+            assert_eq!(
+                mine.label, theirs.label,
+                "monitors register different statistics"
+            );
+            mine.est.merge_dyn(theirs.est.as_any());
+        }
+        self.samples += other.samples;
+    }
+
+    /// The estimate registered under the default label of `stat`
+    /// (`None` if that statistic was not registered).
+    pub fn estimate(&self, stat: Statistic) -> Option<Estimate> {
+        self.estimate_labeled(&stat.to_string())
+    }
+
+    /// The estimate registered under an explicit label.
+    pub fn estimate_labeled(&self, label: &str) -> Option<Estimate> {
+        self.entries
+            .iter()
+            .find(|e| e.label == label)
+            .map(|e| e.est.estimate())
+    }
+
+    /// All current estimates as `(label, estimate)` pairs, in registration
+    /// order.
+    pub fn report(&self) -> Vec<(String, Estimate)> {
+        self.entries
+            .iter()
+            .map(|e| (e.label.clone(), e.est.estimate()))
+            .collect()
+    }
+
+    /// `(label, statistic, space_bytes)` rows for capacity accounting.
+    pub fn space_breakdown(&self) -> Vec<(String, Statistic, usize)> {
+        self.entries
+            .iter()
+            .map(|e| (e.label.clone(), e.est.statistic(), e.est.space_bytes()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::NaiveScaledFk;
+    use crate::estimate::Guarantee;
+    use sss_stream::{BernoulliSampler, ExactStats, StreamGen, ZipfStream};
+
+    fn build_monitor(p: f64) -> Monitor {
+        MonitorBuilder::with_seed(p, 99)
+            .f0(0.05)
+            .fk(2)
+            .entropy(1500)
+            .f1_heavy_hitters(0.05, 0.2, 0.05)
+            .build()
+    }
+
+    #[test]
+    fn single_pass_produces_all_statistics_together() {
+        let n = 120_000u64;
+        let p = 0.2;
+        let stream = ZipfStream::new(3_000, 1.2).generate(n, 7);
+        let exact = ExactStats::from_stream(stream.iter().copied());
+
+        let mut monitor = build_monitor(p);
+        let mut sampler = BernoulliSampler::new(p, 8);
+        sampler.sample_batches(&stream, 1024, |chunk| monitor.update_batch(chunk));
+
+        let f2 = monitor.estimate(Statistic::Fk(2)).unwrap();
+        assert!(
+            f2.mult_error(exact.fk(2)) < 1.15,
+            "F2 err {}",
+            f2.mult_error(exact.fk(2))
+        );
+
+        let f0 = monitor.estimate(Statistic::F0).unwrap();
+        let ceiling = match f0.guarantee {
+            Guarantee::BoundedFactor { factor } => factor,
+            ref g => panic!("wrong guarantee kind {g:?}"),
+        };
+        assert!(f0.mult_error(exact.f0() as f64) <= ceiling);
+
+        let h = monitor.estimate(Statistic::Entropy).unwrap();
+        let ratio = h.value / exact.entropy();
+        assert!((0.5..=2.0).contains(&ratio), "entropy ratio {ratio}");
+
+        let hh = monitor.estimate(Statistic::F1HeavyHitters).unwrap();
+        assert_eq!(hh.value, hh.report.len() as f64);
+
+        // Provenance flows through.
+        assert_eq!(f2.samples_seen, monitor.samples_seen());
+        assert_eq!(f2.p, p);
+        assert!(monitor.space_bytes() > 0);
+        assert_eq!(monitor.len(), 4);
+    }
+
+    #[test]
+    fn batched_and_per_item_ingestion_agree_exactly() {
+        let p = 0.5;
+        let stream = ZipfStream::new(500, 1.1).generate(30_000, 3);
+        let sampled = BernoulliSampler::new(p, 4).sample_to_vec(&stream);
+
+        let mut a = build_monitor(p);
+        for &x in &sampled {
+            a.update(x);
+        }
+        let mut b = build_monitor(p);
+        for chunk in sampled.chunks(777) {
+            b.update_batch(chunk);
+        }
+        assert_eq!(a.samples_seen(), b.samples_seen());
+        for ((la, ea), (lb, eb)) in a.report().into_iter().zip(b.report()) {
+            assert_eq!(la, lb);
+            assert!(
+                (ea.value - eb.value).abs() <= 1e-9 * ea.value.abs().max(1.0),
+                "{la}: per-item {} vs batched {}",
+                ea.value,
+                eb.value
+            );
+        }
+    }
+
+    #[test]
+    fn merged_monitors_match_single_monitor() {
+        let p = 0.3;
+        let stream = ZipfStream::new(1_000, 1.2).generate(60_000, 11);
+        let (left, right) = stream.split_at(stream.len() / 2);
+
+        let mut whole = build_monitor(p);
+        let mut sampler = BernoulliSampler::new(p, 12);
+        sampler.sample_slice(&stream, |x| whole.update(x));
+
+        // Site monitors share the builder config; each site samples its
+        // own (disjoint) slice of P independently.
+        let mut site_a = build_monitor(p);
+        let mut site_b = build_monitor(p);
+        let mut sa = BernoulliSampler::new(p, 13);
+        sa.sample_slice(left, |x| site_a.update(x));
+        let mut sb = BernoulliSampler::new(p, 14);
+        sb.sample_slice(right, |x| site_b.update(x));
+        site_a.merge(&site_b);
+
+        // F2 via exact collision oracles: merged shards answer within the
+        // same statistical band as the whole-stream monitor.
+        let truth = ExactStats::from_stream(stream.iter().copied()).fk(2);
+        let merged_f2 = site_a.estimate(Statistic::Fk(2)).unwrap();
+        let whole_f2 = whole.estimate(Statistic::Fk(2)).unwrap();
+        assert!(merged_f2.mult_error(truth) < 1.2);
+        assert!(whole_f2.mult_error(truth) < 1.2);
+        assert_eq!(
+            merged_f2.samples_seen,
+            site_a.samples_seen(),
+            "merged provenance must count both shards"
+        );
+    }
+
+    #[test]
+    fn register_escape_hatch_carries_baselines() {
+        let p = 0.5;
+        let mut monitor = MonitorBuilder::with_seed(p, 5)
+            .fk(2)
+            .register("F2_naive", NaiveScaledFk::new(2, p))
+            .build();
+        monitor.update_batch(&[1, 1, 2, 3, 1]);
+        let naive = monitor.estimate_labeled("F2_naive").unwrap();
+        assert_eq!(naive.guarantee, Guarantee::Heuristic);
+        assert!(naive.value > 0.0);
+        assert_eq!(monitor.report().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_registration_rejected() {
+        let _ = MonitorBuilder::new(0.5).f0(0.05).f0(0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "different statistics")]
+    fn merge_rejects_mismatched_monitors() {
+        let mut a = MonitorBuilder::with_seed(0.5, 1).f0(0.05).build();
+        let b = MonitorBuilder::with_seed(0.5, 1).fk(2).build();
+        a.merge(&b);
+    }
+
+    #[test]
+    fn empty_monitor_is_harmless() {
+        let mut m = MonitorBuilder::new(0.5).build();
+        m.update(1);
+        m.update_batch(&[2, 3]);
+        assert!(m.is_empty());
+        assert_eq!(m.samples_seen(), 3);
+        assert!(m.report().is_empty());
+        assert_eq!(m.estimate(Statistic::F0), None);
+    }
+}

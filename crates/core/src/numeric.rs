@@ -60,8 +60,7 @@ pub fn binom_pmf(n: u64, k: u64, p: f64) -> f64 {
     if p == 1.0 {
         return if k == n { 1.0 } else { 0.0 };
     }
-    let ln_pmf =
-        ln_binom(n, k) + k as f64 * p.ln() + (n - k) as f64 * (1.0 - p).ln();
+    let ln_pmf = ln_binom(n, k) + k as f64 * p.ln() + (n - k) as f64 * (1.0 - p).ln();
     ln_pmf.exp()
 }
 
@@ -81,10 +80,7 @@ mod tests {
             (21.0, 2.432_902_008_176_64e18),
         ];
         for &(x, fact) in &facts {
-            assert!(
-                (ln_gamma(x) - fact.ln()).abs() < 1e-10,
-                "ln_gamma({x})"
-            );
+            assert!((ln_gamma(x) - fact.ln()).abs() < 1e-10, "ln_gamma({x})");
         }
     }
 

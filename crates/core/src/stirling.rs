@@ -106,13 +106,9 @@ mod tests {
             }
             for l in 1..ell {
                 let deg = (ell - l) as usize;
-                let sign = if deg % 2 == 0 { -1i128 } else { 1i128 }; // (−1)^{ℓ−l+1}
+                let sign = if deg.is_multiple_of(2) { -1i128 } else { 1i128 }; // (−1)^{ℓ−l+1}
                 let expect = sign * e[deg];
-                assert_eq!(
-                    beta[l as usize - 1],
-                    expect,
-                    "β^{ell}_{l}"
-                );
+                assert_eq!(beta[l as usize - 1], expect, "β^{ell}_{l}");
             }
         }
     }
@@ -122,9 +118,7 @@ mod tests {
         // For a concrete frequency vector, F_ℓ = ℓ!·C_ℓ + Σ β^ℓ_l F_l.
         let freqs: [u64; 4] = [7, 5, 2, 1];
         for ell in 2..=4u32 {
-            let f_mom = |t: u32| -> f64 {
-                freqs.iter().map(|&f| (f as f64).powi(t as i32)).sum()
-            };
+            let f_mom = |t: u32| -> f64 { freqs.iter().map(|&f| (f as f64).powi(t as i32)).sum() };
             let c_ell: f64 = freqs
                 .iter()
                 .map(|&f| {

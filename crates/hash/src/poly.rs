@@ -123,15 +123,42 @@ impl PairwiseHash {
     }
 
     /// Evaluate into the field `[2^61 − 1]`.
+    ///
+    /// Specialised affine path: `a·x < 2^122` and `+b` stays within
+    /// `u128`, so a single Mersenne reduction replaces generic Horner's
+    /// two — same value, one `mod_p61` less.
     #[inline]
     pub fn hash(&self, x: u64) -> u64 {
-        self.inner.hash(x)
+        self.hash_prereduced(Self::reduce_input(x))
     }
 
     /// Evaluate into `[0, range)`.
     #[inline]
     pub fn hash_range(&self, x: u64, range: usize) -> usize {
-        self.inner.hash_range(x, range)
+        debug_assert!(range > 0);
+        let h = crate::mix::fingerprint64(self.hash(x));
+        (((h as u128) * (range as u128)) >> 64) as usize
+    }
+
+    /// Reduce an input into the hash field — the `x mod (2^61 − 1)` step
+    /// of [`PairwiseHash::hash`], split out so batch callers evaluating
+    /// *many* independent functions on the same `x` (e.g. the median-of-k
+    /// bottom-k sketches) pay it once per item instead of once per
+    /// function.
+    #[inline]
+    pub fn reduce_input(x: u64) -> u64 {
+        x % MERSENNE_PRIME_61
+    }
+
+    /// Evaluate on an input already reduced by
+    /// [`PairwiseHash::reduce_input`]. Equivalent to
+    /// [`PairwiseHash::hash`]; `xr` must be `< 2^61 − 1`.
+    #[inline]
+    pub fn hash_prereduced(&self, xr: u64) -> u64 {
+        debug_assert!(xr < MERSENNE_PRIME_61);
+        let b = self.inner.coeffs[0];
+        let a = self.inner.coeffs[1];
+        mod_p61((a as u128) * (xr as u128) + b as u128)
     }
 
     /// Number of trailing zero bits of a 64-bit re-mix of `h(x)`;
@@ -139,7 +166,7 @@ impl PairwiseHash {
     /// Indyk–Woodruff structure and by HyperLogLog-style sketches.
     #[inline]
     pub fn level(&self, x: u64) -> u32 {
-        let h = crate::mix::fingerprint64(self.inner.hash(x));
+        let h = crate::mix::fingerprint64(self.hash(x));
         h.trailing_zeros()
     }
 }
@@ -191,6 +218,25 @@ mod tests {
             differs |= h1.hash(x) != h3.hash(x);
         }
         assert!(differs);
+    }
+
+    #[test]
+    fn pairwise_specialised_path_matches_generic_horner() {
+        for seed in 0..16u64 {
+            let fast = PairwiseHash::new(seed);
+            let generic = PolyHash::new(2, seed);
+            for x in [
+                0u64,
+                1,
+                17,
+                1 << 20,
+                u64::MAX,
+                MERSENNE_PRIME_61,
+                0xDEAD_BEEF,
+            ] {
+                assert_eq!(fast.hash(x), generic.hash(x), "seed {seed} x {x}");
+            }
+        }
     }
 
     #[test]

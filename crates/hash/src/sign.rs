@@ -54,10 +54,7 @@ mod tests {
         let n = 200_000u64;
         let sum: i64 = (0..n).map(|x| s.sign(x)).sum();
         // For unbiased ±1, |sum| ~ sqrt(n) ≈ 450; allow 5 sigma.
-        assert!(
-            (sum as f64).abs() < 5.0 * (n as f64).sqrt(),
-            "sum = {sum}"
-        );
+        assert!((sum as f64).abs() < 5.0 * (n as f64).sqrt(), "sum = {sum}");
     }
 
     #[test]

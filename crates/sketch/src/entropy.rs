@@ -234,7 +234,7 @@ impl EntropyEstimator {
         self.n += 1;
         self.mg.update(x);
         self.plain.update(x);
-        if self.n % LEADER_REFRESH == 0 {
+        if self.n.is_multiple_of(LEADER_REFRESH) {
             self.refresh_leader();
         }
         if let Some(z) = self.leader {
@@ -245,10 +245,19 @@ impl EntropyEstimator {
         }
     }
 
+    /// Ingest a batch of occurrences (same result as one-by-one updates;
+    /// the reservoir's replacement chain is inherently sequential).
+    pub fn update_batch(&mut self, xs: &[u64]) {
+        for &x in xs {
+            self.update(x);
+        }
+    }
+
     fn refresh_leader(&mut self) {
-        let candidate = self.mg.top().filter(|&(_, c)| {
-            (c as f64 + self.mg.error_bound()) >= LEADER_SHARE * self.n as f64
-        });
+        let candidate = self
+            .mg
+            .top()
+            .filter(|&(_, c)| (c as f64 + self.mg.error_bound()) >= LEADER_SHARE * self.n as f64);
         match (self.leader, candidate) {
             (Some(z), Some((top, _))) if z == top => {}
             (_, Some((top, _))) => {

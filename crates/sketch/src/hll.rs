@@ -52,6 +52,13 @@ impl HyperLogLog {
         }
     }
 
+    /// Ingest a batch of occurrences (same result as one-by-one updates).
+    pub fn update_batch(&mut self, xs: &[u64]) {
+        for &x in xs {
+            self.update(x);
+        }
+    }
+
     /// Cardinality estimate with small-range correction.
     pub fn estimate(&self) -> f64 {
         let m = self.registers.len() as f64;
@@ -61,11 +68,7 @@ impl HyperLogLog {
             64 => 0.709,
             _ => 0.7213 / (1.0 + 1.079 / m),
         };
-        let sum: f64 = self
-            .registers
-            .iter()
-            .map(|&r| 2f64.powi(-(r as i32)))
-            .sum();
+        let sum: f64 = self.registers.iter().map(|&r| 2f64.powi(-(r as i32))).sum();
         let raw = alpha * m * m / sum;
         if raw <= 2.5 * m {
             // Linear counting when many registers are still empty.

@@ -57,14 +57,7 @@ impl KmvSketch {
     /// absorbed by the set — the sketch counts *distinct* items).
     pub fn update(&mut self, x: u64) {
         let h = sss_hash::fingerprint64(self.hash.hash(x));
-        if self.smallest.len() < self.k {
-            self.smallest.insert(h);
-        } else {
-            let &max = self.smallest.iter().next_back().expect("non-empty");
-            if h < max && self.smallest.insert(h) {
-                self.smallest.remove(&max);
-            }
-        }
+        self.insert_hash(h);
     }
 
     /// Estimate the number of distinct items seen.
@@ -77,6 +70,61 @@ impl KmvSketch {
         // Normalise the 64-bit domain to (0, 1].
         let v = (kth + 1.0) / (u64::MAX as f64 + 1.0);
         (self.k as f64 - 1.0) / v
+    }
+
+    /// Ingest a batch of occurrences (same result as one-by-one updates).
+    ///
+    /// Faster than the per-item path once the sketch is saturated: the
+    /// rejection threshold (the current k-th smallest hash) is kept in a
+    /// register across the batch, so the common case — an item hashing
+    /// above it — costs a hash and a compare, with no tree access.
+    pub fn update_batch(&mut self, xs: &[u64]) {
+        let mut reduced = [0u64; 1024];
+        for sub in xs.chunks(1024) {
+            let red = &mut reduced[..sub.len()];
+            for (r, &x) in red.iter_mut().zip(sub) {
+                *r = PairwiseHash::reduce_input(x);
+            }
+            self.update_batch_prereduced(red);
+        }
+    }
+
+    /// [`KmvSketch::update_batch`] over inputs already reduced into the
+    /// hash field ([`PairwiseHash::reduce_input`]) — lets a bank of
+    /// independent copies share the per-item domain reduction.
+    fn update_batch_prereduced(&mut self, xrs: &[u64]) {
+        let mut iter = xrs.iter();
+        while self.smallest.len() < self.k {
+            match iter.next() {
+                Some(&xr) => {
+                    let h = sss_hash::fingerprint64(self.hash.hash_prereduced(xr));
+                    self.insert_hash(h);
+                }
+                None => return,
+            }
+        }
+        let mut max = *self.smallest.iter().next_back().expect("saturated");
+        for &xr in iter {
+            let h = sss_hash::fingerprint64(self.hash.hash_prereduced(xr));
+            if h < max && self.smallest.insert(h) {
+                self.smallest.remove(&max);
+                max = *self.smallest.iter().next_back().expect("non-empty");
+            }
+        }
+    }
+
+    /// The insert step of [`KmvSketch::update`], on an already-computed
+    /// hash value.
+    #[inline]
+    fn insert_hash(&mut self, h: u64) {
+        if self.smallest.len() < self.k {
+            self.smallest.insert(h);
+        } else {
+            let &max = self.smallest.iter().next_back().expect("non-empty");
+            if h < max && self.smallest.insert(h) {
+                self.smallest.remove(&max);
+            }
+        }
     }
 
     /// Merge another sketch with the same `k` and seed.
@@ -106,7 +154,9 @@ impl MedianF0 {
         assert!(copies >= 1);
         let mut sm = SplitMix64::new(seed);
         Self {
-            sketches: (0..copies).map(|_| KmvSketch::new(k, sm.derive())).collect(),
+            sketches: (0..copies)
+                .map(|_| KmvSketch::new(k, sm.derive()))
+                .collect(),
         }
     }
 
@@ -117,7 +167,7 @@ impl MedianF0 {
         assert!(delta > 0.0 && delta < 1.0);
         let k = (4.0 / (eps * eps)).ceil() as usize + 2;
         let mut copies = (8.0 * (1.0 / delta).ln()).ceil().max(1.0) as usize;
-        if copies % 2 == 0 {
+        if copies.is_multiple_of(2) {
             copies += 1;
         }
         Self::new(k, copies, seed)
@@ -127,6 +177,24 @@ impl MedianF0 {
     pub fn update(&mut self, x: u64) {
         for s in &mut self.sketches {
             s.update(x);
+        }
+    }
+
+    /// Ingest a batch of occurrences. Iterates copy-major (each bottom-k
+    /// sketch consumes a whole sub-chunk while its tree and rejection
+    /// threshold stay hot) in L1-sized sub-chunks, with the per-item
+    /// field reduction computed once and shared across all
+    /// `O(log 1/δ)` copies.
+    pub fn update_batch(&mut self, xs: &[u64]) {
+        let mut reduced = [0u64; 1024];
+        for sub in xs.chunks(1024) {
+            let red = &mut reduced[..sub.len()];
+            for (r, &x) in red.iter_mut().zip(sub) {
+                *r = PairwiseHash::reduce_input(x);
+            }
+            for s in &mut self.sketches {
+                s.update_batch_prereduced(red);
+            }
         }
     }
 
@@ -145,11 +213,7 @@ impl MedianF0 {
     /// Merge another estimator built with the same `(k, copies, seed)`:
     /// the result summarises the union of both inputs.
     pub fn merge(&mut self, other: &MedianF0) {
-        assert_eq!(
-            self.sketches.len(),
-            other.sketches.len(),
-            "copies mismatch"
-        );
+        assert_eq!(self.sketches.len(), other.sketches.len(), "copies mismatch");
         for (a, b) in self.sketches.iter_mut().zip(&other.sketches) {
             a.merge(b);
         }
@@ -226,8 +290,7 @@ mod tests {
             for x in 0..truth {
                 s.update(x);
             }
-            worst_single =
-                worst_single.max((s.estimate() - truth as f64).abs() / truth as f64);
+            worst_single = worst_single.max((s.estimate() - truth as f64).abs() / truth as f64);
         }
         let mut m = MedianF0::new(66, 9, 77);
         for x in 0..truth {
@@ -250,6 +313,20 @@ mod tests {
         }
         let rel = (m.estimate() - truth as f64).abs() / truth as f64;
         assert!(rel < 0.25, "rel = {rel}");
+    }
+
+    #[test]
+    fn batch_equals_sequential() {
+        let stream: Vec<u64> = (0..20_000u64).map(|i| i * 13 % 7_001).collect();
+        let mut seq = MedianF0::new(64, 5, 6);
+        for &x in &stream {
+            seq.update(x);
+        }
+        let mut bat = MedianF0::new(64, 5, 6);
+        for chunk in stream.chunks(999) {
+            bat.update_batch(chunk);
+        }
+        assert_eq!(seq.estimate(), bat.estimate());
     }
 
     #[test]

@@ -172,6 +172,59 @@ impl LevelSetEstimator {
         }
     }
 
+    /// Ingest a batch of occurrences (same result as one-by-one updates).
+    pub fn update_batch(&mut self, xs: &[u64]) {
+        for &x in xs {
+            self.update(x);
+        }
+    }
+
+    /// Merge another estimator built from the same configuration and
+    /// seed: the per-level CountSketches are linear (counter-wise sum) and
+    /// the candidate tables take the union, re-estimated against the
+    /// merged sketches. Afterwards `self` summarises the concatenation of
+    /// both ingested streams.
+    ///
+    /// # Panics
+    /// If the two estimators were not built with the same configuration
+    /// and seed (different `η`, hashes or dimensions).
+    pub fn merge(&mut self, other: &LevelSetEstimator) {
+        assert_eq!(
+            self.levels.len(),
+            other.levels.len(),
+            "level count mismatch"
+        );
+        assert_eq!(self.level_hash, other.level_hash, "incompatible level hash");
+        assert!(
+            (self.eta - other.eta).abs() < 1e-15,
+            "incompatible class shift η: {} vs {}",
+            self.eta,
+            other.eta
+        );
+        for (mine, theirs) in self.levels.iter_mut().zip(&other.levels) {
+            mine.cs.merge(&theirs.cs);
+            mine.updates += theirs.updates;
+        }
+        // Re-offer both candidate sets against the merged counters — the
+        // local side's stored estimates are shard-sized and stale, so
+        // without a re-offer the tracker's capacity pruning could evict a
+        // union-heavy member in favour of fresher values.
+        for (mine, theirs) in self.levels.iter_mut().zip(&other.levels) {
+            let union: Vec<u64> = mine
+                .tracker
+                .candidates()
+                .chain(theirs.tracker.candidates())
+                .collect();
+            for item in union {
+                let est = mine.cs.query(item);
+                if est > 0 {
+                    mine.tracker.offer(item, est as f64);
+                }
+            }
+        }
+        self.n += other.n;
+    }
+
     /// Class index of an (estimated, positive) frequency `g`:
     /// the unique `i ≥ 0` with `η(1+ε′)^i ≤ g < η(1+ε′)^{i+1}`.
     fn class_of(&self, g: f64) -> i64 {
@@ -381,10 +434,7 @@ mod tests {
         let ls = build(&stream, 128, 6);
         let est = ls.collision_estimate(2);
         let exact = 4096.0 * 4095.0 / 2.0;
-        assert!(
-            (est - exact).abs() / exact < 0.25,
-            "est {est} vs {exact}"
-        );
+        assert!((est - exact).abs() / exact < 0.25, "est {est} vs {exact}");
     }
 
     #[test]
@@ -454,6 +504,52 @@ mod tests {
             light_level > heavy_level,
             "light class at level {light_level}, heavy at {heavy_level}"
         );
+    }
+
+    #[test]
+    fn merge_tracks_concatenation() {
+        // Two disjoint halves of a mixed-class stream, merged, must give
+        // collision estimates close to one estimator over the whole.
+        let (stream, c2, _) = class_stream(&[(2, 2000), (40, 80), (2000, 3)]);
+        let cfg = LevelSetConfig {
+            levels: 18,
+            ..LevelSetConfig::for_universe(1 << 18, 512)
+        };
+        let cut = stream.len() / 2;
+        let mut a = LevelSetEstimator::new(&cfg, 31);
+        let mut b = LevelSetEstimator::new(&cfg, 31);
+        let mut whole = LevelSetEstimator::new(&cfg, 31);
+        for &x in &stream[..cut] {
+            a.update(x);
+            whole.update(x);
+        }
+        for &x in &stream[cut..] {
+            b.update(x);
+            whole.update(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.n(), whole.n());
+        let merged = a.collision_estimate(2);
+        let direct = whole.collision_estimate(2);
+        // Same seeds ⇒ same linear sketches; candidate sets may differ at
+        // the margin, so allow a modest gap — and both must track truth.
+        assert!(
+            (merged - direct).abs() / direct.max(1.0) < 0.2,
+            "merged {merged} vs direct {direct}"
+        );
+        assert!(
+            (merged - c2).abs() / c2 < 0.35,
+            "merged {merged} vs exact {c2}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "incompatible")]
+    fn merge_rejects_different_seeds() {
+        let cfg = LevelSetConfig::for_universe(1 << 10, 64);
+        let mut a = LevelSetEstimator::new(&cfg, 1);
+        let b = LevelSetEstimator::new(&cfg, 2);
+        a.merge(&b);
     }
 
     #[test]

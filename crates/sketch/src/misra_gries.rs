@@ -53,6 +53,13 @@ impl MisraGries {
         }
     }
 
+    /// Ingest a batch of occurrences (same result as one-by-one updates).
+    pub fn update_batch(&mut self, xs: &[u64]) {
+        for &x in xs {
+            self.update(x);
+        }
+    }
+
     /// Lower-bound estimate of the frequency of `x` (0 if untracked);
     /// `f_x − n/(k+1) ≤ query(x) ≤ f_x`.
     pub fn query(&self, x: u64) -> u64 {

@@ -180,10 +180,7 @@ mod tests {
             ps.offer(i, (i % 97 + 1) as f64);
         }
         let est = ps.estimate_total();
-        assert!(
-            (est - truth).abs() / truth < 0.15,
-            "est {est} vs {truth}"
-        );
+        assert!((est - truth).abs() / truth < 0.15, "est {est} vs {truth}");
     }
 
     #[test]

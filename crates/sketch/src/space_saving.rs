@@ -64,6 +64,54 @@ impl SpaceSaving {
         }
     }
 
+    /// Ingest a batch of occurrences (same result as one-by-one updates).
+    pub fn update_batch(&mut self, xs: &[u64]) {
+        for &x in xs {
+            self.update(x);
+        }
+    }
+
+    /// Merge another summary with the same capacity (Agarwal et al.,
+    /// *Mergeable Summaries*, PODS 2012). An item absent from a summary
+    /// has an implicit count of at most that summary's minimum counter, so
+    /// one-sided items inherit the other side's minimum as count and
+    /// error; the combined table is then pruned back to the `k` largest
+    /// counters. The `f_x ≤ query(x) ≤ f_x + n/k` bracket is preserved.
+    pub fn merge(&mut self, other: &SpaceSaving) {
+        assert_eq!(self.k, other.k, "capacity mismatch");
+        let self_min = if self.table.len() < self.k {
+            0
+        } else {
+            self.by_count.iter().next().map(|&(c, _)| c).unwrap_or(0)
+        };
+        let other_min = if other.table.len() < other.k {
+            0
+        } else {
+            other.by_count.iter().next().map(|&(c, _)| c).unwrap_or(0)
+        };
+        let mut combined: Vec<(u64, (u64, u64))> = Vec::new();
+        for (&i, &(c, e)) in &self.table {
+            match other.table.get(&i) {
+                Some(&(oc, oe)) => combined.push((i, (c + oc, e + oe))),
+                None => combined.push((i, (c + other_min, e + other_min))),
+            }
+        }
+        for (&i, &(c, e)) in &other.table {
+            if !self.table.contains_key(&i) {
+                combined.push((i, (c + self_min, e + self_min)));
+            }
+        }
+        combined.sort_by(|a, b| b.1 .0.cmp(&a.1 .0).then(a.0.cmp(&b.0)));
+        combined.truncate(self.k);
+        self.table.clear();
+        self.by_count.clear();
+        for (i, (c, e)) in combined {
+            self.table.insert(i, (c, e));
+            self.by_count.insert((c, i));
+        }
+        self.n += other.n;
+    }
+
     /// Upper-bound estimate of the frequency of `x` (0 if untracked);
     /// `f_x ≤ query(x) ≤ f_x + n/k` for tracked items.
     pub fn query(&self, x: u64) -> u64 {
@@ -77,11 +125,8 @@ impl SpaceSaving {
 
     /// Tracked `(item, count, error)` rows sorted by decreasing count.
     pub fn items(&self) -> Vec<(u64, u64, u64)> {
-        let mut v: Vec<(u64, u64, u64)> = self
-            .table
-            .iter()
-            .map(|(&i, &(c, e))| (i, c, e))
-            .collect();
+        let mut v: Vec<(u64, u64, u64)> =
+            self.table.iter().map(|(&i, &(c, e))| (i, c, e)).collect();
         v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         v
     }
@@ -146,6 +191,63 @@ mod tests {
         // Counts sum to n (SpaceSaving invariant).
         let total: u64 = ss.items().iter().map(|&(_, c, _)| c).sum();
         assert_eq!(total, 1000);
+    }
+
+    #[test]
+    fn merge_preserves_bracket_and_capacity() {
+        let k = 16;
+        let mut a = SpaceSaving::new(k);
+        let mut b = SpaceSaving::new(k);
+        let mut truth = std::collections::HashMap::new();
+        let mut rng = Xoshiro256pp::new(7);
+        for _ in 0..30_000 {
+            let x = if rng.next_bool(0.4) {
+                rng.next_below(4)
+            } else {
+                4 + rng.next_below(8_000)
+            };
+            a.update(x);
+            *truth.entry(x).or_insert(0u64) += 1;
+        }
+        for _ in 0..30_000 {
+            let x = if rng.next_bool(0.4) {
+                rng.next_below(4)
+            } else {
+                4 + rng.next_below(8_000)
+            };
+            b.update(x);
+            *truth.entry(x).or_insert(0u64) += 1;
+        }
+        a.merge(&b);
+        assert_eq!(a.n(), 60_000);
+        assert!(a.items().len() <= k);
+        let bound = a.error_bound();
+        for (&x, &f) in &truth {
+            let q = a.query(x);
+            if q > 0 {
+                assert!(q as f64 <= f as f64 + bound, "item {x}: {q} > {f}+{bound}");
+                assert!(a.query_lower(x) <= f, "lower bound broken at {x}");
+            }
+        }
+        // The four planted heavies (f ≈ 24k each > n/k) must survive.
+        for x in 0..4u64 {
+            assert!(a.query(x) > 0, "heavy item {x} lost in merge");
+        }
+    }
+
+    #[test]
+    fn merge_under_capacity_is_exact() {
+        let mut a = SpaceSaving::new(100);
+        let mut b = SpaceSaving::new(100);
+        for _ in 0..5 {
+            a.update(1);
+            b.update(1);
+            b.update(2);
+        }
+        a.merge(&b);
+        assert_eq!(a.query(1), 10);
+        assert_eq!(a.query(2), 5);
+        assert_eq!(a.n(), 15);
     }
 
     #[test]

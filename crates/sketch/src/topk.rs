@@ -111,6 +111,39 @@ impl CmHeavyHitters {
         }
     }
 
+    /// Ingest a batch of occurrences (same candidate admissions as the
+    /// per-item path: querying right after each update keeps the touched
+    /// counters hot, which measures faster than a deferred query pass).
+    pub fn update_batch(&mut self, xs: &[u64]) {
+        for &x in xs {
+            self.update(x);
+        }
+    }
+
+    /// Merge another reporter with the same parameters and sketch seed:
+    /// counter-wise CountMin merge, then the candidate union re-estimated
+    /// against the merged sketch. *Both* sides' candidates are re-offered
+    /// at their post-merge estimates — leaving the local side at its stale
+    /// shard-sized values would let the tracker's capacity pruning evict a
+    /// union-heavy item.
+    pub fn merge(&mut self, other: &CmHeavyHitters) {
+        assert!(
+            (self.alpha - other.alpha).abs() < 1e-15,
+            "alpha mismatch: {} vs {}",
+            self.alpha,
+            other.alpha
+        );
+        self.cm.merge(&other.cm);
+        let union: Vec<u64> = self
+            .tracker
+            .candidates()
+            .chain(other.tracker.candidates())
+            .collect();
+        for item in union {
+            self.tracker.offer(item, self.cm.query(item) as f64);
+        }
+    }
+
     /// Report `(item, estimated frequency)` for every candidate whose final
     /// estimate is at least `α·n`, sorted by decreasing estimate.
     pub fn report(&self) -> Vec<(u64, u64)> {
@@ -170,6 +203,23 @@ impl MgHeavyHitters {
     /// Ingest one occurrence of `x`.
     pub fn update(&mut self, x: u64) {
         self.mg.update(x);
+    }
+
+    /// Ingest a batch of occurrences.
+    pub fn update_batch(&mut self, xs: &[u64]) {
+        self.mg.update_batch(xs);
+    }
+
+    /// Merge another reporter with the same parameters (Misra–Gries
+    /// mergeability).
+    pub fn merge(&mut self, other: &MgHeavyHitters) {
+        assert!(
+            (self.alpha - other.alpha).abs() < 1e-15,
+            "alpha mismatch: {} vs {}",
+            self.alpha,
+            other.alpha
+        );
+        self.mg.merge(&other.mg);
     }
 
     /// Report `(item, estimated frequency)` for every item whose frequency
@@ -240,6 +290,38 @@ impl CsHeavyHitters {
         let est = self.cs.query(x);
         if est as f64 >= self.alpha * self.f2_sqrt() {
             self.tracker.offer(x, est as f64);
+        }
+    }
+
+    /// Ingest a batch of occurrences (same admissions as the per-item
+    /// path; see [`CmHeavyHitters::update_batch`]).
+    pub fn update_batch(&mut self, xs: &[u64]) {
+        for &x in xs {
+            self.update(x);
+        }
+    }
+
+    /// Merge another reporter with the same parameters and sketch seed.
+    /// Both sides' candidates are re-offered at their post-merge
+    /// estimates (see [`CmHeavyHitters::merge`]).
+    pub fn merge(&mut self, other: &CsHeavyHitters) {
+        assert!(
+            (self.alpha - other.alpha).abs() < 1e-15,
+            "alpha mismatch: {} vs {}",
+            self.alpha,
+            other.alpha
+        );
+        self.cs.merge(&other.cs);
+        let union: Vec<u64> = self
+            .tracker
+            .candidates()
+            .chain(other.tracker.candidates())
+            .collect();
+        for item in union {
+            let est = self.cs.query(item);
+            if est > 0 {
+                self.tracker.offer(item, est as f64);
+            }
         }
     }
 
@@ -319,7 +401,10 @@ mod tests {
         let report = hh.report();
         assert_eq!(report[0].0, 5);
         let est = report[0].1 as f64;
-        assert!((est - truth).abs() / truth < 0.02, "est {est} truth {truth}");
+        assert!(
+            (est - truth).abs() / truth < 0.02,
+            "est {est} truth {truth}"
+        );
     }
 
     #[test]
@@ -328,7 +413,7 @@ mod tests {
         // F_2 ≈ 9e6 + 1e5 ⇒ √F_2 ≈ 3017, so the item is α-heavy for α=0.5
         // while every background item (f=1) is hopeless.
         let mut stream: Vec<u64> = (1_000_000..1_100_000u64).collect();
-        stream.extend(std::iter::repeat(42u64).take(3000));
+        stream.extend(std::iter::repeat_n(42u64, 3000));
         // Deterministic shuffle.
         let mut rng = Xoshiro256pp::new(5);
         for i in (1..stream.len()).rev() {
@@ -346,6 +431,76 @@ mod tests {
         assert!((est - 3000.0).abs() / 3000.0 < 0.1, "est = {est}");
         for &(i, _) in &report {
             assert_eq!(i, 42, "false positive {i}");
+        }
+    }
+
+    #[test]
+    fn cm_hh_batch_matches_sequential_report() {
+        let heavies = [3u64, 17, 99];
+        let stream = planted_stream(120_000, &heavies, 0.6, 11);
+        let mut seq = CmHeavyHitters::new(0.1, 0.01, 0.01, 12);
+        for &x in &stream {
+            seq.update(x);
+        }
+        let mut bat = CmHeavyHitters::new(0.1, 0.01, 0.01, 12);
+        for chunk in stream.chunks(2048) {
+            bat.update_batch(chunk);
+        }
+        assert_eq!(seq.n(), bat.n());
+        // Same sketch contents ⇒ same reported sets and estimates.
+        assert_eq!(seq.report(), bat.report());
+    }
+
+    #[test]
+    fn cs_hh_batch_finds_the_elephant() {
+        let mut stream: Vec<u64> = (1_000_000..1_080_000u64).collect();
+        stream.extend(std::iter::repeat_n(42u64, 3000));
+        let mut rng = Xoshiro256pp::new(13);
+        for i in (1..stream.len()).rev() {
+            let j = rng.next_below(i as u64 + 1) as usize;
+            stream.swap(i, j);
+        }
+        let mut bat = CsHeavyHitters::new(0.5, 0.05, 0.01, 14);
+        for chunk in stream.chunks(4096) {
+            bat.update_batch(chunk);
+        }
+        let report = bat.report();
+        assert_eq!(report.first().map(|&(i, _)| i), Some(42));
+    }
+
+    #[test]
+    fn hh_merge_equals_concatenation() {
+        let heavies = [5u64, 23];
+        let left = planted_stream(80_000, &heavies, 0.5, 15);
+        let right = planted_stream(80_000, &heavies, 0.5, 16);
+        // CountMin-backed: linear merge ⇒ identical to the whole-stream run.
+        let mut a = CmHeavyHitters::new(0.1, 0.01, 0.01, 17);
+        let mut b = CmHeavyHitters::new(0.1, 0.01, 0.01, 17);
+        let mut whole = CmHeavyHitters::new(0.1, 0.01, 0.01, 17);
+        for &x in &left {
+            a.update(x);
+            whole.update(x);
+        }
+        for &x in &right {
+            b.update(x);
+            whole.update(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.n(), whole.n());
+        assert_eq!(a.report(), whole.report());
+        // Misra–Gries-backed: merged report keeps every planted heavy.
+        let mut ma = MgHeavyHitters::new(0.1, 0.2);
+        let mut mb = MgHeavyHitters::new(0.1, 0.2);
+        for &x in &left {
+            ma.update(x);
+        }
+        for &x in &right {
+            mb.update(x);
+        }
+        ma.merge(&mb);
+        let found: Vec<u64> = ma.report().iter().map(|&(i, _)| i).collect();
+        for &h in &heavies {
+            assert!(found.contains(&h), "missing heavy {h} after merge");
         }
     }
 
@@ -392,10 +547,6 @@ mod tests {
         for _ in 0..100_000 {
             hh.update(rng.next_below(50_000));
         }
-        assert!(
-            hh.report().is_empty(),
-            "false positives: {:?}",
-            hh.report()
-        );
+        assert!(hh.report().is_empty(), "false positives: {:?}", hh.report());
     }
 }

@@ -227,16 +227,13 @@ mod tests {
         // ℓ!·C_ℓ = Σ f(f−1)…(f−ℓ+1): check ℓ=2 on the sample.
         let s = sample();
         let lhs = 2.0 * s.collisions(2);
-        let rhs: f64 = [3u64, 2, 1]
-            .iter()
-            .map(|&f| (f * (f - 1)) as f64)
-            .sum();
+        let rhs: f64 = [3u64, 2, 1].iter().map(|&f| (f * (f - 1)) as f64).sum();
         assert_eq!(lhs, rhs);
     }
 
     #[test]
     fn entropy_uniform_and_constant() {
-        let c = ExactStats::from_stream(std::iter::repeat(7u64).take(100));
+        let c = ExactStats::from_stream(std::iter::repeat_n(7u64, 100));
         assert_eq!(c.entropy(), 0.0);
 
         let u = ExactStats::from_stream(0..8u64);

@@ -88,7 +88,11 @@ impl StreamGen for DistinctStream {
     }
 
     fn emit(&self, n: u64, seed: u64, f: &mut dyn FnMut(Item)) {
-        assert!(n <= self.m, "DistinctStream needs n <= m ({n} > {})", self.m);
+        assert!(
+            n <= self.m,
+            "DistinctStream needs n <= m ({n} > {})",
+            self.m
+        );
         let perm = super::AffinePermutation::new(self.m, seed);
         for x in 0..n {
             f(perm.apply(x));
@@ -107,7 +111,7 @@ mod tests {
         let s = ExactStats::from_stream(g.generate(50_000, 1));
         assert_eq!(s.n(), 50_000);
         assert_eq!(s.f0(), 100); // coupon collector long since done
-        // max/min frequency ratio should be modest
+                                 // max/min frequency ratio should be modest
         let freqs: Vec<u64> = s.iter().map(|(_, f)| f).collect();
         let max = *freqs.iter().max().unwrap() as f64;
         let min = *freqs.iter().min().unwrap() as f64;

@@ -63,9 +63,7 @@ impl StreamGen for NetFlowStream {
         let mut packets: Vec<Item> = Vec::with_capacity(n as usize);
         while (packets.len() as u64) < n {
             let flow_id = rng.next_below(self.m);
-            let size = self
-                .draw_flow_size(&mut rng)
-                .min(n - packets.len() as u64);
+            let size = self.draw_flow_size(&mut rng).min(n - packets.len() as u64);
             for _ in 0..size {
                 packets.push(flow_id);
             }

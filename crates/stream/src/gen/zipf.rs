@@ -39,7 +39,10 @@ impl ZipfStream {
     /// is convenient in tests).
     pub fn with_permutation(m: u64, s: f64, permute: bool) -> Self {
         assert!(m >= 1, "universe must be non-empty");
-        assert!(s >= 0.0 && s.is_finite(), "exponent must be finite and >= 0");
+        assert!(
+            s >= 0.0 && s.is_finite(),
+            "exponent must be finite and >= 0"
+        );
         let mut cdf = Vec::with_capacity(m as usize);
         let mut acc = 0.0f64;
         for r in 1..=m {
@@ -50,12 +53,7 @@ impl ZipfStream {
         for v in cdf.iter_mut() {
             *v /= total;
         }
-        Self {
-            m,
-            s,
-            cdf,
-            permute,
-        }
+        Self { m, s, cdf, permute }
     }
 
     /// The exponent `s`.

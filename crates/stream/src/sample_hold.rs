@@ -99,10 +99,7 @@ mod tests {
             sh.update(7);
         }
         let est = sh.estimate(7);
-        assert!(
-            (est - 10_000.0).abs() / 10_000.0 < 0.1,
-            "estimate {est}"
-        );
+        assert!((est - 10_000.0).abs() / 10_000.0 < 0.1, "estimate {est}");
     }
 
     #[test]

@@ -31,7 +31,10 @@ impl BernoulliSampler {
     /// # Panics
     /// If `p` is not in `(0, 1]`.
     pub fn new(p: f64, seed: u64) -> Self {
-        assert!(p > 0.0 && p <= 1.0, "sampling probability must be in (0,1], got {p}");
+        assert!(
+            p > 0.0 && p <= 1.0,
+            "sampling probability must be in (0,1], got {p}"
+        );
         Self {
             p,
             rng: Xoshiro256pp::new(seed),
@@ -61,6 +64,35 @@ impl BernoulliSampler {
                 Some(i) => i,
                 None => break,
             };
+        }
+    }
+
+    /// Sample a borrowed slice, delivering the survivors to `f` in chunks
+    /// of up to `batch` elements — the feed for a batched monitor hot
+    /// path (`Monitor::update_batch`). Skip-based like
+    /// [`BernoulliSampler::sample_slice`]: RNG cost is `O(|L|)`, and the
+    /// chunk buffer is the only allocation.
+    ///
+    /// # Panics
+    /// If `batch` is zero.
+    pub fn sample_batches<F: FnMut(&[Item])>(&mut self, data: &[Item], batch: usize, mut f: F) {
+        assert!(batch >= 1, "batch size must be positive");
+        let mut buf: Vec<Item> = Vec::with_capacity(batch);
+        let mut idx = self.rng.next_geometric(self.p);
+        while (idx as usize) < data.len() {
+            buf.push(data[idx as usize]);
+            if buf.len() == batch {
+                f(&buf);
+                buf.clear();
+            }
+            let gap = self.rng.next_geometric(self.p);
+            idx = match idx.checked_add(1).and_then(|i| i.checked_add(gap)) {
+                Some(i) => i,
+                None => break,
+            };
+        }
+        if !buf.is_empty() {
+            f(&buf);
         }
     }
 
@@ -174,6 +206,25 @@ mod tests {
         let kept = s.sample_to_vec(&data);
         for w in kept.windows(2) {
             assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn batched_and_slice_paths_agree() {
+        let data: Vec<Item> = (0..40_000u64).collect();
+        let mut s1 = BernoulliSampler::new(0.13, 21);
+        let via_slice = s1.sample_to_vec(&data);
+        for batch in [1usize, 7, 1024, 1 << 20] {
+            let mut s2 = BernoulliSampler::new(0.13, 21);
+            let mut via_batches = Vec::new();
+            let mut chunks = 0usize;
+            s2.sample_batches(&data, batch, |chunk| {
+                assert!(chunk.len() <= batch);
+                via_batches.extend_from_slice(chunk);
+                chunks += 1;
+            });
+            assert_eq!(via_slice, via_batches, "batch = {batch}");
+            assert_eq!(chunks, via_slice.len().div_ceil(batch), "batch = {batch}");
         }
     }
 

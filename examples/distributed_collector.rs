@@ -5,14 +5,16 @@
 //! ```
 //!
 //! Three vantage points each observe a Bernoulli sample of their own slice
-//! of the traffic (different links of the same network). Each runs the
-//! paper's estimators locally; the collector merges the summaries and
-//! answers for the *whole* network — the natural multi-router extension of
-//! the paper's sampled-NetFlow deployment. Merging is exact for the
-//! collision oracle (frequency algebra) and for the bottom-k `F_0` sketch
-//! (set union), so the merged answer is distributed-equals-centralised.
+//! of the traffic (different links of the same network). Each runs an
+//! identically-configured [`Monitor`]; the collector calls
+//! [`Monitor::merge`] and answers for the *whole* network — the natural
+//! multi-router extension of the paper's sampled-NetFlow deployment.
+//! Merging is exact for the collision oracle (frequency algebra) and the
+//! bottom-k `F_0` sketch (set union), so the merged answer is
+//! distributed-equals-centralised; the entropy merge is the documented
+//! length-weighted approximation.
 
-use subsampled_streams::core::{SampledF0Estimator, SampledFkEstimator};
+use subsampled_streams::core::{MonitorBuilder, Statistic};
 use subsampled_streams::stream::{BernoulliSampler, ExactStats, NetFlowStream, StreamGen};
 
 fn main() {
@@ -22,9 +24,7 @@ fn main() {
 
     // Each site sees its own traffic mix (overlapping flow id space).
     let traces: Vec<Vec<u64>> = (0..sites)
-        .map(|s| {
-            NetFlowStream::new(1 << 22, 1.1, 50_000).generate(packets_per_site, 10 + s as u64)
-        })
+        .map(|s| NetFlowStream::new(1 << 22, 1.1, 50_000).generate(packets_per_site, 10 + s as u64))
         .collect();
 
     // Ground truth over the union of all traffic.
@@ -35,55 +35,61 @@ fn main() {
         }
     }
 
-    // Per-site monitors: same sketch seed (mergeability), independent
-    // sampling randomness.
-    let mut site_f2: Vec<SampledFkEstimator<_>> = Vec::new();
-    let mut site_f0: Vec<SampledF0Estimator> = Vec::new();
+    // Per-site monitors: identical builder config (same sketch seeds —
+    // mergeability requires shared hashes), independent sampling
+    // randomness.
+    let site_monitor = || {
+        MonitorBuilder::with_seed(p, 4242)
+            .fk(2)
+            .f0(0.05)
+            .entropy(2000)
+            .build()
+    };
+    let mut site_monitors = Vec::new();
     for (s, trace) in traces.iter().enumerate() {
-        let mut f2 = SampledFkEstimator::exact(2, p);
-        let mut f0 = SampledF0Estimator::new(p, 0.05, 4242);
+        let mut monitor = site_monitor();
         let mut sampler = BernoulliSampler::new(p, 100 + s as u64);
-        let mut seen = 0u64;
-        sampler.sample_slice(trace, |x| {
-            seen += 1;
-            f2.update(x);
-            f0.update(x);
-        });
+        sampler.sample_batches(trace, 4096, |chunk| monitor.update_batch(chunk));
         println!(
-            "site {s}: {} packets observed of {} ({}%)",
-            seen,
+            "site {s}: {} packets observed of {} ({:.1}%), state {} KiB",
+            monitor.samples_seen(),
             trace.len(),
-            100.0 * seen as f64 / trace.len() as f64
+            100.0 * monitor.samples_seen() as f64 / trace.len() as f64,
+            monitor.space_bytes() / 1024
         );
-        site_f2.push(f2);
-        site_f0.push(f0);
+        site_monitors.push(monitor);
     }
 
-    // Collector: merge all summaries.
-    let mut f2 = site_f2.remove(0);
-    for other in &site_f2 {
-        f2.merge(other);
-    }
-    let mut f0 = site_f0.remove(0);
-    for other in &site_f0 {
-        f0.merge(other);
+    // Collector: merge all site summaries — no raw samples travel.
+    let mut collector = site_monitors.remove(0);
+    for other in &site_monitors {
+        collector.merge(other);
     }
 
     println!("\ncollector view (merged {} sites):", sites);
+    let f2 = collector.estimate(Statistic::Fk(2)).expect("registered");
     let t2 = all.fk(2);
     println!(
         "  F2 (self-join size): est {:.3e}  true {:.3e}  err {:.2}%",
-        f2.estimate(),
+        f2.value,
         t2,
-        100.0 * (f2.estimate() - t2).abs() / t2
+        100.0 * (f2.value - t2).abs() / t2
     );
+    let f0 = collector.estimate(Statistic::F0).expect("registered");
     let t0 = all.f0() as f64;
     println!(
-        "  F0 (active flows)  : est {:.0}  true {:.0}  ratio {:.2} (ceiling {:.1}x)",
-        f0.estimate(),
+        "  F0 (active flows)  : est {:.0}  true {:.0}  ratio {:.2}",
+        f0.value,
         t0,
-        f0.estimate() / t0,
-        f0.error_factor()
+        f0.value / t0
+    );
+    let h = collector.estimate(Statistic::Entropy).expect("registered");
+    let th = all.entropy();
+    println!(
+        "  entropy            : est {:.3}  true {:.3}  ratio {:.2}",
+        h.value,
+        th,
+        h.value / th
     );
     println!(
         "\nTakeaway: the merged summaries answer for the union of all links\n\

@@ -13,10 +13,11 @@
 //! 4. naive normalisation `F_2(L)/p²`.
 
 use subsampled_streams::core::{
-    recommended_levelset_config, ApproxParams, NaiveScaledFk, RusuDobraF2,
-    SampledFkEstimator,
+    recommended_levelset_config, ApproxParams, NaiveScaledFk, RusuDobraF2, SampledFkEstimator,
 };
-use subsampled_streams::stream::{BernoulliSampler, ExactStats, StreamGen, UniformStream, ZipfStream};
+use subsampled_streams::stream::{
+    BernoulliSampler, ExactStats, StreamGen, UniformStream, ZipfStream,
+};
 
 fn survey(label: &str, stream: &[u64], m: u64) {
     let truth = ExactStats::from_stream(stream.iter().copied()).fk(2);

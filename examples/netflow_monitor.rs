@@ -18,9 +18,7 @@
 //!
 //! and contrasts Bernoulli sampling with the deterministic 1-in-N variant.
 
-use subsampled_streams::core::{
-    SampledF0Estimator, SampledF1HeavyHitters, SampledFkEstimator,
-};
+use subsampled_streams::core::{Guarantee, MonitorBuilder, Statistic};
 use subsampled_streams::stream::{
     BernoulliSampler, ExactStats, NetFlowStream, OneInNSampler, StreamGen,
 };
@@ -31,50 +29,62 @@ fn main() {
     let trace = NetFlowStream::new(1 << 24, 1.1, 200_000).generate(n_packets, 2024);
     let exact = ExactStats::from_stream(trace.iter().copied());
 
-    println!("router trace    : {n_packets} packets, {} flows", exact.f0());
+    println!(
+        "router trace    : {n_packets} packets, {} flows",
+        exact.f0()
+    );
     println!("sampling        : Bernoulli p = {p} (Random Sampled NetFlow)\n");
 
     let alpha = 0.01;
-    let mut hh = SampledF1HeavyHitters::new(alpha, 0.2, 0.05, p, 1);
-    let mut f2 = SampledFkEstimator::exact(2, p);
-    let mut f0 = SampledF0Estimator::new(p, 0.05, 1);
+    let mut monitor = MonitorBuilder::with_seed(p, 1)
+        .f1_heavy_hitters(alpha, 0.2, 0.05)
+        .fk(2)
+        .f0(0.05)
+        .build();
 
     let mut sampler = BernoulliSampler::new(p, 3);
-    let mut seen = 0u64;
-    sampler.sample_slice(&trace, |pkt| {
-        seen += 1;
-        hh.update(pkt);
-        f2.update(pkt);
-        f0.update(pkt);
-    });
-    println!("monitor ingested: {seen} sampled packets\n");
+    sampler.sample_batches(&trace, 4096, |chunk| monitor.update_batch(chunk));
+    let seen = monitor.samples_seen();
+    println!("monitor ingested: {seen} sampled packets in 4096-packet batches\n");
 
     println!("-- elephant flows (>= 1% of traffic), packets rescaled by 1/p --");
     let truth = exact.heavy_hitters_f1(alpha);
-    for (flow, pkts_est) in hh.report() {
+    let hh = monitor
+        .estimate(Statistic::F1HeavyHitters)
+        .expect("registered");
+    for &(flow, pkts_est) in &hh.report {
         let pkts_true = exact.freq(flow);
         println!(
             "  flow {flow:>10}  est {pkts_est:>9.0} pkts   true {pkts_true:>9}   err {:>5.2}%",
             100.0 * (pkts_est - pkts_true as f64).abs() / pkts_true as f64
         );
     }
-    println!("  recall: {}/{} true elephants\n", hh.report().len(), truth.len());
+    println!(
+        "  recall: {}/{} true elephants\n",
+        hh.report.len(),
+        truth.len()
+    );
 
+    let f2 = monitor.estimate(Statistic::Fk(2)).expect("registered");
     let t2 = exact.fk(2);
     println!(
         "-- self-join size F2 --\n  est {:.3e}   true {:.3e}   err {:.2}%\n",
-        f2.estimate(),
+        f2.value,
         t2,
-        100.0 * (f2.estimate() - t2).abs() / t2
+        100.0 * (f2.value - t2).abs() / t2
     );
 
+    let f0 = monitor.estimate(Statistic::F0).expect("registered");
     let t0 = exact.f0() as f64;
+    let ceiling = match f0.guarantee {
+        Guarantee::BoundedFactor { factor } => factor,
+        _ => unreachable!(),
+    };
     println!(
-        "-- active flows F0 --\n  est {:.0}   true {:.0}   ratio {:.2} (theory ceiling {:.1}x either way)\n",
-        f0.estimate(),
+        "-- active flows F0 --\n  est {:.0}   true {:.0}   ratio {:.2} (theory ceiling {ceiling:.1}x either way)\n",
+        f0.value,
         t0,
-        f0.estimate() / t0,
-        f0.error_factor()
+        f0.value / t0
     );
 
     // Bernoulli vs deterministic 1-in-N on the same trace: periodic

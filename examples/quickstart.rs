@@ -7,11 +7,10 @@
 //! The setting of McGregor–Pavan–Tirthapura–Woodruff: an original stream
 //! `P` passes by at line rate; the monitor sees only a Bernoulli sample
 //! `L` (rate `p`), processes it in one pass and small space, and answers
-//! questions about `P`.
+//! questions about `P`. One [`Monitor`] drives all four estimators over
+//! the same sample, batched.
 
-use subsampled_streams::core::{
-    SampledEntropyEstimator, SampledF0Estimator, SampledF1HeavyHitters, SampledFkEstimator,
-};
+use subsampled_streams::core::{Guarantee, MonitorBuilder, Statistic};
 use subsampled_streams::stream::{BernoulliSampler, ExactStats, StreamGen, ZipfStream};
 
 fn main() {
@@ -24,55 +23,61 @@ fn main() {
     // Ground truth (the referee — not available to the monitor).
     let exact = ExactStats::from_stream(stream.iter().copied());
 
-    // The estimators observe only the sampled stream.
-    let mut f2 = SampledFkEstimator::exact(2, p);
-    let mut f0 = SampledF0Estimator::new(p, 0.05, 7);
-    let mut entropy = SampledEntropyEstimator::new(p, 2000, 7);
-    let mut hh = SampledF1HeavyHitters::new(0.02, 0.2, 0.05, p, 7);
+    // One monitor, four statistics, one pass over the sampled stream.
+    let mut monitor = MonitorBuilder::with_seed(p, 7)
+        .fk(2)
+        .f0(0.05)
+        .entropy(2000)
+        .f1_heavy_hitters(0.02, 0.2, 0.05)
+        .build();
 
     let mut sampler = BernoulliSampler::new(p, 99);
-    let mut seen = 0u64;
-    sampler.sample_slice(&stream, |x| {
-        seen += 1;
-        f2.update(x);
-        f0.update(x);
-        entropy.update(x);
-        hh.update(x);
-    });
+    sampler.sample_batches(&stream, 4096, |chunk| monitor.update_batch(chunk));
 
     println!("original stream : n = {n}, universe = {m}");
-    println!("sampled stream  : {seen} elements (p = {p})\n");
+    println!(
+        "sampled stream  : {} elements (p = {p}), monitor state {} KiB\n",
+        monitor.samples_seen(),
+        monitor.space_bytes() / 1024
+    );
 
     let rel = |est: f64, truth: f64| 100.0 * (est - truth).abs() / truth;
 
+    let f2 = monitor.estimate(Statistic::Fk(2)).expect("registered");
     let t2 = exact.fk(2);
     println!(
         "F2      : estimate {:>14.0}   truth {:>14.0}   err {:>5.2}%",
-        f2.estimate(),
+        f2.value,
         t2,
-        rel(f2.estimate(), t2)
+        rel(f2.value, t2)
     );
 
+    let f0 = monitor.estimate(Statistic::F0).expect("registered");
     let t0 = exact.f0() as f64;
+    let ceiling = match f0.guarantee {
+        Guarantee::BoundedFactor { factor } => factor,
+        _ => unreachable!("Algorithm 2 promises a bounded factor"),
+    };
     println!(
-        "F0      : estimate {:>14.0}   truth {:>14.0}   (error ceiling {:.1}x — Thm 4 says no estimator can beat O(1/sqrt(p)))",
-        f0.estimate(),
-        t0,
-        f0.error_factor()
+        "F0      : estimate {:>14.0}   truth {:>14.0}   (error ceiling {ceiling:.1}x — Thm 4 says no estimator can beat O(1/sqrt(p)))",
+        f0.value, t0
     );
 
+    let h = monitor.estimate(Statistic::Entropy).expect("registered");
     let th = exact.entropy();
     println!(
-        "entropy : estimate {:>14.3}   truth {:>14.3}   err {:>5.2}%  (constant-factor regime: H >> {:.3})",
-        entropy.estimate(),
+        "entropy : estimate {:>14.3}   truth {:>14.3}   err {:>5.2}%  (constant-factor regime)",
+        h.value,
         th,
-        rel(entropy.estimate(), th),
-        entropy.guarantee_threshold(n)
+        rel(h.value, th)
     );
 
+    let hh = monitor
+        .estimate(Statistic::F1HeavyHitters)
+        .expect("registered");
     println!("\nheavy hitters (f_i >= 2% of F1), frequencies rescaled by 1/p:");
     let truth_hh = exact.heavy_hitters_f1(0.02);
-    for (item, f_est) in hh.report() {
+    for &(item, f_est) in &hh.report {
         let f_true = exact.freq(item);
         println!(
             "  item {item:>12}   est {f_est:>9.0}   true {f_true:>9}   err {:>5.2}%",
@@ -81,7 +86,7 @@ fn main() {
     }
     println!(
         "  ({} reported / {} true heavy hitters)",
-        hh.report().len(),
+        hh.report.len(),
         truth_hh.len()
     );
 }

@@ -5,19 +5,15 @@
 //! sampled at a known rate `p`; the monitor sees only the sampled stream
 //! `L` and must estimate aggregates of `P` in one pass and small space.
 //!
-//! This facade re-exports the four workspace crates:
+//! ## Quickstart: one monitor, one pass, every statistic
 //!
-//! * [`hash`] — PRNGs and k-wise independent hash families,
-//! * [`stream`] — workload generators, samplers and exact ground truth,
-//! * [`sketch`] — the classic streaming substrates (CountMin,
-//!   CountSketch, Misra–Gries, AMS, KMV, HyperLogLog, Indyk–Woodruff
-//!   level sets, entropy estimation, reservoir/priority sampling),
-//! * [`core`] — the paper's estimators: `F_k` (Algorithm 1), `F_0`
-//!   (Algorithm 2), entropy (Theorem 5), heavy hitters (Theorems 6–7),
-//!   the baselines, and the flow-distribution / adaptive-rate extensions.
+//! The paper's five results are unified behind the
+//! [`SubsampledEstimator`](core::SubsampledEstimator) trait and driven
+//! together by a [`Monitor`](core::Monitor): register the statistics you
+//! want, feed the sampled stream once (batched), read typed estimates.
 //!
 //! ```
-//! use subsampled_streams::core::SampledFkEstimator;
+//! use subsampled_streams::core::{MonitorBuilder, Statistic};
 //! use subsampled_streams::stream::{BernoulliSampler, ExactStats, StreamGen, ZipfStream};
 //!
 //! // The original stream — which the monitor never sees in full.
@@ -25,16 +21,48 @@
 //! let stream = ZipfStream::new(10_000, 1.2).generate(100_000, 1);
 //! let truth = ExactStats::from_stream(stream.iter().copied()).fk(2);
 //!
-//! // The monitor: Algorithm 1 over the Bernoulli sample.
-//! let mut est = SampledFkEstimator::exact(2, p);
-//! let mut sampler = BernoulliSampler::new(p, 99);
-//! sampler.sample_slice(&stream, |x| est.update(x));
+//! // One monitor answering four questions from the same sample.
+//! let mut monitor = MonitorBuilder::new(p)
+//!     .f0(0.05)                         // Algorithm 2: distinct elements
+//!     .fk(2)                            // Algorithm 1: second moment
+//!     .entropy(2000)                    // Theorem 5: empirical entropy
+//!     .f1_heavy_hitters(0.02, 0.2, 0.05) // Theorem 6: elephants
+//!     .build();
 //!
-//! let rel_err = (est.estimate() - truth).abs() / truth;
-//! assert!(rel_err < 0.1, "F2 within 10% from a 10% sample");
+//! // Single pass over the Bernoulli sample, batched hot path.
+//! let mut sampler = BernoulliSampler::new(p, 99);
+//! sampler.sample_batches(&stream, 1024, |chunk| monitor.update_batch(chunk));
+//!
+//! let f2 = monitor.estimate(Statistic::Fk(2)).unwrap();
+//! assert!(f2.mult_error(truth) < 1.1, "F2 within 10% from a 10% sample");
+//! assert_eq!(f2.p, p); // every estimate carries its provenance
 //! ```
+//!
+//! Monitors built from the same configuration **merge**: per-site monitors
+//! over disjoint traffic combine into one that answers for the union —
+//! exactly for the collision/bottom-k/CountMin substrates (linear or
+//! set-union merges), within sketch error for the rest. See
+//! `examples/distributed_collector.rs`.
+//!
+//! ## Layout
+//!
+//! This facade re-exports the four workspace crates:
+//!
+//! * [`hash`] — PRNGs and k-wise independent hash families,
+//! * [`stream`] — workload generators, samplers (including the batched
+//!   [`sample_batches`](stream::BernoulliSampler::sample_batches) feed)
+//!   and exact ground truth,
+//! * [`sketch`] — the classic streaming substrates (CountMin,
+//!   CountSketch, Misra–Gries, SpaceSaving, AMS, KMV, HyperLogLog,
+//!   Indyk–Woodruff level sets, entropy estimation, reservoir/priority
+//!   sampling), all mergeable and batch-capable,
+//! * [`core`] — the paper's estimators behind the unified trait, the
+//!   [`Monitor`](core::Monitor) pipeline, the baselines, and the
+//!   flow-distribution / adaptive-rate extensions.
 
 pub use sss_core as core;
 pub use sss_hash as hash;
 pub use sss_sketch as sketch;
 pub use sss_stream as stream;
+
+pub use sss_core::{Estimate, Guarantee, Monitor, MonitorBuilder, Statistic, SubsampledEstimator};

@@ -5,9 +5,7 @@
 //! multi-monitor setting its related work on distributed sampling
 //! addresses.)
 
-use subsampled_streams::core::{
-    ApproxParams, SampledF0Estimator, SampledFkEstimator,
-};
+use subsampled_streams::core::{ApproxParams, SampledF0Estimator, SampledFkEstimator};
 use subsampled_streams::stream::{BernoulliSampler, ExactStats, StreamGen, ZipfStream};
 
 /// Split a stream across `sites` monitors, sample each independently,
@@ -24,7 +22,11 @@ fn merged_fk_matches_single_monitor_semantics() {
         let mut merged: Option<SampledFkEstimator<_>> = None;
         for s in 0..sites {
             let lo = s * chunk;
-            let hi = if s + 1 == sites { stream.len() } else { lo + chunk };
+            let hi = if s + 1 == sites {
+                stream.len()
+            } else {
+                lo + chunk
+            };
             let mut est = SampledFkEstimator::exact(2, p);
             let mut sampler = BernoulliSampler::new(p, 100 + s as u64);
             sampler.sample_slice(&stream[lo..hi], |x| est.update(x));

@@ -6,8 +6,8 @@ use subsampled_streams::core::{
     SampledF1HeavyHitters, SampledFkEstimator,
 };
 use subsampled_streams::stream::{
-    BernoulliSampler, ExactStats, NetFlowStream, PlantedHeavyHitters, StreamGen,
-    UniformStream, ZipfStream,
+    BernoulliSampler, ExactStats, NetFlowStream, PlantedHeavyHitters, StreamGen, UniformStream,
+    ZipfStream,
 };
 
 /// One pass over a sampled stream feeding every estimator the paper
@@ -20,7 +20,10 @@ fn full_monitor_pipeline_on_three_workloads() {
     let workloads: Vec<(&str, Vec<u64>)> = vec![
         ("zipf", ZipfStream::new(20_000, 1.2).generate(n, 1)),
         ("uniform", UniformStream::new(5_000).generate(n, 2)),
-        ("netflow", NetFlowStream::new(1 << 20, 1.1, 50_000).generate(n, 3)),
+        (
+            "netflow",
+            NetFlowStream::new(1 << 20, 1.1, 50_000).generate(n, 3),
+        ),
     ];
 
     for (name, stream) in &workloads {
@@ -82,10 +85,7 @@ fn sketched_pipeline_matches_exact_pipeline() {
 
     let a = exact_est.estimate();
     let b = sketched_est.estimate();
-    assert!(
-        (a - b).abs() / a < 0.25,
-        "exact-oracle {a} vs sketched {b}"
-    );
+    assert!((a - b).abs() / a < 0.25, "exact-oracle {a} vs sketched {b}");
     // And the sketched structure really is smaller than the exact map on
     // this workload.
     assert!(sketched_est.space_words() > 0);

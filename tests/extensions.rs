@@ -31,8 +31,7 @@ fn flow_unfolding_on_netflow_trace() {
     assert!(rel_pkts < 0.1, "packets {}", est.total_packets());
 
     // Tail mass: fraction of flows of size >= 10.
-    let true_tail =
-        exact.iter().filter(|&(_, f)| f >= 10).count() as f64 / true_flows;
+    let true_tail = exact.iter().filter(|&(_, f)| f >= 10).count() as f64 / true_flows;
     assert!(
         (est.ccdf(10) - true_tail).abs() < 0.1,
         "tail {} vs {true_tail}",
@@ -79,7 +78,7 @@ fn sample_and_hold_vs_bernoulli_on_elephants() {
     let trace = {
         let mut t = ZipfStream::new(10_000, 1.6).generate(300_000, 5);
         // ensure one giant flow
-        t.extend(std::iter::repeat(42u64).take(30_000));
+        t.extend(std::iter::repeat_n(42u64, 30_000));
         t
     };
     let exact = ExactStats::from_stream(trace.iter().copied());
@@ -98,8 +97,7 @@ fn sample_and_hold_vs_bernoulli_on_elephants() {
             counts += 1;
         }
     });
-    let bern_err =
-        (counts as f64 / p - exact.freq(42) as f64).abs() / exact.freq(42) as f64;
+    let bern_err = (counts as f64 / p - exact.freq(42) as f64).abs() / exact.freq(42) as f64;
 
     assert!(sh_err < 0.01, "sample-and-hold err {sh_err}");
     // Bernoulli's relative error on a single flow of size f concentrates

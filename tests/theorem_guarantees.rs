@@ -6,9 +6,7 @@
 //! are deterministic and non-flaky, but tight enough that a broken
 //! estimator cannot sneak through.
 
-use subsampled_streams::core::{
-    ApproxParams, SampledF0Estimator, SampledFkEstimator,
-};
+use subsampled_streams::core::{ApproxParams, SampledF0Estimator, SampledFkEstimator};
 use subsampled_streams::stream::{
     BernoulliSampler, EntropyScenarioPair, ExactStats, StreamGen, UniformStream, ZipfStream,
 };
@@ -64,7 +62,9 @@ fn below_minimum_p_the_contract_degrades() {
     // the sampled stream sees ~50 items and almost never a collision, so
     // the estimate's spread must blow past (1±0.1).
     let n = 100_000u64;
-    let stream: Vec<u64> = (0..n).map(subsampled_streams::hash::fingerprint64).collect();
+    let stream: Vec<u64> = (0..n)
+        .map(subsampled_streams::hash::fingerprint64)
+        .collect();
     let truth = n as f64;
     let p = 0.0005;
     let params = ApproxParams::new(0.1, 0.1);
