@@ -1,0 +1,103 @@
+//! Sharded vs single-threaded ingestion throughput, plus an end-of-run
+//! consistency check that the merged answer stays within tolerance of the
+//! single-threaded one for every registered statistic.
+//!
+//! ```text
+//! cargo bench --bench bench_sharded            # full workload
+//! cargo bench --bench bench_sharded -- --quick # CI smoke (small stream)
+//! ```
+//!
+//! Numbers to read: the `shards_N` rows against `single_thread`. On a
+//! machine with ≥ N free cores the pipeline should approach N× on the
+//! zipf workload (workers do sampling + estimator updates; the dispatcher
+//! only hands out zero-copy ranges of the shared trace). On a one-core
+//! container every configuration serialises onto the same CPU and the
+//! rows mostly measure queueing overhead — the consistency check is still
+//! meaningful there.
+
+use std::sync::Arc;
+
+use sss_bench::BenchGroup;
+use sss_core::{Monitor, MonitorBuilder, ShardedConfig, ShardedMonitor, Statistic};
+use sss_stream::{BernoulliSampler, StreamGen, ZipfStream};
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn proto(p: f64) -> Monitor {
+    MonitorBuilder::with_seed(p, 7)
+        .f0(0.05)
+        .fk(2)
+        .entropy(1024)
+        .f1_heavy_hitters(0.05, 0.2, 0.05)
+        .build()
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let n: u64 = if quick { 200_000 } else { 2_000_000 };
+    let p = 0.25;
+    let stream = Arc::new(ZipfStream::new(1 << 16, 1.2).generate(n, 42));
+
+    let mut g = BenchGroup::new(
+        if quick {
+            "sharded_ingestion (quick)"
+        } else {
+            "sharded_ingestion"
+        },
+        n,
+    );
+
+    g.bench("single_thread", || {
+        let mut m = proto(p);
+        let mut sampler = BernoulliSampler::new(p, 43);
+        sampler.sample_batches(&stream, 1024, |chunk| m.update_batch(chunk));
+        m.samples_seen()
+    });
+
+    for shards in SHARD_COUNTS {
+        g.bench(&format!("shards_{shards}"), || {
+            let mut sm = ShardedMonitor::launch(&proto(p), 43, ShardedConfig::new(shards));
+            sm.ingest_shared(&stream);
+            sm.finish().samples_seen()
+        });
+    }
+
+    println!("\nscaling vs single thread (cores available: {}):", cores());
+    let base = g.median_of("single_thread");
+    for shards in SHARD_COUNTS {
+        let t = g.median_of(&format!("shards_{shards}"));
+        println!("  {shards} shard(s): {:.2}x", base / t);
+    }
+
+    // Consistency: merged sharded answers vs the single-threaded monitor.
+    let mut single = proto(p);
+    let mut sampler = BernoulliSampler::new(p, 43);
+    sampler.sample_batches(&stream, 1024, |chunk| single.update_batch(chunk));
+    let mut sm = ShardedMonitor::launch(&proto(p), 43, ShardedConfig::new(4));
+    sm.ingest_shared(&stream);
+    let merged = sm.finish();
+
+    println!("\nconsistency (4 shards vs single thread, independent samples):");
+    let mut worst: f64 = 1.0;
+    for stat in [Statistic::F0, Statistic::Fk(2), Statistic::Entropy] {
+        let a = merged.estimate(stat).unwrap().value;
+        let b = single.estimate(stat).unwrap().value;
+        let ratio = if b != 0.0 { a / b } else { f64::NAN };
+        worst = worst.max(ratio.max(1.0 / ratio));
+        println!("  {stat:?}: sharded {a:.4e}  single {b:.4e}  ratio {ratio:.3}");
+    }
+    // Both pipelines see independent Bernoulli samples of the same
+    // stream, so agreement is statistical, not bitwise: F0/F2 concentrate
+    // tightly, entropy within its constant-factor band.
+    assert!(
+        worst < 1.5,
+        "sharded and single-threaded answers diverged: worst ratio {worst}"
+    );
+    println!("  ok (worst ratio {worst:.3})");
+}
+
+fn cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}

@@ -77,7 +77,7 @@ fn main() {
                     }
                 }
             }
-            ferrs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            ferrs.sort_by(|a, b| a.total_cmp(b));
             let med_ferr = ferrs.get(ferrs.len() / 2).copied().unwrap_or(f64::NAN);
             table.row(vec![
                 format!("{alpha}"),

@@ -86,7 +86,7 @@ fn main() {
         if p == 1.0 {
             base_space = space;
         }
-        ferrs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        ferrs.sort_by(|a, b| a.total_cmp(b));
         table.row(vec![
             format!("{p}"),
             fmt_pct(recall_hits as f64 / trials as f64),

@@ -48,7 +48,7 @@ fn main() {
             ApproxParams::mult_error(est.estimate(), truth) - 1.0
         });
         let mut sorted = errs.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_by(|a, b| a.total_cmp(b));
         let sqrt_n = (n as f64).sqrt();
         table.row(vec![
             n.to_string(),

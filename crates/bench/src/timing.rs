@@ -57,7 +57,7 @@ impl BenchGroup {
                 t0.elapsed().as_nanos() as f64 / self.elements as f64
             })
             .collect();
-        times.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        times.sort_by(|a, b| a.total_cmp(b));
         let median = times[times.len() / 2];
         let min = times[0];
         println!(

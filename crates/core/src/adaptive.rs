@@ -156,6 +156,13 @@ impl SubsampledEstimator for AdaptiveF2Estimator {
         AdaptiveF2Estimator::merge(self, other);
     }
 
+    fn merge_compatible(&self, _other: &Self) -> Result<(), crate::estimate::MergeError> {
+        // Shards of an adaptive estimator may legitimately sit at
+        // different current rates (importance weights absorb the
+        // difference), so the default rate-compatibility gate is skipped.
+        Ok(())
+    }
+
     fn estimate(&self) -> Estimate {
         // Unbiased under any past-measurable rate schedule, but the paper
         // proves no worst-case (ε, δ) for it — an extension, not a theorem.

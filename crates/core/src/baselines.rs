@@ -79,7 +79,7 @@ impl RusuDobraF2 {
     /// Merge a second monitor's estimator (same dimensions, seed and `p`):
     /// AMS sketches are linear, so the merge is exact.
     pub fn merge(&mut self, other: &RusuDobraF2) {
-        assert!((self.p - other.p).abs() < 1e-12, "sampling rates differ");
+        crate::estimate::assert_rates_compatible(self.p, other.p);
         self.ams.merge(&other.ams);
         self.n_sampled += other.n_sampled;
     }
@@ -173,7 +173,7 @@ impl NaiveScaledFk {
     /// union.
     pub fn merge(&mut self, other: &NaiveScaledFk) {
         assert_eq!(self.k, other.k, "moment order mismatch");
-        assert!((self.p - other.p).abs() < 1e-12, "sampling rates differ");
+        crate::estimate::assert_rates_compatible(self.p, other.p);
         for (&i, &g) in &other.freqs {
             *self.freqs.entry(i).or_insert(0) += g;
         }
@@ -269,7 +269,7 @@ impl NaiveScaledF0 {
     /// Merge a second baseline built with the same seed and `p` (bottom-k
     /// union).
     pub fn merge(&mut self, other: &NaiveScaledF0) {
-        assert!((self.p - other.p).abs() < 1e-12, "sampling rates differ");
+        crate::estimate::assert_rates_compatible(self.p, other.p);
         self.inner.merge(&other.inner);
         self.n_sampled += other.n_sampled;
     }
@@ -336,7 +336,7 @@ mod tests {
             sampler.sample_slice(&stream, |x| rd.update(x));
             errs.push((rd.estimate() - truth).abs() / truth);
         }
-        errs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        errs.sort_by(|a, b| a.total_cmp(b));
         assert!(errs[4] < 0.15, "median err {}", errs[4]);
     }
 
@@ -363,7 +363,7 @@ mod tests {
             ours_errs.push((ours.estimate() - truth).abs() / truth);
         }
         let med = |v: &mut Vec<f64>| {
-            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            v.sort_by(|a, b| a.total_cmp(b));
             v[v.len() / 2]
         };
         let rd_med = med(&mut rd_errs);

@@ -84,7 +84,7 @@ impl SampledEntropyEstimator {
     /// Theorem 5's constant-factor contract whenever `H(f)` is above its
     /// admissibility threshold by that margin.
     pub fn merge(&mut self, other: &SampledEntropyEstimator) {
-        assert!((self.p - other.p).abs() < 1e-12, "sampling rates differ");
+        crate::estimate::assert_rates_compatible(self.p, other.p);
         self.merged_weight += other.inner.n() as f64 * other.inner.estimate() + other.merged_weight;
         self.merged_n += other.inner.n() + other.merged_n;
     }
@@ -133,6 +133,14 @@ impl SampledEntropyEstimator {
     pub fn rate_admissible(&self, n_original: u64) -> bool {
         self.p >= (n_original as f64).powf(-1.0 / 3.0)
     }
+
+    /// Re-seed the reservoir replacement randomness (pre-ingestion only) —
+    /// the entropy estimator's only shard-local randomness. The merge is a
+    /// length-weighted average with no shared hash state, so shards with
+    /// different reservoir seeds stay fully mergeable.
+    pub fn reseed(&mut self, seed: u64) {
+        self.inner.reseed(seed);
+    }
 }
 
 impl SubsampledEstimator for SampledEntropyEstimator {
@@ -150,6 +158,10 @@ impl SubsampledEstimator for SampledEntropyEstimator {
 
     fn merge(&mut self, other: &Self) {
         SampledEntropyEstimator::merge(self, other);
+    }
+
+    fn reseed_shard_local(&mut self, seed: u64) {
+        SampledEntropyEstimator::reseed(self, seed);
     }
 
     fn estimate(&self) -> Estimate {

@@ -21,6 +21,86 @@
 
 use crate::params::ApproxParams;
 
+/// Relative tolerance for comparing the sampling rates of two summaries
+/// being merged. Shard `p` values that travelled through configuration
+/// files or serialization can disagree in the last few ulps; a relative
+/// check admits those while still rejecting genuinely different rates.
+pub const RATE_MERGE_RTOL: f64 = 1e-9;
+
+/// Whether two sampling rates are close enough to merge: finite, and
+/// within [`RATE_MERGE_RTOL`] *relative* error of each other. NaN-safe
+/// (a NaN rate is never compatible with anything, including itself).
+#[inline]
+pub fn rates_compatible(a: f64, b: f64) -> bool {
+    a.is_finite() && b.is_finite() && (a - b).abs() <= RATE_MERGE_RTOL * a.abs().max(b.abs())
+}
+
+/// Panicking form of [`rates_compatible`] for estimator-level `merge`
+/// (the `try_merge` path reports [`MergeError::RateMismatch`] instead).
+#[inline]
+#[track_caller]
+pub fn assert_rates_compatible(a: f64, b: f64) {
+    assert!(rates_compatible(a, b), "sampling rates differ: {a} vs {b}");
+}
+
+/// Why two summaries refused to merge. Returned by
+/// [`SubsampledEstimator::try_merge`] and
+/// [`Monitor::try_merge`](crate::monitor::Monitor::try_merge) so a
+/// release deployment can reject an incompatible shard instead of
+/// panicking mid-collection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MergeError {
+    /// The sampling rates differ beyond [`RATE_MERGE_RTOL`].
+    RateMismatch {
+        /// The receiving side's rate.
+        left: f64,
+        /// The incoming side's rate.
+        right: f64,
+    },
+    /// The monitors register different numbers of statistics.
+    ShapeMismatch {
+        /// Registered estimator count on the receiving side.
+        left: usize,
+        /// Registered estimator count on the incoming side.
+        right: usize,
+    },
+    /// The monitors register different statistics at the same slot.
+    LabelMismatch {
+        /// Label at the slot on the receiving side.
+        left: String,
+        /// Label at the slot on the incoming side.
+        right: String,
+    },
+    /// Same label, different concrete estimator type at that slot.
+    TypeMismatch {
+        /// The slot's label.
+        label: String,
+    },
+}
+
+impl std::fmt::Display for MergeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MergeError::RateMismatch { left, right } => {
+                write!(f, "sampling rates differ: {left} vs {right}")
+            }
+            MergeError::ShapeMismatch { left, right } => write!(
+                f,
+                "monitors register different statistics: {left} vs {right} estimators"
+            ),
+            MergeError::LabelMismatch { left, right } => write!(
+                f,
+                "monitors register different statistics: '{left}' vs '{right}'"
+            ),
+            MergeError::TypeMismatch { label } => {
+                write!(f, "estimator type mismatch at slot '{label}'")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
 /// Which statistic of the original stream `P` an estimator targets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Statistic {
@@ -172,6 +252,54 @@ pub trait SubsampledEstimator {
     fn merge(&mut self, other: &Self)
     where
         Self: Sized;
+
+    /// The validation half of [`SubsampledEstimator::try_merge`]: whether
+    /// `other` could merge into `self`, **without mutating anything**.
+    /// Default: the tolerant rate check (beyond [`RATE_MERGE_RTOL`]
+    /// relative ⇒ [`MergeError::RateMismatch`]). Estimators whose merge is
+    /// rate-agnostic (e.g. adaptive-rate extensions) override this to
+    /// accept unconditionally. Monitors run this for *every* slot before
+    /// merging *any*, so a failed monitor merge never half-applies.
+    fn merge_compatible(&self, other: &Self) -> Result<(), MergeError>
+    where
+        Self: Sized,
+    {
+        if !rates_compatible(self.p(), other.p()) {
+            return Err(MergeError::RateMismatch {
+                left: self.p(),
+                right: other.p(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Fallible [`SubsampledEstimator::merge`]: reject an incompatible
+    /// shard (per [`SubsampledEstimator::merge_compatible`]) with a typed
+    /// [`MergeError`] instead of panicking.
+    ///
+    /// # Panics
+    /// Still panics on *structural* incompatibility (different sketch
+    /// dimensions or seeds) — those are configuration bugs, not data.
+    fn try_merge(&mut self, other: &Self) -> Result<(), MergeError>
+    where
+        Self: Sized,
+    {
+        self.merge_compatible(other)?;
+        self.merge(other);
+        Ok(())
+    }
+
+    /// Re-seed randomness that is **shard-local** — i.e. does not
+    /// participate in the merge algebra — ahead of sharded ingestion.
+    /// Hash functions shared by mergeable sketches (CountMin rows, KMV,
+    /// CountSketch, level sets) must stay identical across shards and are
+    /// deliberately *not* touched; reservoir-style sampling decisions are.
+    /// The default is a no-op: an estimator either has no shard-local
+    /// randomness or is purely deterministic.
+    ///
+    /// Called by [`Monitor::fork_shard`](crate::monitor::Monitor::fork_shard)
+    /// on pristine (pre-ingestion) estimators only.
+    fn reseed_shard_local(&mut self, _seed: u64) {}
 
     /// The current typed estimate.
     fn estimate(&self) -> Estimate;

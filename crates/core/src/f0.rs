@@ -104,7 +104,7 @@ impl SampledF0Estimator {
     /// streams — bottom-k sketches are exactly mergeable, so distributed
     /// monitors lose nothing.
     pub fn merge(&mut self, other: &SampledF0Estimator) {
-        assert!((self.p - other.p).abs() < 1e-12, "sampling rates differ");
+        crate::estimate::assert_rates_compatible(self.p, other.p);
         self.inner.merge(&other.inner);
         self.n_sampled += other.n_sampled;
     }

@@ -125,12 +125,7 @@ impl<O: CollisionOracle> SampledFkEstimator<O> {
     /// for [`LevelSetCollisions`] (linear CountSketch merge).
     pub fn merge(&mut self, other: &Self) {
         assert_eq!(self.k, other.k, "moment order mismatch");
-        assert!(
-            (self.p - other.p).abs() < 1e-12,
-            "sampling rates differ: {} vs {}",
-            self.p,
-            other.p
-        );
+        crate::estimate::assert_rates_compatible(self.p, other.p);
         self.oracle.merge(&other.oracle);
     }
 
@@ -279,7 +274,7 @@ mod tests {
             sampler.sample_slice(&stream, |x| est.update(x));
             errs.push((est.estimate() - truth).abs() / truth);
         }
-        errs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        errs.sort_by(|a, b| a.total_cmp(b));
         // Median trial within 5%, no trial catastrophically off.
         assert!(errs[4] < 0.05, "median err {}", errs[4]);
         assert!(errs[9] < 0.2, "worst err {}", errs[9]);
@@ -297,7 +292,7 @@ mod tests {
             sampler.sample_slice(&stream, |x| est.update(x));
             errs.push((est.estimate() - truth).abs() / truth);
         }
-        errs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        errs.sort_by(|a, b| a.total_cmp(b));
         assert!(errs[4] < 0.1, "median err {}", errs[4]);
     }
 

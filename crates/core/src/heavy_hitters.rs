@@ -105,10 +105,10 @@ impl SampledF1HeavyHitters {
         assert!(
             (self.alpha - other.alpha).abs() < 1e-15
                 && (self.eps - other.eps).abs() < 1e-15
-                && (self.delta - other.delta).abs() < 1e-15
-                && (self.p - other.p).abs() < 1e-12,
+                && (self.delta - other.delta).abs() < 1e-15,
             "parameter mismatch"
         );
+        crate::estimate::assert_rates_compatible(self.p, other.p);
         self.inner.merge(&other.inner);
     }
 
@@ -249,10 +249,10 @@ impl SampledF2HeavyHitters {
         assert!(
             (self.alpha - other.alpha).abs() < 1e-15
                 && (self.eps - other.eps).abs() < 1e-15
-                && (self.delta - other.delta).abs() < 1e-15
-                && (self.p - other.p).abs() < 1e-12,
+                && (self.delta - other.delta).abs() < 1e-15,
             "parameter mismatch"
         );
+        crate::estimate::assert_rates_compatible(self.p, other.p);
         self.inner.merge(&other.inner);
     }
 

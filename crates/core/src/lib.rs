@@ -56,13 +56,17 @@ pub mod heavy_hitters;
 pub mod monitor;
 pub mod numeric;
 pub mod params;
+pub mod sharded;
 pub mod stirling;
 
 pub use adaptive::{AdaptiveF2Estimator, TargetCollisionsPolicy};
 pub use baselines::{NaiveScaledF0, NaiveScaledFk, RusuDobraF2};
 pub use collisions::{CollisionOracle, ExactCollisions, LevelSetCollisions};
 pub use entropy::SampledEntropyEstimator;
-pub use estimate::{Estimate, Guarantee, Statistic, SubsampledEstimator};
+pub use estimate::{
+    rates_compatible, Estimate, Guarantee, MergeError, Statistic, SubsampledEstimator,
+    RATE_MERGE_RTOL,
+};
 pub use f0::{f0_lower_bound_factor, SampledF0Estimator};
 pub use fk::{
     fk_error_schedule, min_sampling_probability, recommended_levelset_config, SampledFkEstimator,
@@ -73,3 +77,4 @@ pub use heavy_hitters::{
 };
 pub use monitor::{Monitor, MonitorBuilder};
 pub use params::ApproxParams;
+pub use sharded::{ShardedConfig, ShardedMonitor};

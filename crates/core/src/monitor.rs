@@ -30,15 +30,20 @@
 //! registration sequence) are mergeable: each registered estimator merges
 //! with its counterpart, so a collector can combine per-site monitors
 //! into one answering for the union of all traffic
-//! (`examples/distributed_collector.rs`).
+//! (`examples/distributed_collector.rs`). [`Monitor::try_merge`] is the
+//! fallible variant for summaries arriving from outside the process, and
+//! [`Monitor::fork_shard`] derives per-worker clones for the
+//! multi-threaded pipeline in [`crate::sharded`] (see
+//! `crates/core/src/README.md` for the architecture and the
+//! seed-splitting contract).
 
 use std::any::Any;
 
-use sss_hash::SplitMix64;
+use sss_hash::{split_seed, SplitMix64};
 use sss_sketch::levelset::LevelSetConfig;
 
 use crate::entropy::SampledEntropyEstimator;
-use crate::estimate::{Estimate, Statistic, SubsampledEstimator};
+use crate::estimate::{rates_compatible, Estimate, MergeError, Statistic, SubsampledEstimator};
 use crate::f0::SampledF0Estimator;
 use crate::fk::{recommended_levelset_config, SampledFkEstimator};
 use crate::heavy_hitters::{SampledF1HeavyHitters, SampledF2HeavyHitters};
@@ -46,18 +51,27 @@ use crate::params::ApproxParams;
 
 /// Object-safe adapter over [`SubsampledEstimator`] so a [`Monitor`] can
 /// hold heterogeneous estimators. `merge` is recovered through `Any`
-/// downcasting (both sides must be the same concrete type).
-trait DynEstimator {
+/// downcasting (both sides must be the same concrete type). `Send + Clone`
+/// are required so monitors can be forked onto worker threads
+/// ([`crate::sharded::ShardedMonitor`]).
+trait DynEstimator: Send {
     fn update(&mut self, x: u64);
     fn update_batch(&mut self, xs: &[u64]);
     fn estimate(&self) -> Estimate;
     fn statistic(&self) -> Statistic;
     fn space_bytes(&self) -> usize;
     fn as_any(&self) -> &dyn Any;
-    fn merge_dyn(&mut self, other: &dyn Any);
+    /// Whether `other` could merge into this slot (same concrete type and
+    /// [`SubsampledEstimator::merge_compatible`]) — without mutating
+    /// anything. Checked for *all* slots before any state is mutated, so
+    /// a failed monitor merge never half-applies.
+    fn check_merge(&self, other: &dyn Any, label: &str) -> Result<(), MergeError>;
+    fn merge_dyn(&mut self, other: &dyn Any, label: &str) -> Result<(), MergeError>;
+    fn reseed_shard_local_dyn(&mut self, seed: u64);
+    fn clone_box(&self) -> Box<dyn DynEstimator>;
 }
 
-impl<T: SubsampledEstimator + Any> DynEstimator for T {
+impl<T: SubsampledEstimator + Any + Clone + Send> DynEstimator for T {
     fn update(&mut self, x: u64) {
         SubsampledEstimator::update(self, x);
     }
@@ -82,11 +96,34 @@ impl<T: SubsampledEstimator + Any> DynEstimator for T {
         self
     }
 
-    fn merge_dyn(&mut self, other: &dyn Any) {
+    fn check_merge(&self, other: &dyn Any, label: &str) -> Result<(), MergeError> {
         let other = other
             .downcast_ref::<T>()
-            .expect("monitor merge: estimator type mismatch at the same slot");
+            .ok_or_else(|| MergeError::TypeMismatch {
+                label: label.to_string(),
+            })?;
+        SubsampledEstimator::merge_compatible(self, other)
+    }
+
+    fn merge_dyn(&mut self, other: &dyn Any, label: &str) -> Result<(), MergeError> {
+        let other = other
+            .downcast_ref::<T>()
+            .ok_or_else(|| MergeError::TypeMismatch {
+                label: label.to_string(),
+            })?;
+        // Compatibility was already proven by the all-slots `check_merge`
+        // pre-pass; re-running it here would just add a dead error path
+        // that could half-apply the monitor merge.
         SubsampledEstimator::merge(self, other);
+        Ok(())
+    }
+
+    fn reseed_shard_local_dyn(&mut self, seed: u64) {
+        SubsampledEstimator::reseed_shard_local(self, seed);
+    }
+
+    fn clone_box(&self) -> Box<dyn DynEstimator> {
+        Box::new(self.clone())
     }
 }
 
@@ -95,12 +132,22 @@ struct Entry {
     est: Box<dyn DynEstimator>,
 }
 
+impl Clone for Entry {
+    fn clone(&self) -> Self {
+        Entry {
+            label: self.label.clone(),
+            est: self.est.clone_box(),
+        }
+    }
+}
+
 /// Builder for a [`Monitor`]: pick the sampling rate, register statistics,
 /// build. Two monitors are mergeable iff they were built with the same
 /// rate, seed and registration sequence (so every sketch pair shares its
 /// hash functions).
 pub struct MonitorBuilder {
     p: f64,
+    seed: u64,
     seeds: SplitMix64,
     entries: Vec<Entry>,
 }
@@ -121,6 +168,7 @@ impl MonitorBuilder {
         );
         Self {
             p,
+            seed,
             seeds: SplitMix64::new(seed),
             entries: Vec::new(),
         }
@@ -197,7 +245,7 @@ impl MonitorBuilder {
     /// alongside exact ones, and extensions.
     pub fn register<E>(mut self, label: &str, est: E) -> Self
     where
-        E: SubsampledEstimator + Any,
+        E: SubsampledEstimator + Any + Clone + Send,
     {
         let _ = self.seeds.derive();
         self.push(label.to_string(), Box::new(est))
@@ -207,6 +255,7 @@ impl MonitorBuilder {
     pub fn build(self) -> Monitor {
         Monitor {
             p: self.p,
+            seed: self.seed,
             entries: self.entries,
             samples: 0,
         }
@@ -215,8 +264,10 @@ impl MonitorBuilder {
 
 /// A single-pass monitor over the sampled stream `L`, fanning each element
 /// (or batch) out to every registered estimator.
+#[derive(Clone)]
 pub struct Monitor {
     p: f64,
+    seed: u64,
     entries: Vec<Entry>,
     samples: u64,
 }
@@ -237,8 +288,9 @@ impl Monitor {
         self.entries.is_empty()
     }
 
-    /// Elements of the sampled stream ingested by this monitor (excluding
-    /// merged shards; per-estimator provenance includes them).
+    /// Elements of the sampled stream ingested by this monitor, *including*
+    /// shards folded in by [`Monitor::merge`] — monitor-level and
+    /// per-estimator provenance agree after a merge.
     pub fn samples_seen(&self) -> u64 {
         self.samples
     }
@@ -273,27 +325,80 @@ impl Monitor {
     ///
     /// # Panics
     /// If the monitors were built differently (rate, registration sequence
-    /// or estimator types disagree).
+    /// or estimator types disagree). Release deployments that receive
+    /// shard summaries from outside should prefer [`Monitor::try_merge`],
+    /// which reports the incompatibility instead.
     pub fn merge(&mut self, other: &Monitor) {
-        assert!(
-            (self.p - other.p).abs() < 1e-12,
-            "sampling rates differ: {} vs {}",
-            self.p,
-            other.p
-        );
-        assert_eq!(
-            self.entries.len(),
-            other.entries.len(),
-            "monitors register different statistics"
-        );
+        if let Err(e) = self.try_merge(other) {
+            panic!("monitor merge: {e}");
+        }
+    }
+
+    /// Fallible [`Monitor::merge`]: validates rate (within
+    /// [`crate::estimate::RATE_MERGE_RTOL`] relative — shard `p` values
+    /// arriving via config or serialization may differ in the last ulp),
+    /// registration shape, labels, concrete estimator types and per-slot
+    /// estimator compatibility (`merge_compatible`, which catches e.g. a
+    /// `register()`-ed baseline carrying its own divergent rate) **before
+    /// touching any state**, so an `Err` leaves `self` exactly as it was.
+    pub fn try_merge(&mut self, other: &Monitor) -> Result<(), MergeError> {
+        if !rates_compatible(self.p, other.p) {
+            return Err(MergeError::RateMismatch {
+                left: self.p,
+                right: other.p,
+            });
+        }
+        if self.entries.len() != other.entries.len() {
+            return Err(MergeError::ShapeMismatch {
+                left: self.entries.len(),
+                right: other.entries.len(),
+            });
+        }
+        for (mine, theirs) in self.entries.iter().zip(&other.entries) {
+            if mine.label != theirs.label {
+                return Err(MergeError::LabelMismatch {
+                    left: mine.label.clone(),
+                    right: theirs.label.clone(),
+                });
+            }
+            mine.est.check_merge(theirs.est.as_any(), &mine.label)?;
+        }
         for (mine, theirs) in self.entries.iter_mut().zip(&other.entries) {
-            assert_eq!(
-                mine.label, theirs.label,
-                "monitors register different statistics"
-            );
-            mine.est.merge_dyn(theirs.est.as_any());
+            mine.est.merge_dyn(theirs.est.as_any(), &mine.label)?;
         }
         self.samples += other.samples;
+        Ok(())
+    }
+
+    /// A shard clone for worker `shard` of a sharded deployment: identical
+    /// estimator configuration (labels, parameters and — crucially — the
+    /// hash seeds that make sketch merges valid), with **shard-local**
+    /// randomness re-seeded from `split_seed(builder seed, shard)` so
+    /// reservoir-style sampling decisions are independent across workers.
+    ///
+    /// The seed-splitting contract: randomness that participates in the
+    /// merge algebra (CountMin/CountSketch/KMV/level-set hash functions)
+    /// stays shard-invariant; randomness that only drives shard-local
+    /// sampling (entropy reservoirs) is re-derived per shard. Forked
+    /// monitors therefore always remain mergeable with each other and
+    /// with the prototype.
+    ///
+    /// # Panics
+    /// If this monitor has already ingested samples — forking ingested
+    /// state would double-count it when the shards are merged back.
+    pub fn fork_shard(&self, shard: u64) -> Monitor {
+        assert!(
+            self.samples == 0,
+            "fork_shard requires a pristine monitor (saw {} samples)",
+            self.samples
+        );
+        let mut forked = self.clone();
+        forked.seed = split_seed(self.seed, shard);
+        let mut seeds = SplitMix64::new(forked.seed);
+        for e in &mut forked.entries {
+            e.est.reseed_shard_local_dyn(seeds.derive());
+        }
+        forked
     }
 
     /// The estimate registered under the default label of `stat`
@@ -469,6 +574,164 @@ mod tests {
         let mut a = MonitorBuilder::with_seed(0.5, 1).f0(0.05).build();
         let b = MonitorBuilder::with_seed(0.5, 1).fk(2).build();
         a.merge(&b);
+    }
+
+    #[test]
+    fn try_merge_reports_typed_errors_without_mutating() {
+        use crate::estimate::MergeError;
+
+        // Rate mismatch beyond the relative tolerance.
+        let mut a = MonitorBuilder::with_seed(0.5, 1).f0(0.05).build();
+        a.update_batch(&[1, 2, 3]);
+        let b = MonitorBuilder::with_seed(0.25, 1).f0(0.05).build();
+        assert_eq!(
+            a.try_merge(&b),
+            Err(MergeError::RateMismatch {
+                left: 0.5,
+                right: 0.25
+            })
+        );
+        assert_eq!(a.samples_seen(), 3, "failed merge must not mutate");
+
+        // Shape mismatch.
+        let c = MonitorBuilder::with_seed(0.5, 1).f0(0.05).fk(2).build();
+        assert_eq!(
+            a.try_merge(&c),
+            Err(MergeError::ShapeMismatch { left: 1, right: 2 })
+        );
+
+        // Label mismatch at a slot.
+        let d = MonitorBuilder::with_seed(0.5, 1).fk(2).build();
+        assert!(matches!(
+            a.try_merge(&d),
+            Err(MergeError::LabelMismatch { .. })
+        ));
+
+        // Same label, different concrete type (exact vs sketched Fk).
+        let mut e = MonitorBuilder::with_seed(0.5, 1).fk(2).build();
+        let f = MonitorBuilder::with_seed(0.5, 1)
+            .fk_sketched(2, 1 << 12, 0.2)
+            .build();
+        assert_eq!(
+            e.try_merge(&f),
+            Err(MergeError::TypeMismatch {
+                label: "F2".to_string()
+            })
+        );
+    }
+
+    #[test]
+    fn try_merge_precheck_catches_slot_level_rate_mismatch() {
+        use crate::baselines::NaiveScaledF0;
+        use crate::estimate::MergeError;
+
+        // Monitor-level rates agree, but one side's register()-ed baseline
+        // carries a divergent internal rate: the per-slot pre-check must
+        // reject BEFORE the earlier slot mutates (no half-applied merge).
+        let build = |inner_p: f64| {
+            MonitorBuilder::with_seed(0.5, 1)
+                .f0(0.05)
+                .register("F0_naive", NaiveScaledF0::new(inner_p, 9))
+                .build()
+        };
+        let mut a = build(0.5);
+        a.update_batch(&[1, 2, 3]);
+        let f0_before = a.estimate(Statistic::F0).unwrap();
+        let mut b = build(0.25);
+        b.update_batch(&[4, 5]);
+        assert_eq!(
+            a.try_merge(&b),
+            Err(MergeError::RateMismatch {
+                left: 0.5,
+                right: 0.25
+            })
+        );
+        assert_eq!(a.samples_seen(), 3, "failed merge must not mutate");
+        assert_eq!(
+            a.estimate(Statistic::F0).unwrap(),
+            f0_before,
+            "the slot ahead of the mismatch must be untouched"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "pristine monitor")]
+    fn fork_shard_rejects_ingested_monitor() {
+        let mut m = MonitorBuilder::with_seed(0.5, 1).f0(0.05).build();
+        m.update(1);
+        let _ = m.fork_shard(0);
+    }
+
+    #[test]
+    fn try_merge_accepts_last_ulp_rate_difference() {
+        // p values that differ in the last ulp (e.g. a rate that travelled
+        // through a config file) must merge fine.
+        let p: f64 = 0.3;
+        let p_ulp = f64::from_bits(p.to_bits() + 1);
+        assert_ne!(p, p_ulp);
+        let mut a = MonitorBuilder::with_seed(p, 1).fk(2).build();
+        a.update_batch(&[1, 1, 2]);
+        let mut b = MonitorBuilder::with_seed(p_ulp, 1).fk(2).build();
+        b.update_batch(&[2, 3]);
+        assert_eq!(a.try_merge(&b), Ok(()));
+        assert_eq!(a.samples_seen(), 5);
+    }
+
+    #[test]
+    fn merged_provenance_reflects_the_union() {
+        // Satellite regression: after merging two shards, `samples_seen`
+        // and `p` on the monitor AND on every per-estimator `Estimate`
+        // must reflect the union (sum of shard samples, shared p) — not
+        // just the point value.
+        let p = 0.4;
+        let stream = ZipfStream::new(400, 1.1).generate(40_000, 21);
+        let (left, right) = stream.split_at(stream.len() / 2);
+        let mut a = build_monitor(p);
+        let mut b = build_monitor(p);
+        let mut sa = BernoulliSampler::new(p, 31);
+        sa.sample_slice(left, |x| a.update(x));
+        let mut sb = BernoulliSampler::new(p, 32);
+        sb.sample_slice(right, |x| b.update(x));
+        let (na, nb) = (a.samples_seen(), b.samples_seen());
+        assert!(na > 0 && nb > 0);
+
+        a.merge(&b);
+        assert_eq!(a.samples_seen(), na + nb, "monitor-level samples sum");
+        for (label, est) in a.report() {
+            assert_eq!(
+                est.samples_seen,
+                na + nb,
+                "{label}: estimate provenance must count both shards"
+            );
+            assert_eq!(est.p, p, "{label}: merged p must be the shared rate");
+        }
+    }
+
+    #[test]
+    fn forked_shards_stay_mergeable_and_reseed_shard_local_randomness() {
+        let p = 0.5;
+        let stream = ZipfStream::new(200, 1.0).generate(30_000, 8);
+        let proto = build_monitor(p);
+        let mut s0 = proto.fork_shard(0);
+        let mut s1 = proto.fork_shard(1);
+        // Same sampled elements through both forks: hash-based substrates
+        // (F0 bottom-k, Fk collisions, CountMin HH) must agree exactly —
+        // the merge-critical seeds are shard-invariant...
+        let sampled = BernoulliSampler::new(p, 4).sample_to_vec(&stream);
+        s0.update_batch(&sampled);
+        s1.update_batch(&sampled);
+        let (r0, r1) = (s0.report(), s1.report());
+        assert_eq!(r0[0].1.value, r1[0].1.value, "F0 is shard-seed invariant");
+        assert_eq!(r0[1].1.value, r1[1].1.value, "Fk is deterministic");
+        // ...while the entropy reservoir (shard-local randomness) was
+        // re-seeded per shard, so its sampling decisions differ.
+        assert_ne!(
+            r0[2].1.value, r1[2].1.value,
+            "entropy reservoirs should be independently seeded across shards"
+        );
+        // And forks merge with each other (shared hashes, shared p).
+        s0.merge(&s1);
+        assert_eq!(s0.samples_seen(), 2 * sampled.len() as u64);
     }
 
     #[test]

@@ -28,6 +28,6 @@ pub mod tabulation;
 pub use map::{fp_hash_map, fp_hash_set, FpHashMap, FpHashSet};
 pub use mix::{fingerprint64, reduce_range, to_unit_f64};
 pub use poly::{PairwiseHash, PolyHash, MERSENNE_PRIME_61};
-pub use rng::{RngCore64, SplitMix64, Xoshiro256pp};
+pub use rng::{split_seed, RngCore64, SplitMix64, Xoshiro256pp};
 pub use sign::FourWiseSign;
 pub use tabulation::TabulationHash;

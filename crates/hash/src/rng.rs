@@ -95,6 +95,37 @@ impl SplitMix64 {
     pub fn derive(&mut self) -> u64 {
         self.next_u64()
     }
+
+    /// A child generator for lane `lane` of a family rooted at this
+    /// generator's current state; `self` is not advanced, so every lane is
+    /// reachable without consuming the parent's sequence. See
+    /// [`split_seed`] for the mixing contract.
+    #[inline]
+    pub fn split(&self, lane: u64) -> SplitMix64 {
+        SplitMix64::new(split_seed(self.state, lane))
+    }
+}
+
+/// Derive the `lane`-th seed of a family of statistically independent
+/// child seeds rooted at `seed` — the seed-splitting primitive behind
+/// sharded pipelines (shard `i` gets `split_seed(base, i)`).
+///
+/// Unlike `SplitMix64::derive`, which hands out seeds *sequentially*,
+/// this is **random access**: lane `i` can be computed without computing
+/// lanes `0..i`, so shards can be constructed independently and in any
+/// order. The construction interleaves two full SplitMix64 finalisation
+/// rounds with lane injection on distinct Weyl constants, so nearby
+/// `(seed, lane)` pairs land on unrelated outputs and lane families of
+/// different roots do not collide structurally.
+#[inline]
+pub fn split_seed(seed: u64, lane: u64) -> u64 {
+    // Round 1: finalise the root XORed with a Weyl-spread lane.
+    let mut sm = SplitMix64::new(seed ^ lane.wrapping_mul(0xA24B_AED4_963E_E407));
+    let a = sm.next_u64();
+    // Round 2: re-inject the lane additively so (seed, lane) and
+    // (seed', lane') collisions require inverting both rounds at once.
+    let mut sm = SplitMix64::new(a.wrapping_add(lane.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+    sm.next_u64()
 }
 
 impl RngCore64 for SplitMix64 {
@@ -195,6 +226,52 @@ mod tests {
         assert_eq!(rng.next_u64(), 0x157A_3807_A48F_AA9D);
         assert_eq!(rng.next_u64(), 0xD573_529B_34A1_D093);
         assert_eq!(rng.next_u64(), 0x2F90_B72E_996D_CCBE);
+    }
+
+    #[test]
+    fn split_seed_is_deterministic_and_lane_sensitive() {
+        assert_eq!(split_seed(42, 7), split_seed(42, 7));
+        assert_ne!(split_seed(42, 7), split_seed(42, 8));
+        assert_ne!(split_seed(42, 7), split_seed(43, 7));
+        // Lane 0 must still be mixed, not the root itself.
+        assert_ne!(split_seed(42, 0), 42);
+    }
+
+    #[test]
+    fn split_seed_families_have_no_small_collisions() {
+        // 64 roots × 64 lanes: all 4096 child seeds distinct.
+        let mut seen = std::collections::HashSet::new();
+        for root in 0..64u64 {
+            for lane in 0..64u64 {
+                assert!(
+                    seen.insert(split_seed(root, lane)),
+                    "collision at root {root}, lane {lane}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn split_matches_split_seed_and_leaves_parent_untouched() {
+        let parent = SplitMix64::new(99);
+        let child_a = parent.split(3);
+        let child_b = parent.split(3);
+        assert_eq!(child_a, child_b, "split must not advance the parent");
+        assert_eq!(child_a, SplitMix64::new(split_seed(99, 3)));
+    }
+
+    #[test]
+    fn split_seed_child_streams_look_independent() {
+        // Child generators from adjacent lanes should not share a prefix.
+        let mut a = SplitMix64::new(split_seed(7, 0));
+        let mut b = SplitMix64::new(split_seed(7, 1));
+        let va: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..32).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+        // Crude bit balance across lanes of one root.
+        let ones: u32 = (0..256u64).map(|l| split_seed(11, l).count_ones()).sum();
+        let mean = ones as f64 / 256.0;
+        assert!((mean - 32.0).abs() < 2.0, "bit balance {mean}");
     }
 
     #[test]

@@ -109,7 +109,7 @@ impl AmsF2 {
                 group.iter().map(|&z| (z as f64) * (z as f64)).sum::<f64>() / self.copies as f64
             })
             .collect();
-        group_means.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        group_means.sort_by(|a, b| a.total_cmp(b));
         let mid = group_means.len() / 2;
         if group_means.len() % 2 == 1 {
             group_means[mid]

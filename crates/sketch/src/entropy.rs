@@ -91,6 +91,13 @@ impl SuffixReservoir {
         }
     }
 
+    /// Replace the replacement-position RNG. Only meaningful before any
+    /// updates: re-seeding mid-stream would bias the pre-drawn schedule.
+    fn reseed_rng(&mut self, seed: u64) {
+        debug_assert!(self.n == 0, "reseed_rng on a non-empty reservoir");
+        self.rng = Xoshiro256pp::new(seed);
+    }
+
     fn reset(&mut self) {
         let t = self.slots.len();
         self.due.clear();
@@ -222,6 +229,21 @@ impl EntropyEstimator {
     /// Stream length ingested so far.
     pub fn n(&self) -> u64 {
         self.n
+    }
+
+    /// Re-seed the reservoirs' replacement randomness — the seed-splitting
+    /// hook for sharded monitors, where each shard's reservoir should make
+    /// independent sampling decisions. Entropy merges are length-weighted
+    /// averages (no shared hash state), so re-seeding never breaks
+    /// mergeability. Must be called before the first update.
+    ///
+    /// # Panics
+    /// If elements were already ingested (debug builds).
+    pub fn reseed(&mut self, seed: u64) {
+        debug_assert!(self.n == 0, "reseed on a non-empty entropy estimator");
+        let mut sm = SplitMix64::new(seed);
+        self.plain.reseed_rng(sm.derive());
+        self.cond.reseed_rng(sm.derive());
     }
 
     /// Space in 64-bit words (both reservoirs + the Misra–Gries table).

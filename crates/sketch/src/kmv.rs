@@ -201,7 +201,7 @@ impl MedianF0 {
     /// Median-of-copies distinct-count estimate.
     pub fn estimate(&self) -> f64 {
         let mut ests: Vec<f64> = self.sketches.iter().map(|s| s.estimate()).collect();
-        ests.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        ests.sort_by(|a, b| a.total_cmp(b));
         let mid = ests.len() / 2;
         if ests.len() % 2 == 1 {
             ests[mid]

@@ -49,8 +49,7 @@ impl Ord for Entry {
         // Reverse: BinaryHeap is a max-heap; we want the min priority on top.
         other
             .priority
-            .partial_cmp(&self.priority)
-            .expect("priorities are never NaN")
+            .total_cmp(&self.priority)
             .then(other.item.cmp(&self.item))
     }
 }

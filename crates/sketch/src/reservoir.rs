@@ -93,8 +93,7 @@ impl<T> PartialOrd for HeapEntry<T> {
 impl<T> Ord for HeapEntry<T> {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         self.neg_key
-            .partial_cmp(&other.neg_key)
-            .expect("keys are never NaN")
+            .total_cmp(&other.neg_key)
             .then(self.tiebreak.cmp(&other.tiebreak))
     }
 }

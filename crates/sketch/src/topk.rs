@@ -43,7 +43,7 @@ impl TopKTracker {
 
     fn prune(&mut self) {
         let mut v: Vec<(u64, f64)> = self.est.iter().map(|(&i, &e)| (i, e)).collect();
-        v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN").then(a.0.cmp(&b.0)));
+        v.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         v.truncate(self.cap);
         self.est = v.into_iter().collect();
     }

@@ -1,44 +1,54 @@
-//! Distributed monitors with a central collector.
+//! Distributed monitors with a central collector — now two levels deep.
 //!
 //! ```text
 //! cargo run --release --example distributed_collector
 //! ```
 //!
-//! Three vantage points each observe a Bernoulli sample of their own slice
-//! of the traffic (different links of the same network). Each runs an
-//! identically-configured [`Monitor`]; the collector calls
-//! [`Monitor::merge`] and answers for the *whole* network — the natural
-//! multi-router extension of the paper's sampled-NetFlow deployment.
-//! Merging is exact for the collision oracle (frequency algebra) and the
-//! bottom-k `F_0` sketch (set union), so the merged answer is
-//! distributed-equals-centralised; the entropy merge is the documented
-//! length-weighted approximation.
+//! Three vantage points each observe their own slice of the traffic
+//! (different links of the same network). Each site runs a
+//! [`ShardedMonitor`]: the raw link traffic is partitioned across worker
+//! threads, every worker Bernoulli-samples its shard at rate `p` with an
+//! independently split seed and feeds a forked [`Monitor`]; `finish()`
+//! merges the shard summaries into the site's view. The collector then
+//! calls [`Monitor::merge`] across sites and answers for the *whole*
+//! network — the paper's sampled-NetFlow deployment scaled both across
+//! threads (sharding) and across routers (sites), with the same merge
+//! algebra at both levels. Merging is exact for the collision oracle
+//! (frequency algebra) and the bottom-k `F_0` sketch (set union); the
+//! entropy merge is the documented length-weighted approximation.
 
-use subsampled_streams::core::{MonitorBuilder, Statistic};
-use subsampled_streams::stream::{BernoulliSampler, ExactStats, NetFlowStream, StreamGen};
+use subsampled_streams::core::{Monitor, MonitorBuilder, ShardedConfig, ShardedMonitor, Statistic};
+use subsampled_streams::stream::{ExactStats, NetFlowStream, StreamGen};
 
 fn main() {
     let p = 0.05;
     let sites = 3usize;
+    let shards_per_site = 2usize;
     let packets_per_site = 400_000u64;
 
     // Each site sees its own traffic mix (overlapping flow id space).
-    let traces: Vec<Vec<u64>> = (0..sites)
-        .map(|s| NetFlowStream::new(1 << 22, 1.1, 50_000).generate(packets_per_site, 10 + s as u64))
+    let traces: Vec<std::sync::Arc<Vec<u64>>> = (0..sites)
+        .map(|s| {
+            std::sync::Arc::new(
+                NetFlowStream::new(1 << 22, 1.1, 50_000).generate(packets_per_site, 10 + s as u64),
+            )
+        })
         .collect();
 
     // Ground truth over the union of all traffic.
     let mut all = ExactStats::new();
     for trace in &traces {
-        for &x in trace {
+        for &x in trace.iter() {
             all.push(x);
         }
     }
 
-    // Per-site monitors: identical builder config (same sketch seeds —
-    // mergeability requires shared hashes), independent sampling
-    // randomness.
-    let site_monitor = || {
+    // Per-site prototypes: identical builder config (same sketch seeds —
+    // mergeability requires shared hashes). Sampling randomness is
+    // independent per site AND per worker shard: site `s` passes sampler
+    // seed `100 + s`, and the pipeline derives shard `i`'s sampler from
+    // `split_seed(100 + s, i)`.
+    let site_prototype = || -> Monitor {
         MonitorBuilder::with_seed(p, 4242)
             .fk(2)
             .f0(0.05)
@@ -47,11 +57,15 @@ fn main() {
     };
     let mut site_monitors = Vec::new();
     for (s, trace) in traces.iter().enumerate() {
-        let mut monitor = site_monitor();
-        let mut sampler = BernoulliSampler::new(p, 100 + s as u64);
-        sampler.sample_batches(trace, 4096, |chunk| monitor.update_batch(chunk));
+        let mut sharded = ShardedMonitor::launch(
+            &site_prototype(),
+            100 + s as u64,
+            ShardedConfig::new(shards_per_site),
+        );
+        sharded.ingest_shared(trace);
+        let monitor = sharded.finish();
         println!(
-            "site {s}: {} packets observed of {} ({:.1}%), state {} KiB",
+            "site {s}: {} packets observed of {} ({:.1}%) across {shards_per_site} shards, state {} KiB",
             monitor.samples_seen(),
             trace.len(),
             100.0 * monitor.samples_seen() as f64 / trace.len() as f64,
@@ -60,10 +74,14 @@ fn main() {
         site_monitors.push(monitor);
     }
 
-    // Collector: merge all site summaries — no raw samples travel.
+    // Collector: merge all site summaries — no raw samples travel. The
+    // fallible path (`try_merge`) is what a release deployment uses for
+    // summaries arriving over the wire.
     let mut collector = site_monitors.remove(0);
     for other in &site_monitors {
-        collector.merge(other);
+        collector
+            .try_merge(other)
+            .expect("sites share one builder config");
     }
 
     println!("\ncollector view (merged {} sites):", sites);
@@ -92,7 +110,8 @@ fn main() {
         h.value / th
     );
     println!(
-        "\nTakeaway: the merged summaries answer for the union of all links\n\
-         with single-monitor accuracy — no raw samples leave the sites."
+        "\nTakeaway: the same merge algebra scales the monitor across threads\n\
+         (shards within a site) and across routers (sites at the collector) —\n\
+         no raw samples leave the sites."
     );
 }

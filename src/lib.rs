@@ -65,4 +65,7 @@ pub use sss_hash as hash;
 pub use sss_sketch as sketch;
 pub use sss_stream as stream;
 
-pub use sss_core::{Estimate, Guarantee, Monitor, MonitorBuilder, Statistic, SubsampledEstimator};
+pub use sss_core::{
+    Estimate, Guarantee, MergeError, Monitor, MonitorBuilder, ShardedConfig, ShardedMonitor,
+    Statistic, SubsampledEstimator,
+};
