@@ -1,0 +1,216 @@
+//! Wire-codec throughput and snapshot sizes per estimator, with
+//! machine-readable results written to `BENCH_codec.json` at the
+//! workspace root — the first datapoint of the BENCH_*.json trajectory.
+//!
+//! ```text
+//! cargo bench --bench bench_codec            # full workload
+//! cargo bench --bench bench_codec -- --quick # CI smoke (small stream)
+//! ```
+//!
+//! For each estimator (and the full monitor) we measure `encode` and
+//! `decode` wall time over the snapshot of a seeded ingested state, and
+//! record the snapshot size. Encode/decode throughput is reported in
+//! MiB/s of wire bytes; the JSON also carries ns per operation so later
+//! PRs can track regressions without re-deriving units.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use sss_codec::WireCodec;
+use sss_core::{
+    AdaptiveF2Estimator, Monitor, MonitorBuilder, NaiveScaledFk, RusuDobraF2,
+    SampledEntropyEstimator, SampledF0Estimator, SampledF1HeavyHitters, SampledF2HeavyHitters,
+    SampledFkEstimator, SubsampledEstimator,
+};
+use sss_sketch::levelset::LevelSetConfig;
+use sss_stream::{BernoulliSampler, StreamGen, ZipfStream};
+
+/// Timed repetitions per measurement (median reported).
+const REPS: usize = 9;
+
+struct Row {
+    name: &'static str,
+    snapshot_bytes: usize,
+    encode_ns: f64,
+    decode_ns: f64,
+    state_bytes: usize,
+}
+
+fn median(mut v: Vec<f64>) -> f64 {
+    v.sort_by(|a, b| a.total_cmp(b));
+    v[v.len() / 2]
+}
+
+fn time_median<T>(mut f: impl FnMut() -> T) -> f64 {
+    black_box(f()); // warm-up
+    median(
+        (0..REPS)
+            .map(|_| {
+                let t0 = Instant::now();
+                black_box(f());
+                t0.elapsed().as_nanos() as f64
+            })
+            .collect(),
+    )
+}
+
+fn bench_one<E>(name: &'static str, est: &E) -> Row
+where
+    E: SubsampledEstimator + WireCodec,
+{
+    let bytes = est.encode_framed();
+    let encode_ns = time_median(|| est.encode_framed());
+    let decode_ns = time_median(|| E::decode_framed(&bytes).expect("decode"));
+    Row {
+        name,
+        snapshot_bytes: bytes.len(),
+        encode_ns,
+        decode_ns,
+        state_bytes: est.space_bytes(),
+    }
+}
+
+fn bench_monitor(name: &'static str, m: &Monitor) -> Row {
+    let bytes = m.checkpoint().expect("checkpoint");
+    let encode_ns = time_median(|| m.checkpoint().expect("checkpoint"));
+    let decode_ns = time_median(|| Monitor::restore(&bytes).expect("restore"));
+    Row {
+        name,
+        snapshot_bytes: bytes.len(),
+        encode_ns,
+        decode_ns,
+        state_bytes: m.space_bytes(),
+    }
+}
+
+fn mibps(bytes: usize, ns: f64) -> f64 {
+    (bytes as f64 / (1 << 20) as f64) / (ns / 1e9)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let n: u64 = if quick { 100_000 } else { 1_000_000 };
+    let p = 0.25;
+    let stream = ZipfStream::new(1 << 14, 1.2).generate(n, 42);
+    let sampled = BernoulliSampler::new(p, 43).sample_to_vec(&stream);
+
+    let mut rows = Vec::new();
+
+    let mut f0 = SampledF0Estimator::new(p, 0.05, 1);
+    f0.update_batch(&sampled);
+    rows.push(bench_one("f0", &f0));
+
+    let mut fk = SampledFkEstimator::exact(2, p);
+    fk.update_batch(&sampled);
+    rows.push(bench_one("fk_exact", &fk));
+
+    let cfg = LevelSetConfig::for_universe(1 << 14, 512);
+    let mut fk_s = SampledFkEstimator::sketched(2, p, &cfg, 2);
+    fk_s.update_batch(&sampled);
+    rows.push(bench_one("fk_sketched", &fk_s));
+
+    let mut entropy = SampledEntropyEstimator::new(p, 2000, 3);
+    entropy.update_batch(&sampled);
+    rows.push(bench_one("entropy", &entropy));
+
+    let mut hh1 = SampledF1HeavyHitters::new(0.05, 0.2, 0.05, p, 4);
+    hh1.update_batch(&sampled);
+    rows.push(bench_one("hh_f1", &hh1));
+
+    let mut hh2 = SampledF2HeavyHitters::new(0.3, 0.2, 0.05, p, 5);
+    hh2.update_batch(&sampled);
+    rows.push(bench_one("hh_f2", &hh2));
+
+    let mut rd = RusuDobraF2::new(p, 7, 96, 6);
+    rd.update_batch(&sampled);
+    rows.push(bench_one("rusu_dobra_f2", &rd));
+
+    let mut naive = NaiveScaledFk::new(2, p);
+    naive.update_batch(&sampled);
+    rows.push(bench_one("naive_fk", &naive));
+
+    let mut adaptive = AdaptiveF2Estimator::new(p);
+    adaptive.update_batch(&sampled);
+    rows.push(bench_one("adaptive_f2", &adaptive));
+
+    let mut monitor = MonitorBuilder::with_seed(p, 7)
+        .f0(0.05)
+        .fk(2)
+        .entropy(2000)
+        .f1_heavy_hitters(0.05, 0.2, 0.05)
+        .f2_heavy_hitters(0.3, 0.2, 0.05)
+        .build();
+    monitor.update_batch(&sampled);
+    rows.push(bench_monitor("monitor_full", &monitor));
+
+    // Human-readable table.
+    println!(
+        "\n== codec ({} sampled elements{}) ==",
+        sampled.len(),
+        if quick { ", quick" } else { "" }
+    );
+    println!(
+        "{:<16} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "estimator", "wire KiB", "state KiB", "enc MiB/s", "dec MiB/s", "wire/state"
+    );
+    for r in &rows {
+        println!(
+            "{:<16} {:>12.1} {:>12.1} {:>12.1} {:>12.1} {:>12.2}",
+            r.name,
+            r.snapshot_bytes as f64 / 1024.0,
+            r.state_bytes as f64 / 1024.0,
+            mibps(r.snapshot_bytes, r.encode_ns),
+            mibps(r.snapshot_bytes, r.decode_ns),
+            r.snapshot_bytes as f64 / r.state_bytes as f64
+        );
+    }
+
+    // Machine-readable trajectory datapoint. Hand-rolled JSON: the
+    // workspace is dependency-free by contract.
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"codec\",\n");
+    json.push_str(&format!("  \"quick\": {quick},\n"));
+    json.push_str(&format!("  \"stream_elements\": {n},\n"));
+    json.push_str(&format!("  \"sampled_elements\": {},\n", sampled.len()));
+    json.push_str(&format!("  \"sampling_rate\": {p},\n"));
+    json.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"estimator\": \"{}\", \"snapshot_bytes\": {}, \"state_bytes\": {}, \
+             \"encode_ns\": {:.0}, \"decode_ns\": {:.0}, \
+             \"encode_mib_per_s\": {:.2}, \"decode_mib_per_s\": {:.2}}}{}\n",
+            r.name,
+            r.snapshot_bytes,
+            r.state_bytes,
+            r.encode_ns,
+            r.decode_ns,
+            mibps(r.snapshot_bytes, r.encode_ns),
+            mibps(r.snapshot_bytes, r.decode_ns),
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    // The committed trajectory datapoint comes from the full workload;
+    // the --quick CI smoke must not clobber it.
+    if quick {
+        println!("\n--quick: skipping BENCH_codec.json write");
+    } else {
+        let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join("BENCH_codec.json");
+        match std::fs::write(&out, &json) {
+            Ok(()) => println!("\nwrote {}", out.display()),
+            Err(e) => eprintln!("\ncould not write {}: {e}", out.display()),
+        }
+    }
+
+    // Round-trip sanity: the decoded monitor must answer identically.
+    let restored = Monitor::restore(&monitor.checkpoint().expect("checkpoint")).expect("restore");
+    for ((la, ea), (lb, eb)) in monitor.report().iter().zip(&restored.report()) {
+        assert_eq!(la, lb);
+        assert_eq!(ea.value.to_bits(), eb.value.to_bits(), "{la} diverged");
+    }
+    println!("round-trip consistency check passed");
+}

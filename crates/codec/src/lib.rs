@@ -1,0 +1,759 @@
+//! A dependency-free versioned binary wire codec for the workspace.
+//!
+//! Everything a monitor deployment ships across a process boundary —
+//! sketch snapshots mailed from remote shards to a collector, monitor
+//! checkpoints written before a restart — travels through the
+//! [`WireCodec`] trait defined here. The format is deliberately boring:
+//!
+//! * **fixed-width little-endian integers** (no varints: encoding is
+//!   branch-free, sizes are predictable, and the numbers being shipped
+//!   are sketch counters, not text),
+//! * **`u64` length prefixes** for every variable-length section,
+//! * **`f64` as IEEE-754 bit patterns** (`to_bits`/`from_bits`), so
+//!   round-trips are bitwise exact including negative zero and NaN
+//!   payloads,
+//! * a **framed envelope** for top-level objects: magic, format version,
+//!   type tag, payload length (see [`WireCodec::encode_framed`]).
+//!
+//! The contract every implementation upholds (and the workspace test
+//! battery pins): `decode(encode(x))` is *observationally identical* to
+//! `x` — bitwise-equal estimates, equal `space_bytes`, and continued
+//! ingestion after a restore matches the never-serialized run exactly —
+//! and corrupt or mismatched buffers surface as typed [`CodecError`]s,
+//! never panics or unbounded allocations.
+//!
+//! ## Versioning policy
+//!
+//! [`WIRE_VERSION`] covers the whole format: any layout change to any
+//! implementor bumps it, and decoders reject other versions with
+//! [`CodecError::UnsupportedVersion`] (no silent misparses). Per-type
+//! evolution happens by assigning a **new tag** to the new layout and
+//! keeping the old tag decodable for a deprecation window. Tags are
+//! allocated in per-crate ranges: `0x01xx` = `sss-hash`, `0x02xx` =
+//! `sss-sketch`, `0x03xx` = `sss-stream`, `0x04xx` = `sss-core`.
+
+use std::fmt;
+
+/// The 4-byte magic prefix of every framed wire object.
+pub const WIRE_MAGIC: [u8; 4] = *b"SSWC";
+
+/// The format version written (and required) by this build.
+pub const WIRE_VERSION: u16 = 1;
+
+/// Why a buffer failed to decode. Every variant is a *data* error: the
+/// decoder never panics on untrusted bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The buffer ended before the decoder got what it needed.
+    Truncated {
+        /// Bytes the decoder asked for.
+        needed: usize,
+        /// Bytes that were left.
+        available: usize,
+    },
+    /// The frame does not start with [`WIRE_MAGIC`].
+    BadMagic {
+        /// The four bytes found instead.
+        found: [u8; 4],
+    },
+    /// The frame was written by an incompatible format version.
+    UnsupportedVersion {
+        /// Version found in the frame.
+        found: u16,
+        /// Version this build speaks.
+        supported: u16,
+    },
+    /// The frame carries a different type than the caller asked for.
+    TagMismatch {
+        /// The tag the caller expected.
+        expected: u16,
+        /// The tag found in the frame.
+        found: u16,
+    },
+    /// A polymorphic slot carries a tag this build cannot decode.
+    UnknownTag {
+        /// The unrecognised tag.
+        found: u16,
+    },
+    /// Bytes remained after the object was fully decoded.
+    TrailingBytes {
+        /// How many bytes were left over.
+        count: usize,
+    },
+    /// The frame's payload checksum does not match its contents.
+    ChecksumMismatch {
+        /// Checksum recorded in the frame header.
+        expected: u64,
+        /// Checksum of the payload actually received.
+        found: u64,
+    },
+    /// A decoded value violates a structural invariant of its type.
+    Invalid {
+        /// Which invariant was violated.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated { needed, available } => {
+                write!(
+                    f,
+                    "truncated buffer: needed {needed} bytes, had {available}"
+                )
+            }
+            CodecError::BadMagic { found } => write!(f, "bad magic {found:02x?}"),
+            CodecError::UnsupportedVersion { found, supported } => {
+                write!(
+                    f,
+                    "unsupported wire version {found} (this build speaks {supported})"
+                )
+            }
+            CodecError::TagMismatch { expected, found } => {
+                write!(
+                    f,
+                    "type tag mismatch: expected {expected:#06x}, found {found:#06x}"
+                )
+            }
+            CodecError::UnknownTag { found } => write!(f, "unknown type tag {found:#06x}"),
+            CodecError::TrailingBytes { count } => {
+                write!(f, "{count} trailing bytes after a complete object")
+            }
+            CodecError::ChecksumMismatch { expected, found } => {
+                write!(f, "payload checksum mismatch: header says {expected:#018x}, payload hashes to {found:#018x}")
+            }
+            CodecError::Invalid { what } => write!(f, "invalid wire data: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// A bounds-checked cursor over an untrusted byte buffer.
+///
+/// All reads are explicit-width and fail with [`CodecError::Truncated`]
+/// instead of panicking; length prefixes are validated against the bytes
+/// actually remaining ([`Reader::len_prefix`]) before any allocation, so
+/// a corrupted length cannot trigger an OOM.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader over the whole buffer.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    #[inline]
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether the buffer is fully consumed.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Take the next `n` raw bytes.
+    #[inline]
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::Truncated {
+                needed: n,
+                available: self.remaining(),
+            });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Fail with [`CodecError::TrailingBytes`] unless fully consumed.
+    pub fn expect_empty(&self) -> Result<(), CodecError> {
+        if self.is_empty() {
+            Ok(())
+        } else {
+            Err(CodecError::TrailingBytes {
+                count: self.remaining(),
+            })
+        }
+    }
+
+    /// Read one byte.
+    #[inline]
+    pub fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a little-endian `u16`.
+    #[inline]
+    pub fn u16(&mut self) -> Result<u16, CodecError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("len 2")))
+    }
+
+    /// Read a little-endian `u32`.
+    #[inline]
+    pub fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
+    }
+
+    /// Read a little-endian `u64`.
+    #[inline]
+    pub fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+    }
+
+    /// Read a little-endian `u128`.
+    #[inline]
+    pub fn u128(&mut self) -> Result<u128, CodecError> {
+        Ok(u128::from_le_bytes(
+            self.take(16)?.try_into().expect("len 16"),
+        ))
+    }
+
+    /// Read a little-endian `i64`.
+    #[inline]
+    pub fn i64(&mut self) -> Result<i64, CodecError> {
+        Ok(self.u64()? as i64)
+    }
+
+    /// Read an `f64` from its IEEE-754 bit pattern (bitwise exact).
+    #[inline]
+    pub fn f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Read a `bool` encoded as one byte (strictly 0 or 1).
+    #[inline]
+    pub fn bool(&mut self) -> Result<bool, CodecError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(CodecError::Invalid {
+                what: "bool byte not 0/1",
+            }),
+        }
+    }
+
+    /// Read an `f64` and require a Bernoulli sampling rate in `(0, 1]`.
+    pub fn rate(&mut self) -> Result<f64, CodecError> {
+        let p = self.f64()?;
+        if !(p > 0.0 && p <= 1.0) {
+            return Err(CodecError::Invalid {
+                what: "sampling rate outside (0,1]",
+            });
+        }
+        Ok(p)
+    }
+
+    /// Read an `f64` and require a parameter in the open interval `(0, 1)`
+    /// (the domain of every `alpha`/`eps`/`delta` knob in the workspace).
+    pub fn prob_open(&mut self) -> Result<f64, CodecError> {
+        let v = self.f64()?;
+        if !(v > 0.0 && v < 1.0) {
+            return Err(CodecError::Invalid {
+                what: "probability parameter outside (0,1)",
+            });
+        }
+        Ok(v)
+    }
+
+    /// Read a `u64` length prefix and validate that `len` elements of at
+    /// least `min_elem_bytes` each could still fit in the buffer — the
+    /// allocation guard that makes a corrupted length a typed error
+    /// instead of an OOM. `min_elem_bytes` of 0 is treated as 1.
+    pub fn len_prefix(&mut self, min_elem_bytes: usize) -> Result<usize, CodecError> {
+        let raw = self.u64()?;
+        let min = min_elem_bytes.max(1);
+        let cap = (self.remaining() / min) as u64;
+        if raw > cap {
+            return Err(CodecError::Truncated {
+                needed: (raw as usize).saturating_mul(min),
+                available: self.remaining(),
+            });
+        }
+        Ok(raw as usize)
+    }
+}
+
+/// Append a `u64` little-endian.
+#[inline]
+pub fn put_u64(out: &mut Vec<u8>, x: u64) {
+    out.extend_from_slice(&x.to_le_bytes());
+}
+
+/// Append a `usize` as `u64`.
+#[inline]
+pub fn put_len(out: &mut Vec<u8>, n: usize) {
+    put_u64(out, n as u64);
+}
+
+/// A type with a versioned binary wire representation.
+///
+/// `encode_into`/`decode` are the raw (unframed) payload codec used for
+/// nesting; top-level objects crossing a process boundary should travel
+/// framed ([`WireCodec::encode_framed`] / [`WireCodec::decode_framed`])
+/// so the receiver can check magic, version and type before trusting a
+/// single payload byte.
+pub trait WireCodec: Sized {
+    /// The type's wire tag (unique across the workspace; `0` for
+    /// primitives and internal helper types that never travel framed).
+    const WIRE_TAG: u16 = 0;
+
+    /// Lower bound on the encoded size of one value, used to validate
+    /// length prefixes before allocating (`Vec<T>` decoding).
+    const MIN_WIRE_BYTES: usize = 1;
+
+    /// Append this value's payload bytes.
+    fn encode_into(&self, out: &mut Vec<u8>);
+
+    /// Decode one value from the reader, validating every structural
+    /// invariant of the type.
+    fn decode(r: &mut Reader) -> Result<Self, CodecError>;
+
+    /// The payload bytes as a fresh buffer.
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Decode a value that must span the whole buffer exactly.
+    fn decode_slice(buf: &[u8]) -> Result<Self, CodecError> {
+        let mut r = Reader::new(buf);
+        let v = Self::decode(&mut r)?;
+        r.expect_empty()?;
+        Ok(v)
+    }
+
+    /// Encode with the self-describing envelope:
+    /// `magic(4) ‖ version(2) ‖ tag(2) ‖ payload_len(8) ‖ fnv1a64(8) ‖ payload`.
+    ///
+    /// The checksum covers the payload only (the header fields are
+    /// individually validated), so any single corrupted byte anywhere in
+    /// the frame is guaranteed to surface as a typed error.
+    fn encode_framed(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&WIRE_MAGIC);
+        out.extend_from_slice(&WIRE_VERSION.to_le_bytes());
+        out.extend_from_slice(&Self::WIRE_TAG.to_le_bytes());
+        put_len(&mut out, 0); // length, patched below
+        put_u64(&mut out, 0); // checksum, patched below
+        self.encode_into(&mut out);
+        let payload_len = (out.len() - FRAME_HEADER_BYTES) as u64;
+        let checksum = fnv1a64(&out[FRAME_HEADER_BYTES..]);
+        out[8..16].copy_from_slice(&payload_len.to_le_bytes());
+        out[16..24].copy_from_slice(&checksum.to_le_bytes());
+        out
+    }
+
+    /// Decode a framed buffer, checking magic, version, tag, exact
+    /// payload length and payload checksum before touching the payload.
+    fn decode_framed(buf: &[u8]) -> Result<Self, CodecError> {
+        let mut r = Reader::new(buf);
+        let magic: [u8; 4] = r.take(4)?.try_into().expect("len 4");
+        if magic != WIRE_MAGIC {
+            return Err(CodecError::BadMagic { found: magic });
+        }
+        let version = r.u16()?;
+        if version != WIRE_VERSION {
+            return Err(CodecError::UnsupportedVersion {
+                found: version,
+                supported: WIRE_VERSION,
+            });
+        }
+        let tag = r.u16()?;
+        if tag != Self::WIRE_TAG {
+            return Err(CodecError::TagMismatch {
+                expected: Self::WIRE_TAG,
+                found: tag,
+            });
+        }
+        let payload_len = r.len_prefix(1)?;
+        let expected = r.u64()?;
+        if payload_len != r.remaining() {
+            return Err(if payload_len > r.remaining() {
+                CodecError::Truncated {
+                    needed: payload_len,
+                    available: r.remaining(),
+                }
+            } else {
+                CodecError::TrailingBytes {
+                    count: r.remaining() - payload_len,
+                }
+            });
+        }
+        let found = fnv1a64(&buf[FRAME_HEADER_BYTES..]);
+        if found != expected {
+            return Err(CodecError::ChecksumMismatch { expected, found });
+        }
+        let v = Self::decode(&mut r)?;
+        r.expect_empty()?;
+        Ok(v)
+    }
+}
+
+/// Bytes of the framed envelope ahead of the payload.
+pub const FRAME_HEADER_BYTES: usize = 24;
+
+/// FNV-1a 64-bit over a byte slice — the frame's payload checksum. Not
+/// cryptographic; guards against truncation, bit rot and split-brain
+/// writes, which is the threat model of a checkpoint file or a snapshot
+/// crossing an internal transport.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Read the `(version, tag, payload_len)` of a framed buffer without
+/// decoding the payload — what a collector uses to route incoming
+/// snapshots.
+pub fn peek_frame(buf: &[u8]) -> Result<(u16, u16, usize), CodecError> {
+    let mut r = Reader::new(buf);
+    let magic: [u8; 4] = r.take(4)?.try_into().expect("len 4");
+    if magic != WIRE_MAGIC {
+        return Err(CodecError::BadMagic { found: magic });
+    }
+    let version = r.u16()?;
+    let tag = r.u16()?;
+    let len = r.u64()? as usize;
+    Ok((version, tag, len))
+}
+
+macro_rules! impl_primitive {
+    ($ty:ty, $bytes:expr, $write:expr, $read:expr) => {
+        impl WireCodec for $ty {
+            const MIN_WIRE_BYTES: usize = $bytes;
+
+            #[inline]
+            fn encode_into(&self, out: &mut Vec<u8>) {
+                #[allow(clippy::redundant_closure_call)]
+                ($write)(self, out)
+            }
+
+            #[inline]
+            fn decode(r: &mut Reader) -> Result<Self, CodecError> {
+                #[allow(clippy::redundant_closure_call)]
+                ($read)(r)
+            }
+        }
+    };
+}
+
+impl_primitive!(
+    u8,
+    1,
+    |x: &u8, o: &mut Vec<u8>| o.push(*x),
+    |r: &mut Reader| r.u8()
+);
+impl_primitive!(
+    u16,
+    2,
+    |x: &u16, o: &mut Vec<u8>| o.extend_from_slice(&x.to_le_bytes()),
+    |r: &mut Reader| r.u16()
+);
+impl_primitive!(
+    u32,
+    4,
+    |x: &u32, o: &mut Vec<u8>| o.extend_from_slice(&x.to_le_bytes()),
+    |r: &mut Reader| r.u32()
+);
+impl_primitive!(
+    u64,
+    8,
+    |x: &u64, o: &mut Vec<u8>| o.extend_from_slice(&x.to_le_bytes()),
+    |r: &mut Reader| r.u64()
+);
+impl_primitive!(
+    u128,
+    16,
+    |x: &u128, o: &mut Vec<u8>| o.extend_from_slice(&x.to_le_bytes()),
+    |r: &mut Reader| r.u128()
+);
+impl_primitive!(
+    i64,
+    8,
+    |x: &i64, o: &mut Vec<u8>| o.extend_from_slice(&x.to_le_bytes()),
+    |r: &mut Reader| r.i64()
+);
+impl_primitive!(
+    f64,
+    8,
+    |x: &f64, o: &mut Vec<u8>| o.extend_from_slice(&x.to_bits().to_le_bytes()),
+    |r: &mut Reader| r.f64()
+);
+impl_primitive!(
+    bool,
+    1,
+    |x: &bool, o: &mut Vec<u8>| o.push(*x as u8),
+    |r: &mut Reader| r.bool()
+);
+
+impl WireCodec for usize {
+    const MIN_WIRE_BYTES: usize = 8;
+
+    #[inline]
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        put_u64(out, *self as u64);
+    }
+
+    #[inline]
+    fn decode(r: &mut Reader) -> Result<Self, CodecError> {
+        let raw = r.u64()?;
+        usize::try_from(raw).map_err(|_| CodecError::Invalid {
+            what: "usize value exceeds this platform's pointer width",
+        })
+    }
+}
+
+impl<T: WireCodec> WireCodec for Vec<T> {
+    const MIN_WIRE_BYTES: usize = 8;
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        put_len(out, self.len());
+        for item in self {
+            item.encode_into(out);
+        }
+    }
+
+    fn decode(r: &mut Reader) -> Result<Self, CodecError> {
+        let len = r.len_prefix(T::MIN_WIRE_BYTES)?;
+        let mut v = Vec::with_capacity(len);
+        for _ in 0..len {
+            v.push(T::decode(r)?);
+        }
+        Ok(v)
+    }
+}
+
+impl<T: WireCodec> WireCodec for Option<T> {
+    const MIN_WIRE_BYTES: usize = 1;
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.encode_into(out);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader) -> Result<Self, CodecError> {
+        match r.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            _ => Err(CodecError::Invalid {
+                what: "Option discriminant not 0/1",
+            }),
+        }
+    }
+}
+
+impl<A: WireCodec, B: WireCodec> WireCodec for (A, B) {
+    const MIN_WIRE_BYTES: usize = A::MIN_WIRE_BYTES + B::MIN_WIRE_BYTES;
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.0.encode_into(out);
+        self.1.encode_into(out);
+    }
+
+    fn decode(r: &mut Reader) -> Result<Self, CodecError> {
+        Ok((A::decode(r)?, B::decode(r)?))
+    }
+}
+
+impl<A: WireCodec, B: WireCodec, C: WireCodec> WireCodec for (A, B, C) {
+    const MIN_WIRE_BYTES: usize = A::MIN_WIRE_BYTES + B::MIN_WIRE_BYTES + C::MIN_WIRE_BYTES;
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.0.encode_into(out);
+        self.1.encode_into(out);
+        self.2.encode_into(out);
+    }
+
+    fn decode(r: &mut Reader) -> Result<Self, CodecError> {
+        Ok((A::decode(r)?, B::decode(r)?, C::decode(r)?))
+    }
+}
+
+impl WireCodec for String {
+    const MIN_WIRE_BYTES: usize = 8;
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        put_len(out, self.len());
+        out.extend_from_slice(self.as_bytes());
+    }
+
+    fn decode(r: &mut Reader) -> Result<Self, CodecError> {
+        let len = r.len_prefix(1)?;
+        let bytes = r.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| CodecError::Invalid {
+            what: "string is not valid UTF-8",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        let mut out = Vec::new();
+        42u8.encode_into(&mut out);
+        0xBEEFu16.encode_into(&mut out);
+        7u32.encode_into(&mut out);
+        u64::MAX.encode_into(&mut out);
+        (u128::MAX - 5).encode_into(&mut out);
+        (-12i64).encode_into(&mut out);
+        f64::NAN.encode_into(&mut out);
+        (-0.0f64).encode_into(&mut out);
+        true.encode_into(&mut out);
+        let mut r = Reader::new(&out);
+        assert_eq!(r.u8().unwrap(), 42);
+        assert_eq!(r.u16().unwrap(), 0xBEEF);
+        assert_eq!(r.u32().unwrap(), 7);
+        assert_eq!(r.u64().unwrap(), u64::MAX);
+        assert_eq!(r.u128().unwrap(), u128::MAX - 5);
+        assert_eq!(r.i64().unwrap(), -12);
+        assert!(r.f64().unwrap().is_nan());
+        assert_eq!(r.f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert!(r.bool().unwrap());
+        r.expect_empty().unwrap();
+    }
+
+    #[test]
+    fn vec_and_option_roundtrip() {
+        let v: Vec<u64> = vec![1, 2, 3];
+        assert_eq!(Vec::<u64>::decode_slice(&v.encode()).unwrap(), v);
+        let o: Option<(u64, f64)> = Some((9, 2.5));
+        assert_eq!(Option::<(u64, f64)>::decode_slice(&o.encode()).unwrap(), o);
+        let n: Option<u64> = None;
+        assert_eq!(Option::<u64>::decode_slice(&n.encode()).unwrap(), n);
+        let s = "héllo".to_string();
+        assert_eq!(String::decode_slice(&s.encode()).unwrap(), s);
+    }
+
+    #[test]
+    fn truncation_is_typed_not_panic() {
+        let v: Vec<u64> = (0..100).collect();
+        let bytes = v.encode();
+        for cut in 0..bytes.len() {
+            match Vec::<u64>::decode_slice(&bytes[..cut]) {
+                Err(CodecError::Truncated { .. }) => {}
+                other => panic!("cut at {cut}: expected Truncated, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_length_prefix_cannot_oom() {
+        // A length prefix claiming 2^60 elements on a 16-byte buffer must
+        // fail before allocating.
+        let mut bytes = Vec::new();
+        put_u64(&mut bytes, 1u64 << 60);
+        bytes.extend_from_slice(&[0u8; 8]);
+        assert!(matches!(
+            Vec::<u64>::decode_slice(&bytes),
+            Err(CodecError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = 7u64.encode();
+        bytes.push(0);
+        assert_eq!(
+            u64::decode_slice(&bytes),
+            Err(CodecError::TrailingBytes { count: 1 })
+        );
+    }
+
+    #[derive(Debug, PartialEq)]
+    struct Framed(u64);
+
+    impl WireCodec for Framed {
+        const WIRE_TAG: u16 = 0x7777;
+
+        fn encode_into(&self, out: &mut Vec<u8>) {
+            self.0.encode_into(out);
+        }
+
+        fn decode(r: &mut Reader) -> Result<Self, CodecError> {
+            Ok(Framed(r.u64()?))
+        }
+    }
+
+    #[test]
+    fn framed_envelope_roundtrip_and_checks() {
+        let x = Framed(123);
+        let bytes = x.encode_framed();
+        assert_eq!(&bytes[..4], &WIRE_MAGIC);
+        assert_eq!(Framed::decode_framed(&bytes).unwrap(), x);
+        assert_eq!(peek_frame(&bytes).unwrap(), (WIRE_VERSION, 0x7777, 8));
+
+        // Bad magic.
+        let mut b = bytes.clone();
+        b[0] ^= 0xFF;
+        assert!(matches!(
+            Framed::decode_framed(&b),
+            Err(CodecError::BadMagic { .. })
+        ));
+
+        // Flipped version byte.
+        let mut b = bytes.clone();
+        b[4] ^= 0x01;
+        assert_eq!(
+            Framed::decode_framed(&b),
+            Err(CodecError::UnsupportedVersion {
+                found: WIRE_VERSION ^ 0x01,
+                supported: WIRE_VERSION
+            })
+        );
+
+        // Wrong tag.
+        let mut b = bytes.clone();
+        b[6] ^= 0x01;
+        assert!(matches!(
+            Framed::decode_framed(&b),
+            Err(CodecError::TagMismatch { .. })
+        ));
+
+        // Truncated payload.
+        assert!(matches!(
+            Framed::decode_framed(&bytes[..bytes.len() - 1]),
+            Err(CodecError::Truncated { .. })
+        ));
+
+        // Trailing bytes after the frame.
+        let mut b = bytes.clone();
+        b.push(9);
+        assert!(matches!(
+            Framed::decode_framed(&b),
+            Err(CodecError::TrailingBytes { .. })
+        ));
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = CodecError::UnsupportedVersion {
+            found: 9,
+            supported: 1,
+        };
+        assert!(e.to_string().contains("version 9"));
+        assert!(CodecError::UnknownTag { found: 0x0404 }
+            .to_string()
+            .contains("0x0404"));
+    }
+}

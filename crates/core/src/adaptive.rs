@@ -29,6 +29,7 @@
 //! observes several times fewer elements than the fixed rate that reaches
 //! the same accuracy (experiment `exp_adaptive`).
 
+use sss_codec::{put_len, CodecError, Reader, WireCodec};
 use sss_hash::{fp_hash_map, FpHashMap};
 
 use crate::estimate::{Estimate, Guarantee, Statistic, SubsampledEstimator};
@@ -122,11 +123,16 @@ impl AdaptiveF2Estimator {
     /// `w_self(i)·w_other(i) = Σ_{(s,t) cross} 1/(p_s·p_t)` — exactly the
     /// importance-weighted count of the pairs neither shard saw alone, so
     /// the merged estimator is still unbiased.
+    /// Cross terms apply in ascending item order so the float
+    /// accumulation is canonical — merging a deserialized shard lands on
+    /// bitwise the same `Ĉ_2` as merging the original.
     pub fn merge(&mut self, other: &AdaptiveF2Estimator) {
         self.c2_hat += other.c2_hat;
         self.f1_hat += other.f1_hat;
         self.samples += other.samples;
-        for (&i, &wb) in &other.weighted {
+        let mut rows: Vec<(u64, f64)> = other.weighted.iter().map(|(&i, &w)| (i, w)).collect();
+        rows.sort_unstable_by_key(|&(i, _)| i);
+        for (i, wb) in rows {
             let w = self.weighted.entry(i).or_insert(0.0);
             self.c2_hat += *w * wb;
             *w += wb;
@@ -184,6 +190,49 @@ impl SubsampledEstimator for AdaptiveF2Estimator {
 
     fn samples_seen(&self) -> u64 {
         self.samples
+    }
+}
+
+impl WireCodec for AdaptiveF2Estimator {
+    const WIRE_TAG: u16 = 0x040A;
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.current_p.encode_into(out);
+        self.c2_hat.encode_into(out);
+        self.f1_hat.encode_into(out);
+        self.samples.encode_into(out);
+        let mut rows: Vec<(u64, f64)> = self.weighted.iter().map(|(&i, &w)| (i, w)).collect();
+        rows.sort_unstable_by_key(|&(i, _)| i);
+        put_len(out, rows.len());
+        for (i, w) in rows {
+            i.encode_into(out);
+            w.encode_into(out);
+        }
+    }
+
+    fn decode(r: &mut Reader) -> Result<Self, CodecError> {
+        let current_p = crate::f0::decode_rate(r)?;
+        let c2_hat = r.f64()?;
+        let f1_hat = r.f64()?;
+        let samples = r.u64()?;
+        let len = r.len_prefix(16)?;
+        let mut weighted = fp_hash_map();
+        for _ in 0..len {
+            let item = r.u64()?;
+            let w = r.f64()?;
+            if w.is_nan() || w <= 0.0 || weighted.insert(item, w).is_some() {
+                return Err(CodecError::Invalid {
+                    what: "AdaptiveF2Estimator weighted row invalid",
+                });
+            }
+        }
+        Ok(AdaptiveF2Estimator {
+            current_p,
+            weighted,
+            c2_hat,
+            f1_hat,
+            samples,
+        })
     }
 }
 

@@ -15,6 +15,7 @@
 //!   sampling; the correct scaling (Algorithm 2) is `1/√p`-bounded error,
 //!   and E11 shows where `1/p` lands instead.
 
+use sss_codec::{put_len, CodecError, Reader, WireCodec};
 use sss_hash::{fp_hash_map, FpHashMap};
 use sss_sketch::ams::AmsF2;
 use sss_sketch::kmv::MedianF0;
@@ -185,12 +186,15 @@ impl NaiveScaledFk {
         self.n_sampled
     }
 
-    /// `F_k(L) / p^k`.
+    /// `F_k(L) / p^k`. Summed in ascending item order so the float
+    /// accumulation is canonical (a deserialized baseline reports bitwise
+    /// the same value as the original despite a different map history).
     pub fn estimate(&self) -> f64 {
-        let fk_l: f64 = self
-            .freqs
-            .values()
-            .map(|&g| (g as f64).powi(self.k as i32))
+        let mut rows: Vec<(u64, u64)> = self.freqs.iter().map(|(&i, &g)| (i, g)).collect();
+        rows.sort_unstable();
+        let fk_l: f64 = rows
+            .into_iter()
+            .map(|(_, g)| (g as f64).powi(self.k as i32))
             .sum();
         fk_l / self.p.powi(self.k as i32)
     }
@@ -316,6 +320,89 @@ impl SubsampledEstimator for NaiveScaledF0 {
 
     fn samples_seen(&self) -> u64 {
         self.n_sampled
+    }
+}
+
+impl WireCodec for RusuDobraF2 {
+    const WIRE_TAG: u16 = 0x0407;
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.p.encode_into(out);
+        self.n_sampled.encode_into(out);
+        self.ams.encode_into(out);
+    }
+
+    fn decode(r: &mut Reader) -> Result<Self, CodecError> {
+        let p = crate::f0::decode_rate(r)?;
+        let n_sampled = r.u64()?;
+        let ams = AmsF2::decode(r)?;
+        Ok(RusuDobraF2 { ams, p, n_sampled })
+    }
+}
+
+impl WireCodec for NaiveScaledFk {
+    const WIRE_TAG: u16 = 0x0408;
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.k.encode_into(out);
+        self.p.encode_into(out);
+        self.n_sampled.encode_into(out);
+        let mut rows: Vec<(u64, u64)> = self.freqs.iter().map(|(&i, &g)| (i, g)).collect();
+        rows.sort_unstable();
+        put_len(out, rows.len());
+        for (i, g) in rows {
+            i.encode_into(out);
+            g.encode_into(out);
+        }
+    }
+
+    fn decode(r: &mut Reader) -> Result<Self, CodecError> {
+        let k = r.u32()?;
+        if k == 0 {
+            return Err(CodecError::Invalid {
+                what: "NaiveScaledFk k == 0",
+            });
+        }
+        let p = crate::f0::decode_rate(r)?;
+        let n_sampled = r.u64()?;
+        let len = r.len_prefix(16)?;
+        let mut freqs = fp_hash_map();
+        for _ in 0..len {
+            let item = r.u64()?;
+            let g = r.u64()?;
+            if g == 0 || freqs.insert(item, g).is_some() {
+                return Err(CodecError::Invalid {
+                    what: "NaiveScaledFk frequency row invalid",
+                });
+            }
+        }
+        Ok(NaiveScaledFk {
+            freqs,
+            k,
+            p,
+            n_sampled,
+        })
+    }
+}
+
+impl WireCodec for NaiveScaledF0 {
+    const WIRE_TAG: u16 = 0x0409;
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.p.encode_into(out);
+        self.n_sampled.encode_into(out);
+        self.inner.encode_into(out);
+    }
+
+    fn decode(r: &mut Reader) -> Result<Self, CodecError> {
+        let p = crate::f0::decode_rate(r)?;
+        let n_sampled = r.u64()?;
+        let inner = MedianF0::decode(r)?;
+        Ok(NaiveScaledF0 {
+            inner,
+            p,
+            n_sampled,
+        })
     }
 }
 

@@ -11,6 +11,7 @@
 //!   `Õ(p⁻¹m^{1−2/k})` space; adds the sketching error (events `E²_ℓ`,
 //!   Lemmas 6–7).
 
+use sss_codec::{put_len, CodecError, Reader, WireCodec};
 use sss_hash::{fp_hash_map, FpHashMap};
 use sss_sketch::levelset::{LevelSetConfig, LevelSetEstimator};
 
@@ -118,7 +119,10 @@ impl CollisionOracle for ExactCollisions {
 
     /// Merge per shared item by patching the collision counts in closed
     /// form, `ΔC_ℓ = binom(a+b, ℓ) − binom(a, ℓ) − binom(b, ℓ)` — `O(k)`
-    /// per item of `other`.
+    /// per item of `other`. Patches apply in ascending item order so the
+    /// float accumulation is canonical: merging a deserialized oracle
+    /// (same contents, different hash-map history) lands on bitwise the
+    /// same `C_ℓ` as merging the original.
     fn merge(&mut self, other: &Self) {
         assert_eq!(self.c.len(), other.c.len(), "order mismatch");
         let k = self.c.len() as u32 - 1;
@@ -126,7 +130,9 @@ impl CollisionOracle for ExactCollisions {
         for ell in 1..=k as usize {
             self.c[ell] += other.c[ell];
         }
-        for (&item, &b) in &other.freqs {
+        let mut rows: Vec<(u64, u64)> = other.freqs.iter().map(|(&i, &g)| (i, g)).collect();
+        rows.sort_unstable();
+        for (item, b) in rows {
             let a = self.freq(item);
             if a > 0 {
                 for ell in 2..=k {
@@ -157,6 +163,53 @@ impl CollisionOracle for ExactCollisions {
 
     fn space_words(&self) -> usize {
         2 * self.freqs.len() + self.c.len()
+    }
+}
+
+impl WireCodec for ExactCollisions {
+    const WIRE_TAG: u16 = 0x040B;
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.c.encode_into(out);
+        self.n.encode_into(out);
+        let mut rows: Vec<(u64, u64)> = self.freqs.iter().map(|(&i, &g)| (i, g)).collect();
+        rows.sort_unstable();
+        put_len(out, rows.len());
+        for (i, g) in rows {
+            i.encode_into(out);
+            g.encode_into(out);
+        }
+    }
+
+    fn decode(r: &mut Reader) -> Result<Self, CodecError> {
+        let c: Vec<f64> = Vec::decode(r)?;
+        let n = r.u64()?;
+        if c.len() < 2 {
+            return Err(CodecError::Invalid {
+                what: "ExactCollisions accumulator shorter than [unused, C_1]",
+            });
+        }
+        let len = r.len_prefix(16)?;
+        let mut freqs = fp_hash_map();
+        let mut total: u64 = 0;
+        for _ in 0..len {
+            let item = r.u64()?;
+            let g = r.u64()?;
+            if g == 0 || freqs.insert(item, g).is_some() {
+                return Err(CodecError::Invalid {
+                    what: "ExactCollisions frequency row invalid",
+                });
+            }
+            total = total.checked_add(g).ok_or(CodecError::Invalid {
+                what: "ExactCollisions frequencies overflow u64",
+            })?;
+        }
+        if total != n {
+            return Err(CodecError::Invalid {
+                what: "ExactCollisions frequencies do not sum to n",
+            });
+        }
+        Ok(ExactCollisions { freqs, c, n })
     }
 }
 
@@ -216,6 +269,28 @@ impl CollisionOracle for LevelSetCollisions {
 
     fn space_words(&self) -> usize {
         self.inner.space_words()
+    }
+}
+
+impl WireCodec for LevelSetCollisions {
+    const WIRE_TAG: u16 = 0x040C;
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.max_order.encode_into(out);
+        self.inner.encode_into(out);
+    }
+
+    fn decode(r: &mut Reader) -> Result<Self, CodecError> {
+        let max_order = r.u32()?;
+        if max_order == 0 {
+            return Err(CodecError::Invalid {
+                what: "LevelSetCollisions order == 0",
+            });
+        }
+        Ok(LevelSetCollisions {
+            inner: LevelSetEstimator::decode(r)?,
+            max_order,
+        })
     }
 }
 

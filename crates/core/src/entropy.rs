@@ -15,6 +15,7 @@
 //! (Lemma 10). So the whole algorithm is: run a small-space multiplicative
 //! entropy estimator on `L` and report its output.
 
+use sss_codec::{CodecError, Reader, WireCodec};
 use sss_sketch::entropy::EntropyEstimator;
 
 use crate::estimate::{Estimate, Guarantee, Statistic, SubsampledEstimator};
@@ -183,6 +184,30 @@ impl SubsampledEstimator for SampledEntropyEstimator {
 
     fn samples_seen(&self) -> u64 {
         SampledEntropyEstimator::samples_seen(self)
+    }
+}
+
+impl WireCodec for SampledEntropyEstimator {
+    const WIRE_TAG: u16 = 0x0404;
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.p.encode_into(out);
+        self.merged_weight.encode_into(out);
+        self.merged_n.encode_into(out);
+        self.inner.encode_into(out);
+    }
+
+    fn decode(r: &mut Reader) -> Result<Self, CodecError> {
+        let p = crate::f0::decode_rate(r)?;
+        let merged_weight = r.f64()?;
+        let merged_n = r.u64()?;
+        let inner = EntropyEstimator::decode(r)?;
+        Ok(SampledEntropyEstimator {
+            inner,
+            p,
+            merged_weight,
+            merged_n,
+        })
     }
 }
 

@@ -19,6 +19,8 @@
 //! The [`Monitor`](crate::monitor::Monitor) front-end drives any set of
 //! these in a single pass.
 
+use sss_codec::{CodecError, Reader, WireCodec};
+
 use crate::params::ApproxParams;
 
 /// Relative tolerance for comparing the sampling rates of two summaries
@@ -203,6 +205,72 @@ impl Estimate {
     /// (`max(value/truth, truth/value)`; see [`ApproxParams::mult_error`]).
     pub fn mult_error(&self, truth: f64) -> f64 {
         ApproxParams::mult_error(self.value, truth)
+    }
+}
+
+impl WireCodec for Guarantee {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            Guarantee::Multiplicative { target } => {
+                out.push(0);
+                target.encode_into(out);
+            }
+            Guarantee::BoundedFactor { factor } => {
+                out.push(1);
+                factor.encode_into(out);
+            }
+            Guarantee::ConstantFactor => out.push(2),
+            Guarantee::HeavyHitters { alpha, eps, delta } => {
+                out.push(3);
+                alpha.encode_into(out);
+                eps.encode_into(out);
+                delta.encode_into(out);
+            }
+            Guarantee::Heuristic => out.push(4),
+        }
+    }
+
+    fn decode(r: &mut Reader) -> Result<Self, CodecError> {
+        Ok(match r.u8()? {
+            0 => Guarantee::Multiplicative {
+                target: Option::decode(r)?,
+            },
+            1 => Guarantee::BoundedFactor { factor: r.f64()? },
+            2 => Guarantee::ConstantFactor,
+            3 => Guarantee::HeavyHitters {
+                alpha: r.f64()?,
+                eps: r.f64()?,
+                delta: r.f64()?,
+            },
+            4 => Guarantee::Heuristic,
+            _ => {
+                return Err(CodecError::Invalid {
+                    what: "unknown Guarantee discriminant",
+                })
+            }
+        })
+    }
+}
+
+impl WireCodec for Estimate {
+    const WIRE_TAG: u16 = 0x040D;
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.value.encode_into(out);
+        self.guarantee.encode_into(out);
+        self.p.encode_into(out);
+        self.samples_seen.encode_into(out);
+        self.report.encode_into(out);
+    }
+
+    fn decode(r: &mut Reader) -> Result<Self, CodecError> {
+        Ok(Estimate {
+            value: r.f64()?,
+            guarantee: Guarantee::decode(r)?,
+            p: r.f64()?,
+            samples_seen: r.u64()?,
+            report: Vec::decode(r)?,
+        })
     }
 }
 

@@ -8,6 +8,7 @@
 //! shows the multiplicative error is at most `4/√p` with probability
 //! `≥ 1 − (δ + e^{−p·F_0(P)/8})`.
 
+use sss_codec::{CodecError, Reader, WireCodec};
 use sss_sketch::kmv::MedianF0;
 
 use crate::estimate::{Estimate, Guarantee, Statistic, SubsampledEstimator};
@@ -148,6 +149,33 @@ impl SubsampledEstimator for SampledF0Estimator {
 
     fn samples_seen(&self) -> u64 {
         self.n_sampled
+    }
+}
+
+/// Validate a Bernoulli sampling rate arriving off the wire
+/// (thin alias for [`Reader::rate`], shared by the core decoders).
+pub(crate) fn decode_rate(r: &mut Reader) -> Result<f64, CodecError> {
+    r.rate()
+}
+
+impl WireCodec for SampledF0Estimator {
+    const WIRE_TAG: u16 = 0x0401;
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.p.encode_into(out);
+        self.n_sampled.encode_into(out);
+        self.inner.encode_into(out);
+    }
+
+    fn decode(r: &mut Reader) -> Result<Self, CodecError> {
+        let p = decode_rate(r)?;
+        let n_sampled = r.u64()?;
+        let inner = MedianF0::decode(r)?;
+        Ok(SampledF0Estimator {
+            inner,
+            p,
+            n_sampled,
+        })
     }
 }
 

@@ -14,6 +14,7 @@
 //! `(1+ε, δ)`-estimator of `F_k(P)` in `Õ(p⁻¹m^{1−2/k})` space, provided
 //! `p = Ω̃(min(m,n)^{−1/k})`.
 
+use sss_codec::{CodecError, Reader, WireCodec};
 use sss_sketch::levelset::LevelSetConfig;
 
 use crate::collisions::{CollisionOracle, ExactCollisions, LevelSetCollisions};
@@ -196,6 +197,64 @@ impl<O: CollisionOracle> SubsampledEstimator for SampledFkEstimator<O> {
 
     fn samples_seen(&self) -> u64 {
         SampledFkEstimator::samples_seen(self)
+    }
+}
+
+/// Payload codec shared by both oracle instantiations of Algorithm 1
+/// (each gets its own wire tag: the oracle type is part of the identity).
+impl<O: CollisionOracle + WireCodec> SampledFkEstimator<O> {
+    fn encode_fields(&self, out: &mut Vec<u8>) {
+        self.k.encode_into(out);
+        self.p.encode_into(out);
+        self.target.encode_into(out);
+        self.oracle.encode_into(out);
+    }
+
+    fn decode_fields(r: &mut Reader) -> Result<Self, CodecError> {
+        let k = r.u32()?;
+        if !(2..=MAX_K).contains(&k) {
+            return Err(CodecError::Invalid {
+                what: "SampledFkEstimator k outside 2..=MAX_K",
+            });
+        }
+        let p = crate::f0::decode_rate(r)?;
+        let target = Option::<ApproxParams>::decode(r)?;
+        let oracle = O::decode(r)?;
+        if oracle.max_order() < k {
+            return Err(CodecError::Invalid {
+                what: "SampledFkEstimator oracle supports too few orders",
+            });
+        }
+        Ok(SampledFkEstimator {
+            oracle,
+            k,
+            p,
+            target,
+        })
+    }
+}
+
+impl WireCodec for SampledFkEstimator<ExactCollisions> {
+    const WIRE_TAG: u16 = 0x0402;
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.encode_fields(out);
+    }
+
+    fn decode(r: &mut Reader) -> Result<Self, CodecError> {
+        Self::decode_fields(r)
+    }
+}
+
+impl WireCodec for SampledFkEstimator<LevelSetCollisions> {
+    const WIRE_TAG: u16 = 0x0403;
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.encode_fields(out);
+    }
+
+    fn decode(r: &mut Reader) -> Result<Self, CodecError> {
+        Self::decode_fields(r)
     }
 }
 

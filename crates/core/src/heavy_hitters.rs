@@ -16,6 +16,7 @@
 //!   intrinsic (the sampled `F_2` concentrates at
 //!   `p²F_2(P) + p(1−p)F_1(P)`, not `p²F_2(P)`).
 
+use sss_codec::{CodecError, Reader, WireCodec};
 use sss_sketch::topk::{CmHeavyHitters, CsHeavyHitters};
 
 use crate::estimate::{Estimate, Guarantee, Statistic, SubsampledEstimator};
@@ -322,6 +323,64 @@ impl SubsampledEstimator for SampledF2HeavyHitters {
 
     fn samples_seen(&self) -> u64 {
         SampledF2HeavyHitters::samples_seen(self)
+    }
+}
+
+/// Decode the shared `(alpha, eps, delta, p)` prefix of both theorem
+/// reporters, validating every parameter's domain.
+fn decode_hh_params(r: &mut Reader) -> Result<(f64, f64, f64, f64), CodecError> {
+    let alpha = r.prob_open()?;
+    let eps = r.prob_open()?;
+    let delta = r.prob_open()?;
+    let p = r.rate()?;
+    Ok((alpha, eps, delta, p))
+}
+
+impl WireCodec for SampledF1HeavyHitters {
+    const WIRE_TAG: u16 = 0x0405;
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.alpha.encode_into(out);
+        self.eps.encode_into(out);
+        self.delta.encode_into(out);
+        self.p.encode_into(out);
+        self.inner.encode_into(out);
+    }
+
+    fn decode(r: &mut Reader) -> Result<Self, CodecError> {
+        let (alpha, eps, delta, p) = decode_hh_params(r)?;
+        let inner = CmHeavyHitters::decode(r)?;
+        Ok(SampledF1HeavyHitters {
+            inner,
+            alpha,
+            eps,
+            delta,
+            p,
+        })
+    }
+}
+
+impl WireCodec for SampledF2HeavyHitters {
+    const WIRE_TAG: u16 = 0x0406;
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.alpha.encode_into(out);
+        self.eps.encode_into(out);
+        self.delta.encode_into(out);
+        self.p.encode_into(out);
+        self.inner.encode_into(out);
+    }
+
+    fn decode(r: &mut Reader) -> Result<Self, CodecError> {
+        let (alpha, eps, delta, p) = decode_hh_params(r)?;
+        let inner = CsHeavyHitters::decode(r)?;
+        Ok(SampledF2HeavyHitters {
+            inner,
+            alpha,
+            eps,
+            delta,
+            p,
+        })
     }
 }
 

@@ -39,6 +39,7 @@
 
 use std::any::Any;
 
+use sss_codec::{put_len, CodecError, Reader, WireCodec};
 use sss_hash::{split_seed, SplitMix64};
 use sss_sketch::levelset::LevelSetConfig;
 
@@ -53,7 +54,8 @@ use crate::params::ApproxParams;
 /// hold heterogeneous estimators. `merge` is recovered through `Any`
 /// downcasting (both sides must be the same concrete type). `Send + Clone`
 /// are required so monitors can be forked onto worker threads
-/// ([`crate::sharded::ShardedMonitor`]).
+/// ([`crate::sharded::ShardedMonitor`]); `WireCodec` so monitors can be
+/// checkpointed and shipped ([`Monitor::checkpoint`]).
 trait DynEstimator: Send {
     fn update(&mut self, x: u64);
     fn update_batch(&mut self, xs: &[u64]);
@@ -69,9 +71,13 @@ trait DynEstimator: Send {
     fn merge_dyn(&mut self, other: &dyn Any, label: &str) -> Result<(), MergeError>;
     fn reseed_shard_local_dyn(&mut self, seed: u64);
     fn clone_box(&self) -> Box<dyn DynEstimator>;
+    /// The concrete type's wire tag ([`WireCodec::WIRE_TAG`]).
+    fn wire_tag(&self) -> u16;
+    /// Append the concrete type's wire payload.
+    fn encode_wire(&self, out: &mut Vec<u8>);
 }
 
-impl<T: SubsampledEstimator + Any + Clone + Send> DynEstimator for T {
+impl<T: SubsampledEstimator + Any + Clone + Send + WireCodec> DynEstimator for T {
     fn update(&mut self, x: u64) {
         SubsampledEstimator::update(self, x);
     }
@@ -125,6 +131,71 @@ impl<T: SubsampledEstimator + Any + Clone + Send> DynEstimator for T {
     fn clone_box(&self) -> Box<dyn DynEstimator> {
         Box::new(self.clone())
     }
+
+    fn wire_tag(&self) -> u16 {
+        T::WIRE_TAG
+    }
+
+    fn encode_wire(&self, out: &mut Vec<u8>) {
+        WireCodec::encode_into(self, out);
+    }
+}
+
+/// Decode one registered estimator by wire tag — the registry behind
+/// [`Monitor::restore`]. Every estimator the [`MonitorBuilder`] can
+/// register is listed; a `register()`-ed *custom* estimator encodes fine
+/// (it implements [`WireCodec`]) but decodes only if its tag is known
+/// here, so snapshots carrying third-party estimators fail with
+/// [`CodecError::UnknownTag`] instead of misparsing.
+const F0: u16 = SampledF0Estimator::WIRE_TAG;
+const FK_EXACT: u16 =
+    <SampledFkEstimator<crate::collisions::ExactCollisions> as WireCodec>::WIRE_TAG;
+const FK_SKETCHED: u16 =
+    <SampledFkEstimator<crate::collisions::LevelSetCollisions> as WireCodec>::WIRE_TAG;
+const ENTROPY: u16 = SampledEntropyEstimator::WIRE_TAG;
+const HH_F1: u16 = SampledF1HeavyHitters::WIRE_TAG;
+const HH_F2: u16 = SampledF2HeavyHitters::WIRE_TAG;
+const RUSU_DOBRA: u16 = crate::baselines::RusuDobraF2::WIRE_TAG;
+const NAIVE_FK: u16 = crate::baselines::NaiveScaledFk::WIRE_TAG;
+const NAIVE_F0: u16 = crate::baselines::NaiveScaledF0::WIRE_TAG;
+const ADAPTIVE: u16 = crate::adaptive::AdaptiveF2Estimator::WIRE_TAG;
+
+/// Whether [`decode_estimator`] can rebuild an estimator with this tag —
+/// checked at *checkpoint* time too, so a snapshot that could never be
+/// restored fails while the live state still exists.
+fn registry_knows(tag: u16) -> bool {
+    matches!(
+        tag,
+        F0 | FK_EXACT
+            | FK_SKETCHED
+            | ENTROPY
+            | HH_F1
+            | HH_F2
+            | RUSU_DOBRA
+            | NAIVE_FK
+            | NAIVE_F0
+            | ADAPTIVE
+    )
+}
+
+fn decode_estimator(tag: u16, r: &mut Reader) -> Result<Box<dyn DynEstimator>, CodecError> {
+    use crate::adaptive::AdaptiveF2Estimator;
+    use crate::baselines::{NaiveScaledF0, NaiveScaledFk, RusuDobraF2};
+    use crate::collisions::{ExactCollisions, LevelSetCollisions};
+
+    Ok(match tag {
+        F0 => Box::new(SampledF0Estimator::decode(r)?),
+        FK_EXACT => Box::new(SampledFkEstimator::<ExactCollisions>::decode(r)?),
+        FK_SKETCHED => Box::new(SampledFkEstimator::<LevelSetCollisions>::decode(r)?),
+        ENTROPY => Box::new(SampledEntropyEstimator::decode(r)?),
+        HH_F1 => Box::new(SampledF1HeavyHitters::decode(r)?),
+        HH_F2 => Box::new(SampledF2HeavyHitters::decode(r)?),
+        RUSU_DOBRA => Box::new(RusuDobraF2::decode(r)?),
+        NAIVE_FK => Box::new(NaiveScaledFk::decode(r)?),
+        NAIVE_F0 => Box::new(NaiveScaledF0::decode(r)?),
+        ADAPTIVE => Box::new(AdaptiveF2Estimator::decode(r)?),
+        found => return Err(CodecError::UnknownTag { found }),
+    })
 }
 
 struct Entry {
@@ -245,7 +316,7 @@ impl MonitorBuilder {
     /// alongside exact ones, and extensions.
     pub fn register<E>(mut self, label: &str, est: E) -> Self
     where
-        E: SubsampledEstimator + Any + Clone + Send,
+        E: SubsampledEstimator + Any + Clone + Send + WireCodec,
     {
         let _ = self.seeds.derive();
         self.push(label.to_string(), Box::new(est))
@@ -430,6 +501,97 @@ impl Monitor {
             .iter()
             .map(|e| (e.label.clone(), e.est.statistic(), e.est.space_bytes()))
             .collect()
+    }
+
+    /// Serialize the full monitor state as a framed wire snapshot —
+    /// what a remote shard mails to a collector, and what a long-running
+    /// deployment writes to disk before a restart. The restored monitor
+    /// ([`Monitor::restore`]) is observationally identical: bitwise-equal
+    /// estimates and `space_bytes`, and continued ingestion matches the
+    /// never-serialized run exactly.
+    ///
+    /// # Errors
+    /// [`CodecError::UnknownTag`] if a `register()`-ed estimator's wire
+    /// tag is not in the decode registry — such bytes could be written
+    /// but never restored, so the failure surfaces *now*, while the live
+    /// state still exists, instead of at restore time.
+    pub fn checkpoint(&self) -> Result<Vec<u8>, CodecError> {
+        for e in &self.entries {
+            let tag = e.est.wire_tag();
+            if !registry_knows(tag) {
+                return Err(CodecError::UnknownTag { found: tag });
+            }
+        }
+        Ok(self.encode_framed())
+    }
+
+    /// Rebuild a monitor from [`Monitor::checkpoint`] bytes, validating
+    /// magic, format version, type tag and every structural invariant.
+    /// Snapshots from compatible builder configurations remain mergeable
+    /// with live monitors ([`Monitor::try_merge`]).
+    pub fn restore(bytes: &[u8]) -> Result<Monitor, CodecError> {
+        Monitor::decode_framed(bytes)
+    }
+
+    /// `(label, wire tag)` rows of the registered estimators — the
+    /// self-describing half of a snapshot, useful for logging what a
+    /// received summary carries before merging it.
+    pub fn wire_layout(&self) -> Vec<(String, u16)> {
+        self.entries
+            .iter()
+            .map(|e| (e.label.clone(), e.est.wire_tag()))
+            .collect()
+    }
+}
+
+impl WireCodec for Monitor {
+    const WIRE_TAG: u16 = 0x040E;
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.p.encode_into(out);
+        self.seed.encode_into(out);
+        self.samples.encode_into(out);
+        put_len(out, self.entries.len());
+        for e in &self.entries {
+            e.label.encode_into(out);
+            e.est.wire_tag().encode_into(out);
+            // Length-prefixed estimator section: a corrupt estimator
+            // payload cannot bleed into the next entry. (Decode still
+            // fails the whole monitor on an unknown tag — skip-and-
+            // continue is the cross-version follow-on in the ROADMAP.)
+            let mut payload = Vec::new();
+            e.est.encode_wire(&mut payload);
+            put_len(out, payload.len());
+            out.extend_from_slice(&payload);
+        }
+    }
+
+    fn decode(r: &mut Reader) -> Result<Self, CodecError> {
+        let p = crate::f0::decode_rate(r)?;
+        let seed = r.u64()?;
+        let samples = r.u64()?;
+        let count = r.len_prefix(12)?;
+        let mut entries: Vec<Entry> = Vec::with_capacity(count);
+        for _ in 0..count {
+            let label = String::decode(r)?;
+            if entries.iter().any(|e| e.label == label) {
+                return Err(CodecError::Invalid {
+                    what: "Monitor registers the same label twice",
+                });
+            }
+            let tag = r.u16()?;
+            let len = r.len_prefix(1)?;
+            let mut section = Reader::new(r.take(len)?);
+            let est = decode_estimator(tag, &mut section)?;
+            section.expect_empty()?;
+            entries.push(Entry { label, est });
+        }
+        Ok(Monitor {
+            p,
+            seed,
+            entries,
+            samples,
+        })
     }
 }
 

@@ -1,5 +1,7 @@
 //! Shared approximation-parameter plumbing.
 
+use sss_codec::{CodecError, Reader, WireCodec};
+
 /// A `(1+ε, δ)` approximation target (paper, Definition 1: the output `X̃`
 /// satisfies `α⁻¹ ≤ X/X̃ ≤ α` with probability `≥ 1 − δ`, here with
 /// `α = 1+ε`).
@@ -49,6 +51,22 @@ impl ApproxParams {
             return f64::INFINITY;
         }
         (estimate / truth).max(truth / estimate)
+    }
+}
+
+impl WireCodec for ApproxParams {
+    const MIN_WIRE_BYTES: usize = 16;
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.epsilon.encode_into(out);
+        self.delta.encode_into(out);
+    }
+
+    fn decode(r: &mut Reader) -> Result<Self, CodecError> {
+        Ok(ApproxParams {
+            epsilon: r.prob_open()?,
+            delta: r.prob_open()?,
+        })
     }
 }
 

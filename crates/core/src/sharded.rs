@@ -248,6 +248,18 @@ impl ShardedMonitor {
         view
     }
 
+    /// The trailing coordinator view of [`ShardedMonitor::snapshot`] as
+    /// framed wire bytes ([`Monitor::checkpoint`]) — what a remote site
+    /// mails to a cross-site collector mid-run without stopping ingestion.
+    /// The collector rebuilds it with [`Monitor::restore`] and merges.
+    ///
+    /// # Errors
+    /// Propagates [`Monitor::checkpoint`]'s registry check (a
+    /// `register()`-ed estimator whose tag cannot be restored).
+    pub fn snapshot_wire(&self) -> Result<Vec<u8>, sss_codec::CodecError> {
+        self.snapshot().checkpoint()
+    }
+
     /// Drain the queues, join every worker, and merge all shard monitors
     /// into the final coordinator view.
     pub fn finish(self) -> Monitor {

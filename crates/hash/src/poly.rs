@@ -8,6 +8,8 @@
 //! The Mersenne prime `p = 2^61 − 1` admits branch-light modular reduction:
 //! `a mod p` via shift/add on the 122-bit product.
 
+use sss_codec::{CodecError, Reader, WireCodec};
+
 use crate::rng::{RngCore64, SplitMix64};
 
 /// The Mersenne prime `2^61 − 1` used as the hash field modulus.
@@ -168,6 +170,56 @@ impl PairwiseHash {
     pub fn level(&self, x: u64) -> u32 {
         let h = crate::mix::fingerprint64(self.hash(x));
         h.trailing_zeros()
+    }
+}
+
+impl WireCodec for PolyHash {
+    const WIRE_TAG: u16 = 0x0103;
+    const MIN_WIRE_BYTES: usize = 8;
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.coeffs.encode_into(out);
+    }
+
+    fn decode(r: &mut Reader) -> Result<Self, CodecError> {
+        let coeffs: Vec<u64> = Vec::decode(r)?;
+        if coeffs.is_empty() {
+            return Err(CodecError::Invalid {
+                what: "PolyHash with no coefficients",
+            });
+        }
+        if coeffs.iter().any(|&c| c >= MERSENNE_PRIME_61) {
+            return Err(CodecError::Invalid {
+                what: "PolyHash coefficient outside the Mersenne field",
+            });
+        }
+        if coeffs.len() > 1 && coeffs[coeffs.len() - 1] == 0 {
+            // The constructor draws the leading coefficient from [1, p);
+            // a zero here would silently lower the independence level.
+            return Err(CodecError::Invalid {
+                what: "PolyHash leading coefficient is zero",
+            });
+        }
+        Ok(PolyHash { coeffs })
+    }
+}
+
+impl WireCodec for PairwiseHash {
+    const WIRE_TAG: u16 = 0x0104;
+    const MIN_WIRE_BYTES: usize = 8;
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.inner.encode_into(out);
+    }
+
+    fn decode(r: &mut Reader) -> Result<Self, CodecError> {
+        let inner = PolyHash::decode(r)?;
+        if inner.independence() != 2 {
+            return Err(CodecError::Invalid {
+                what: "PairwiseHash polynomial is not degree 1",
+            });
+        }
+        Ok(PairwiseHash { inner })
     }
 }
 

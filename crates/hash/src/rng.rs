@@ -5,6 +5,8 @@
 //! here (Vigna's SplitMix64 and Xoshiro256++) are tiny, well-studied, and
 //! fully specified by their reference C implementations.
 
+use sss_codec::{CodecError, Reader, WireCodec};
+
 /// A source of uniformly distributed `u64` words.
 ///
 /// This is the only RNG interface the workspace uses. Helper methods supply
@@ -202,6 +204,45 @@ impl RngCore64 for Xoshiro256pp {
         s[2] ^= t;
         s[3] = s[3].rotate_left(45);
         result
+    }
+}
+
+impl WireCodec for SplitMix64 {
+    const WIRE_TAG: u16 = 0x0101;
+    const MIN_WIRE_BYTES: usize = 8;
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.state.encode_into(out);
+    }
+
+    fn decode(r: &mut Reader) -> Result<Self, CodecError> {
+        Ok(SplitMix64 { state: r.u64()? })
+    }
+}
+
+impl WireCodec for Xoshiro256pp {
+    const WIRE_TAG: u16 = 0x0102;
+    const MIN_WIRE_BYTES: usize = 32;
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        for w in &self.s {
+            w.encode_into(out);
+        }
+    }
+
+    fn decode(r: &mut Reader) -> Result<Self, CodecError> {
+        let mut s = [0u64; 4];
+        for w in &mut s {
+            *w = r.u64()?;
+        }
+        if s == [0, 0, 0, 0] {
+            // The all-zero state is a fixed point of the generator; no
+            // constructor can produce it, so it cannot be honest data.
+            return Err(CodecError::Invalid {
+                what: "Xoshiro256pp all-zero state",
+            });
+        }
+        Ok(Xoshiro256pp { s })
     }
 }
 

@@ -5,6 +5,8 @@
 //! independence. We derive the sign from one output bit of a degree-3
 //! polynomial over `GF(2^61 − 1)`.
 
+use sss_codec::{CodecError, Reader, WireCodec};
+
 use crate::poly::PolyHash;
 
 /// A 4-wise independent function `u64 → {−1, +1}`.
@@ -31,6 +33,25 @@ impl FourWiseSign {
         } else {
             -1
         }
+    }
+}
+
+impl WireCodec for FourWiseSign {
+    const WIRE_TAG: u16 = 0x0105;
+    const MIN_WIRE_BYTES: usize = 8;
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.poly.encode_into(out);
+    }
+
+    fn decode(r: &mut Reader) -> Result<Self, CodecError> {
+        let poly = PolyHash::decode(r)?;
+        if poly.independence() != 4 {
+            return Err(CodecError::Invalid {
+                what: "FourWiseSign polynomial is not degree 3",
+            });
+        }
+        Ok(FourWiseSign { poly })
     }
 }
 

@@ -7,6 +7,8 @@
 //! alternative where the analysis does not demand ≥4-wise polynomial
 //! families; evaluation is 8 table lookups and XORs, no multiplications.
 
+use sss_codec::{put_u64, CodecError, Reader, WireCodec};
+
 use crate::rng::{RngCore64, SplitMix64};
 
 /// Bytes per key; we hash the full 64-bit item identifier.
@@ -46,6 +48,30 @@ impl TabulationHash {
     #[inline]
     pub fn hash_range(&self, x: u64, range: usize) -> usize {
         crate::mix::reduce_range(self.hash(x), range)
+    }
+}
+
+impl WireCodec for TabulationHash {
+    const WIRE_TAG: u16 = 0x0106;
+    const MIN_WIRE_BYTES: usize = CHUNKS * 256 * 8;
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.reserve(Self::MIN_WIRE_BYTES);
+        for table in self.tables.iter() {
+            for &slot in table.iter() {
+                put_u64(out, slot);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader) -> Result<Self, CodecError> {
+        let mut tables = Box::new([[0u64; 256]; CHUNKS]);
+        for table in tables.iter_mut() {
+            for slot in table.iter_mut() {
+                *slot = r.u64()?;
+            }
+        }
+        Ok(TabulationHash { tables })
     }
 }
 

@@ -10,6 +10,7 @@
 //! estimate `F_2` of the sampled stream, then invert
 //! `E[F_2(L)] = p²F_2(P) + p(1−p)F_1(P)`.
 
+use sss_codec::{CodecError, Reader, WireCodec};
 use sss_hash::{FourWiseSign, SplitMix64};
 
 /// AMS `F_2` estimator: `groups × copies` atomic counters.
@@ -126,6 +127,40 @@ impl AmsF2 {
             *a += b;
         }
         self.total += other.total;
+    }
+}
+
+impl WireCodec for AmsF2 {
+    const WIRE_TAG: u16 = 0x0203;
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.copies.encode_into(out);
+        self.z.encode_into(out);
+        self.signs.encode_into(out);
+        self.total.encode_into(out);
+    }
+
+    fn decode(r: &mut Reader) -> Result<Self, CodecError> {
+        let copies = usize::decode(r)?;
+        let z: Vec<i64> = Vec::decode(r)?;
+        let signs: Vec<FourWiseSign> = Vec::decode(r)?;
+        let total = r.u64()?;
+        if copies == 0 || z.is_empty() {
+            return Err(CodecError::Invalid {
+                what: "AmsF2 empty dimensions",
+            });
+        }
+        if z.len() != signs.len() || !z.len().is_multiple_of(copies) {
+            return Err(CodecError::Invalid {
+                what: "AmsF2 counter/sign layout mismatch",
+            });
+        }
+        Ok(AmsF2 {
+            copies,
+            z,
+            signs,
+            total,
+        })
     }
 }
 

@@ -11,6 +11,7 @@
 //! stream. Rows use independent 2-wise polynomial hash functions, which the
 //! original analysis requires.
 
+use sss_codec::{CodecError, Reader, WireCodec};
 use sss_hash::{PairwiseHash, SplitMix64};
 
 /// CountMin sketch over `u64` items with `u64` counts.
@@ -144,6 +145,41 @@ impl CountMin {
             *a += b;
         }
         self.total += other.total;
+    }
+}
+
+impl WireCodec for CountMin {
+    const WIRE_TAG: u16 = 0x0204;
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.width.encode_into(out);
+        self.counters.encode_into(out);
+        self.hashes.encode_into(out);
+        self.total.encode_into(out);
+        self.conservative.encode_into(out);
+    }
+
+    fn decode(r: &mut Reader) -> Result<Self, CodecError> {
+        let width = usize::decode(r)?;
+        let counters: Vec<u64> = Vec::decode(r)?;
+        let hashes: Vec<PairwiseHash> = Vec::decode(r)?;
+        let total = r.u64()?;
+        let conservative = r.bool()?;
+        if width == 0
+            || hashes.is_empty()
+            || width.checked_mul(hashes.len()) != Some(counters.len())
+        {
+            return Err(CodecError::Invalid {
+                what: "CountMin counter grid does not match depth x width",
+            });
+        }
+        Ok(CountMin {
+            width,
+            counters,
+            hashes,
+            total,
+            conservative,
+        })
     }
 }
 

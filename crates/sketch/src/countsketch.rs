@@ -14,6 +14,7 @@
 //! "fast AMS" view of CountSketch) — used both by the `F_2` heavy-hitter
 //! threshold and the level-set bucket selection.
 
+use sss_codec::{CodecError, Reader, WireCodec};
 use sss_hash::{FourWiseSign, PairwiseHash, SplitMix64};
 
 /// CountSketch over `u64` items with `i64` counters.
@@ -157,6 +158,55 @@ impl CountSketch {
                 .map(|&c| ((c as i128) * (c as i128)) as u128)
                 .sum();
         }
+    }
+}
+
+impl WireCodec for CountSketch {
+    const WIRE_TAG: u16 = 0x0205;
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        // `row_sumsq` is derived state: recomputed on decode (exact
+        // integer arithmetic, so it matches the incremental values
+        // bit for bit) rather than trusted from the wire.
+        self.width.encode_into(out);
+        self.counters.encode_into(out);
+        self.bucket_hashes.encode_into(out);
+        self.sign_hashes.encode_into(out);
+        self.total.encode_into(out);
+    }
+
+    fn decode(r: &mut Reader) -> Result<Self, CodecError> {
+        let width = usize::decode(r)?;
+        let counters: Vec<i64> = Vec::decode(r)?;
+        let bucket_hashes: Vec<PairwiseHash> = Vec::decode(r)?;
+        let sign_hashes: Vec<FourWiseSign> = Vec::decode(r)?;
+        let total = r.u64()?;
+        let depth = bucket_hashes.len();
+        if width == 0
+            || depth == 0
+            || sign_hashes.len() != depth
+            || width.checked_mul(depth) != Some(counters.len())
+        {
+            return Err(CodecError::Invalid {
+                what: "CountSketch counter grid does not match depth x width",
+            });
+        }
+        let row_sumsq: Vec<u128> = counters
+            .chunks_exact(width)
+            .map(|row| {
+                row.iter()
+                    .map(|&c| ((c as i128) * (c as i128)) as u128)
+                    .sum()
+            })
+            .collect();
+        Ok(CountSketch {
+            width,
+            counters,
+            bucket_hashes,
+            sign_hashes,
+            row_sumsq,
+            total,
+        })
     }
 }
 

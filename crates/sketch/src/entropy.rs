@@ -41,6 +41,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use sss_codec::{put_len, CodecError, Reader, WireCodec};
 use sss_hash::{fp_hash_map, FpHashMap, RngCore64, SplitMix64, Xoshiro256pp};
 
 use crate::misra_gries::MisraGries;
@@ -327,6 +328,186 @@ impl EntropyEstimator {
             _ => self.plain.mean_x(),
         };
         est.clamp(0.0, (self.n as f64).log2())
+    }
+}
+
+impl WireCodec for SuffixReservoir {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        // `holders` is derived from the slots and rebuilt on decode.
+        put_len(out, self.slots.len());
+        for s in &self.slots {
+            s.item.encode_into(out);
+            s.offset.encode_into(out);
+        }
+        put_len(out, self.due.len());
+        for &Reverse((pos, idx)) in self.due.iter() {
+            pos.encode_into(out);
+            idx.encode_into(out);
+        }
+        let mut rows: Vec<(u64, u64)> = self.tracker.iter().map(|(&i, &c)| (i, c)).collect();
+        rows.sort_unstable();
+        put_len(out, rows.len());
+        for (i, c) in rows {
+            i.encode_into(out);
+            c.encode_into(out);
+        }
+        // Holders ship verbatim rather than being rebuilt from the slots:
+        // a slot holding the literal item u64::MAX is indistinguishable
+        // from an empty slot, so slot-side inference would reject (or
+        // corrupt) honest states containing that id.
+        let mut held: Vec<(u64, u32)> = self.holders.iter().map(|(&i, &h)| (i, h)).collect();
+        held.sort_unstable();
+        put_len(out, held.len());
+        for (i, h) in held {
+            i.encode_into(out);
+            h.encode_into(out);
+        }
+        self.n.encode_into(out);
+        self.rng.encode_into(out);
+    }
+
+    fn decode(r: &mut Reader) -> Result<Self, CodecError> {
+        let slot_count = r.len_prefix(16)?;
+        if slot_count == 0 || slot_count > u32::MAX as usize {
+            return Err(CodecError::Invalid {
+                what: "SuffixReservoir slot count outside 1..=u32::MAX",
+            });
+        }
+        let mut slots = Vec::with_capacity(slot_count);
+        for _ in 0..slot_count {
+            slots.push(Slot {
+                item: r.u64()?,
+                offset: r.u64()?,
+            });
+        }
+        let due_count = r.len_prefix(12)?;
+        if due_count != slot_count {
+            return Err(CodecError::Invalid {
+                what: "SuffixReservoir due-heap size != slot count",
+            });
+        }
+        let mut due_entries = Vec::with_capacity(due_count);
+        let mut seen_idx = vec![false; slot_count];
+        for _ in 0..due_count {
+            let pos = r.u64()?;
+            let idx = r.u32()?;
+            let slot = seen_idx.get_mut(idx as usize).ok_or(CodecError::Invalid {
+                what: "SuffixReservoir due entry for unknown slot",
+            })?;
+            if std::mem::replace(slot, true) {
+                return Err(CodecError::Invalid {
+                    what: "SuffixReservoir duplicate due entry",
+                });
+            }
+            due_entries.push(Reverse((pos, idx)));
+        }
+        let tracker_count = r.len_prefix(16)?;
+        let mut tracker: FpHashMap<u64, u64> = fp_hash_map();
+        for _ in 0..tracker_count {
+            let item = r.u64()?;
+            let count = r.u64()?;
+            if count == 0 || tracker.insert(item, count).is_some() {
+                return Err(CodecError::Invalid {
+                    what: "SuffixReservoir tracker row invalid",
+                });
+            }
+        }
+        let holder_count = r.len_prefix(12)?;
+        let mut holders: FpHashMap<u64, u32> = fp_hash_map();
+        for _ in 0..holder_count {
+            let item = r.u64()?;
+            let h = r.u32()?;
+            if h == 0 || !tracker.contains_key(&item) || holders.insert(item, h).is_some() {
+                return Err(CodecError::Invalid {
+                    what: "SuffixReservoir holder row invalid",
+                });
+            }
+        }
+        let n = r.u64()?;
+        let rng = Xoshiro256pp::decode(r)?;
+        // Cross-check slots against the maps so continued ingestion and
+        // mean_x cannot hit a missing key or an underflowing suffix count:
+        // every held (non-sentinel) item must be tracked with a count
+        // ahead of the slot offset (r = count − offset ≥ 1) and must have
+        // a holder entry covering each slot that shows it. (Slots whose
+        // item is the u64::MAX sentinel are skipped: an empty slot and a
+        // slot that adopted the literal id u64::MAX behave identically in
+        // the live structure — neither is released or read.)
+        if holders.len() != tracker.len() {
+            return Err(CodecError::Invalid {
+                what: "SuffixReservoir tracker/holder key sets differ",
+            });
+        }
+        let mut shown: FpHashMap<u64, u32> = fp_hash_map();
+        for s in &slots {
+            if s.item == u64::MAX {
+                continue;
+            }
+            match tracker.get(&s.item) {
+                Some(&c) if s.offset < c => {}
+                _ => {
+                    return Err(CodecError::Invalid {
+                        what: "SuffixReservoir slot inconsistent with tracker",
+                    })
+                }
+            }
+            *shown.entry(s.item).or_insert(0) += 1;
+        }
+        for (item, count) in &shown {
+            if item != &u64::MAX && holders.get(item) != Some(count) {
+                return Err(CodecError::Invalid {
+                    what: "SuffixReservoir holder count does not match slots",
+                });
+            }
+        }
+        if holders
+            .keys()
+            .any(|i| *i != u64::MAX && !shown.contains_key(i))
+        {
+            return Err(CodecError::Invalid {
+                what: "SuffixReservoir holder for an item no slot shows",
+            });
+        }
+        // Due positions are strictly ahead of the replay position (the
+        // update loop pops entries at pos == n+1 and debug-asserts the
+        // rest are ahead).
+        if due_entries.iter().any(|&Reverse((pos, _))| pos <= n) {
+            return Err(CodecError::Invalid {
+                what: "SuffixReservoir due position not ahead of n",
+            });
+        }
+        Ok(SuffixReservoir {
+            slots,
+            due: BinaryHeap::from(due_entries),
+            tracker,
+            holders,
+            n,
+            rng,
+        })
+    }
+}
+
+impl WireCodec for EntropyEstimator {
+    const WIRE_TAG: u16 = 0x020E;
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.plain.encode_into(out);
+        self.cond.encode_into(out);
+        self.mg.encode_into(out);
+        self.n.encode_into(out);
+        self.cond_n.encode_into(out);
+        self.leader.encode_into(out);
+    }
+
+    fn decode(r: &mut Reader) -> Result<Self, CodecError> {
+        Ok(EntropyEstimator {
+            plain: SuffixReservoir::decode(r)?,
+            cond: SuffixReservoir::decode(r)?,
+            mg: MisraGries::decode(r)?,
+            n: r.u64()?,
+            cond_n: r.u64()?,
+            leader: Option::decode(r)?,
+        })
     }
 }
 

@@ -8,6 +8,7 @@
 //! black box; includes the standard small-range (linear counting)
 //! correction.
 
+use sss_codec::{put_len, CodecError, Reader, WireCodec};
 use sss_hash::TabulationHash;
 
 /// HyperLogLog sketch with `2^precision` one-byte registers.
@@ -86,6 +87,45 @@ impl HyperLogLog {
         for (a, &b) in self.registers.iter_mut().zip(&other.registers) {
             *a = (*a).max(b);
         }
+    }
+}
+
+impl WireCodec for HyperLogLog {
+    const WIRE_TAG: u16 = 0x020C;
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.precision.encode_into(out);
+        put_len(out, self.registers.len());
+        out.extend_from_slice(&self.registers);
+        self.hash.encode_into(out);
+    }
+
+    fn decode(r: &mut Reader) -> Result<Self, CodecError> {
+        let precision = r.u32()?;
+        if !(4..=18).contains(&precision) {
+            return Err(CodecError::Invalid {
+                what: "HyperLogLog precision outside 4..=18",
+            });
+        }
+        let len = r.len_prefix(1)?;
+        if len != 1usize << precision {
+            return Err(CodecError::Invalid {
+                what: "HyperLogLog register count != 2^precision",
+            });
+        }
+        let registers = r.take(len)?.to_vec();
+        let max_rank = (64 - precision + 1) as u8;
+        if registers.iter().any(|&v| v > max_rank) {
+            return Err(CodecError::Invalid {
+                what: "HyperLogLog register above the maximum rank",
+            });
+        }
+        let hash = TabulationHash::decode(r)?;
+        Ok(HyperLogLog {
+            precision,
+            registers,
+            hash,
+        })
     }
 }
 

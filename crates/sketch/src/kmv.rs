@@ -10,6 +10,7 @@
 
 use std::collections::BTreeSet;
 
+use sss_codec::{put_len, CodecError, Reader, WireCodec};
 use sss_hash::{PairwiseHash, SplitMix64};
 
 /// Bottom-k distinct sketch.
@@ -222,6 +223,65 @@ impl MedianF0 {
     /// Space in 64-bit words.
     pub fn space_words(&self) -> usize {
         self.sketches.iter().map(|s| s.space_words()).sum()
+    }
+}
+
+impl WireCodec for KmvSketch {
+    const WIRE_TAG: u16 = 0x0201;
+    // k ‖ PairwiseHash (len + 2 coeffs) ‖ smallest len — bounds the
+    // pre-allocation a corrupt Vec<KmvSketch> length can request.
+    const MIN_WIRE_BYTES: usize = 40;
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.k.encode_into(out);
+        self.hash.encode_into(out);
+        put_len(out, self.smallest.len());
+        for &h in &self.smallest {
+            h.encode_into(out);
+        }
+    }
+
+    fn decode(r: &mut Reader) -> Result<Self, CodecError> {
+        let k = usize::decode(r)?;
+        if k < 3 {
+            return Err(CodecError::Invalid {
+                what: "KmvSketch k < 3",
+            });
+        }
+        let hash = PairwiseHash::decode(r)?;
+        let len = r.len_prefix(8)?;
+        if len > k {
+            return Err(CodecError::Invalid {
+                what: "KmvSketch holds more than k values",
+            });
+        }
+        let mut smallest = BTreeSet::new();
+        for _ in 0..len {
+            if !smallest.insert(r.u64()?) {
+                return Err(CodecError::Invalid {
+                    what: "KmvSketch duplicate hash value",
+                });
+            }
+        }
+        Ok(KmvSketch { k, hash, smallest })
+    }
+}
+
+impl WireCodec for MedianF0 {
+    const WIRE_TAG: u16 = 0x0202;
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.sketches.encode_into(out);
+    }
+
+    fn decode(r: &mut Reader) -> Result<Self, CodecError> {
+        let sketches: Vec<KmvSketch> = Vec::decode(r)?;
+        if sketches.is_empty() {
+            return Err(CodecError::Invalid {
+                what: "MedianF0 with no copies",
+            });
+        }
+        Ok(MedianF0 { sketches })
     }
 }
 

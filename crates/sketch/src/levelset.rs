@@ -30,6 +30,7 @@
 //! degenerate `η ≈ 0` corner (Lemma 6); we draw `η ∈ [1/2, 1)`, which is
 //! that same conditioning realised at construction time.
 
+use sss_codec::{CodecError, Reader, WireCodec};
 use sss_hash::{PairwiseHash, RngCore64, SplitMix64};
 
 use crate::countsketch::CountSketch;
@@ -300,6 +301,85 @@ impl LevelSetEstimator {
             .iter()
             .map(|c| c.size * class_binom(c.value, self.eps_prime, ell))
             .sum()
+    }
+}
+
+impl WireCodec for Level {
+    // CountSketch minimum (width + 3 section lengths + total) +
+    // TopKTracker minimum (cap + len) + updates — bounds the
+    // pre-allocation a corrupt Vec<Level> length can request.
+    const MIN_WIRE_BYTES: usize = 64;
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.cs.encode_into(out);
+        self.tracker.encode_into(out);
+        self.updates.encode_into(out);
+    }
+
+    fn decode(r: &mut Reader) -> Result<Self, CodecError> {
+        Ok(Level {
+            cs: CountSketch::decode(r)?,
+            tracker: TopKTracker::decode(r)?,
+            updates: r.u64()?,
+        })
+    }
+}
+
+impl WireCodec for LevelSetEstimator {
+    const WIRE_TAG: u16 = 0x020D;
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.levels.encode_into(out);
+        self.level_hash.encode_into(out);
+        self.eps_prime.encode_into(out);
+        self.slack.encode_into(out);
+        self.eta.encode_into(out);
+        self.n.encode_into(out);
+    }
+
+    fn decode(r: &mut Reader) -> Result<Self, CodecError> {
+        let levels: Vec<Level> = Vec::decode(r)?;
+        let level_hash = PairwiseHash::decode(r)?;
+        let eps_prime = r.f64()?;
+        let slack = r.f64()?;
+        let eta = r.f64()?;
+        let n = r.u64()?;
+        if levels.is_empty() {
+            return Err(CodecError::Invalid {
+                what: "LevelSetEstimator with no levels",
+            });
+        }
+        if levels
+            .iter()
+            .any(|l| l.cs.width() != levels[0].cs.width() || l.cs.depth() != levels[0].cs.depth())
+        {
+            return Err(CodecError::Invalid {
+                what: "LevelSetEstimator levels disagree on sketch dimensions",
+            });
+        }
+        if !(eps_prime > 0.0 && eps_prime <= 1.0) {
+            return Err(CodecError::Invalid {
+                what: "LevelSetEstimator eps_prime outside (0,1]",
+            });
+        }
+        if slack.is_nan() || slack < 1.0 {
+            return Err(CodecError::Invalid {
+                what: "LevelSetEstimator slack < 1",
+            });
+        }
+        if !(0.5..1.0).contains(&eta) {
+            return Err(CodecError::Invalid {
+                what: "LevelSetEstimator eta outside [1/2, 1)",
+            });
+        }
+        Ok(LevelSetEstimator {
+            levels,
+            level_hash,
+            eps_prime,
+            slack,
+            eta,
+            n,
+        })
     }
 }
 

@@ -6,6 +6,7 @@
 //! insert-only alternative to CountMin for `F_1` heavy hitters (§6); it is
 //! also the dominant-element detector inside the entropy estimator.
 
+use sss_codec::{put_len, CodecError, Reader, WireCodec};
 use sss_hash::{fp_hash_map, FpHashMap};
 
 /// Misra–Gries summary with `k` counters.
@@ -99,6 +100,55 @@ impl MisraGries {
                 }
             });
         }
+    }
+}
+
+impl WireCodec for MisraGries {
+    const WIRE_TAG: u16 = 0x0206;
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.k.encode_into(out);
+        self.n.encode_into(out);
+        // Deterministic order: sorted by item id.
+        let mut rows: Vec<(u64, u64)> = self.counters.iter().map(|(&i, &c)| (i, c)).collect();
+        rows.sort_unstable();
+        put_len(out, rows.len());
+        for (i, c) in rows {
+            i.encode_into(out);
+            c.encode_into(out);
+        }
+    }
+
+    fn decode(r: &mut Reader) -> Result<Self, CodecError> {
+        let k = usize::decode(r)?;
+        let n = r.u64()?;
+        if k == 0 {
+            return Err(CodecError::Invalid {
+                what: "MisraGries k == 0",
+            });
+        }
+        let len = r.len_prefix(16)?;
+        if len > k {
+            return Err(CodecError::Invalid {
+                what: "MisraGries holds more than k counters",
+            });
+        }
+        let mut counters = fp_hash_map();
+        for _ in 0..len {
+            let item = r.u64()?;
+            let count = r.u64()?;
+            if count == 0 {
+                return Err(CodecError::Invalid {
+                    what: "MisraGries zero counter",
+                });
+            }
+            if counters.insert(item, count).is_some() {
+                return Err(CodecError::Invalid {
+                    what: "MisraGries duplicate item",
+                });
+            }
+        }
+        Ok(MisraGries { k, counters, n })
     }
 }
 

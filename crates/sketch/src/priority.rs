@@ -12,6 +12,7 @@
 
 use std::collections::BinaryHeap;
 
+use sss_codec::{CodecError, Reader, WireCodec};
 use sss_hash::{RngCore64, Xoshiro256pp};
 
 /// One kept entry of a priority sample.
@@ -132,6 +133,63 @@ impl PrioritySampler {
     /// Unbiased estimate of the total weight offered.
     pub fn estimate_total(&self) -> f64 {
         self.estimate_subset_sum(|_| true)
+    }
+}
+
+impl WireCodec for PrioritySampler {
+    const WIRE_TAG: u16 = 0x0211;
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.k.encode_into(out);
+        self.threshold.encode_into(out);
+        let rows: Vec<(f64, u64, f64)> = self
+            .heap
+            .iter()
+            .map(|e| (e.priority, e.item, e.weight))
+            .collect();
+        rows.encode_into(out);
+        self.rng.encode_into(out);
+    }
+
+    fn decode(r: &mut Reader) -> Result<Self, CodecError> {
+        let k = usize::decode(r)?;
+        let threshold = r.f64()?;
+        let rows: Vec<(f64, u64, f64)> = Vec::decode(r)?;
+        if k == 0 {
+            return Err(CodecError::Invalid {
+                what: "PrioritySampler k == 0",
+            });
+        }
+        if threshold.is_nan() || threshold < 0.0 {
+            return Err(CodecError::Invalid {
+                what: "PrioritySampler threshold < 0",
+            });
+        }
+        if rows.len() > k {
+            return Err(CodecError::Invalid {
+                what: "PrioritySampler holds more than k entries",
+            });
+        }
+        let mut entries = Vec::with_capacity(rows.len());
+        for (priority, item, weight) in rows {
+            if weight.is_nan() || weight <= 0.0 || priority.is_nan() || priority < weight {
+                return Err(CodecError::Invalid {
+                    what: "PrioritySampler entry weight/priority invalid",
+                });
+            }
+            entries.push(Entry {
+                priority,
+                item,
+                weight,
+            });
+        }
+        let rng = Xoshiro256pp::decode(r)?;
+        Ok(PrioritySampler {
+            k,
+            heap: BinaryHeap::from(entries),
+            threshold,
+            rng,
+        })
     }
 }
 

@@ -12,6 +12,7 @@
 
 use std::collections::BinaryHeap;
 
+use sss_codec::{CodecError, Reader, WireCodec};
 use sss_hash::{RngCore64, Xoshiro256pp};
 
 /// Uniform k-out-of-n reservoir (algorithm R).
@@ -135,6 +136,95 @@ impl<T> WeightedReservoir<T> {
     /// The current weighted sample.
     pub fn sample(&self) -> Vec<&T> {
         self.heap.iter().map(|e| &e.item).collect()
+    }
+}
+
+impl WireCodec for ReservoirSampler<u64> {
+    const WIRE_TAG: u16 = 0x020F;
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.capacity.encode_into(out);
+        self.seen.encode_into(out);
+        self.items.encode_into(out);
+        self.rng.encode_into(out);
+    }
+
+    fn decode(r: &mut Reader) -> Result<Self, CodecError> {
+        let capacity = usize::decode(r)?;
+        let seen = r.u64()?;
+        let items: Vec<u64> = Vec::decode(r)?;
+        if capacity == 0 {
+            return Err(CodecError::Invalid {
+                what: "ReservoirSampler capacity == 0",
+            });
+        }
+        if items.len() as u64 != seen.min(capacity as u64) {
+            return Err(CodecError::Invalid {
+                what: "ReservoirSampler fill does not match seen/capacity",
+            });
+        }
+        let rng = Xoshiro256pp::decode(r)?;
+        Ok(ReservoirSampler {
+            capacity,
+            items,
+            seen,
+            rng,
+        })
+    }
+}
+
+impl WireCodec for WeightedReservoir<u64> {
+    const WIRE_TAG: u16 = 0x0210;
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.capacity.encode_into(out);
+        self.counter.encode_into(out);
+        // Heap entries in internal order: re-heapifying an already-valid
+        // heap is the identity, so the decoded sampler's future evictions
+        // replay bit for bit.
+        let rows: Vec<(f64, u64, u64)> = self
+            .heap
+            .iter()
+            .map(|e| (e.neg_key, e.tiebreak, e.item))
+            .collect();
+        rows.encode_into(out);
+        self.rng.encode_into(out);
+    }
+
+    fn decode(r: &mut Reader) -> Result<Self, CodecError> {
+        let capacity = usize::decode(r)?;
+        let counter = r.u64()?;
+        let rows: Vec<(f64, u64, u64)> = Vec::decode(r)?;
+        if capacity == 0 {
+            return Err(CodecError::Invalid {
+                what: "WeightedReservoir capacity == 0",
+            });
+        }
+        if rows.len() > capacity || rows.len() as u64 > counter {
+            return Err(CodecError::Invalid {
+                what: "WeightedReservoir holds more entries than offered/capacity",
+            });
+        }
+        let mut entries = Vec::with_capacity(rows.len());
+        for (neg_key, tiebreak, item) in rows {
+            if !(neg_key.is_finite() && neg_key <= 0.0) || tiebreak == 0 || tiebreak > counter {
+                return Err(CodecError::Invalid {
+                    what: "WeightedReservoir entry key/tiebreak invalid",
+                });
+            }
+            entries.push(HeapEntry {
+                neg_key,
+                tiebreak,
+                item,
+            });
+        }
+        let rng = Xoshiro256pp::decode(r)?;
+        Ok(WeightedReservoir {
+            capacity,
+            heap: BinaryHeap::from(entries),
+            counter,
+            rng,
+        })
     }
 }
 

@@ -9,6 +9,7 @@
 
 use std::collections::BTreeSet;
 
+use sss_codec::{put_len, CodecError, Reader, WireCodec};
 use sss_hash::{fp_hash_map, FpHashMap};
 
 /// SpaceSaving summary with `k` counters.
@@ -129,6 +130,65 @@ impl SpaceSaving {
             self.table.iter().map(|(&i, &(c, e))| (i, c, e)).collect();
         v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         v
+    }
+}
+
+impl WireCodec for SpaceSaving {
+    const WIRE_TAG: u16 = 0x0207;
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        // `by_count` is derived (count, item) ordering — rebuilt on decode.
+        self.k.encode_into(out);
+        self.n.encode_into(out);
+        let mut rows: Vec<(u64, u64, u64)> =
+            self.table.iter().map(|(&i, &(c, e))| (i, c, e)).collect();
+        rows.sort_unstable();
+        put_len(out, rows.len());
+        for (i, c, e) in rows {
+            i.encode_into(out);
+            c.encode_into(out);
+            e.encode_into(out);
+        }
+    }
+
+    fn decode(r: &mut Reader) -> Result<Self, CodecError> {
+        let k = usize::decode(r)?;
+        let n = r.u64()?;
+        if k == 0 {
+            return Err(CodecError::Invalid {
+                what: "SpaceSaving k == 0",
+            });
+        }
+        let len = r.len_prefix(24)?;
+        if len > k {
+            return Err(CodecError::Invalid {
+                what: "SpaceSaving holds more than k counters",
+            });
+        }
+        let mut table = fp_hash_map();
+        let mut by_count = BTreeSet::new();
+        for _ in 0..len {
+            let item = r.u64()?;
+            let count = r.u64()?;
+            let err = r.u64()?;
+            if count == 0 || err >= count {
+                return Err(CodecError::Invalid {
+                    what: "SpaceSaving counter not above its error",
+                });
+            }
+            if table.insert(item, (count, err)).is_some() {
+                return Err(CodecError::Invalid {
+                    what: "SpaceSaving duplicate item",
+                });
+            }
+            by_count.insert((count, item));
+        }
+        Ok(SpaceSaving {
+            k,
+            table,
+            by_count,
+            n,
+        })
     }
 }
 

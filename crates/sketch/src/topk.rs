@@ -10,6 +10,7 @@
 //! the *final* threshold must have crossed every intermediate threshold at
 //! its last arrival (thresholds only grow), so recall is preserved.
 
+use sss_codec::{put_len, CodecError, Reader, WireCodec};
 use sss_hash::{fp_hash_map, FpHashMap};
 
 use crate::countmin::CountMin;
@@ -48,9 +49,18 @@ impl TopKTracker {
         self.est = v.into_iter().collect();
     }
 
-    /// All current candidates (unpruned view), unspecified order.
-    pub fn candidates(&self) -> impl Iterator<Item = u64> + '_ {
-        self.est.keys().copied()
+    /// All current candidates (unpruned view), in ascending item order.
+    ///
+    /// The order is deliberately canonical, not the hash map's: merge
+    /// paths re-offer candidate unions and can prune mid-union, so an
+    /// order that depended on map history would make a deserialized
+    /// tracker (same contents, different insertion history) diverge from
+    /// the original on the next merge — breaking the wire contract that
+    /// `decode(encode(x))` behaves identically.
+    pub fn candidates(&self) -> impl Iterator<Item = u64> {
+        let mut v: Vec<u64> = self.est.keys().copied().collect();
+        v.sort_unstable();
+        v.into_iter()
     }
 
     /// Number of tracked candidates.
@@ -337,6 +347,104 @@ impl CsHeavyHitters {
             .collect();
         out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         out
+    }
+}
+
+impl WireCodec for TopKTracker {
+    const WIRE_TAG: u16 = 0x0208;
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.cap.encode_into(out);
+        let mut rows: Vec<(u64, f64)> = self.est.iter().map(|(&i, &e)| (i, e)).collect();
+        rows.sort_unstable_by_key(|&(i, _)| i);
+        put_len(out, rows.len());
+        for (i, e) in rows {
+            i.encode_into(out);
+            e.encode_into(out);
+        }
+    }
+
+    fn decode(r: &mut Reader) -> Result<Self, CodecError> {
+        let cap = usize::decode(r)?;
+        if cap == 0 {
+            return Err(CodecError::Invalid {
+                what: "TopKTracker capacity == 0",
+            });
+        }
+        let len = r.len_prefix(16)?;
+        if len >= cap.saturating_mul(2) {
+            return Err(CodecError::Invalid {
+                what: "TopKTracker exceeds its pruning bound",
+            });
+        }
+        let mut est = fp_hash_map();
+        for _ in 0..len {
+            let item = r.u64()?;
+            let e = r.f64()?;
+            if est.insert(item, e).is_some() {
+                return Err(CodecError::Invalid {
+                    what: "TopKTracker duplicate item",
+                });
+            }
+        }
+        Ok(TopKTracker { cap, est })
+    }
+}
+
+/// Shared payload shape of the sketch-backed heavy-hitter reporters:
+/// `alpha ‖ sketch ‖ tracker`.
+fn decode_alpha(r: &mut Reader) -> Result<f64, CodecError> {
+    r.prob_open()
+}
+
+impl WireCodec for CmHeavyHitters {
+    const WIRE_TAG: u16 = 0x0209;
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.alpha.encode_into(out);
+        self.cm.encode_into(out);
+        self.tracker.encode_into(out);
+    }
+
+    fn decode(r: &mut Reader) -> Result<Self, CodecError> {
+        let alpha = decode_alpha(r)?;
+        let cm = CountMin::decode(r)?;
+        let tracker = TopKTracker::decode(r)?;
+        Ok(CmHeavyHitters { cm, tracker, alpha })
+    }
+}
+
+impl WireCodec for MgHeavyHitters {
+    const WIRE_TAG: u16 = 0x020A;
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.alpha.encode_into(out);
+        self.k.encode_into(out);
+        self.mg.encode_into(out);
+    }
+
+    fn decode(r: &mut Reader) -> Result<Self, CodecError> {
+        let alpha = decode_alpha(r)?;
+        let k = usize::decode(r)?;
+        let mg = crate::misra_gries::MisraGries::decode(r)?;
+        Ok(MgHeavyHitters { mg, alpha, k })
+    }
+}
+
+impl WireCodec for CsHeavyHitters {
+    const WIRE_TAG: u16 = 0x020B;
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.alpha.encode_into(out);
+        self.cs.encode_into(out);
+        self.tracker.encode_into(out);
+    }
+
+    fn decode(r: &mut Reader) -> Result<Self, CodecError> {
+        let alpha = decode_alpha(r)?;
+        let cs = CountSketch::decode(r)?;
+        let tracker = TopKTracker::decode(r)?;
+        Ok(CsHeavyHitters { cs, tracker, alpha })
     }
 }
 

@@ -14,6 +14,7 @@
 //! variant that sampled NetFlow also supports (§1.3); it is provided for
 //! the router-scenario examples and for contrasting the two models.
 
+use sss_codec::{CodecError, Reader, WireCodec};
 use sss_hash::{split_seed, RngCore64, Xoshiro256pp};
 
 use crate::types::Item;
@@ -130,6 +131,23 @@ impl BernoulliSampler {
             inner,
             sampler: self,
         }
+    }
+}
+
+impl WireCodec for BernoulliSampler {
+    const WIRE_TAG: u16 = 0x0301;
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.p.encode_into(out);
+        self.seed.encode_into(out);
+        self.rng.encode_into(out);
+    }
+
+    fn decode(r: &mut Reader) -> Result<Self, CodecError> {
+        let p = r.rate()?;
+        let seed = r.u64()?;
+        let rng = Xoshiro256pp::decode(r)?;
+        Ok(BernoulliSampler { p, seed, rng })
     }
 }
 

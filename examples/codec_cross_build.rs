@@ -1,0 +1,91 @@
+//! Cross-build wire stability check, driven by CI.
+//!
+//! ```text
+//! cargo run           --example codec_cross_build -- encode /tmp/snap.bin
+//! cargo run --release --example codec_cross_build -- decode /tmp/snap.bin
+//! ```
+//!
+//! `encode` builds a deterministic monitor (fixed seeds, fixed stream),
+//! ingests, and writes its framed checkpoint. `decode` — typically run
+//! from a *different build profile or binary* — reads the bytes,
+//! restores, and verifies the restored monitor is bitwise identical to a
+//! freshly computed in-process reference: same estimates, same space,
+//! and a byte-identical re-checkpoint. Any profile-dependent encoding
+//! (uninitialised padding, HashMap iteration leaking into the payload,
+//! float environment differences) fails loudly here.
+
+use subsampled_streams::core::{Monitor, MonitorBuilder, NaiveScaledFk, Statistic};
+use subsampled_streams::stream::{BernoulliSampler, StreamGen, ZipfStream};
+
+/// The deterministic reference state both sides compute.
+fn reference_monitor() -> Monitor {
+    let p = 0.25;
+    let mut monitor = MonitorBuilder::with_seed(p, 20120527)
+        .f0(0.05)
+        .fk(2)
+        .entropy(512)
+        .f1_heavy_hitters(0.05, 0.2, 0.05)
+        .f2_heavy_hitters(0.3, 0.2, 0.05)
+        .register("F2_naive", NaiveScaledFk::new(2, p))
+        .build();
+    let stream = ZipfStream::new(4_000, 1.2).generate(200_000, 11);
+    let mut sampler = BernoulliSampler::new(p, 13);
+    sampler.sample_batches(&stream, 1024, |chunk| monitor.update_batch(chunk));
+    monitor
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let (mode, path) = match args.as_slice() {
+        [_, m, p] if m == "encode" || m == "decode" => (m.as_str(), p.as_str()),
+        _ => {
+            eprintln!("usage: codec_cross_build <encode|decode> <path>");
+            std::process::exit(2);
+        }
+    };
+
+    let reference = reference_monitor();
+    match mode {
+        "encode" => {
+            let bytes = reference.checkpoint().expect("checkpoint");
+            std::fs::write(path, &bytes).expect("write snapshot");
+            println!(
+                "encoded {} bytes ({} estimators, {} samples) to {path}",
+                bytes.len(),
+                reference.len(),
+                reference.samples_seen()
+            );
+        }
+        "decode" => {
+            let bytes = std::fs::read(path).expect("read snapshot");
+            let restored = Monitor::restore(&bytes).expect("snapshot decodes");
+            assert_eq!(restored.samples_seen(), reference.samples_seen());
+            assert_eq!(restored.space_bytes(), reference.space_bytes());
+            for ((la, ea), (lb, eb)) in reference.report().iter().zip(&restored.report()) {
+                assert_eq!(la, lb, "label order changed across builds");
+                assert_eq!(
+                    ea.value.to_bits(),
+                    eb.value.to_bits(),
+                    "{la}: estimate differs across builds ({} vs {})",
+                    ea.value,
+                    eb.value
+                );
+                assert_eq!(ea, eb, "{la}: typed estimate differs across builds");
+            }
+            assert_eq!(
+                restored.checkpoint().expect("re-checkpoint"),
+                bytes,
+                "re-encoding the restored monitor must reproduce the wire bytes"
+            );
+            let f2 = restored.estimate(Statistic::Fk(2)).expect("registered");
+            println!(
+                "decoded {} bytes: {} estimators, {} samples, F2 = {:.6e} — cross-build OK",
+                bytes.len(),
+                restored.len(),
+                restored.samples_seen(),
+                f2.value
+            );
+        }
+        _ => unreachable!(),
+    }
+}

@@ -1,4 +1,4 @@
-//! Distributed monitors with a central collector — now two levels deep.
+//! Distributed monitors with a central collector — over actual bytes.
 //!
 //! ```text
 //! cargo run --release --example distributed_collector
@@ -9,14 +9,20 @@
 //! [`ShardedMonitor`]: the raw link traffic is partitioned across worker
 //! threads, every worker Bernoulli-samples its shard at rate `p` with an
 //! independently split seed and feeds a forked [`Monitor`]; `finish()`
-//! merges the shard summaries into the site's view. The collector then
-//! calls [`Monitor::merge`] across sites and answers for the *whole*
-//! network — the paper's sampled-NetFlow deployment scaled both across
-//! threads (sharding) and across routers (sites), with the same merge
-//! algebra at both levels. Merging is exact for the collision oracle
-//! (frequency algebra) and the bottom-k `F_0` sketch (set union); the
-//! entropy merge is the documented length-weighted approximation.
+//! merges the shard summaries into the site's view.
+//!
+//! The collector no longer receives `Monitor` values in memory: each
+//! site **encodes its snapshot** with the versioned wire codec
+//! ([`Monitor::checkpoint`]) and ships the bytes; the collector
+//! **decodes** ([`Monitor::restore`]) and merges via the fallible
+//! [`Monitor::try_merge`] — exactly what a production deployment does
+//! with summaries arriving over a socket. Merging is exact for the
+//! collision oracle (frequency algebra) and the bottom-k `F_0` sketch
+//! (set union); the entropy merge is the documented length-weighted
+//! approximation. The decoded-and-merged answer is bitwise identical to
+//! the in-memory merge (pinned by `tests/codec.rs`).
 
+use subsampled_streams::codec::{peek_frame, FRAME_HEADER_BYTES};
 use subsampled_streams::core::{Monitor, MonitorBuilder, ShardedConfig, ShardedMonitor, Statistic};
 use subsampled_streams::stream::{ExactStats, NetFlowStream, StreamGen};
 
@@ -55,7 +61,10 @@ fn main() {
             .entropy(2000)
             .build()
     };
-    let mut site_monitors = Vec::new();
+
+    // Each site summarises its link, then mails SNAPSHOT BYTES — no
+    // Monitor value (and no raw sample) crosses the site boundary.
+    let mut mailbox: Vec<Vec<u8>> = Vec::new();
     for (s, trace) in traces.iter().enumerate() {
         let mut sharded = ShardedMonitor::launch(
             &site_prototype(),
@@ -64,27 +73,45 @@ fn main() {
         );
         sharded.ingest_shared(trace);
         let monitor = sharded.finish();
+        let wire = monitor
+            .checkpoint()
+            .expect("all registered estimators are wire-decodable");
         println!(
-            "site {s}: {} packets observed of {} ({:.1}%) across {shards_per_site} shards, state {} KiB",
+            "site {s}: {} packets observed of {} ({:.1}%) across {shards_per_site} shards, \
+             state {} KiB -> wire {} KiB ({:.2} bytes/byte)",
             monitor.samples_seen(),
             trace.len(),
             100.0 * monitor.samples_seen() as f64 / trace.len() as f64,
-            monitor.space_bytes() / 1024
+            monitor.space_bytes() / 1024,
+            wire.len() / 1024,
+            wire.len() as f64 / monitor.space_bytes() as f64,
         );
-        site_monitors.push(monitor);
+        mailbox.push(wire);
     }
 
-    // Collector: merge all site summaries — no raw samples travel. The
-    // fallible path (`try_merge`) is what a release deployment uses for
-    // summaries arriving over the wire.
-    let mut collector = site_monitors.remove(0);
-    for other in &site_monitors {
-        collector
-            .try_merge(other)
-            .expect("sites share one builder config");
+    // Collector: peek each frame (magic/version/tag — self-describing),
+    // decode, merge. Corrupt or incompatible snapshots surface as typed
+    // errors instead of panics.
+    let mut collector: Option<Monitor> = None;
+    for (s, wire) in mailbox.iter().enumerate() {
+        let (version, tag, payload) = peek_frame(wire).expect("frame header");
+        println!(
+            "collector: site {s} snapshot v{version} tag {tag:#06x}, {} bytes payload (+{} header)",
+            payload, FRAME_HEADER_BYTES
+        );
+        let site = Monitor::restore(wire).expect("snapshot decodes");
+        match collector.as_mut() {
+            None => collector = Some(site),
+            Some(c) => c.try_merge(&site).expect("sites share one builder config"),
+        }
     }
+    let collector = collector.expect("at least one site");
+    let total_wire: usize = mailbox.iter().map(|w| w.len()).sum();
 
-    println!("\ncollector view (merged {} sites):", sites);
+    println!(
+        "\ncollector view (merged {sites} sites, {} KiB total on the wire):",
+        total_wire / 1024
+    );
     let f2 = collector.estimate(Statistic::Fk(2)).expect("registered");
     let t2 = all.fk(2);
     println!(
@@ -112,6 +139,7 @@ fn main() {
     println!(
         "\nTakeaway: the same merge algebra scales the monitor across threads\n\
          (shards within a site) and across routers (sites at the collector) —\n\
-         no raw samples leave the sites."
+         and the summaries now cross the site boundary as versioned,\n\
+         checksummed bytes: no raw samples and no shared memory."
     );
 }

@@ -44,10 +44,20 @@
 //! set-union merges), within sketch error for the rest. See
 //! `examples/distributed_collector.rs`.
 //!
+//! Monitors (and every sketch and estimator underneath them) also
+//! **serialize**: [`codec::WireCodec`] gives each one a versioned binary
+//! wire format, so shard snapshots cross process boundaries as bytes
+//! ([`Monitor::checkpoint`](core::Monitor::checkpoint) /
+//! [`Monitor::restore`](core::Monitor::restore)) — the real distributed
+//! deployment, plus crash recovery for long-running monitors.
+//!
 //! ## Layout
 //!
-//! This facade re-exports the four workspace crates:
+//! This facade re-exports the five workspace crates:
 //!
+//! * [`codec`] — the dependency-free versioned wire codec
+//!   ([`WireCodec`](codec::WireCodec), typed
+//!   [`CodecError`](codec::CodecError)s),
 //! * [`hash`] — PRNGs and k-wise independent hash families,
 //! * [`stream`] — workload generators, samplers (including the batched
 //!   [`sample_batches`](stream::BernoulliSampler::sample_batches) feed)
@@ -60,6 +70,7 @@
 //!   [`Monitor`](core::Monitor) pipeline, the baselines, and the
 //!   flow-distribution / adaptive-rate extensions.
 
+pub use sss_codec as codec;
 pub use sss_core as core;
 pub use sss_hash as hash;
 pub use sss_sketch as sketch;

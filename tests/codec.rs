@@ -1,0 +1,733 @@
+//! Wire-codec battery: seeded round trips for every `WireCodec` impl,
+//! continued-ingestion equivalence, wire merges vs in-memory merges, and
+//! corruption tests asserting typed `CodecError`s (never panics).
+//!
+//! The contract under test (ISSUE 3 acceptance criteria): for every
+//! estimator and for `Monitor`, `decode(encode(x))` yields bitwise
+//! identical `estimate()` and `space_bytes()`; continued ingestion after
+//! a restore matches the never-serialized run exactly; collector-side
+//! `try_merge` of decoded shard snapshots equals the in-memory merge.
+
+use subsampled_streams::codec::{CodecError, WireCodec, WIRE_VERSION};
+use subsampled_streams::core::{
+    AdaptiveF2Estimator, Estimate, Monitor, MonitorBuilder, NaiveScaledF0, NaiveScaledFk,
+    RusuDobraF2, SampledEntropyEstimator, SampledF0Estimator, SampledF1HeavyHitters,
+    SampledF2HeavyHitters, SampledFkEstimator, ShardedConfig, ShardedMonitor, SubsampledEstimator,
+};
+use subsampled_streams::hash::{
+    FourWiseSign, PairwiseHash, PolyHash, RngCore64, SplitMix64, TabulationHash, Xoshiro256pp,
+};
+use subsampled_streams::sketch::levelset::{LevelSetConfig, LevelSetEstimator};
+use subsampled_streams::sketch::{
+    AmsF2, CmHeavyHitters, CountMin, CountSketch, CsHeavyHitters, EntropyEstimator, HyperLogLog,
+    KmvSketch, MedianF0, MgHeavyHitters, MisraGries, PrioritySampler, ReservoirSampler,
+    SpaceSaving, TopKTracker, WeightedReservoir,
+};
+use subsampled_streams::stream::{BernoulliSampler, StreamGen, ZipfStream};
+
+fn roundtrip<T: WireCodec>(x: &T) -> T {
+    T::decode_framed(&x.encode_framed()).expect("framed round trip")
+}
+
+fn stream(n: u64, seed: u64) -> Vec<u64> {
+    ZipfStream::new(2_000, 1.2).generate(n, seed)
+}
+
+/// Round-trip a `SubsampledEstimator`: bitwise-equal typed estimate and
+/// space, then continued ingestion (batch + per-item) must track the
+/// never-serialized run exactly — including the re-encoded bytes, which
+/// pins that *all* behavioral state survived the trip.
+fn assert_estimator_roundtrip<E>(mut original: E, more: &[u64])
+where
+    E: SubsampledEstimator + WireCodec,
+{
+    let mut restored = roundtrip(&original);
+    let (a, b) = (
+        SubsampledEstimator::estimate(&original),
+        SubsampledEstimator::estimate(&restored),
+    );
+    assert_eq!(
+        a.value.to_bits(),
+        b.value.to_bits(),
+        "estimate not bitwise equal"
+    );
+    assert_eq!(a, b, "typed estimate differs");
+    assert_eq!(original.space_bytes(), restored.space_bytes());
+    assert_eq!(original.samples_seen(), restored.samples_seen());
+    assert_eq!(original.p().to_bits(), restored.p().to_bits());
+
+    let (head, tail) = more.split_at(more.len() / 2);
+    original.update_batch(head);
+    restored.update_batch(head);
+    for &x in tail {
+        SubsampledEstimator::update(&mut original, x);
+        SubsampledEstimator::update(&mut restored, x);
+    }
+    let (a, b) = (
+        SubsampledEstimator::estimate(&original),
+        SubsampledEstimator::estimate(&restored),
+    );
+    assert_eq!(
+        a.value.to_bits(),
+        b.value.to_bits(),
+        "continued ingestion diverged"
+    );
+    assert_eq!(a, b);
+    assert_eq!(
+        original.encode(),
+        restored.encode(),
+        "post-restore state diverged from the never-serialized run"
+    );
+}
+
+#[test]
+fn paper_estimators_roundtrip_bitwise_and_continue() {
+    let p = 0.3;
+    let sampled = BernoulliSampler::new(p, 11).sample_to_vec(&stream(60_000, 1));
+    let (feed, more) = sampled.split_at(sampled.len() / 2);
+
+    let mut f0 = SampledF0Estimator::new(p, 0.05, 7);
+    f0.update_batch(feed);
+    assert_estimator_roundtrip(f0, more);
+
+    let mut fk = SampledFkEstimator::exact(3, p);
+    fk.update_batch(feed);
+    assert_estimator_roundtrip(fk, more);
+
+    let cfg = LevelSetConfig::for_universe(1 << 14, 128);
+    let mut fk_sketched = SampledFkEstimator::sketched(2, p, &cfg, 9);
+    fk_sketched.update_batch(feed);
+    assert_estimator_roundtrip(fk_sketched, more);
+
+    let mut entropy = SampledEntropyEstimator::new(p, 400, 13);
+    entropy.update_batch(feed);
+    assert_estimator_roundtrip(entropy, more);
+
+    let mut hh1 = SampledF1HeavyHitters::new(0.05, 0.2, 0.05, p, 15);
+    hh1.update_batch(feed);
+    assert_estimator_roundtrip(hh1, more);
+
+    let mut hh2 = SampledF2HeavyHitters::new(0.3, 0.2, 0.05, p, 17);
+    hh2.update_batch(feed);
+    assert_estimator_roundtrip(hh2, more);
+}
+
+#[test]
+fn baselines_and_adaptive_roundtrip() {
+    let p = 0.4;
+    let sampled = BernoulliSampler::new(p, 21).sample_to_vec(&stream(40_000, 2));
+    let (feed, more) = sampled.split_at(sampled.len() / 2);
+
+    let mut rd = RusuDobraF2::new(p, 5, 32, 23);
+    rd.update_batch(feed);
+    assert_estimator_roundtrip(rd, more);
+
+    let mut nk = NaiveScaledFk::new(2, p);
+    nk.update_batch(feed);
+    assert_estimator_roundtrip(nk, more);
+
+    let mut n0 = NaiveScaledF0::new(p, 25);
+    n0.update_batch(feed);
+    assert_estimator_roundtrip(n0, more);
+
+    let mut ad = AdaptiveF2Estimator::new(p);
+    ad.update_batch(feed);
+    ad.set_rate(p / 2.0);
+    assert_estimator_roundtrip(ad, more);
+}
+
+#[test]
+fn merged_estimate_after_restore_keeps_merged_provenance() {
+    // An estimator that already folded in merged shards must carry the
+    // merged weight/samples across the wire.
+    let p = 0.5;
+    let mut a = SampledEntropyEstimator::new(p, 100, 1);
+    let mut b = SampledEntropyEstimator::new(p, 100, 2);
+    a.update_batch(&[1, 2, 3, 4, 5, 6, 7, 8]);
+    b.update_batch(&[9, 9, 9, 9, 2, 2]);
+    SampledEntropyEstimator::merge(&mut a, &b);
+    let restored = roundtrip(&a);
+    assert_eq!(
+        SubsampledEstimator::estimate(&a),
+        SubsampledEstimator::estimate(&restored)
+    );
+    assert_eq!(a.samples_seen(), restored.samples_seen());
+}
+
+#[test]
+fn hash_primitives_roundtrip_exactly() {
+    // PRNGs: the restored generator continues the exact stream.
+    let mut sm = SplitMix64::new(99);
+    let _ = sm.derive();
+    let mut sm2 = roundtrip(&sm);
+    for _ in 0..16 {
+        assert_eq!(sm.next_u64(), sm2.next_u64());
+    }
+    let mut xo = Xoshiro256pp::new(5);
+    for _ in 0..7 {
+        let _ = xo.next_u64();
+    }
+    let mut xo2 = roundtrip(&xo);
+    for _ in 0..32 {
+        assert_eq!(xo.next_u64(), xo2.next_u64());
+    }
+
+    // Hash families: identical values on a probe set.
+    let poly = PolyHash::new(4, 3);
+    let poly2 = roundtrip(&poly);
+    let pair = PairwiseHash::new(8);
+    let pair2 = roundtrip(&pair);
+    let sign = FourWiseSign::new(12);
+    let sign2 = roundtrip(&sign);
+    let tab = TabulationHash::new(31);
+    let tab2 = roundtrip(&tab);
+    for x in (0..2048u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15)) {
+        assert_eq!(poly.hash(x), poly2.hash(x));
+        assert_eq!(pair.hash(x), pair2.hash(x));
+        assert_eq!(pair.level(x), pair2.level(x));
+        assert_eq!(sign.sign(x), sign2.sign(x));
+        assert_eq!(tab.hash(x), tab2.hash(x));
+    }
+}
+
+#[test]
+fn sampler_roundtrip_continues_the_same_survival_sequence() {
+    let data: Vec<u64> = (0..40_000u64).collect();
+    let mut s = BernoulliSampler::new(0.13, 77);
+    let _ = s.sample_to_vec(&data[..20_000]);
+    let mut s2 = roundtrip(&s);
+    assert_eq!(
+        s.sample_to_vec(&data[20_000..]),
+        s2.sample_to_vec(&data[20_000..]),
+        "restored sampler must continue the exact survival sequence"
+    );
+    assert_eq!(s.seed(), s2.seed());
+    assert_eq!(s.p(), s2.p());
+}
+
+#[test]
+fn sketch_substrates_roundtrip_and_continue() {
+    let feed = stream(30_000, 3);
+    let (head, tail) = feed.split_at(feed.len() / 2);
+
+    let mut kmv = KmvSketch::new(128, 1);
+    kmv.update_batch(head);
+    let mut kmv2 = roundtrip(&kmv);
+    assert_eq!(kmv.estimate().to_bits(), kmv2.estimate().to_bits());
+    kmv.update_batch(tail);
+    kmv2.update_batch(tail);
+    assert_eq!(kmv.estimate().to_bits(), kmv2.estimate().to_bits());
+
+    let mut med = MedianF0::new(64, 5, 2);
+    med.update_batch(head);
+    let med2 = roundtrip(&med);
+    assert_eq!(med.estimate().to_bits(), med2.estimate().to_bits());
+    assert_eq!(med.space_words(), med2.space_words());
+
+    let mut ams = AmsF2::new(5, 16, 3);
+    ams.update_batch(head);
+    let mut ams2 = roundtrip(&ams);
+    assert_eq!(ams.estimate().to_bits(), ams2.estimate().to_bits());
+    ams.update(42, -3);
+    ams2.update(42, -3);
+    assert_eq!(ams.estimate().to_bits(), ams2.estimate().to_bits());
+    assert_eq!(ams.total(), ams2.total());
+
+    let mut cm = CountMin::new(4, 64, 4);
+    cm.update_batch(head);
+    let mut cm2 = roundtrip(&cm);
+    for x in 0..500u64 {
+        assert_eq!(cm.query(x), cm2.query(x));
+    }
+    cm.update_batch(tail);
+    cm2.update_batch(tail);
+    assert_eq!(cm.total(), cm2.total());
+    for x in 0..500u64 {
+        assert_eq!(cm.query(x), cm2.query(x));
+    }
+
+    let mut cons = CountMin::new(3, 32, 5).conservative();
+    cons.update_batch(head);
+    let mut cons2 = roundtrip(&cons);
+    cons.update_batch(tail);
+    cons2.update_batch(tail);
+    for x in 0..500u64 {
+        assert_eq!(cons.query(x), cons2.query(x));
+    }
+
+    let mut cs = CountSketch::new(5, 128, 6);
+    cs.update_batch(head);
+    let mut cs2 = roundtrip(&cs);
+    assert_eq!(cs.f2_estimate().to_bits(), cs2.f2_estimate().to_bits());
+    cs.update_batch(tail);
+    cs2.update_batch(tail);
+    assert_eq!(cs.f2_estimate().to_bits(), cs2.f2_estimate().to_bits());
+    for x in 0..500u64 {
+        assert_eq!(cs.query(x), cs2.query(x));
+    }
+
+    let mut mg = MisraGries::new(32);
+    mg.update_batch(head);
+    let mut mg2 = roundtrip(&mg);
+    assert_eq!(mg.items(), mg2.items());
+    mg.update_batch(tail);
+    mg2.update_batch(tail);
+    assert_eq!(mg.items(), mg2.items());
+    assert_eq!(mg.n(), mg2.n());
+
+    let mut ss = SpaceSaving::new(32);
+    ss.update_batch(head);
+    let mut ss2 = roundtrip(&ss);
+    assert_eq!(ss.items(), ss2.items());
+    ss.update_batch(tail);
+    ss2.update_batch(tail);
+    assert_eq!(ss.items(), ss2.items());
+
+    let mut tk = TopKTracker::new(16);
+    for (i, &x) in head.iter().enumerate() {
+        tk.offer(x, i as f64);
+    }
+    let tk2 = roundtrip(&tk);
+    assert_eq!(
+        tk.candidates().collect::<Vec<_>>(),
+        tk2.candidates().collect::<Vec<_>>()
+    );
+
+    let mut hll = HyperLogLog::new(10, 7);
+    hll.update_batch(head);
+    let mut hll2 = roundtrip(&hll);
+    assert_eq!(hll.estimate().to_bits(), hll2.estimate().to_bits());
+    hll.update_batch(tail);
+    hll2.update_batch(tail);
+    assert_eq!(hll.estimate().to_bits(), hll2.estimate().to_bits());
+
+    let cfg = LevelSetConfig::for_universe(1 << 12, 64);
+    let mut ls = LevelSetEstimator::new(&cfg, 8);
+    ls.update_batch(head);
+    let mut ls2 = roundtrip(&ls);
+    assert_eq!(
+        ls.collision_estimate(2).to_bits(),
+        ls2.collision_estimate(2).to_bits()
+    );
+    ls.update_batch(tail);
+    ls2.update_batch(tail);
+    assert_eq!(
+        ls.collision_estimate(2).to_bits(),
+        ls2.collision_estimate(2).to_bits()
+    );
+    assert_eq!(ls.eta().to_bits(), ls2.eta().to_bits());
+
+    let mut ent = EntropyEstimator::new(300, 9);
+    ent.update_batch(head);
+    let mut ent2 = roundtrip(&ent);
+    assert_eq!(ent.estimate().to_bits(), ent2.estimate().to_bits());
+    ent.update_batch(tail);
+    ent2.update_batch(tail);
+    assert_eq!(
+        ent.estimate().to_bits(),
+        ent2.estimate().to_bits(),
+        "entropy reservoirs (heap + RNG + trackers) must replay identically"
+    );
+    assert_eq!(ent.leader_share(), ent2.leader_share());
+
+    let mut hh = CmHeavyHitters::new(0.05, 0.01, 0.05, 10);
+    hh.update_batch(head);
+    let mut hhb = roundtrip(&hh);
+    assert_eq!(hh.report(), hhb.report());
+    hh.update_batch(tail);
+    hhb.update_batch(tail);
+    assert_eq!(hh.report(), hhb.report());
+
+    let mut cshh = CsHeavyHitters::new(0.3, 0.1, 0.05, 11);
+    cshh.update_batch(head);
+    let mut cshh2 = roundtrip(&cshh);
+    cshh.update_batch(tail);
+    cshh2.update_batch(tail);
+    assert_eq!(cshh.report(), cshh2.report());
+
+    let mut mghh = MgHeavyHitters::new(0.05, 0.2);
+    mghh.update_batch(head);
+    let mut mghh2 = roundtrip(&mghh);
+    mghh.update_batch(tail);
+    mghh2.update_batch(tail);
+    assert_eq!(mghh.report(), mghh2.report());
+    assert_eq!(mghh.space_words(), mghh2.space_words());
+}
+
+#[test]
+fn samplers_roundtrip_and_continue() {
+    let mut res = ReservoirSampler::<u64>::new(64, 5);
+    for x in 0..5_000u64 {
+        res.offer(x);
+    }
+    let mut res2 = roundtrip(&res);
+    assert_eq!(res.sample(), res2.sample());
+    for x in 5_000..10_000u64 {
+        res.offer(x);
+        res2.offer(x);
+    }
+    assert_eq!(
+        res.sample(),
+        res2.sample(),
+        "reservoir replacement chain diverged"
+    );
+
+    let mut wres = WeightedReservoir::<u64>::new(32, 6);
+    for x in 0..3_000u64 {
+        wres.offer(x, 1.0 + (x % 7) as f64);
+    }
+    let mut wres2 = roundtrip(&wres);
+    for x in 3_000..6_000u64 {
+        wres.offer(x, 1.0 + (x % 7) as f64);
+        wres2.offer(x, 1.0 + (x % 7) as f64);
+    }
+    let (mut a, mut b) = (
+        wres.sample().into_iter().copied().collect::<Vec<_>>(),
+        wres2.sample().into_iter().copied().collect::<Vec<_>>(),
+    );
+    a.sort_unstable();
+    b.sort_unstable();
+    assert_eq!(a, b, "weighted reservoir diverged after restore");
+
+    let mut ps = PrioritySampler::new(48, 7);
+    for x in 0..4_000u64 {
+        ps.offer(x, 1.0 + (x % 13) as f64);
+    }
+    let mut ps2 = roundtrip(&ps);
+    assert_eq!(ps.threshold().to_bits(), ps2.threshold().to_bits());
+    for x in 4_000..8_000u64 {
+        ps.offer(x, 1.0 + (x % 13) as f64);
+        ps2.offer(x, 1.0 + (x % 13) as f64);
+    }
+    assert_eq!(ps.threshold().to_bits(), ps2.threshold().to_bits());
+    assert_eq!(
+        ps.estimate_total().to_bits(),
+        ps2.estimate_total().to_bits(),
+        "priority sample diverged after restore"
+    );
+}
+
+fn full_monitor(p: f64) -> Monitor {
+    MonitorBuilder::with_seed(p, 4242)
+        .f0(0.05)
+        .fk(2)
+        .entropy(400)
+        .f1_heavy_hitters(0.05, 0.2, 0.05)
+        .f2_heavy_hitters(0.3, 0.2, 0.05)
+        .register("F2_naive", NaiveScaledFk::new(2, p))
+        .register("F0_naive", NaiveScaledF0::new(p, 91))
+        .register("F2_rusu_dobra", RusuDobraF2::new(p, 5, 32, 92))
+        .register("F2_adaptive", AdaptiveF2Estimator::new(p))
+        .build()
+}
+
+fn assert_reports_bitwise_equal(a: &Monitor, b: &Monitor) {
+    assert_eq!(a.samples_seen(), b.samples_seen());
+    assert_eq!(a.space_bytes(), b.space_bytes());
+    assert_eq!(a.p().to_bits(), b.p().to_bits());
+    let (ra, rb) = (a.report(), b.report());
+    assert_eq!(ra.len(), rb.len());
+    for ((la, ea), (lb, eb)) in ra.iter().zip(&rb) {
+        assert_eq!(la, lb);
+        assert_eq!(ea.value.to_bits(), eb.value.to_bits(), "{la} value differs");
+        assert_eq!(ea, eb, "{la} estimate differs");
+    }
+}
+
+#[test]
+fn monitor_checkpoint_restore_is_observationally_identical() {
+    let p = 0.25;
+    let mut monitor = full_monitor(p);
+    let sampled = BernoulliSampler::new(p, 51).sample_to_vec(&stream(80_000, 4));
+    let (head, tail) = sampled.split_at(sampled.len() / 2);
+    monitor.update_batch(head);
+
+    let bytes = monitor.checkpoint().expect("checkpoint");
+    let mut restored = Monitor::restore(&bytes).expect("restore");
+    assert_reports_bitwise_equal(&monitor, &restored);
+    assert_eq!(monitor.wire_layout(), restored.wire_layout());
+
+    // Crash recovery: the restored monitor continues exactly like the
+    // process that never died.
+    monitor.update_batch(tail);
+    restored.update_batch(tail);
+    assert_reports_bitwise_equal(&monitor, &restored);
+    assert_eq!(
+        monitor.checkpoint().expect("a"),
+        restored.checkpoint().expect("b"),
+        "post-restore checkpoints must be byte-identical"
+    );
+}
+
+#[test]
+fn collector_merge_of_decoded_snapshots_equals_in_memory_merge() {
+    let p = 0.2;
+    let traffic = stream(90_000, 5);
+    let slices: Vec<&[u64]> = traffic.chunks(traffic.len() / 3).collect();
+
+    // Three sites share one builder config; each samples its own slice.
+    let mut sites = Vec::new();
+    for (s, slice) in slices.iter().enumerate() {
+        let mut m = full_monitor(p);
+        let mut sampler = BernoulliSampler::new(p, 100 + s as u64);
+        sampler.sample_batches(slice, 512, |chunk| m.update_batch(chunk));
+        sites.push(m);
+    }
+
+    // In-memory collector.
+    let mut in_memory = sites[0].clone();
+    for other in &sites[1..] {
+        in_memory.try_merge(other).expect("in-memory merge");
+    }
+
+    // Bytes-over-a-boundary collector: every site ships its snapshot.
+    let wires: Vec<Vec<u8>> = sites
+        .iter()
+        .map(|m| m.checkpoint().expect("site"))
+        .collect();
+    let mut over_wire = Monitor::restore(&wires[0]).expect("site 0");
+    for w in &wires[1..] {
+        let site = Monitor::restore(w).expect("site decode");
+        over_wire.try_merge(&site).expect("wire merge");
+    }
+
+    assert_reports_bitwise_equal(&in_memory, &over_wire);
+}
+
+#[test]
+fn sharded_monitor_wire_collection_matches_in_memory() {
+    let p = 0.3;
+    let trace = std::sync::Arc::new(stream(60_000, 6));
+    let proto = || {
+        MonitorBuilder::with_seed(p, 9)
+            .f0(0.05)
+            .fk(2)
+            .entropy(256)
+            .build()
+    };
+
+    // Two identical sites (same seeds, same data) -> deterministic state.
+    let run_site = |sampler_seed: u64| {
+        let mut sm = ShardedMonitor::launch(&proto(), sampler_seed, ShardedConfig::new(2));
+        sm.ingest_shared(&trace);
+        sm.finish()
+    };
+    let site_a = run_site(100);
+    let site_b = run_site(200);
+
+    let mut in_memory = site_a.clone();
+    in_memory.try_merge(&site_b).expect("in-memory");
+
+    let mut over_wire = Monitor::restore(&site_a.checkpoint().expect("a")).expect("a");
+    over_wire
+        .try_merge(&Monitor::restore(&site_b.checkpoint().expect("b")).expect("b"))
+        .expect("wire");
+
+    assert_reports_bitwise_equal(&in_memory, &over_wire);
+
+    // The mid-run snapshot path produces decodable frames too.
+    let mut sm = ShardedMonitor::launch(&proto(), 300, ShardedConfig::new(2));
+    sm.ingest_shared(&trace);
+    let snap =
+        Monitor::restore(&sm.snapshot_wire().expect("snapshot encode")).expect("snapshot decode");
+    assert!(snap.p() == p);
+    let _ = sm.finish();
+}
+
+#[test]
+fn estimate_roundtrips() {
+    let p = 0.25;
+    let mut monitor = full_monitor(p);
+    monitor.update_batch(&BernoulliSampler::new(p, 61).sample_to_vec(&stream(20_000, 7)));
+    for (label, est) in monitor.report() {
+        let back = Estimate::decode_framed(&est.encode_framed()).expect("estimate decode");
+        assert_eq!(est, back, "{label}");
+        assert_eq!(est.value.to_bits(), back.value.to_bits());
+    }
+}
+
+#[test]
+fn corruption_yields_typed_errors_never_panics() {
+    let p = 0.5;
+    let mut monitor = MonitorBuilder::with_seed(p, 77)
+        .f0(0.1)
+        .fk(2)
+        .entropy(32)
+        .f1_heavy_hitters(0.1, 0.2, 0.1)
+        .build();
+    monitor.update_batch(&BernoulliSampler::new(p, 62).sample_to_vec(&stream(4_000, 8)));
+    let bytes = monitor.checkpoint().expect("checkpoint");
+
+    // Every truncation is a typed error, not a panic.
+    for cut in 0..bytes.len() {
+        match Monitor::restore(&bytes[..cut]) {
+            Err(_) => {}
+            Ok(_) => panic!("truncated prefix of {cut} bytes decoded successfully"),
+        }
+    }
+
+    // Flipped version byte.
+    let mut b = bytes.clone();
+    b[4] ^= 0x02;
+    match Monitor::restore(&b) {
+        Err(CodecError::UnsupportedVersion { found, supported }) => {
+            assert_eq!(found, WIRE_VERSION ^ 0x02);
+            assert_eq!(supported, WIRE_VERSION);
+        }
+        Err(other) => panic!("expected UnsupportedVersion, got {other:?}"),
+        Ok(_) => panic!("corrupt version byte decoded successfully"),
+    }
+
+    // Wrong top-level statistic/type tag.
+    let mut b = bytes.clone();
+    b[6] ^= 0x01;
+    assert!(matches!(
+        Monitor::restore(&b),
+        Err(CodecError::TagMismatch { .. })
+    ));
+
+    // A frame of the wrong type entirely.
+    let est = monitor.report()[0].1.clone();
+    assert!(matches!(
+        Monitor::restore(&est.encode_framed()),
+        Err(CodecError::TagMismatch { .. })
+    ));
+
+    // Bad magic.
+    let mut b = bytes.clone();
+    b[0] = b'X';
+    assert!(matches!(
+        Monitor::restore(&b),
+        Err(CodecError::BadMagic { .. })
+    ));
+
+    // Trailing garbage after a complete frame.
+    let mut b = bytes.clone();
+    b.push(0);
+    assert!(matches!(
+        Monitor::restore(&b),
+        Err(CodecError::TrailingBytes { .. })
+    ));
+
+    // Single-byte flip fuzz: the frame checksum guarantees EVERY flip is
+    // rejected with a typed error — and none may panic.
+    for i in 0..bytes.len() {
+        let mut b = bytes.clone();
+        b[i] ^= 0xFF;
+        assert!(
+            Monitor::restore(&b).is_err(),
+            "flip at byte {i} decoded successfully"
+        );
+    }
+}
+
+#[test]
+fn sentinel_item_u64_max_survives_the_wire() {
+    // The entropy reservoir marks empty slots with item == u64::MAX; a
+    // stream that legitimately contains that id must still round-trip
+    // (regression: slot-side holder inference rejected its own encoding).
+    let mut ent = EntropyEstimator::new(64, 3);
+    for i in 0..5_000u64 {
+        ent.update(if i % 2 == 0 { u64::MAX } else { i % 37 });
+    }
+    let mut back = roundtrip(&ent);
+    assert_eq!(ent.estimate().to_bits(), back.estimate().to_bits());
+    for i in 0..2_000u64 {
+        ent.update(u64::MAX.wrapping_sub(i % 3));
+        back.update(u64::MAX.wrapping_sub(i % 3));
+    }
+    assert_eq!(ent.estimate().to_bits(), back.estimate().to_bits());
+
+    let p = 0.5;
+    let mut monitor = full_monitor(p);
+    let feed: Vec<u64> = (0..4_000u64)
+        .map(|i| if i % 3 == 0 { u64::MAX } else { i % 101 })
+        .collect();
+    monitor.update_batch(&feed);
+    let restored = Monitor::restore(&monitor.checkpoint().expect("checkpoint")).expect("restore");
+    assert_reports_bitwise_equal(&monitor, &restored);
+}
+
+#[derive(Clone)]
+struct ThirdPartyEstimator {
+    p: f64,
+    n: u64,
+}
+
+impl SubsampledEstimator for ThirdPartyEstimator {
+    fn statistic(&self) -> subsampled_streams::core::Statistic {
+        subsampled_streams::core::Statistic::F0
+    }
+    fn update(&mut self, _x: u64) {
+        self.n += 1;
+    }
+    fn merge(&mut self, other: &Self) {
+        self.n += other.n;
+    }
+    fn estimate(&self) -> Estimate {
+        Estimate::scalar(
+            self.n as f64,
+            subsampled_streams::core::Guarantee::Heuristic,
+            self.p,
+            self.n,
+        )
+    }
+    fn space_bytes(&self) -> usize {
+        16
+    }
+    fn p(&self) -> f64 {
+        self.p
+    }
+    fn samples_seen(&self) -> u64 {
+        self.n
+    }
+}
+
+impl WireCodec for ThirdPartyEstimator {
+    const WIRE_TAG: u16 = 0x7F01; // not in the core decode registry
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.p.encode_into(out);
+        self.n.encode_into(out);
+    }
+
+    fn decode(r: &mut subsampled_streams::codec::Reader) -> Result<Self, CodecError> {
+        Ok(ThirdPartyEstimator {
+            p: r.rate()?,
+            n: r.u64()?,
+        })
+    }
+}
+
+#[test]
+fn checkpoint_rejects_unregistered_estimator_tags_up_front() {
+    // A register()-ed estimator whose tag the restore registry cannot
+    // decode must fail at CHECKPOINT time (while the live state still
+    // exists), not at restore time when the process is gone.
+    let monitor = MonitorBuilder::with_seed(0.5, 3)
+        .f0(0.05)
+        .register("third_party", ThirdPartyEstimator { p: 0.5, n: 0 })
+        .build();
+    assert_eq!(
+        monitor.checkpoint().err(),
+        Some(CodecError::UnknownTag { found: 0x7F01 })
+    );
+    // Built-in-only monitors are unaffected.
+    assert!(MonitorBuilder::with_seed(0.5, 3)
+        .f0(0.05)
+        .build()
+        .checkpoint()
+        .is_ok());
+}
+
+#[test]
+fn restored_monitor_rejects_incompatible_merges_like_a_live_one() {
+    let a = MonitorBuilder::with_seed(0.5, 1).f0(0.05).build();
+    let b = MonitorBuilder::with_seed(0.25, 1).f0(0.05).build();
+    let mut ra = Monitor::restore(&a.checkpoint().unwrap()).unwrap();
+    let rb = Monitor::restore(&b.checkpoint().unwrap()).unwrap();
+    assert!(
+        ra.try_merge(&rb).is_err(),
+        "rate mismatch must survive the wire"
+    );
+}
