@@ -415,9 +415,58 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
     h
 }
 
+/// The validated header of a framed wire object — what a streaming
+/// receiver learns from the first [`FRAME_HEADER_BYTES`] bytes before a
+/// single payload byte arrives. [`parse_frame_header`] checks magic and
+/// format version up front, so a transport can size its payload read
+/// (and enforce a payload cap) from trusted fields only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// Format version stamped in the frame (equals [`WIRE_VERSION`] —
+    /// other versions are rejected at parse time).
+    pub version: u16,
+    /// The payload's type tag.
+    pub tag: u16,
+    /// Payload bytes following the header.
+    pub payload_len: usize,
+    /// FNV-1a-64 checksum the payload must hash to.
+    pub checksum: u64,
+}
+
+/// Parse and validate the fixed-size frame header: magic and format
+/// version are checked here; tag routing, payload length and checksum
+/// verification are the caller's (or [`WireCodec::decode_framed`]'s)
+/// job once the payload is in hand. This is the read-path pre-validation
+/// a socket transport runs before allocating the payload buffer.
+pub fn parse_frame_header(header: &[u8; FRAME_HEADER_BYTES]) -> Result<FrameHeader, CodecError> {
+    let mut r = Reader::new(header);
+    let magic: [u8; 4] = r.take(4)?.try_into().expect("len 4");
+    if magic != WIRE_MAGIC {
+        return Err(CodecError::BadMagic { found: magic });
+    }
+    let version = r.u16()?;
+    if version != WIRE_VERSION {
+        return Err(CodecError::UnsupportedVersion {
+            found: version,
+            supported: WIRE_VERSION,
+        });
+    }
+    let tag = r.u16()?;
+    let payload_len = r.u64()? as usize;
+    let checksum = r.u64()?;
+    Ok(FrameHeader {
+        version,
+        tag,
+        payload_len,
+        checksum,
+    })
+}
+
 /// Read the `(version, tag, payload_len)` of a framed buffer without
 /// decoding the payload — what a collector uses to route incoming
-/// snapshots.
+/// snapshots. Unlike [`parse_frame_header`] this reports the version
+/// found without rejecting foreign ones, so callers can log what an
+/// incompatible peer sent.
 pub fn peek_frame(buf: &[u8]) -> Result<(u16, u16, usize), CodecError> {
     let mut r = Reader::new(buf);
     let magic: [u8; 4] = r.take(4)?.try_into().expect("len 4");
@@ -743,6 +792,34 @@ mod tests {
             Framed::decode_framed(&b),
             Err(CodecError::TrailingBytes { .. })
         ));
+    }
+
+    #[test]
+    fn frame_header_parse_validates_magic_and_version() {
+        let bytes = Framed(55).encode_framed();
+        let header: [u8; FRAME_HEADER_BYTES] = bytes[..FRAME_HEADER_BYTES].try_into().unwrap();
+        let fh = parse_frame_header(&header).unwrap();
+        assert_eq!(fh.version, WIRE_VERSION);
+        assert_eq!(fh.tag, 0x7777);
+        assert_eq!(fh.payload_len, 8);
+        assert_eq!(fh.checksum, fnv1a64(&bytes[FRAME_HEADER_BYTES..]));
+
+        let mut bad = header;
+        bad[0] ^= 0xFF;
+        assert!(matches!(
+            parse_frame_header(&bad),
+            Err(CodecError::BadMagic { .. })
+        ));
+
+        let mut bad = header;
+        bad[4] ^= 0x02;
+        assert_eq!(
+            parse_frame_header(&bad),
+            Err(CodecError::UnsupportedVersion {
+                found: WIRE_VERSION ^ 0x02,
+                supported: WIRE_VERSION
+            })
+        );
     }
 
     #[test]

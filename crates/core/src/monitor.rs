@@ -52,11 +52,15 @@ use crate::params::ApproxParams;
 
 /// Object-safe adapter over [`SubsampledEstimator`] so a [`Monitor`] can
 /// hold heterogeneous estimators. `merge` is recovered through `Any`
-/// downcasting (both sides must be the same concrete type). `Send + Clone`
-/// are required so monitors can be forked onto worker threads
-/// ([`crate::sharded::ShardedMonitor`]); `WireCodec` so monitors can be
-/// checkpointed and shipped ([`Monitor::checkpoint`]).
-trait DynEstimator: Send {
+/// downcasting (both sides must be the same concrete type).
+/// `Send + Sync + Clone` are required so monitors can be forked onto
+/// worker threads
+/// ([`crate::sharded::ShardedMonitor`]) and shared read-only by a
+/// collector server (`sss-transport`); `WireCodec` so monitors can be
+/// checkpointed and shipped ([`Monitor::checkpoint`]). Every estimator
+/// in the tree is plain data (no interior mutability), so the `Sync`
+/// bound costs nothing.
+trait DynEstimator: Send + Sync {
     fn update(&mut self, x: u64);
     fn update_batch(&mut self, xs: &[u64]);
     fn estimate(&self) -> Estimate;
@@ -77,7 +81,7 @@ trait DynEstimator: Send {
     fn encode_wire(&self, out: &mut Vec<u8>);
 }
 
-impl<T: SubsampledEstimator + Any + Clone + Send + WireCodec> DynEstimator for T {
+impl<T: SubsampledEstimator + Any + Clone + Send + Sync + WireCodec> DynEstimator for T {
     fn update(&mut self, x: u64) {
         SubsampledEstimator::update(self, x);
     }
@@ -316,7 +320,7 @@ impl MonitorBuilder {
     /// alongside exact ones, and extensions.
     pub fn register<E>(mut self, label: &str, est: E) -> Self
     where
-        E: SubsampledEstimator + Any + Clone + Send + WireCodec,
+        E: SubsampledEstimator + Any + Clone + Send + Sync + WireCodec,
     {
         let _ = self.seeds.derive();
         self.push(label.to_string(), Box::new(est))

@@ -1,0 +1,765 @@
+//! [`CollectorServer`]: the receiving end of the snapshot transport.
+//!
+//! One accept loop, one handler thread per site connection. Every
+//! incoming frame is pre-validated (header), checksum-checked and
+//! decoded through the codec before any of it is trusted; every failure
+//! is a *counter bump and a typed NACK*, never a collector panic — a
+//! fleet of sites keeps streaming while one corrupt peer is rejected
+//! frame by frame.
+//!
+//! Merging is idempotent per site: the collector keeps the **latest
+//! accepted snapshot per site** (sites push cumulative checkpoints, so
+//! a newer snapshot supersedes the older one) and remembers the highest
+//! sequence number accepted; a re-sent sequence — the retry after a
+//! lost ack — answers `Duplicate` and changes nothing. The merged view
+//! ([`CollectorServer::merged`]) folds the per-site snapshots into a
+//! clone of the prototype in ascending `site_id` order through
+//! [`Monitor::try_merge`], so it is bitwise-identical to an in-memory
+//! merge of the same snapshots in the same order.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use sss_codec::{CodecError, WireCodec};
+use sss_core::Monitor;
+
+use crate::proto::AckStatus;
+use crate::proto::{
+    read_frame_inner, write_frame, FrameRead, Goodbye, Hello, HelloAck, SnapshotAck, SnapshotPush,
+    SEQ_UNKNOWN, TAG_GOODBYE, TAG_HELLO, TAG_SNAPSHOT_PUSH, TRANSPORT_PROTO_VERSION,
+};
+use crate::TransportError;
+
+/// Why the collector refused a frame or snapshot — the index set of the
+/// per-reason rejection counters in [`TransportStats`]. Codec-driven
+/// reasons mirror [`CodecError`] variant by variant; the rest are
+/// transport-level verdicts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum RejectReason {
+    /// Frame did not start with the wire magic.
+    BadMagic,
+    /// Frame written by an incompatible wire format version.
+    UnsupportedVersion,
+    /// Frame tag did not match the expected type.
+    TagMismatch,
+    /// A polymorphic slot carried a tag this build cannot decode.
+    UnknownTag,
+    /// The connection ended (or the buffer ran out) mid-frame.
+    Truncated,
+    /// Bytes left over after a complete object.
+    TrailingBytes,
+    /// Payload checksum mismatch — bytes corrupted in flight.
+    ChecksumMismatch,
+    /// A decoded value violated a structural invariant.
+    InvalidPayload,
+    /// Frame announced a payload above the configured cap.
+    Oversize,
+    /// The snapshot decoded fine but cannot merge with the collector's
+    /// prototype configuration (rate/shape/label/type mismatch).
+    MergeIncompatible,
+    /// A push's `site_id` disagreed with the connection's hello.
+    SiteMismatch,
+    /// A message tag arrived out of protocol order.
+    UnexpectedMessage,
+    /// The hello handshake was refused (transport protocol version).
+    HandshakeRefused,
+}
+
+impl RejectReason {
+    /// Number of distinct reasons (length of the counter array).
+    pub const COUNT: usize = 13;
+
+    /// Every reason, index-aligned with the counter array.
+    pub const ALL: [RejectReason; Self::COUNT] = [
+        RejectReason::BadMagic,
+        RejectReason::UnsupportedVersion,
+        RejectReason::TagMismatch,
+        RejectReason::UnknownTag,
+        RejectReason::Truncated,
+        RejectReason::TrailingBytes,
+        RejectReason::ChecksumMismatch,
+        RejectReason::InvalidPayload,
+        RejectReason::Oversize,
+        RejectReason::MergeIncompatible,
+        RejectReason::SiteMismatch,
+        RejectReason::UnexpectedMessage,
+        RejectReason::HandshakeRefused,
+    ];
+
+    /// Stable label for logs and JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RejectReason::BadMagic => "bad_magic",
+            RejectReason::UnsupportedVersion => "unsupported_version",
+            RejectReason::TagMismatch => "tag_mismatch",
+            RejectReason::UnknownTag => "unknown_tag",
+            RejectReason::Truncated => "truncated",
+            RejectReason::TrailingBytes => "trailing_bytes",
+            RejectReason::ChecksumMismatch => "checksum_mismatch",
+            RejectReason::InvalidPayload => "invalid_payload",
+            RejectReason::Oversize => "oversize",
+            RejectReason::MergeIncompatible => "merge_incompatible",
+            RejectReason::SiteMismatch => "site_mismatch",
+            RejectReason::UnexpectedMessage => "unexpected_message",
+            RejectReason::HandshakeRefused => "handshake_refused",
+        }
+    }
+
+    /// The counter a [`CodecError`] lands in — variant for variant, so
+    /// "flipped payload byte" and "stale writer version" are separate
+    /// numbers on the dashboard.
+    pub fn from_codec(e: &CodecError) -> Self {
+        match e {
+            CodecError::Truncated { .. } => RejectReason::Truncated,
+            CodecError::BadMagic { .. } => RejectReason::BadMagic,
+            CodecError::UnsupportedVersion { .. } => RejectReason::UnsupportedVersion,
+            CodecError::TagMismatch { .. } => RejectReason::TagMismatch,
+            CodecError::UnknownTag { .. } => RejectReason::UnknownTag,
+            CodecError::TrailingBytes { .. } => RejectReason::TrailingBytes,
+            CodecError::ChecksumMismatch { .. } => RejectReason::ChecksumMismatch,
+            CodecError::Invalid { .. } => RejectReason::InvalidPayload,
+        }
+    }
+}
+
+/// Collector tuning knobs. Defaults suit a LAN deployment; tests dial
+/// the timeouts down.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Hard cap on any frame's payload (a corrupt length larger than
+    /// this is rejected before allocation). Default 64 MiB.
+    pub max_frame_payload: usize,
+    /// Read-poll granularity: how often blocked reads check the
+    /// shutdown flag. Default 25 ms.
+    pub poll_interval: Duration,
+    /// How long a fresh connection may take to complete the hello
+    /// handshake before being dropped. Default 10 s.
+    pub handshake_timeout: Duration,
+    /// Cap on any single ack/refusal write: a peer that stops reading
+    /// (full send buffer) fails the connection after this long instead
+    /// of blocking its handler thread forever. Default 10 s.
+    pub write_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            max_frame_payload: 64 << 20,
+            poll_interval: Duration::from_millis(25),
+            handshake_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Per-site observability row in [`TransportStats`].
+#[derive(Debug, Clone)]
+pub struct SiteTransportStats {
+    /// The site's stable identifier (from its hello).
+    pub site_id: u64,
+    /// The site's self-reported name.
+    pub name: String,
+    /// Snapshots accepted and folded into the collector view.
+    pub snapshots_accepted: u64,
+    /// Highest sequence number accepted (`None` before the first).
+    pub last_seq: Option<u64>,
+    /// Frame bytes received from this site (accepted pushes only).
+    pub bytes_in: u64,
+    /// Time since the site's last accepted snapshot (or hello).
+    pub since_last_seen: Duration,
+}
+
+/// A point-in-time snapshot of the collector's transport counters —
+/// the observability surface the ISSUE calls `TransportStats`.
+#[derive(Debug, Clone)]
+pub struct TransportStats {
+    /// Connections accepted since bind.
+    pub connections_accepted: u64,
+    /// Connections currently in a session.
+    pub connections_active: u64,
+    /// Connections that ended with a goodbye.
+    pub clean_closes: u64,
+    /// Connections that ended without one (drop, IO error).
+    pub disconnects: u64,
+    /// Snapshot pushes accepted and folded into the collector view.
+    pub snapshots_accepted: u64,
+    /// Re-sent sequence numbers answered `Duplicate` (retries after a
+    /// lost ack) — received again, merged zero times.
+    pub snapshots_duplicate: u64,
+    /// Total frame bytes successfully read off all connections
+    /// (header + payload, including frames later rejected).
+    pub bytes_in: u64,
+    rejected: [u64; RejectReason::COUNT],
+    /// Per-site rows, ascending `site_id`.
+    pub sites: Vec<SiteTransportStats>,
+}
+
+impl TransportStats {
+    /// Frames rejected for `reason`.
+    pub fn rejected(&self, reason: RejectReason) -> u64 {
+        self.rejected[reason as usize]
+    }
+
+    /// Frames rejected across all reasons.
+    pub fn rejected_total(&self) -> u64 {
+        self.rejected.iter().sum()
+    }
+
+    /// `(label, count)` for every reason with a nonzero counter.
+    pub fn rejected_nonzero(&self) -> Vec<(&'static str, u64)> {
+        RejectReason::ALL
+            .iter()
+            .filter(|r| self.rejected[**r as usize] > 0)
+            .map(|r| (r.label(), self.rejected[*r as usize]))
+            .collect()
+    }
+}
+
+struct SiteState {
+    name: String,
+    last_seq: Option<u64>,
+    accepted: u64,
+    bytes_in: u64,
+    latest: Option<Monitor>,
+    last_seen: Instant,
+}
+
+#[derive(Default)]
+struct Counters {
+    connections_accepted: AtomicU64,
+    connections_active: AtomicU64,
+    clean_closes: AtomicU64,
+    disconnects: AtomicU64,
+    snapshots_accepted: AtomicU64,
+    snapshots_duplicate: AtomicU64,
+    bytes_in: AtomicU64,
+    rejected: [AtomicU64; RejectReason::COUNT],
+}
+
+struct Shared {
+    prototype: Monitor,
+    cfg: ServerConfig,
+    sites: Mutex<BTreeMap<u64, SiteState>>,
+    counters: Counters,
+    shutdown: AtomicBool,
+    conn_handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Shared {
+    fn reject(&self, reason: RejectReason) {
+        self.counters.rejected[reason as usize].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count a failed read/decode; returns the reason when the error
+    /// was a frame-level rejection (vs a connection-level end).
+    fn reject_err(&self, e: &TransportError) -> Option<RejectReason> {
+        let reason = match e {
+            TransportError::Codec(c) => RejectReason::from_codec(c),
+            TransportError::Oversize { .. } => RejectReason::Oversize,
+            _ => return None,
+        };
+        self.reject(reason);
+        Some(reason)
+    }
+}
+
+/// The collector's TCP endpoint: accepts site connections, validates
+/// and folds their snapshot pushes, and exposes the merged monitor and
+/// the transport counters at any time.
+///
+/// ```no_run
+/// use sss_core::MonitorBuilder;
+/// use sss_transport::{CollectorServer, ServerConfig};
+///
+/// let prototype = MonitorBuilder::with_seed(0.05, 7).f0(0.05).fk(2).build();
+/// let server = CollectorServer::bind("127.0.0.1:0", prototype, ServerConfig::default())?;
+/// println!("collector on {}", server.local_addr());
+/// // ... sites connect and push ...
+/// let (merged, stats) = server.shutdown();
+/// println!("accepted {} snapshots", stats.snapshots_accepted);
+/// # let _ = merged;
+/// # Ok::<(), std::io::Error>(())
+/// ```
+pub struct CollectorServer {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept_handle: Option<JoinHandle<()>>,
+}
+
+impl CollectorServer {
+    /// Bind the collector and start accepting connections. `prototype`
+    /// is the builder configuration every site must match (it defines
+    /// what "mergeable" means); pass `"127.0.0.1:0"` to let the OS pick
+    /// a port and read it back with [`CollectorServer::local_addr`].
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        prototype: Monitor,
+        cfg: ServerConfig,
+    ) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shared = Arc::new(Shared {
+            prototype,
+            cfg,
+            sites: Mutex::new(BTreeMap::new()),
+            counters: Counters::default(),
+            shutdown: AtomicBool::new(false),
+            conn_handles: Mutex::new(Vec::new()),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_handle = std::thread::Builder::new()
+            .name("sss-collector-accept".to_string())
+            .spawn(move || accept_loop(listener, accept_shared))?;
+        Ok(Self {
+            shared,
+            addr,
+            accept_handle: Some(accept_handle),
+        })
+    }
+
+    /// The address the collector is listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The collector view right now: a clone of the prototype with
+    /// every site's latest accepted snapshot folded in, ascending
+    /// `site_id` — deterministic order, so the result is bitwise equal
+    /// to an in-memory [`Monitor::try_merge`] of the same snapshots.
+    pub fn merged(&self) -> Monitor {
+        let sites = self.shared.sites.lock().expect("sites lock");
+        let mut view = self.shared.prototype.clone();
+        for site in sites.values() {
+            if let Some(snap) = &site.latest {
+                // Mergeability was proven when the snapshot was
+                // accepted; a failure here would mean the prototype
+                // changed underneath us, which it cannot.
+                if view.try_merge(snap).is_err() {
+                    self.shared.reject(RejectReason::MergeIncompatible);
+                }
+            }
+        }
+        view
+    }
+
+    /// Point-in-time transport counters and per-site rows.
+    pub fn stats(&self) -> TransportStats {
+        let c = &self.shared.counters;
+        let sites = self.shared.sites.lock().expect("sites lock");
+        TransportStats {
+            connections_accepted: c.connections_accepted.load(Ordering::Relaxed),
+            connections_active: c.connections_active.load(Ordering::Relaxed),
+            clean_closes: c.clean_closes.load(Ordering::Relaxed),
+            disconnects: c.disconnects.load(Ordering::Relaxed),
+            snapshots_accepted: c.snapshots_accepted.load(Ordering::Relaxed),
+            snapshots_duplicate: c.snapshots_duplicate.load(Ordering::Relaxed),
+            bytes_in: c.bytes_in.load(Ordering::Relaxed),
+            rejected: std::array::from_fn(|i| c.rejected[i].load(Ordering::Relaxed)),
+            sites: sites
+                .iter()
+                .map(|(id, s)| SiteTransportStats {
+                    site_id: *id,
+                    name: s.name.clone(),
+                    snapshots_accepted: s.accepted,
+                    last_seq: s.last_seq,
+                    bytes_in: s.bytes_in,
+                    since_last_seen: s.last_seen.elapsed(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Stop accepting, wind down every connection handler (all reads —
+    /// idle or mid-frame — abort at the next poll tick, so shutdown is
+    /// bounded by `poll_interval` even against a stalled peer; writes
+    /// are bounded by `write_timeout`), and return the final merged
+    /// monitor and counters. A push whose frame was aborted mid-read
+    /// never acks, so its site re-sends it on reconnect; the sequence
+    /// dedup keeps that safe.
+    ///
+    /// Merely dropping the server has the same winding-down effect
+    /// (threads joined, port released) but discards the final view.
+    pub fn shutdown(mut self) -> (Monitor, TransportStats) {
+        self.wind_down();
+        (self.merged(), self.stats())
+    }
+
+    /// Idempotent: set the flag, join the accept loop, join every
+    /// handler. Shared by [`CollectorServer::shutdown`] and `Drop`.
+    fn wind_down(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+        let handles: Vec<_> = self
+            .shared
+            .conn_handles
+            .lock()
+            .expect("handles lock")
+            .drain(..)
+            .collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for CollectorServer {
+    fn drop(&mut self) {
+        // Without this, a server dropped on an early-return path would
+        // leak its accept thread (spinning every poll tick), its
+        // handler threads and the bound port for the process lifetime.
+        self.wind_down();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    loop {
+        if shared.shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                shared
+                    .counters
+                    .connections_accepted
+                    .fetch_add(1, Ordering::Relaxed);
+                let conn_shared = Arc::clone(&shared);
+                let handle = std::thread::Builder::new()
+                    .name("sss-collector-conn".to_string())
+                    .spawn(move || handle_connection(stream, conn_shared))
+                    .expect("spawn connection handler");
+                // Reap handlers that already finished before tracking
+                // the new one — sites reconnect for a living, and a
+                // long-lived collector must not accumulate one dead
+                // JoinHandle per connection ever accepted.
+                let mut handles = shared.conn_handles.lock().expect("handles lock");
+                let mut i = 0;
+                while i < handles.len() {
+                    if handles[i].is_finished() {
+                        let _ = handles.swap_remove(i).join();
+                    } else {
+                        i += 1;
+                    }
+                }
+                handles.push(handle);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(shared.cfg.poll_interval);
+            }
+            Err(_) => {
+                // Transient accept error (e.g. aborted connection):
+                // keep serving.
+                std::thread::sleep(shared.cfg.poll_interval);
+            }
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) {
+    shared
+        .counters
+        .connections_active
+        .fetch_add(1, Ordering::Relaxed);
+    let clean = serve(&mut stream, &shared);
+    shared
+        .counters
+        .connections_active
+        .fetch_sub(1, Ordering::Relaxed);
+    match clean {
+        true => shared.counters.clean_closes.fetch_add(1, Ordering::Relaxed),
+        false => shared.counters.disconnects.fetch_add(1, Ordering::Relaxed),
+    };
+}
+
+/// Run one connection to completion. Returns whether it ended cleanly
+/// (goodbye, or shutdown while idle).
+fn serve(stream: &mut TcpStream, shared: &Shared) -> bool {
+    // Accepted sockets can inherit the listener's nonblocking mode;
+    // switch to blocking reads with a short timeout so the read loop
+    // doubles as the shutdown poll. Acks are tiny request-response
+    // writes — disable Nagle so they are not held hostage to delayed
+    // ACKs, and bound writes so a peer that stops *reading* (full send
+    // buffer) fails the connection instead of wedging the handler
+    // thread (and therefore `shutdown()`) forever.
+    if stream.set_nonblocking(false).is_err()
+        || stream.set_nodelay(true).is_err()
+        || stream
+            .set_read_timeout(Some(shared.cfg.poll_interval))
+            .is_err()
+        || stream
+            .set_write_timeout(Some(shared.cfg.write_timeout))
+            .is_err()
+    {
+        return false;
+    }
+    let cap = shared.cfg.max_frame_payload;
+
+    // Phase 1: hello handshake, under a deadline.
+    let deadline = Instant::now() + shared.cfg.handshake_timeout;
+    let site_id = match read_frame_inner(stream, cap, Some(&shared.shutdown), Some(deadline)) {
+        Ok(FrameRead::Closed) => return true, // connected, said nothing, left
+        Ok(FrameRead::Frame(fh, bytes)) if fh.tag == TAG_HELLO => {
+            shared
+                .counters
+                .bytes_in
+                .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+            match Hello::decode_framed(&bytes) {
+                Ok(hello) if hello.proto_version == TRANSPORT_PROTO_VERSION => {
+                    let mut sites = shared.sites.lock().expect("sites lock");
+                    let entry = sites.entry(hello.site_id).or_insert_with(|| SiteState {
+                        name: hello.site_name.clone(),
+                        last_seq: None,
+                        accepted: 0,
+                        bytes_in: 0,
+                        latest: None,
+                        last_seen: Instant::now(),
+                    });
+                    entry.name = hello.site_name.clone();
+                    entry.last_seen = Instant::now();
+                    // Tell the site where its sequence left off, so a
+                    // restarted site (counter back at 0) fast-forwards
+                    // past the dedup window instead of having its
+                    // fresh snapshots swallowed as duplicates.
+                    let resume_seq = entry.last_seq.map_or(0, |s| s + 1);
+                    drop(sites);
+                    let ack = HelloAck {
+                        accepted: true,
+                        proto_version: TRANSPORT_PROTO_VERSION,
+                        resume_seq,
+                        reason: String::new(),
+                    };
+                    if write_frame(stream, &ack.encode_framed()).is_err() {
+                        return false;
+                    }
+                    hello.site_id
+                }
+                Ok(hello) => {
+                    shared.reject(RejectReason::HandshakeRefused);
+                    refuse_hello(
+                        stream,
+                        format!(
+                            "transport protocol version {} not supported (this collector speaks {})",
+                            hello.proto_version, TRANSPORT_PROTO_VERSION
+                        ),
+                    );
+                    return false;
+                }
+                Err(e) => {
+                    shared.reject(RejectReason::from_codec(&e));
+                    refuse_hello(stream, format!("hello failed to decode: {e}"));
+                    return false;
+                }
+            }
+        }
+        Ok(FrameRead::Frame(fh, _)) => {
+            shared.reject(RejectReason::UnexpectedMessage);
+            refuse_hello(stream, format!("expected Hello, got tag {:#06x}", fh.tag));
+            return false;
+        }
+        Err(TransportError::Shutdown) => return true,
+        Err(e) => {
+            // A frame-level failure during handshake (bad magic, wrong
+            // wire version, oversize, truncation) is counted under its
+            // reason and refused best-effort — the refusal is written
+            // in *our* wire version, which a stale peer may not parse,
+            // but the bytes are there for it to log.
+            let refused = shared.reject_err(&e).is_some();
+            if refused {
+                refuse_hello(stream, format!("handshake frame rejected: {e}"));
+            }
+            return false;
+        }
+    };
+
+    // Phase 2: snapshot session.
+    loop {
+        match read_frame_inner(stream, cap, Some(&shared.shutdown), None) {
+            Ok(FrameRead::Closed) => return false, // dropped without goodbye
+            Err(TransportError::Shutdown) => return true,
+            Err(e) => {
+                shared.reject_err(&e);
+                // An oversize frame is the one read failure with a
+                // still-valid header: NACK it so the site learns the
+                // push is *terminal* instead of burning its retry
+                // budget re-sending it, then close (the unread payload
+                // makes the stream position unrecoverable).
+                if matches!(e, TransportError::Oversize { .. }) {
+                    let ack = SnapshotAck {
+                        seq: SEQ_UNKNOWN,
+                        status: AckStatus::Rejected,
+                        reason: format!("frame rejected: {e}"),
+                    };
+                    let _ = write_frame(stream, &ack.encode_framed());
+                }
+                return false;
+            }
+            Ok(FrameRead::Frame(fh, bytes)) => {
+                shared
+                    .counters
+                    .bytes_in
+                    .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+                match fh.tag {
+                    TAG_SNAPSHOT_PUSH => {
+                        let ack = match SnapshotPush::decode_framed(&bytes) {
+                            Ok(push) => handle_push(shared, site_id, &push, bytes.len() as u64),
+                            Err(e) => {
+                                shared.reject(RejectReason::from_codec(&e));
+                                SnapshotAck {
+                                    seq: SEQ_UNKNOWN,
+                                    status: AckStatus::Rejected,
+                                    reason: format!("push frame rejected: {e}"),
+                                }
+                            }
+                        };
+                        if write_frame(stream, &ack.encode_framed()).is_err() {
+                            return false;
+                        }
+                    }
+                    TAG_GOODBYE => {
+                        let _ = Goodbye::decode_framed(&bytes);
+                        return true;
+                    }
+                    other => {
+                        shared.reject(RejectReason::UnexpectedMessage);
+                        let ack = SnapshotAck {
+                            seq: SEQ_UNKNOWN,
+                            status: AckStatus::Rejected,
+                            reason: format!("unexpected message tag {other:#06x}"),
+                        };
+                        if write_frame(stream, &ack.encode_framed()).is_err() {
+                            return false;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Validate one decoded push and fold it in. Returns the ack to send;
+/// every rejection increments exactly one reason counter.
+fn handle_push(
+    shared: &Shared,
+    session_site: u64,
+    push: &SnapshotPush,
+    frame_bytes: u64,
+) -> SnapshotAck {
+    let reject = |reason: RejectReason, text: String| {
+        shared.reject(reason);
+        SnapshotAck {
+            seq: push.seq,
+            status: AckStatus::Rejected,
+            reason: text,
+        }
+    };
+
+    if push.site_id != session_site {
+        return reject(
+            RejectReason::SiteMismatch,
+            format!(
+                "push for site {} on a connection that authenticated as site {}",
+                push.site_id, session_site
+            ),
+        );
+    }
+
+    let duplicate_ack = || {
+        shared
+            .counters
+            .snapshots_duplicate
+            .fetch_add(1, Ordering::Relaxed);
+        SnapshotAck {
+            seq: push.seq,
+            status: AckStatus::Duplicate,
+            reason: String::new(),
+        }
+    };
+
+    // Sequence dedup FIRST: a retry after a lost ack (the normal
+    // recovery path) re-sends a multi-MiB snapshot the collector
+    // already holds — answer `Duplicate` in O(1) instead of paying a
+    // full decode for bytes that will be discarded.
+    {
+        let sites = shared.sites.lock().expect("sites lock");
+        let entry = sites.get(&session_site).expect("site registered at hello");
+        if matches!(entry.last_seq, Some(last) if push.seq <= last) {
+            drop(sites);
+            return duplicate_ack();
+        }
+    }
+
+    // The snapshot is its own checksummed frame: restore re-validates
+    // magic, version, tag and payload checksum independently of the
+    // transport frame that carried it. (The sites lock is NOT held
+    // across the decode — other sites keep landing pushes meanwhile.)
+    let snap = match Monitor::restore(&push.snapshot) {
+        Ok(m) => m,
+        Err(e) => {
+            return reject(
+                RejectReason::from_codec(&e),
+                format!("snapshot rejected: {e}"),
+            )
+        }
+    };
+
+    // Prove mergeability against the prototype *before* storing: a bad
+    // shard is rejected here and never reaches the collector view. The
+    // prototype is immutable shared state, so the (multi-MiB for a
+    // full monitor) clone + merge probe also runs outside the lock —
+    // concurrent sites only serialize on the cheap store below.
+    let mut probe = shared.prototype.clone();
+    if let Err(e) = probe.try_merge(&snap) {
+        return reject(
+            RejectReason::MergeIncompatible,
+            format!("snapshot does not merge with the collector prototype: {e}"),
+        );
+    }
+
+    let mut sites = shared.sites.lock().expect("sites lock");
+    let entry = sites
+        .get_mut(&session_site)
+        .expect("site registered at hello");
+
+    // Re-check under the lock: a second connection for the same site
+    // id could have advanced the sequence while we were decoding.
+    if matches!(entry.last_seq, Some(last) if push.seq <= last) {
+        drop(sites);
+        return duplicate_ack();
+    }
+
+    entry.latest = Some(snap);
+    entry.last_seq = Some(push.seq);
+    entry.accepted += 1;
+    entry.bytes_in += frame_bytes;
+    entry.last_seen = Instant::now();
+    drop(sites);
+    shared
+        .counters
+        .snapshots_accepted
+        .fetch_add(1, Ordering::Relaxed);
+    SnapshotAck {
+        seq: push.seq,
+        status: AckStatus::Accepted,
+        reason: String::new(),
+    }
+}
+
+/// Best-effort handshake refusal: the peer may already be gone, or may
+/// not speak our wire version; either way the collector moves on.
+fn refuse_hello(stream: &mut TcpStream, reason: String) {
+    let ack = HelloAck {
+        accepted: false,
+        proto_version: TRANSPORT_PROTO_VERSION,
+        resume_seq: 0,
+        reason,
+    };
+    let _ = write_frame(stream, &ack.encode_framed());
+}

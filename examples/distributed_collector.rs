@@ -1,4 +1,4 @@
-//! Distributed monitors with a central collector — over actual bytes.
+//! Distributed monitors with a central collector — over real sockets.
 //!
 //! ```text
 //! cargo run --release --example distributed_collector
@@ -8,23 +8,32 @@
 //! (different links of the same network). Each site runs a
 //! [`ShardedMonitor`]: the raw link traffic is partitioned across worker
 //! threads, every worker Bernoulli-samples its shard at rate `p` with an
-//! independently split seed and feeds a forked [`Monitor`]; `finish()`
-//! merges the shard summaries into the site's view.
+//! independently split seed and feeds a forked [`Monitor`]; the site
+//! ships a **mid-run** snapshot (`snapshot_wire`, the trailing
+//! coordinator view — ingestion never stops) and, after `finish()`, its
+//! final checkpoint.
 //!
-//! The collector no longer receives `Monitor` values in memory: each
-//! site **encodes its snapshot** with the versioned wire codec
-//! ([`Monitor::checkpoint`]) and ships the bytes; the collector
-//! **decodes** ([`Monitor::restore`]) and merges via the fallible
-//! [`Monitor::try_merge`] — exactly what a production deployment does
-//! with summaries arriving over a socket. Merging is exact for the
-//! collision oracle (frequency algebra) and the bottom-k `F_0` sketch
-//! (set union); the entropy merge is the documented length-weighted
-//! approximation. The decoded-and-merged answer is bitwise identical to
-//! the in-memory merge (pinned by `tests/codec.rs`).
+//! Nothing is handed over in memory any more: every snapshot crosses a
+//! loopback **TCP connection** as a versioned checksummed frame. The
+//! collector is a [`CollectorServer`] — accept loop, per-connection
+//! handler threads, hello/version handshake — that decodes each push
+//! through the codec registry and folds it in behind `try_merge`.
+//! Failures on the receive path are **counters, not panics**: the demo
+//! deliberately injects a corrupt frame and a snapshot from an
+//! incompatible monitor configuration, and both show up as typed
+//! per-reason rejections in [`TransportStats`] while the well-behaved
+//! sites keep streaming.
 
-use subsampled_streams::codec::{peek_frame, FRAME_HEADER_BYTES};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use subsampled_streams::codec::WireCodec;
 use subsampled_streams::core::{Monitor, MonitorBuilder, ShardedConfig, ShardedMonitor, Statistic};
 use subsampled_streams::stream::{ExactStats, NetFlowStream, StreamGen};
+use subsampled_streams::transport::{
+    write_frame, ClientConfig, CollectorServer, Hello, ServerConfig, SiteClient,
+    TRANSPORT_PROTO_VERSION,
+};
 
 fn main() {
     let p = 0.05;
@@ -62,56 +71,130 @@ fn main() {
             .build()
     };
 
-    // Each site summarises its link, then mails SNAPSHOT BYTES — no
-    // Monitor value (and no raw sample) crosses the site boundary.
-    let mut mailbox: Vec<Vec<u8>> = Vec::new();
+    // The collector: a real TCP endpoint on loopback. The OS picks the
+    // port; sites dial it like they would a production collector.
+    let server = CollectorServer::bind("127.0.0.1:0", site_prototype(), ServerConfig::default())
+        .expect("bind collector on loopback");
+    let addr = server.local_addr();
+    println!("collector listening on {addr}\n");
+
+    // Sites run concurrently: summarise the link with a sharded monitor,
+    // push a mid-run snapshot while ingestion continues, then the final
+    // checkpoint. Every push blocks for the collector's typed ack and
+    // reconnects with exponential backoff if the link drops.
+    let mut handles = Vec::new();
     for (s, trace) in traces.iter().enumerate() {
-        let mut sharded = ShardedMonitor::launch(
-            &site_prototype(),
-            100 + s as u64,
-            ShardedConfig::new(shards_per_site),
-        );
-        sharded.ingest_shared(trace);
-        let monitor = sharded.finish();
-        let wire = monitor
-            .checkpoint()
-            .expect("all registered estimators are wire-decodable");
-        println!(
-            "site {s}: {} packets observed of {} ({:.1}%) across {shards_per_site} shards, \
-             state {} KiB -> wire {} KiB ({:.2} bytes/byte)",
-            monitor.samples_seen(),
-            trace.len(),
-            100.0 * monitor.samples_seen() as f64 / trace.len() as f64,
-            monitor.space_bytes() / 1024,
-            wire.len() / 1024,
-            wire.len() as f64 / monitor.space_bytes() as f64,
-        );
-        mailbox.push(wire);
+        let trace = std::sync::Arc::clone(trace);
+        let proto = site_prototype();
+        handles.push(std::thread::spawn(move || {
+            let mut sharded =
+                ShardedMonitor::launch(&proto, 100 + s as u64, ShardedConfig::new(shards_per_site));
+            let mut client =
+                SiteClient::connect(addr, ClientConfig::new(s as u64, format!("site-{s}")))
+                    .expect("site connects to the collector");
+
+            // First half of the trace, then a mid-run snapshot: the
+            // trailing coordinator view crosses the wire while workers
+            // keep ingesting.
+            let half = trace.len() / 2;
+            sharded.ingest(&trace[..half]);
+            let mid = sharded.snapshot_wire().expect("snapshot encodes");
+            let mid_len = mid.len();
+            client.push_wire(mid).expect("mid-run snapshot accepted");
+
+            // Rest of the trace, then the exact final checkpoint.
+            sharded.ingest(&trace[half..]);
+            let monitor = sharded.finish();
+            let wire = monitor.checkpoint().expect("checkpoint encodes");
+            let wire_len = wire.len();
+            client.push_wire(wire).expect("final snapshot accepted");
+            let stats = client.close();
+            println!(
+                "site {s}: {} of {} packets sampled ({:.1}%) across {shards_per_site} shards; \
+                 pushed mid-run {} KiB + final {} KiB over TCP ({} accepted, {} retries)",
+                monitor.samples_seen(),
+                trace.len(),
+                100.0 * monitor.samples_seen() as f64 / trace.len() as f64,
+                mid_len / 1024,
+                wire_len / 1024,
+                stats.snapshots_pushed,
+                stats.retries,
+            );
+        }));
+    }
+    for h in handles {
+        h.join().expect("site thread");
     }
 
-    // Collector: peek each frame (magic/version/tag — self-describing),
-    // decode, merge. Corrupt or incompatible snapshots surface as typed
-    // errors instead of panics.
-    let mut collector: Option<Monitor> = None;
-    for (s, wire) in mailbox.iter().enumerate() {
-        let (version, tag, payload) = peek_frame(wire).expect("frame header");
-        println!(
-            "collector: site {s} snapshot v{version} tag {tag:#06x}, {} bytes payload (+{} header)",
-            payload, FRAME_HEADER_BYTES
-        );
-        let site = Monitor::restore(wire).expect("snapshot decodes");
-        match collector.as_mut() {
-            None => collector = Some(site),
-            Some(c) => c.try_merge(&site).expect("sites share one builder config"),
+    // Chaos, on purpose: a corrupt frame and an incompatible snapshot.
+    // In the mailbox days each of these was an `expect()` panic on the
+    // receive path; now they are per-reason rejection counters and the
+    // collector keeps serving.
+    {
+        // A well-formed hello followed by a frame with a flipped byte.
+        let mut raw = TcpStream::connect(addr).expect("connect");
+        raw.set_read_timeout(Some(Duration::from_secs(2)))
+            .expect("timeout");
+        let hello = Hello {
+            proto_version: TRANSPORT_PROTO_VERSION,
+            site_id: 77,
+            site_name: "bit-rot".to_string(),
+        };
+        write_frame(&mut raw, &hello.encode_framed()).expect("hello");
+        let _ = subsampled_streams::transport::read_frame(&mut raw, 1 << 20);
+        let mut monitor = site_prototype();
+        monitor.update_batch(&[1, 2, 3]);
+        let push = subsampled_streams::transport::SnapshotPush {
+            site_id: 77,
+            seq: 0,
+            snapshot: monitor.checkpoint().expect("checkpoint"),
+        };
+        let mut frame = push.encode_framed();
+        let n = frame.len();
+        frame[n / 2] ^= 0x20; // bit rot in flight
+        write_frame(&mut raw, &frame).expect("send corrupt frame");
+        let _ = subsampled_streams::transport::read_frame(&mut raw, 1 << 20); // typed NACK
+
+        // An incompatible monitor configuration (different statistics).
+        let mut foreign = MonitorBuilder::with_seed(p, 4242).f0(0.05).build();
+        foreign.update_batch(&[4, 5, 6]);
+        let mut client =
+            SiteClient::connect(addr, ClientConfig::new(78, "misconfigured")).expect("connect");
+        match client.push_monitor(&foreign) {
+            Err(e) => println!("\nmisconfigured site rejected as expected: {e}"),
+            Ok(_) => println!("\nunexpected: incompatible snapshot accepted"),
         }
+        client.close();
     }
-    let collector = collector.expect("at least one site");
-    let total_wire: usize = mailbox.iter().map(|w| w.len()).sum();
+
+    // Wind down: final merged view + the transport's observability.
+    let (collector, stats) = server.shutdown();
 
     println!(
-        "\ncollector view (merged {sites} sites, {} KiB total on the wire):",
-        total_wire / 1024
+        "\ntransport stats: {} connections, {} snapshots accepted, {} duplicate, \
+         {} KiB in, {} rejected",
+        stats.connections_accepted,
+        stats.snapshots_accepted,
+        stats.snapshots_duplicate,
+        stats.bytes_in / 1024,
+        stats.rejected_total(),
     );
+    for (label, count) in stats.rejected_nonzero() {
+        println!("  rejected[{label}] = {count}");
+    }
+    for site in &stats.sites {
+        println!(
+            "  site {} ({}): {} snapshots, last seq {:?}, {} KiB, last seen {:.1}s ago",
+            site.site_id,
+            site.name,
+            site.snapshots_accepted,
+            site.last_seq,
+            site.bytes_in / 1024,
+            site.since_last_seen.as_secs_f64(),
+        );
+    }
+
+    println!("\ncollector view (merged {sites} sites over TCP):");
     let f2 = collector.estimate(Statistic::Fk(2)).expect("registered");
     let t2 = all.fk(2);
     println!(
@@ -138,8 +221,9 @@ fn main() {
     );
     println!(
         "\nTakeaway: the same merge algebra scales the monitor across threads\n\
-         (shards within a site) and across routers (sites at the collector) —\n\
-         and the summaries now cross the site boundary as versioned,\n\
-         checksummed bytes: no raw samples and no shared memory."
+         (shards within a site), and now across an actual network boundary:\n\
+         summaries arrive as versioned checksummed frames over TCP, corrupt\n\
+         or incompatible ones become typed rejection counters, and the\n\
+         merged answer is byte-for-byte what an in-memory merge would give."
     );
 }

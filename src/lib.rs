@@ -68,15 +68,25 @@
 //!   sampling), all mergeable and batch-capable,
 //! * [`core`] — the paper's estimators behind the unified trait, the
 //!   [`Monitor`](core::Monitor) pipeline, the baselines, and the
-//!   flow-distribution / adaptive-rate extensions.
+//!   flow-distribution / adaptive-rate extensions,
+//! * [`transport`] — the TCP snapshot transport: a
+//!   [`CollectorServer`](transport::CollectorServer) accepting site
+//!   connections and folding their pushed snapshots (per-reason
+//!   rejection counters, sequence-number dedup), and a
+//!   [`SiteClient`](transport::SiteClient) shipping checkpoints with
+//!   bounded-retry exponential-backoff reconnect.
 
 pub use sss_codec as codec;
 pub use sss_core as core;
 pub use sss_hash as hash;
 pub use sss_sketch as sketch;
 pub use sss_stream as stream;
+pub use sss_transport as transport;
 
 pub use sss_core::{
     Estimate, Guarantee, MergeError, Monitor, MonitorBuilder, ShardedConfig, ShardedMonitor,
     Statistic, SubsampledEstimator,
+};
+pub use sss_transport::{
+    ClientConfig, CollectorServer, ServerConfig, SiteClient, TransportError, TransportStats,
 };

@@ -1,0 +1,492 @@
+//! Transport integration battery over real loopback sockets: the
+//! end-to-end acceptance path (K sites → TCP → collector, bitwise equal
+//! to the in-memory merge) plus the failure drills — mid-stream
+//! disconnect with reconnect-and-resume, corrupt-frame injection with
+//! per-reason accounting, duplicate suppression, and the
+//! version-mismatch handshake refusal.
+
+use std::net::TcpStream;
+use std::time::Duration;
+
+use subsampled_streams::codec::WireCodec;
+use subsampled_streams::core::{Monitor, MonitorBuilder, Statistic};
+use subsampled_streams::stream::{BernoulliSampler, StreamGen, ZipfStream};
+use subsampled_streams::transport::{
+    read_frame, write_frame, AckStatus, ClientConfig, CollectorServer, Hello, HelloAck,
+    PushOutcome, RejectReason, RetryPolicy, ServerConfig, SiteClient, SnapshotAck, SnapshotPush,
+    TransportError, TRANSPORT_PROTO_VERSION,
+};
+
+const P: f64 = 0.2;
+
+/// The shared builder configuration every site and the collector use —
+/// mergeability requires identical sketch seeds.
+fn prototype() -> Monitor {
+    MonitorBuilder::with_seed(P, 4242)
+        .f0(0.05)
+        .fk(2)
+        .entropy(512)
+        .build()
+}
+
+fn test_server_config() -> ServerConfig {
+    ServerConfig {
+        poll_interval: Duration::from_millis(5),
+        handshake_timeout: Duration::from_secs(5),
+        ..ServerConfig::default()
+    }
+}
+
+fn test_client_config(site_id: u64) -> ClientConfig {
+    let mut cfg = ClientConfig::new(site_id, format!("site-{site_id}"));
+    cfg.retry = RetryPolicy {
+        max_attempts: 6,
+        initial_backoff: Duration::from_millis(10),
+        max_backoff: Duration::from_millis(200),
+    };
+    cfg.ack_timeout = Duration::from_secs(5);
+    cfg
+}
+
+/// Build one site's monitor over its (disjoint) partition of the
+/// stream and return it with its checkpoint bytes.
+fn site_monitor(partition: &[u64], sampler_seed: u64) -> (Monitor, Vec<u8>) {
+    let mut monitor = prototype();
+    let mut sampler = BernoulliSampler::new(P, sampler_seed);
+    sampler.sample_batches(partition, 1024, |chunk| monitor.update_batch(chunk));
+    let wire = monitor.checkpoint().expect("registered estimators decode");
+    (monitor, wire)
+}
+
+/// Acceptance: K site threads stream disjoint partitions, ship their
+/// snapshots over real TCP, and the collector's merged estimates are
+/// bitwise-equal to an in-memory `Monitor::try_merge` of the same
+/// snapshots (same ascending-site fold order).
+#[test]
+fn sites_over_tcp_merge_bitwise_equal_to_in_memory() {
+    let sites = 3usize;
+    let stream = ZipfStream::new(2_000, 1.2).generate(90_000, 17);
+    let server =
+        CollectorServer::bind("127.0.0.1:0", prototype(), test_server_config()).expect("bind");
+    let addr = server.local_addr();
+
+    let mut handles = Vec::new();
+    let chunk = stream.len() / sites;
+    for s in 0..sites {
+        let lo = s * chunk;
+        let hi = if s + 1 == sites {
+            stream.len()
+        } else {
+            lo + chunk
+        };
+        let partition = stream[lo..hi].to_vec();
+        handles.push(std::thread::spawn(move || {
+            let (_, wire) = site_monitor(&partition, 100 + s as u64);
+            let mut client =
+                SiteClient::connect(addr, test_client_config(s as u64)).expect("connect");
+            let outcome = client.push_wire(wire.clone()).expect("push");
+            assert_eq!(outcome, PushOutcome::Accepted);
+            client.close();
+            wire
+        }));
+    }
+    let wires: Vec<Vec<u8>> = handles
+        .into_iter()
+        .map(|h| h.join().expect("site"))
+        .collect();
+
+    let (merged, stats) = server.shutdown();
+    assert_eq!(stats.snapshots_accepted, sites as u64);
+    assert_eq!(stats.rejected_total(), 0);
+    assert_eq!(stats.sites.len(), sites);
+    assert!(stats.bytes_in > wires.iter().map(|w| w.len() as u64).sum::<u64>());
+
+    // In-memory reference: restore the same snapshot bytes and fold
+    // them in the same ascending-site order.
+    let mut reference = prototype();
+    for wire in &wires {
+        let site = Monitor::restore(wire).expect("restore");
+        reference.try_merge(&site).expect("same builder config");
+    }
+    assert_eq!(merged.samples_seen(), reference.samples_seen());
+    for ((la, ea), (lb, eb)) in merged.report().iter().zip(&reference.report()) {
+        assert_eq!(la, lb);
+        assert_eq!(
+            ea.value.to_bits(),
+            eb.value.to_bits(),
+            "{la}: TCP-merged {} vs in-memory {}",
+            ea.value,
+            eb.value
+        );
+    }
+    assert!(merged.estimate(Statistic::Fk(2)).unwrap().value > 0.0);
+}
+
+/// A connection dropped mid-run (no goodbye) is recovered by the next
+/// push: reconnect, re-handshake, resume the sequence — no snapshot
+/// lost, none double-counted.
+#[test]
+fn mid_stream_disconnect_reconnects_and_resumes() {
+    let stream = ZipfStream::new(500, 1.1).generate(40_000, 23);
+    let (first_half, second_half) = stream.split_at(stream.len() / 2);
+    let server =
+        CollectorServer::bind("127.0.0.1:0", prototype(), test_server_config()).expect("bind");
+
+    let mut monitor = prototype();
+    let mut sampler = BernoulliSampler::new(P, 7);
+    let mut client =
+        SiteClient::connect(server.local_addr(), test_client_config(1)).expect("connect");
+
+    // First checkpoint lands normally.
+    sampler.sample_batches(first_half, 1024, |c| monitor.update_batch(c));
+    assert_eq!(
+        client.push_monitor(&monitor).expect("push 1"),
+        PushOutcome::Accepted
+    );
+    let after_first = monitor.samples_seen();
+
+    // The cable gets pulled (no goodbye)…
+    client.drop_connection();
+    assert!(!client.is_connected());
+
+    // …the site keeps monitoring, and the next push transparently
+    // reconnects and resumes with the next sequence number.
+    sampler.sample_batches(second_half, 1024, |c| monitor.update_batch(c));
+    assert_eq!(
+        client.push_monitor(&monitor).expect("push 2"),
+        PushOutcome::Accepted
+    );
+    assert_eq!(client.stats().reconnects, 1);
+    assert_eq!(client.next_seq(), 2);
+    client.close();
+
+    let (merged, stats) = server.shutdown();
+    assert_eq!(stats.snapshots_accepted, 2);
+    assert!(stats.disconnects >= 1, "the drop must be visible");
+    assert_eq!(stats.rejected_total(), 0);
+    // Cumulative snapshots: the collector holds the *latest* state —
+    // everything the site saw, once.
+    assert_eq!(merged.samples_seen(), monitor.samples_seen());
+    assert!(monitor.samples_seen() > after_first);
+    let row = &stats.sites[0];
+    assert_eq!(row.site_id, 1);
+    assert_eq!(row.last_seq, Some(1));
+    assert_eq!(row.snapshots_accepted, 2);
+}
+
+/// Hand-rolled peer: handshake, then a push re-sent with the same
+/// sequence number (the retry-after-lost-ack shape). The second copy is
+/// answered `Duplicate` and merged zero times.
+#[test]
+fn duplicate_sequence_is_acked_but_not_double_counted() {
+    let server =
+        CollectorServer::bind("127.0.0.1:0", prototype(), test_server_config()).expect("bind");
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("timeout");
+
+    let hello = Hello {
+        proto_version: TRANSPORT_PROTO_VERSION,
+        site_id: 5,
+        site_name: "raw-site".to_string(),
+    };
+    write_frame(&mut stream, &hello.encode_framed()).expect("hello");
+    let (_, bytes) = read_frame(&mut stream, 1 << 20).expect("hello ack");
+    assert!(HelloAck::decode_framed(&bytes).expect("decode").accepted);
+
+    let (site, wire) = site_monitor(&ZipfStream::new(300, 1.0).generate(20_000, 3), 11);
+    let push = SnapshotPush {
+        site_id: 5,
+        seq: 0,
+        snapshot: wire,
+    };
+    let frame = push.encode_framed();
+    for (round, expected) in [(1u32, AckStatus::Accepted), (2, AckStatus::Duplicate)] {
+        write_frame(&mut stream, &frame).expect("push");
+        let (_, bytes) = read_frame(&mut stream, 1 << 20).expect("ack");
+        let ack = SnapshotAck::decode_framed(&bytes).expect("decode ack");
+        assert_eq!(ack.seq, 0);
+        assert_eq!(ack.status, expected, "round {round}");
+    }
+
+    let (merged, stats) = server.shutdown();
+    assert_eq!(stats.snapshots_accepted, 1);
+    assert_eq!(stats.snapshots_duplicate, 1);
+    assert_eq!(
+        merged.samples_seen(),
+        site.samples_seen(),
+        "merged exactly once"
+    );
+}
+
+/// Corrupt frames are rejected under the right reason counter while the
+/// connection keeps serving, and an incompatible (but well-formed)
+/// snapshot is rejected as merge-incompatible — never a panic, never a
+/// poisoned collector.
+#[test]
+fn corruption_and_incompatibility_increment_reasons_and_keep_serving() {
+    let server =
+        CollectorServer::bind("127.0.0.1:0", prototype(), test_server_config()).expect("bind");
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("timeout");
+
+    let hello = Hello {
+        proto_version: TRANSPORT_PROTO_VERSION,
+        site_id: 9,
+        site_name: "chaos-site".to_string(),
+    };
+    write_frame(&mut stream, &hello.encode_framed()).expect("hello");
+    let (_, bytes) = read_frame(&mut stream, 1 << 20).expect("hello ack");
+    assert!(HelloAck::decode_framed(&bytes).expect("decode").accepted);
+
+    let (site, wire) = site_monitor(&ZipfStream::new(300, 1.0).generate(20_000, 5), 13);
+
+    // 1) Outer corruption: flip one byte of the transport frame's
+    //    payload — the frame checksum catches it; the sequence number
+    //    is unknowable, so the NACK carries SEQ_UNKNOWN.
+    let good = SnapshotPush {
+        site_id: 9,
+        seq: 0,
+        snapshot: wire.clone(),
+    }
+    .encode_framed();
+    let mut corrupt_outer = good.clone();
+    let n = corrupt_outer.len();
+    corrupt_outer[n / 2] ^= 0x40;
+    write_frame(&mut stream, &corrupt_outer).expect("send corrupt");
+    let (_, bytes) = read_frame(&mut stream, 1 << 20).expect("nack");
+    let ack = SnapshotAck::decode_framed(&bytes).expect("decode nack");
+    assert_eq!(ack.status, AckStatus::Rejected);
+    assert!(ack.reason.contains("checksum"), "reason: {}", ack.reason);
+
+    // 2) Inner corruption: the transport frame is intact but the nested
+    //    monitor checkpoint is damaged — the snapshot's own checksum
+    //    catches it, and this time the NACK names the sequence.
+    let mut bad_snapshot = wire.clone();
+    let m = bad_snapshot.len();
+    bad_snapshot[m - 3] ^= 0x01;
+    let push = SnapshotPush {
+        site_id: 9,
+        seq: 0,
+        snapshot: bad_snapshot,
+    };
+    write_frame(&mut stream, &push.encode_framed()).expect("send inner-corrupt");
+    let (_, bytes) = read_frame(&mut stream, 1 << 20).expect("nack");
+    let ack = SnapshotAck::decode_framed(&bytes).expect("decode nack");
+    assert_eq!(ack.status, AckStatus::Rejected);
+    assert_eq!(ack.seq, 0);
+
+    // 3) Incompatible snapshot: well-formed bytes from a *different*
+    //    builder configuration cannot merge — typed rejection, not a
+    //    panic.
+    let mut foreign = MonitorBuilder::with_seed(P, 4242).f0(0.05).build();
+    foreign.update_batch(&[1, 2, 3]);
+    let push = SnapshotPush {
+        site_id: 9,
+        seq: 0,
+        snapshot: foreign.checkpoint().expect("checkpoint"),
+    };
+    write_frame(&mut stream, &push.encode_framed()).expect("send incompatible");
+    let (_, bytes) = read_frame(&mut stream, 1 << 20).expect("nack");
+    let ack = SnapshotAck::decode_framed(&bytes).expect("decode nack");
+    assert_eq!(ack.status, AckStatus::Rejected);
+    assert!(
+        ack.reason.contains("merge"),
+        "reason should explain the incompatibility: {}",
+        ack.reason
+    );
+
+    // 4) The connection is still alive: the good push now lands.
+    write_frame(&mut stream, &good).expect("send good");
+    let (_, bytes) = read_frame(&mut stream, 1 << 20).expect("ack");
+    let ack = SnapshotAck::decode_framed(&bytes).expect("decode ack");
+    assert_eq!(ack.status, AckStatus::Accepted);
+
+    let (merged, stats) = server.shutdown();
+    assert_eq!(stats.rejected(RejectReason::ChecksumMismatch), 2);
+    assert_eq!(stats.rejected(RejectReason::MergeIncompatible), 1);
+    assert_eq!(stats.rejected_total(), 3);
+    assert_eq!(stats.snapshots_accepted, 1);
+    assert_eq!(merged.samples_seen(), site.samples_seen());
+}
+
+/// Handshake refusals: a frame stamped with a foreign wire version is
+/// refused with a typed counter bump, and so is a well-formed hello
+/// speaking a foreign *transport* protocol version.
+#[test]
+fn version_mismatch_handshakes_are_refused() {
+    let server =
+        CollectorServer::bind("127.0.0.1:0", prototype(), test_server_config()).expect("bind");
+
+    // Foreign wire version: flip the version field of an otherwise
+    // valid hello frame (byte 4 of the envelope; the payload checksum
+    // does not cover the header, so only the version check can fire).
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("timeout");
+    let mut frame = Hello {
+        proto_version: TRANSPORT_PROTO_VERSION,
+        site_id: 2,
+        site_name: "stale-wire".to_string(),
+    }
+    .encode_framed();
+    frame[4] ^= 0x03;
+    write_frame(&mut stream, &frame).expect("send stale hello");
+    let (_, bytes) = read_frame(&mut stream, 1 << 20).expect("refusal");
+    let ack = HelloAck::decode_framed(&bytes).expect("decode refusal");
+    assert!(!ack.accepted);
+    assert!(
+        ack.reason.contains("unsupported wire version"),
+        "reason: {}",
+        ack.reason
+    );
+    // The collector closes after refusing.
+    assert!(matches!(
+        read_frame(&mut stream, 1 << 20),
+        Err(TransportError::Closed) | Err(TransportError::Io(_))
+    ));
+
+    // Foreign transport protocol version inside a valid frame.
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("timeout");
+    let hello = Hello {
+        proto_version: 99,
+        site_id: 3,
+        site_name: "time-traveller".to_string(),
+    };
+    write_frame(&mut stream, &hello.encode_framed()).expect("send future hello");
+    let (_, bytes) = read_frame(&mut stream, 1 << 20).expect("refusal");
+    let ack = HelloAck::decode_framed(&bytes).expect("decode refusal");
+    assert!(!ack.accepted);
+    assert!(ack.reason.contains("transport protocol version 99"));
+
+    let (_, stats) = server.shutdown();
+    assert_eq!(stats.rejected(RejectReason::UnsupportedVersion), 1);
+    assert_eq!(stats.rejected(RejectReason::HandshakeRefused), 1);
+    assert_eq!(stats.snapshots_accepted, 0);
+    assert!(stats.sites.is_empty(), "refused sites are never registered");
+}
+
+/// A *restarted* site (fresh client, sequence counter back at 0, same
+/// site id) must not have its new snapshots swallowed by the
+/// collector's dedup: the hello ack carries the collector's next
+/// expected sequence and the client fast-forwards to it.
+#[test]
+fn restarted_site_fast_forwards_past_the_dedup_window() {
+    let stream = ZipfStream::new(400, 1.1).generate(30_000, 29);
+    let (before, after) = stream.split_at(stream.len() / 2);
+    let server =
+        CollectorServer::bind("127.0.0.1:0", prototype(), test_server_config()).expect("bind");
+    let addr = server.local_addr();
+
+    // First life of the site: two pushes (seq 0 and 1), then the
+    // process dies without ceremony.
+    let mut monitor = prototype();
+    let mut sampler = BernoulliSampler::new(P, 41);
+    let mut client = SiteClient::connect(addr, test_client_config(6)).expect("connect");
+    sampler.sample_batches(before, 1024, |c| monitor.update_batch(c));
+    client.push_monitor(&monitor).expect("push 0");
+    client.push_monitor(&monitor).expect("push 1");
+    drop(client);
+
+    // Second life: a brand-new client for the same site id. The
+    // handshake must fast-forward its sequence past the server's
+    // high-water mark...
+    let mut client = SiteClient::connect(addr, test_client_config(6)).expect("reconnect");
+    assert_eq!(
+        client.next_seq(),
+        2,
+        "hello ack must resume the sequence, not restart at 0"
+    );
+    // ...so the post-restart snapshot is Accepted, not swallowed as a
+    // duplicate.
+    sampler.sample_batches(after, 1024, |c| monitor.update_batch(c));
+    assert_eq!(
+        client.push_monitor(&monitor).expect("post-restart push"),
+        PushOutcome::Accepted
+    );
+    client.close();
+
+    let (merged, stats) = server.shutdown();
+    assert_eq!(stats.snapshots_accepted, 3);
+    assert_eq!(stats.snapshots_duplicate, 0);
+    assert_eq!(
+        merged.samples_seen(),
+        monitor.samples_seen(),
+        "the collector must hold the post-restart state"
+    );
+}
+
+/// Shutdown must complete even while a peer is stalled mid-frame:
+/// handler reads abort at the next poll tick instead of waiting for
+/// the rest of a frame that will never arrive.
+#[test]
+fn shutdown_completes_with_a_peer_stalled_mid_frame() {
+    let server =
+        CollectorServer::bind("127.0.0.1:0", prototype(), test_server_config()).expect("bind");
+    let addr = server.local_addr();
+
+    // Complete a handshake, then send only part of a push frame and
+    // freeze (socket stays open, no more bytes, no close).
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("timeout");
+    let hello = Hello {
+        proto_version: TRANSPORT_PROTO_VERSION,
+        site_id: 4,
+        site_name: "stalled".to_string(),
+    };
+    write_frame(&mut stream, &hello.encode_framed()).expect("hello");
+    let (_, bytes) = read_frame(&mut stream, 1 << 20).expect("hello ack");
+    assert!(HelloAck::decode_framed(&bytes).expect("decode").accepted);
+    let push = SnapshotPush {
+        site_id: 4,
+        seq: 0,
+        snapshot: vec![0u8; 4096],
+    }
+    .encode_framed();
+    write_frame(&mut stream, &push[..push.len() / 2]).expect("partial frame");
+
+    // Shutdown on a helper thread with a watchdog: the old behavior
+    // (wait for the in-flight frame to finish, with no deadline) hangs
+    // here forever.
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        let (_, stats) = server.shutdown();
+        tx.send(stats).expect("send stats");
+    });
+    let stats = rx
+        .recv_timeout(Duration::from_secs(10))
+        .expect("shutdown must complete despite the stalled peer");
+    assert_eq!(stats.snapshots_accepted, 0);
+    drop(stream);
+}
+
+/// The client's bounded retry gives up with a typed error when nothing
+/// is listening, instead of hanging forever.
+#[test]
+fn retries_exhaust_with_typed_error_when_collector_is_down() {
+    // Bind-then-drop to get a port with no listener.
+    let port = {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        l.local_addr().expect("addr").port()
+    };
+    let mut cfg = test_client_config(1);
+    cfg.retry.max_attempts = 2;
+    cfg.connect_timeout = Duration::from_millis(200);
+    let err = match SiteClient::connect(("127.0.0.1", port), cfg) {
+        Ok(_) => panic!("connect must fail: nothing is listening"),
+        Err(e) => e,
+    };
+    match err {
+        TransportError::RetriesExhausted { attempts, .. } => assert_eq!(attempts, 2),
+        other => panic!("expected RetriesExhausted, got {other}"),
+    }
+}

@@ -1,0 +1,149 @@
+//! Cross-version decode pinned by bytes, not by review: the committed
+//! `tests/fixtures/wire_v1/` corpus (one framed version-1 snapshot per
+//! estimator family, written once by `examples/gen_wire_fixtures.rs`)
+//! must keep decoding on every build, answer the estimates pinned in
+//! the manifest, and re-encode to the *identical* bytes. Any codec or
+//! estimator-layout change that silently breaks version-1 frames fails
+//! here before it ships.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use subsampled_streams::codec::{peek_frame, WireCodec, WIRE_VERSION};
+use subsampled_streams::core::{
+    AdaptiveF2Estimator, ExactCollisions, LevelSetCollisions, Monitor, NaiveScaledF0,
+    NaiveScaledFk, RusuDobraF2, SampledEntropyEstimator, SampledF0Estimator, SampledF1HeavyHitters,
+    SampledF2HeavyHitters, SampledFkEstimator, Statistic, SubsampledEstimator,
+};
+
+fn fixture_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/wire_v1")
+}
+
+struct ManifestRow {
+    tag: u16,
+    estimate_bits: u64,
+    samples_seen: u64,
+    bytes: usize,
+}
+
+fn manifest() -> BTreeMap<String, ManifestRow> {
+    let text = std::fs::read_to_string(fixture_dir().join("manifest.tsv"))
+        .expect("committed manifest.tsv");
+    let mut rows = BTreeMap::new();
+    for line in text
+        .lines()
+        .filter(|l| !l.starts_with('#') && !l.is_empty())
+    {
+        let cols: Vec<&str> = line.split('\t').collect();
+        assert_eq!(cols.len(), 5, "manifest row: {line}");
+        let parse_hex =
+            |s: &str| u64::from_str_radix(s.trim_start_matches("0x"), 16).expect("hex field");
+        rows.insert(
+            cols[0].to_string(),
+            ManifestRow {
+                tag: parse_hex(cols[1]) as u16,
+                estimate_bits: parse_hex(cols[2]),
+                samples_seen: cols[3].parse().expect("samples field"),
+                bytes: cols[4].parse().expect("bytes field"),
+            },
+        );
+    }
+    rows
+}
+
+/// Decode a fixture by family name; return `(estimate bits, samples
+/// seen, re-encoded bytes)`. Adding an estimator family to the
+/// generator without teaching this dispatcher fails the test.
+fn decode_fixture(name: &str, bytes: &[u8]) -> (u64, u64, Vec<u8>) {
+    fn typed<E: SubsampledEstimator + WireCodec>(bytes: &[u8]) -> (u64, u64, Vec<u8>) {
+        let est = E::decode_framed(bytes).expect("version-1 fixture decodes");
+        (
+            SubsampledEstimator::estimate(&est).value.to_bits(),
+            est.samples_seen(),
+            est.encode_framed(),
+        )
+    }
+    match name {
+        "f0" => typed::<SampledF0Estimator>(bytes),
+        "fk_exact" => typed::<SampledFkEstimator<ExactCollisions>>(bytes),
+        "fk_sketched" => typed::<SampledFkEstimator<LevelSetCollisions>>(bytes),
+        "entropy" => typed::<SampledEntropyEstimator>(bytes),
+        "hh_f1" => typed::<SampledF1HeavyHitters>(bytes),
+        "hh_f2" => typed::<SampledF2HeavyHitters>(bytes),
+        "rusu_dobra_f2" => typed::<RusuDobraF2>(bytes),
+        "naive_fk" => typed::<NaiveScaledFk>(bytes),
+        "naive_f0" => typed::<NaiveScaledF0>(bytes),
+        "adaptive_f2" => typed::<AdaptiveF2Estimator>(bytes),
+        "monitor_full" => {
+            let m = Monitor::restore(bytes).expect("version-1 monitor restores");
+            (
+                m.estimate(Statistic::Fk(2))
+                    .expect("registered")
+                    .value
+                    .to_bits(),
+                m.samples_seen(),
+                m.checkpoint().expect("restored monitor re-checkpoints"),
+            )
+        }
+        other => panic!("fixture '{other}' has no decoder in this test — add one"),
+    }
+}
+
+#[test]
+fn committed_v1_corpus_decodes_and_reencodes_identically() {
+    let rows = manifest();
+    assert!(
+        rows.len() >= 11,
+        "corpus should cover every estimator family, found {}",
+        rows.len()
+    );
+    for (name, row) in &rows {
+        let bytes =
+            std::fs::read(fixture_dir().join(format!("{name}.bin"))).expect("committed fixture");
+        assert_eq!(bytes.len(), row.bytes, "{name}: committed size changed");
+
+        let (version, tag, payload) = peek_frame(&bytes).expect("frame header");
+        assert_eq!(version, 1, "{name}: corpus is version-1 by definition");
+        assert_eq!(
+            version, WIRE_VERSION,
+            "{name}: WIRE_VERSION moved — keep version-1 frames decodable \
+             and add a new corpus instead of regenerating this one"
+        );
+        assert_eq!(tag, row.tag, "{name}: wire tag changed");
+        assert!(payload > 0);
+
+        let (estimate_bits, samples_seen, reencoded) = decode_fixture(name, &bytes);
+        assert_eq!(
+            estimate_bits, row.estimate_bits,
+            "{name}: decoded estimate drifted from the pinned bits"
+        );
+        assert_eq!(samples_seen, row.samples_seen, "{name}: provenance drifted");
+        assert_eq!(
+            reencoded, bytes,
+            "{name}: decode→encode no longer reproduces the committed bytes"
+        );
+    }
+}
+
+#[test]
+fn corpus_files_match_manifest_exactly() {
+    // No orphan fixtures, no missing ones: the directory and the
+    // manifest must agree file for file.
+    let rows = manifest();
+    let mut on_disk: Vec<String> = std::fs::read_dir(fixture_dir())
+        .expect("fixture dir")
+        .filter_map(|e| {
+            let name = e
+                .expect("dir entry")
+                .file_name()
+                .into_string()
+                .expect("utf-8");
+            name.strip_suffix(".bin").map(|s| s.to_string())
+        })
+        .collect();
+    on_disk.sort();
+    let mut in_manifest: Vec<String> = rows.keys().cloned().collect();
+    in_manifest.sort();
+    assert_eq!(on_disk, in_manifest);
+}
