@@ -36,6 +36,27 @@ struct Row {
     state_bytes: usize,
 }
 
+/// Committed wire-v1 snapshot sizes for the same seeds / stream /
+/// parameters (the full-workload BENCH_codec.json datapoint recorded by
+/// the last version-1 build) — encoders only write the current version,
+/// so the v1-vs-v2 column quotes the frozen baseline instead of
+/// re-measuring it.
+fn v1_baseline_bytes(name: &str) -> Option<usize> {
+    Some(match name {
+        "f0" => 14_248,
+        "fk_exact" => 177_893,
+        "fk_sketched" => 408_377,
+        "entropy" => 122_601,
+        "hh_f1" => 24_161,
+        "hh_f2" => 2_269_464,
+        "rusu_dobra_f2" => 32_328,
+        "naive_fk" => 177_860,
+        "adaptive_f2" => 177_872,
+        "monitor_full" => 2_608_414,
+        _ => return None,
+    })
+}
+
 fn median(mut v: Vec<f64>) -> f64 {
     v.sort_by(|a, b| a.total_cmp(b));
     v[v.len() / 2]
@@ -150,15 +171,32 @@ fn main() {
         if quick { ", quick" } else { "" }
     );
     println!(
-        "{:<16} {:>12} {:>12} {:>12} {:>12} {:>12}",
-        "estimator", "wire KiB", "state KiB", "enc MiB/s", "dec MiB/s", "wire/state"
+        "{:<16} {:>10} {:>10} {:>10} {:>8} {:>11} {:>11} {:>11}",
+        "estimator",
+        "v1 KiB",
+        "v2 KiB",
+        "state KiB",
+        "v1/v2",
+        "enc MiB/s",
+        "dec MiB/s",
+        "wire/state"
     );
     for r in &rows {
+        // The baseline corresponds to the full workload only.
+        let v1 = if quick {
+            None
+        } else {
+            v1_baseline_bytes(r.name)
+        };
         println!(
-            "{:<16} {:>12.1} {:>12.1} {:>12.1} {:>12.1} {:>12.2}",
+            "{:<16} {:>10} {:>10.1} {:>10.1} {:>8} {:>11.1} {:>11.1} {:>11.2}",
             r.name,
+            v1.map_or("-".to_string(), |b| format!("{:.1}", b as f64 / 1024.0)),
             r.snapshot_bytes as f64 / 1024.0,
             r.state_bytes as f64 / 1024.0,
+            v1.map_or("-".to_string(), |b| {
+                format!("{:.1}x", b as f64 / r.snapshot_bytes as f64)
+            }),
             mibps(r.snapshot_bytes, r.encode_ns),
             mibps(r.snapshot_bytes, r.decode_ns),
             r.snapshot_bytes as f64 / r.state_bytes as f64
@@ -176,12 +214,25 @@ fn main() {
     json.push_str(&format!("  \"sampling_rate\": {p},\n"));
     json.push_str("  \"results\": [\n");
     for (i, r) in rows.iter().enumerate() {
+        let v1 = (if quick {
+            None
+        } else {
+            v1_baseline_bytes(r.name)
+        })
+        .map_or(String::new(), |b| {
+            format!(
+                " \"snapshot_bytes_v1\": {}, \"v1_over_v2\": {:.2},",
+                b,
+                b as f64 / r.snapshot_bytes as f64
+            )
+        });
         json.push_str(&format!(
-            "    {{\"estimator\": \"{}\", \"snapshot_bytes\": {}, \"state_bytes\": {}, \
+            "    {{\"estimator\": \"{}\", \"snapshot_bytes\": {},{} \"state_bytes\": {}, \
              \"encode_ns\": {:.0}, \"decode_ns\": {:.0}, \
              \"encode_mib_per_s\": {:.2}, \"decode_mib_per_s\": {:.2}}}{}\n",
             r.name,
             r.snapshot_bytes,
+            v1,
             r.state_bytes,
             r.encode_ns,
             r.decode_ns,
@@ -204,6 +255,19 @@ fn main() {
             Ok(()) => println!("\nwrote {}", out.display()),
             Err(e) => eprintln!("\ncould not write {}: {e}", out.display()),
         }
+    }
+
+    // Compaction acceptance: the full-monitor v2 snapshot must be at
+    // least 2x smaller than the committed v1 baseline (it is ~5x).
+    let monitor_row = rows.iter().find(|r| r.name == "monitor_full").unwrap();
+    if !quick {
+        let v1 = v1_baseline_bytes("monitor_full").unwrap();
+        assert!(
+            monitor_row.snapshot_bytes * 2 <= v1,
+            "v2 monitor snapshot {} B lost the 2x target against v1's {} B",
+            monitor_row.snapshot_bytes,
+            v1
+        );
     }
 
     // Round-trip sanity: the decoded monitor must answer identically.

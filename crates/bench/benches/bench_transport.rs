@@ -57,6 +57,8 @@ struct Row {
     ns_per_push: f64,
     frames_per_s: f64,
     mib_per_s: f64,
+    /// Mean wire bytes per steady-state delta push (delta scenario only).
+    delta_bytes_per_push: Option<f64>,
 }
 
 /// `sites` clients each push `pushes` snapshots; returns median
@@ -127,6 +129,71 @@ fn bench_scenario(
         ns_per_push: ns,
         frames_per_s: 1e9 / ns,
         mib_per_s: (snapshot.len() as f64 / (1 << 20) as f64) / (ns / 1e9),
+        delta_bytes_per_push: None,
+    }
+}
+
+/// Steady-state delta pushes: ingest a long warm-up, push the full
+/// snapshot once, then push after each of `increments` small ingest
+/// steps — the `SiteClient` ships those as delta pushes. Measures the
+/// mean wire bytes and wall time per delta push (checkpoint diff +
+/// write + collector reconstruction + decode + merge-probe + ack).
+fn bench_delta_scenario(n: u64, increments: usize) -> Row {
+    let server = CollectorServer::bind("127.0.0.1:0", full_prototype(), ServerConfig::default())
+        .expect("bind");
+
+    // Warm up to a saturated monitor, then precompute the per-increment
+    // checkpoints so the timed loop is transport work only.
+    let stream = ZipfStream::new(1 << 14, 1.2).generate(n, 42);
+    let warm = (n as usize) * 4 / 5;
+    let mut monitor = full_prototype();
+    let mut sampler = BernoulliSampler::new(P, 43);
+    sampler.sample_batches(&stream[..warm], 1024, |c| monitor.update_batch(c));
+    let base_wire = monitor.checkpoint().expect("base checkpoint");
+    let step = (stream.len() - warm) / increments;
+    let mut checkpoints = Vec::with_capacity(increments);
+    for i in 0..increments {
+        let lo = warm + i * step;
+        let hi = if i + 1 == increments {
+            stream.len()
+        } else {
+            lo + step
+        };
+        sampler.sample_batches(&stream[lo..hi], 1024, |c| monitor.update_batch(c));
+        checkpoints.push(monitor.checkpoint().expect("incremental checkpoint"));
+    }
+
+    let mut cfg = ClientConfig::new(900, "bench-delta");
+    cfg.ack_timeout = Duration::from_secs(30);
+    let mut client = SiteClient::connect(server.local_addr(), cfg).expect("connect");
+    client.push_wire(base_wire.clone()).expect("base push");
+    let bytes_before = client.stats().bytes_out;
+
+    let t0 = Instant::now();
+    for wire in &checkpoints {
+        client.push_wire(wire.clone()).expect("delta push");
+    }
+    let elapsed = t0.elapsed().as_nanos() as f64;
+    let stats = client.stats().clone();
+    client.close();
+    assert_eq!(
+        stats.snapshots_delta, increments as u64,
+        "steady-state pushes must ride as deltas"
+    );
+    let (_, sstats) = server.shutdown();
+    assert_eq!(sstats.rejected_total(), 0, "bench pushes must be accepted");
+
+    let full_bytes = checkpoints.last().expect("nonempty").len();
+    let delta_bytes = (stats.bytes_out - bytes_before) as f64 / increments as f64;
+    let ns = elapsed / increments as f64;
+    Row {
+        scenario: "full_delta_steady_state",
+        snapshot_bytes: full_bytes,
+        sites: 1,
+        ns_per_push: ns,
+        frames_per_s: 1e9 / ns,
+        mib_per_s: (delta_bytes / (1 << 20) as f64) / (ns / 1e9),
+        delta_bytes_per_push: Some(delta_bytes),
     }
 }
 
@@ -168,7 +235,22 @@ fn main() {
             pushes,
             runs,
         ),
+        bench_delta_scenario(n, if quick { 8 } else { 25 }),
     ];
+
+    // Delta acceptance: steady-state delta pushes must run at least 2x
+    // smaller than the full snapshot they replace (they are far
+    // smaller).
+    let delta_row = rows
+        .iter()
+        .find(|r| r.scenario == "full_delta_steady_state")
+        .unwrap();
+    let per_push = delta_row.delta_bytes_per_push.unwrap();
+    assert!(
+        per_push * 2.0 <= delta_row.snapshot_bytes as f64,
+        "delta pushes average {per_push:.0} B against a {} B full snapshot",
+        delta_row.snapshot_bytes
+    );
 
     println!(
         "\n== transport over loopback ({} raw elements ingested{}) ==",
@@ -181,13 +263,18 @@ fn main() {
     );
     for r in &rows {
         println!(
-            "{:<24} {:>10.1} {:>7} {:>12.1} {:>12.0} {:>12.1}",
+            "{:<24} {:>10.1} {:>7} {:>12.1} {:>12.0} {:>12.1}{}",
             r.scenario,
             r.snapshot_bytes as f64 / 1024.0,
             r.sites,
             r.ns_per_push / 1e3,
             r.frames_per_s,
-            r.mib_per_s
+            r.mib_per_s,
+            r.delta_bytes_per_push.map_or(String::new(), |b| format!(
+                "   ({:.1} KiB/delta push, {:.1}x smaller)",
+                b / 1024.0,
+                r.snapshot_bytes as f64 / b
+            ))
         );
     }
 
@@ -202,11 +289,19 @@ fn main() {
     json.push_str(&format!("  \"pushes_per_site\": {pushes},\n"));
     json.push_str("  \"results\": [\n");
     for (i, r) in rows.iter().enumerate() {
+        let delta = r.delta_bytes_per_push.map_or(String::new(), |b| {
+            format!(
+                " \"delta_bytes_per_push\": {:.0}, \"full_over_delta\": {:.2},",
+                b,
+                r.snapshot_bytes as f64 / b
+            )
+        });
         json.push_str(&format!(
-            "    {{\"scenario\": \"{}\", \"snapshot_bytes\": {}, \"sites\": {}, \
+            "    {{\"scenario\": \"{}\", \"snapshot_bytes\": {},{} \"sites\": {}, \
              \"ns_per_push\": {:.0}, \"frames_per_s\": {:.1}, \"mib_per_s\": {:.2}}}{}\n",
             r.scenario,
             r.snapshot_bytes,
+            delta,
             r.sites,
             r.ns_per_push,
             r.frames_per_s,

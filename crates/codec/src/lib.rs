@@ -22,23 +22,52 @@
 //! and corrupt or mismatched buffers surface as typed [`CodecError`]s,
 //! never panics or unbounded allocations.
 //!
+//! ## Format version 2: compact integer packing
+//!
+//! Version 2 keeps the envelope and every tag, but re-encodes the big
+//! counter sections with
+//!
+//! * **canonical LEB128 varints** ([`put_varint_u64`] /
+//!   [`Reader::varint_u64`], zigzag for `i64`) for lengths and small
+//!   scalars — overlong encodings and encodings above 64 bits are
+//!   rejected, so every value has exactly one wire image,
+//! * **frame-of-reference bit packing** ([`put_packed_u64s`] /
+//!   [`Reader::packed_u64s`]) for counter grids: `min` plus a fixed bit
+//!   width sized to `max − min`, then a little-endian bit stream,
+//! * **sorted-delta packing** ([`put_packed_sorted_u64s`]) for the
+//!   strictly-increasing key columns of counter maps: first key, then
+//!   FoR-packed gaps.
+//!
+//! `f64` stays a fixed IEEE-754 bit pattern in every version.
+//!
 //! ## Versioning policy
 //!
 //! [`WIRE_VERSION`] covers the whole format: any layout change to any
-//! implementor bumps it, and decoders reject other versions with
-//! [`CodecError::UnsupportedVersion`] (no silent misparses). Per-type
-//! evolution happens by assigning a **new tag** to the new layout and
+//! implementor bumps it. Decoders accept every version in
+//! `[`[`WIRE_VERSION_MIN`]`, `[`WIRE_VERSION`]`]` — the frame header's
+//! version byte routes each payload to the matching layout (the
+//! [`Reader`] carries it, so nested sections decode under the frame's
+//! version) — and reject anything else with
+//! [`CodecError::UnsupportedVersion`] (no silent misparses). Encoders
+//! always write the current version. Per-type evolution *within* a
+//! version happens by assigning a **new tag** to the new layout and
 //! keeping the old tag decodable for a deprecation window. Tags are
 //! allocated in per-crate ranges: `0x01xx` = `sss-hash`, `0x02xx` =
-//! `sss-sketch`, `0x03xx` = `sss-stream`, `0x04xx` = `sss-core`.
+//! `sss-sketch`, `0x03xx` = `sss-stream`, `0x04xx` = `sss-core`,
+//! `0x05xx` = `sss-transport`.
 
 use std::fmt;
 
 /// The 4-byte magic prefix of every framed wire object.
 pub const WIRE_MAGIC: [u8; 4] = *b"SSWC";
 
-/// The format version written (and required) by this build.
-pub const WIRE_VERSION: u16 = 1;
+/// The format version written by this build.
+pub const WIRE_VERSION: u16 = 2;
+
+/// The oldest format version this build still decodes. The committed
+/// `tests/fixtures/wire_v1/` corpus pins that version-1 frames keep
+/// decoding for as long as this stays at 1.
+pub const WIRE_VERSION_MIN: u16 = 1;
 
 /// Why a buffer failed to decode. Every variant is a *data* error: the
 /// decoder never panics on untrusted bytes.
@@ -92,6 +121,14 @@ pub enum CodecError {
         /// Which invariant was violated.
         what: &'static str,
     },
+    /// A snapshot delta was applied to a base snapshot other than the
+    /// one it was computed against (length or checksum disagree).
+    BadBase {
+        /// Checksum of the base the delta was computed against.
+        expected: u64,
+        /// Checksum of the base it was applied to.
+        found: u64,
+    },
 }
 
 impl fmt::Display for CodecError {
@@ -124,6 +161,9 @@ impl fmt::Display for CodecError {
                 write!(f, "payload checksum mismatch: header says {expected:#018x}, payload hashes to {found:#018x}")
             }
             CodecError::Invalid { what } => write!(f, "invalid wire data: {what}"),
+            CodecError::BadBase { expected, found } => {
+                write!(f, "delta applied to the wrong base snapshot: delta was computed against base {expected:#018x}, got {found:#018x}")
+            }
         }
     }
 }
@@ -140,12 +180,41 @@ impl std::error::Error for CodecError {}
 pub struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
+    version: u16,
 }
 
 impl<'a> Reader<'a> {
-    /// A reader over the whole buffer.
+    /// A reader over the whole buffer, assuming the current
+    /// [`WIRE_VERSION`] layout (unframed payloads produced by this
+    /// build). Frame-routed decoding goes through
+    /// [`Reader::with_version`] so nested sections inherit the frame's
+    /// version byte.
     pub fn new(buf: &'a [u8]) -> Self {
-        Self { buf, pos: 0 }
+        Self::with_version(buf, WIRE_VERSION)
+    }
+
+    /// A reader decoding under an explicit format version (what
+    /// [`WireCodec::decode_framed`] uses after validating the header,
+    /// and what nested section readers must be constructed with so the
+    /// whole tree decodes under the frame's version).
+    pub fn with_version(buf: &'a [u8], version: u16) -> Self {
+        Self {
+            buf,
+            pos: 0,
+            version,
+        }
+    }
+
+    /// The format version this reader decodes under.
+    #[inline]
+    pub fn version(&self) -> u16 {
+        self.version
+    }
+
+    /// Whether this reader decodes the compact version-2 layouts.
+    #[inline]
+    pub fn v2(&self) -> bool {
+        self.version >= 2
     }
 
     /// Bytes not yet consumed.
@@ -280,6 +349,187 @@ impl<'a> Reader<'a> {
         }
         Ok(raw as usize)
     }
+
+    /// Read a canonical LEB128 varint `u64`. Rejects overlong encodings
+    /// (a non-terminal final byte of 0 — every value has exactly one
+    /// wire image) and encodings above 64 bits, so corrupt varints are
+    /// typed errors rather than silent misparses.
+    pub fn varint_u64(&mut self) -> Result<u64, CodecError> {
+        let mut x = 0u64;
+        for i in 0..10u32 {
+            let b = self.u8()?;
+            let payload = (b & 0x7F) as u64;
+            if i == 9 && payload > 1 {
+                return Err(CodecError::Invalid {
+                    what: "varint encodes more than 64 bits",
+                });
+            }
+            x |= payload << (7 * i);
+            if b & 0x80 == 0 {
+                if i > 0 && payload == 0 {
+                    return Err(CodecError::Invalid {
+                        what: "overlong varint encoding",
+                    });
+                }
+                return Ok(x);
+            }
+        }
+        Err(CodecError::Invalid {
+            what: "varint longer than 10 bytes",
+        })
+    }
+
+    /// Read a zigzag-varint `i64`.
+    pub fn varint_i64(&mut self) -> Result<i64, CodecError> {
+        Ok(zigzag_decode(self.varint_u64()?))
+    }
+
+    /// Read a varint length prefix with the same allocation guard as
+    /// [`Reader::len_prefix`]: `len` elements of at least
+    /// `min_elem_bytes` each must still fit in the buffer.
+    pub fn varint_len(&mut self, min_elem_bytes: usize) -> Result<usize, CodecError> {
+        let raw = self.varint_u64()?;
+        let min = min_elem_bytes.max(1);
+        let cap = (self.remaining() / min) as u64;
+        if raw > cap {
+            return Err(CodecError::Truncated {
+                needed: (raw as usize).saturating_mul(min),
+                available: self.remaining(),
+            });
+        }
+        Ok(raw as usize)
+    }
+
+    /// Read a frame-of-reference bit-packed `u64` slice written by
+    /// [`put_packed_u64s`]: `varint len ‖ varint min ‖ u8 width ‖
+    /// ⌈len·width/8⌉ packed bytes`. Length, width and every
+    /// reconstructed value are validated; a corrupt length cannot
+    /// allocate beyond [`PACKED_MAX_RUN`] elements.
+    pub fn packed_u64s(&mut self) -> Result<Vec<u64>, CodecError> {
+        let len = self.varint_u64()?;
+        if len == 0 {
+            return Ok(Vec::new());
+        }
+        let min = self.varint_u64()?;
+        let width = self.u8()? as u32;
+        if width > 64 {
+            return Err(CodecError::Invalid {
+                what: "packed slice bit width above 64",
+            });
+        }
+        // Width 0 is the all-equal run: it carries no data bytes, so the
+        // byte-budget guard below cannot bound it — cap it explicitly.
+        if len > PACKED_MAX_RUN {
+            return Err(CodecError::Invalid {
+                what: "packed slice length above the decode cap",
+            });
+        }
+        let len = len as usize;
+        let data_bytes = ((len as u128 * width as u128).div_ceil(8)) as usize;
+        let data = self.take(data_bytes)?;
+        let mut out = Vec::with_capacity(len);
+        if width == 0 {
+            out.resize(len, min);
+            return Ok(out);
+        }
+        let mask = if width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        };
+        let mut acc: u128 = 0;
+        let mut nbits: u32 = 0;
+        let mut di = 0usize;
+        for _ in 0..len {
+            while nbits < width {
+                let b = *data.get(di).ok_or(CodecError::Invalid {
+                    what: "packed slice bit stream underrun",
+                })?;
+                acc |= (b as u128) << nbits;
+                di += 1;
+                nbits += 8;
+            }
+            let delta = (acc as u64) & mask;
+            acc >>= width;
+            nbits -= width;
+            let v = min.checked_add(delta).ok_or(CodecError::Invalid {
+                what: "packed slice value overflows u64",
+            })?;
+            out.push(v);
+        }
+        Ok(out)
+    }
+
+    /// Read a zigzag frame-of-reference packed `i64` slice written by
+    /// [`put_packed_i64s`].
+    pub fn packed_i64s(&mut self) -> Result<Vec<i64>, CodecError> {
+        Ok(self.packed_u64s()?.into_iter().map(zigzag_decode).collect())
+    }
+
+    /// Read a plain varint `u64` slice written by [`put_varint_u64s`]:
+    /// `varint len ‖ len varints`. The byte-aligned cousin of
+    /// [`Reader::packed_u64s`] for columns that take mid-stream
+    /// insertions (see the writer's docs).
+    pub fn varint_u64s(&mut self) -> Result<Vec<u64>, CodecError> {
+        let len = self.varint_len(1)?;
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(self.varint_u64()?);
+        }
+        Ok(out)
+    }
+
+    /// Read a strictly-increasing `u64` slice written by
+    /// [`put_packed_sorted_u64s`]: `varint len ‖ varint first ‖ varint
+    /// gaps`. Validates strict monotonicity (every gap ≥ 1, no
+    /// overflow), so decoded key columns are unique and sorted by
+    /// construction.
+    pub fn packed_sorted_u64s(&mut self) -> Result<Vec<u64>, CodecError> {
+        let len = self.varint_u64()?;
+        if len == 0 {
+            return Ok(Vec::new());
+        }
+        // Every gap costs at least one byte — the allocation guard.
+        if len - 1 > self.remaining() as u64 {
+            return Err(CodecError::Truncated {
+                needed: (len - 1) as usize,
+                available: self.remaining(),
+            });
+        }
+        let first = self.varint_u64()?;
+        let mut out = Vec::with_capacity(len as usize);
+        out.push(first);
+        let mut prev = first;
+        for _ in 1..len {
+            let g = self.varint_u64()?;
+            if g == 0 {
+                return Err(CodecError::Invalid {
+                    what: "sorted slice is not strictly increasing",
+                });
+            }
+            prev = prev.checked_add(g).ok_or(CodecError::Invalid {
+                what: "sorted slice value overflows u64",
+            })?;
+            out.push(prev);
+        }
+        Ok(out)
+    }
+}
+
+/// Hard cap on the element count a packed slice may claim (the width-0
+/// all-equal run carries no data bytes, so the usual bytes-remaining
+/// guard cannot bound its allocation). 2^27 matches the largest counter
+/// grid any in-tree constructor allows.
+pub const PACKED_MAX_RUN: u64 = 1 << 27;
+
+#[inline]
+fn zigzag_encode(x: i64) -> u64 {
+    ((x << 1) ^ (x >> 63)) as u64
+}
+
+#[inline]
+fn zigzag_decode(u: u64) -> i64 {
+    ((u >> 1) as i64) ^ -((u & 1) as i64)
 }
 
 /// Append a `u64` little-endian.
@@ -292,6 +542,115 @@ pub fn put_u64(out: &mut Vec<u8>, x: u64) {
 #[inline]
 pub fn put_len(out: &mut Vec<u8>, n: usize) {
     put_u64(out, n as u64);
+}
+
+/// Append a LEB128 varint `u64` (canonical: minimal length).
+#[inline]
+pub fn put_varint_u64(out: &mut Vec<u8>, mut x: u64) {
+    loop {
+        let b = (x & 0x7F) as u8;
+        x >>= 7;
+        if x == 0 {
+            out.push(b);
+            return;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+/// Append a zigzag-varint `i64`.
+#[inline]
+pub fn put_varint_i64(out: &mut Vec<u8>, x: i64) {
+    put_varint_u64(out, zigzag_encode(x));
+}
+
+/// Number of bits needed to represent `x` (0 for 0).
+#[inline]
+fn bits_for(x: u64) -> u32 {
+    64 - x.leading_zeros()
+}
+
+/// Append a frame-of-reference bit-packed `u64` slice:
+/// `varint len ‖ varint min ‖ u8 width ‖ ⌈len·width/8⌉ packed bytes`,
+/// with `width = bits(max − min)`. Deterministic (minimal width), so
+/// encode∘decode is the byte identity. An all-equal slice (width 0)
+/// costs a handful of bytes regardless of length.
+pub fn put_packed_u64s(out: &mut Vec<u8>, vals: &[u64]) {
+    put_varint_u64(out, vals.len() as u64);
+    if vals.is_empty() {
+        return;
+    }
+    let mut min = u64::MAX;
+    let mut max = 0u64;
+    for &v in vals {
+        min = min.min(v);
+        max = max.max(v);
+    }
+    let width = bits_for(max - min);
+    put_varint_u64(out, min);
+    out.push(width as u8);
+    if width == 0 {
+        return;
+    }
+    out.reserve(((vals.len() as u128 * width as u128).div_ceil(8)) as usize);
+    let mut acc: u128 = 0;
+    let mut nbits: u32 = 0;
+    for &v in vals {
+        acc |= ((v - min) as u128) << nbits;
+        nbits += width;
+        while nbits >= 8 {
+            out.push(acc as u8);
+            acc >>= 8;
+            nbits -= 8;
+        }
+    }
+    if nbits > 0 {
+        out.push(acc as u8);
+    }
+}
+
+/// Append a zigzag frame-of-reference packed `i64` slice (the counter
+/// grids of sign-based sketches).
+pub fn put_packed_i64s(out: &mut Vec<u8>, vals: &[i64]) {
+    // Zigzag first so mixed-sign counters land in a tight band around
+    // zero; FoR then squeezes the band.
+    let mapped: Vec<u64> = vals.iter().map(|&v| zigzag_encode(v)).collect();
+    put_packed_u64s(out, &mapped);
+}
+
+/// Append a `u64` slice as plain varints (`varint len ‖ len varints`) —
+/// the byte-aligned cousin of [`put_packed_u64s`] for the *value
+/// columns of growing maps*. FoR bit packing is a little denser, but a
+/// mid-stream insertion shifts everything after it by a sub-byte
+/// amount, which defeats the byte-level delta checkpoints; varints keep
+/// every element byte-aligned, so an insertion shifts the suffix by
+/// whole bytes and the rolling-hash diff still matches it.
+pub fn put_varint_u64s(out: &mut Vec<u8>, vals: &[u64]) {
+    put_varint_u64(out, vals.len() as u64);
+    for &v in vals {
+        put_varint_u64(out, v);
+    }
+}
+
+/// Append a strictly-increasing `u64` slice as first value + varint
+/// gaps — the key columns of sorted counter maps, where gaps are tiny
+/// compared to the raw 8-byte keys. Gaps are varints rather than FoR
+/// bit-packed for the same delta-friendliness reason as
+/// [`put_varint_u64s`]: key columns grow by insertion.
+///
+/// # Panics
+/// Debug-asserts strict monotonicity; release builds would produce a
+/// stream the (strict) decoder rejects.
+pub fn put_packed_sorted_u64s(out: &mut Vec<u8>, vals: &[u64]) {
+    put_varint_u64(out, vals.len() as u64);
+    if vals.is_empty() {
+        return;
+    }
+    put_varint_u64(out, vals[0]);
+    for w in vals.windows(2) {
+        debug_assert!(w[1] > w[0], "put_packed_sorted_u64s input not sorted");
+        put_varint_u64(out, w[1].wrapping_sub(w[0]));
+    }
 }
 
 /// A type with a versioned binary wire representation.
@@ -355,6 +714,9 @@ pub trait WireCodec: Sized {
 
     /// Decode a framed buffer, checking magic, version, tag, exact
     /// payload length and payload checksum before touching the payload.
+    /// Every version in `[WIRE_VERSION_MIN, WIRE_VERSION]` is accepted;
+    /// the header's version byte routes the payload (and every nested
+    /// section) to the matching layout.
     fn decode_framed(buf: &[u8]) -> Result<Self, CodecError> {
         let mut r = Reader::new(buf);
         let magic: [u8; 4] = r.take(4)?.try_into().expect("len 4");
@@ -362,12 +724,13 @@ pub trait WireCodec: Sized {
             return Err(CodecError::BadMagic { found: magic });
         }
         let version = r.u16()?;
-        if version != WIRE_VERSION {
+        if !(WIRE_VERSION_MIN..=WIRE_VERSION).contains(&version) {
             return Err(CodecError::UnsupportedVersion {
                 found: version,
                 supported: WIRE_VERSION,
             });
         }
+        r.version = version;
         let tag = r.u16()?;
         if tag != Self::WIRE_TAG {
             return Err(CodecError::TagMismatch {
@@ -422,8 +785,9 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
 /// (and enforce a payload cap) from trusted fields only.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FrameHeader {
-    /// Format version stamped in the frame (equals [`WIRE_VERSION`] —
-    /// other versions are rejected at parse time).
+    /// Format version stamped in the frame (within
+    /// `[WIRE_VERSION_MIN, WIRE_VERSION]` — anything else is rejected
+    /// at parse time).
     pub version: u16,
     /// The payload's type tag.
     pub tag: u16,
@@ -445,7 +809,7 @@ pub fn parse_frame_header(header: &[u8; FRAME_HEADER_BYTES]) -> Result<FrameHead
         return Err(CodecError::BadMagic { found: magic });
     }
     let version = r.u16()?;
-    if version != WIRE_VERSION {
+    if !(WIRE_VERSION_MIN..=WIRE_VERSION).contains(&version) {
         return Err(CodecError::UnsupportedVersion {
             found: version,
             supported: WIRE_VERSION,
@@ -820,6 +1184,242 @@ mod tests {
                 supported: WIRE_VERSION
             })
         );
+    }
+
+    #[test]
+    fn varints_roundtrip_canonically() {
+        let cases = [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        for &x in &cases {
+            let mut out = Vec::new();
+            put_varint_u64(&mut out, x);
+            assert!(out.len() <= 10);
+            let mut r = Reader::new(&out);
+            assert_eq!(r.varint_u64().unwrap(), x);
+            r.expect_empty().unwrap();
+        }
+        for &x in &[0i64, 1, -1, 63, -64, i64::MAX, i64::MIN, -1_000_000] {
+            let mut out = Vec::new();
+            put_varint_i64(&mut out, x);
+            let mut r = Reader::new(&out);
+            assert_eq!(r.varint_i64().unwrap(), x);
+        }
+    }
+
+    #[test]
+    fn corrupt_varints_are_typed_errors() {
+        // Truncated mid-continuation.
+        let mut r = Reader::new(&[0x80]);
+        assert!(matches!(r.varint_u64(), Err(CodecError::Truncated { .. })));
+        // Overlong: 0 encoded in two bytes.
+        let mut r = Reader::new(&[0x80, 0x00]);
+        assert_eq!(
+            r.varint_u64(),
+            Err(CodecError::Invalid {
+                what: "overlong varint encoding"
+            })
+        );
+        // Overlong: 1 encoded with a redundant continuation.
+        let mut r = Reader::new(&[0x81, 0x00]);
+        assert!(r.varint_u64().is_err());
+        // More than 64 bits: 10th byte above 1.
+        let mut bytes = vec![0xFF; 9];
+        bytes.push(0x02);
+        let mut r = Reader::new(&bytes);
+        assert_eq!(
+            r.varint_u64(),
+            Err(CodecError::Invalid {
+                what: "varint encodes more than 64 bits"
+            })
+        );
+        // 11-byte varint (never terminates in 10).
+        let mut r = Reader::new(&[0xFF; 11]);
+        assert!(r.varint_u64().is_err());
+        // u64::MAX is exactly 10 bytes with a final 0x01 — valid.
+        let mut out = Vec::new();
+        put_varint_u64(&mut out, u64::MAX);
+        assert_eq!(out.len(), 10);
+        assert_eq!(*out.last().unwrap(), 0x01);
+    }
+
+    #[test]
+    fn packed_slices_roundtrip() {
+        let cases: Vec<Vec<u64>> = vec![
+            vec![],
+            vec![0],
+            vec![7; 1000],                       // width-0 all-equal run
+            vec![0, 1, 2, 3, 4, 5, 6, 7],        // width 3
+            vec![1_000_000, 1_000_001, 999_999], // tight band, big offset
+            vec![0, u64::MAX],                   // full width
+            (0..257u64).map(|i| i * i).collect(),
+        ];
+        for vals in &cases {
+            let mut out = Vec::new();
+            put_packed_u64s(&mut out, vals);
+            let mut r = Reader::new(&out);
+            assert_eq!(&r.packed_u64s().unwrap(), vals);
+            r.expect_empty().unwrap();
+        }
+        let signed: Vec<Vec<i64>> = vec![
+            vec![],
+            vec![0; 500],
+            vec![-3, -2, -1, 0, 1, 2, 3],
+            vec![i64::MIN, i64::MAX, 0],
+            (-100..100).collect(),
+        ];
+        for vals in &signed {
+            let mut out = Vec::new();
+            put_packed_i64s(&mut out, vals);
+            let mut r = Reader::new(&out);
+            assert_eq!(&r.packed_i64s().unwrap(), vals);
+        }
+        // All-equal run is a handful of bytes regardless of length.
+        let mut out = Vec::new();
+        put_packed_u64s(&mut out, &vec![42u64; 100_000]);
+        assert!(out.len() < 16, "width-0 run took {} bytes", out.len());
+    }
+
+    #[test]
+    fn packed_sorted_roundtrips_and_rejects_disorder() {
+        let cases: Vec<Vec<u64>> = vec![
+            vec![],
+            vec![9],
+            vec![0, 1, 2, 3],
+            vec![5, 100, 101, 1 << 40, u64::MAX],
+            (0..1000u64).map(|i| i * 3 + 1).collect(),
+        ];
+        for vals in &cases {
+            let mut out = Vec::new();
+            put_packed_sorted_u64s(&mut out, vals);
+            let mut r = Reader::new(&out);
+            assert_eq!(&r.packed_sorted_u64s().unwrap(), vals);
+            r.expect_empty().unwrap();
+        }
+        // A zero gap (duplicate key) must be rejected.
+        let mut out = Vec::new();
+        put_varint_u64(&mut out, 3); // len
+        put_varint_u64(&mut out, 5); // first
+        put_varint_u64(&mut out, 1); // gap 1
+        put_varint_u64(&mut out, 0); // zero gap
+        let mut r = Reader::new(&out);
+        assert_eq!(
+            r.packed_sorted_u64s(),
+            Err(CodecError::Invalid {
+                what: "sorted slice is not strictly increasing"
+            })
+        );
+        // Overflowing accumulation must be rejected.
+        let mut out = Vec::new();
+        put_varint_u64(&mut out, 2);
+        put_varint_u64(&mut out, u64::MAX - 1);
+        put_varint_u64(&mut out, 5);
+        let mut r = Reader::new(&out);
+        assert!(r.packed_sorted_u64s().is_err());
+
+        // Varint value columns round-trip too.
+        let vals: Vec<u64> = (0..500u64).map(|i| i * 31 % 997).collect();
+        let mut out = Vec::new();
+        put_varint_u64s(&mut out, &vals);
+        let mut r = Reader::new(&out);
+        assert_eq!(r.varint_u64s().unwrap(), vals);
+        r.expect_empty().unwrap();
+    }
+
+    #[test]
+    fn packed_corruption_cannot_oom_or_panic() {
+        // Huge claimed length with width > 0: bounded by remaining bytes.
+        let mut out = Vec::new();
+        put_varint_u64(&mut out, 1 << 26);
+        put_varint_u64(&mut out, 0);
+        out.push(17); // width 17 bits
+        out.extend_from_slice(&[0u8; 32]);
+        let mut r = Reader::new(&out);
+        assert!(r.packed_u64s().is_err());
+        // Huge claimed length with width 0: bounded by PACKED_MAX_RUN.
+        let mut out = Vec::new();
+        put_varint_u64(&mut out, PACKED_MAX_RUN + 1);
+        put_varint_u64(&mut out, 0);
+        out.push(0);
+        let mut r = Reader::new(&out);
+        assert_eq!(
+            r.packed_u64s(),
+            Err(CodecError::Invalid {
+                what: "packed slice length above the decode cap"
+            })
+        );
+        // Width above 64.
+        let mut out = Vec::new();
+        put_varint_u64(&mut out, 2);
+        put_varint_u64(&mut out, 0);
+        out.push(65);
+        out.extend_from_slice(&[0u8; 32]);
+        let mut r = Reader::new(&out);
+        assert_eq!(
+            r.packed_u64s(),
+            Err(CodecError::Invalid {
+                what: "packed slice bit width above 64"
+            })
+        );
+        // min + delta overflowing u64.
+        let mut out = Vec::new();
+        put_varint_u64(&mut out, 1);
+        put_varint_u64(&mut out, u64::MAX);
+        out.push(1);
+        out.push(1); // delta 1 → u64::MAX + 1
+        let mut r = Reader::new(&out);
+        assert_eq!(
+            r.packed_u64s(),
+            Err(CodecError::Invalid {
+                what: "packed slice value overflows u64"
+            })
+        );
+        // Truncation anywhere inside a packed stream is typed.
+        let vals: Vec<u64> = (0..500u64).map(|i| i * 7).collect();
+        let mut out = Vec::new();
+        put_packed_u64s(&mut out, &vals);
+        for cut in 0..out.len() {
+            let mut r = Reader::new(&out[..cut]);
+            assert!(r.packed_u64s().is_err(), "cut at {cut} decoded");
+        }
+    }
+
+    #[test]
+    fn v1_frames_still_decode_and_route_the_reader_version() {
+        // Hand-build a version-1 frame for `Framed` and check it decodes
+        // under the v2 codec with the reader reporting version 1.
+        let payload = 123u64.encode();
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&WIRE_MAGIC);
+        frame.extend_from_slice(&1u16.to_le_bytes());
+        frame.extend_from_slice(&0x7777u16.to_le_bytes());
+        put_len(&mut frame, payload.len());
+        put_u64(&mut frame, fnv1a64(&payload));
+        frame.extend_from_slice(&payload);
+        assert_eq!(Framed::decode_framed(&frame).unwrap(), Framed(123));
+        let header: [u8; FRAME_HEADER_BYTES] = frame[..FRAME_HEADER_BYTES].try_into().unwrap();
+        assert_eq!(parse_frame_header(&header).unwrap().version, 1);
+        assert_eq!(peek_frame(&frame).unwrap().0, 1);
+        // A version outside [MIN, CURRENT] is rejected by both paths.
+        let mut bad = frame.clone();
+        bad[4] = 0x07;
+        assert!(matches!(
+            Framed::decode_framed(&bad),
+            Err(CodecError::UnsupportedVersion { found: 7, .. })
+        ));
+        let mut r = Reader::with_version(&payload, 1);
+        assert_eq!(r.version(), 1);
+        assert!(!r.v2());
+        assert_eq!(r.u64().unwrap(), 123);
     }
 
     #[test]

@@ -15,7 +15,9 @@
 //!   sampling; the correct scaling (Algorithm 2) is `1/√p`-bounded error,
 //!   and E11 shows where `1/p` lands instead.
 
-use sss_codec::{put_len, CodecError, Reader, WireCodec};
+use sss_codec::{
+    put_packed_sorted_u64s, put_varint_u64, put_varint_u64s, CodecError, Reader, WireCodec,
+};
 use sss_hash::{fp_hash_map, FpHashMap};
 use sss_sketch::ams::AmsF2;
 use sss_sketch::kmv::MedianF0;
@@ -344,16 +346,15 @@ impl WireCodec for NaiveScaledFk {
     const WIRE_TAG: u16 = 0x0408;
 
     fn encode_into(&self, out: &mut Vec<u8>) {
+        // v2 layout: columnar frequency map, same shape as
+        // `ExactCollisions`.
         self.k.encode_into(out);
         self.p.encode_into(out);
-        self.n_sampled.encode_into(out);
+        put_varint_u64(out, self.n_sampled);
         let mut rows: Vec<(u64, u64)> = self.freqs.iter().map(|(&i, &g)| (i, g)).collect();
         rows.sort_unstable();
-        put_len(out, rows.len());
-        for (i, g) in rows {
-            i.encode_into(out);
-            g.encode_into(out);
-        }
+        put_packed_sorted_u64s(out, &rows.iter().map(|&(i, _)| i).collect::<Vec<_>>());
+        put_varint_u64s(out, &rows.iter().map(|&(_, g)| g).collect::<Vec<_>>());
     }
 
     fn decode(r: &mut Reader) -> Result<Self, CodecError> {
@@ -364,12 +365,28 @@ impl WireCodec for NaiveScaledFk {
             });
         }
         let p = crate::f0::decode_rate(r)?;
-        let n_sampled = r.u64()?;
-        let len = r.len_prefix(16)?;
+        let (n_sampled, rows);
+        if r.v2() {
+            n_sampled = r.varint_u64()?;
+            let items = r.packed_sorted_u64s()?;
+            let gs = r.varint_u64s()?;
+            if gs.len() != items.len() {
+                return Err(CodecError::Invalid {
+                    what: "NaiveScaledFk column length mismatch",
+                });
+            }
+            rows = items.into_iter().zip(gs).collect::<Vec<_>>();
+        } else {
+            n_sampled = r.u64()?;
+            let len = r.len_prefix(16)?;
+            let mut v = Vec::with_capacity(len);
+            for _ in 0..len {
+                v.push((r.u64()?, r.u64()?));
+            }
+            rows = v;
+        }
         let mut freqs = fp_hash_map();
-        for _ in 0..len {
-            let item = r.u64()?;
-            let g = r.u64()?;
+        for (item, g) in rows {
             if g == 0 || freqs.insert(item, g).is_some() {
                 return Err(CodecError::Invalid {
                     what: "NaiveScaledFk frequency row invalid",

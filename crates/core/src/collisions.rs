@@ -11,7 +11,9 @@
 //!   `Õ(p⁻¹m^{1−2/k})` space; adds the sketching error (events `E²_ℓ`,
 //!   Lemmas 6–7).
 
-use sss_codec::{put_len, CodecError, Reader, WireCodec};
+use sss_codec::{
+    put_packed_sorted_u64s, put_varint_u64, put_varint_u64s, CodecError, Reader, WireCodec,
+};
 use sss_hash::{fp_hash_map, FpHashMap};
 use sss_sketch::levelset::{LevelSetConfig, LevelSetEstimator};
 
@@ -170,31 +172,47 @@ impl WireCodec for ExactCollisions {
     const WIRE_TAG: u16 = 0x040B;
 
     fn encode_into(&self, out: &mut Vec<u8>) {
+        // v2 layout: the frequency map — the O(F_0(L)) bulk of Algorithm
+        // 1's state — ships columnar: sorted-delta item ids + FoR-packed
+        // sampled counts. The collision accumulators stay raw f64.
         self.c.encode_into(out);
-        self.n.encode_into(out);
+        put_varint_u64(out, self.n);
         let mut rows: Vec<(u64, u64)> = self.freqs.iter().map(|(&i, &g)| (i, g)).collect();
         rows.sort_unstable();
-        put_len(out, rows.len());
-        for (i, g) in rows {
-            i.encode_into(out);
-            g.encode_into(out);
-        }
+        put_packed_sorted_u64s(out, &rows.iter().map(|&(i, _)| i).collect::<Vec<_>>());
+        put_varint_u64s(out, &rows.iter().map(|&(_, g)| g).collect::<Vec<_>>());
     }
 
     fn decode(r: &mut Reader) -> Result<Self, CodecError> {
         let c: Vec<f64> = Vec::decode(r)?;
-        let n = r.u64()?;
         if c.len() < 2 {
             return Err(CodecError::Invalid {
                 what: "ExactCollisions accumulator shorter than [unused, C_1]",
             });
         }
-        let len = r.len_prefix(16)?;
+        let (n, rows);
+        if r.v2() {
+            n = r.varint_u64()?;
+            let items = r.packed_sorted_u64s()?;
+            let gs = r.varint_u64s()?;
+            if gs.len() != items.len() {
+                return Err(CodecError::Invalid {
+                    what: "ExactCollisions column length mismatch",
+                });
+            }
+            rows = items.into_iter().zip(gs).collect::<Vec<_>>();
+        } else {
+            n = r.u64()?;
+            let len = r.len_prefix(16)?;
+            let mut v = Vec::with_capacity(len);
+            for _ in 0..len {
+                v.push((r.u64()?, r.u64()?));
+            }
+            rows = v;
+        }
         let mut freqs = fp_hash_map();
         let mut total: u64 = 0;
-        for _ in 0..len {
-            let item = r.u64()?;
-            let g = r.u64()?;
+        for (item, g) in rows {
             if g == 0 || freqs.insert(item, g).is_some() {
                 return Err(CodecError::Invalid {
                     what: "ExactCollisions frequency row invalid",

@@ -47,6 +47,7 @@
 pub mod adaptive;
 pub mod baselines;
 pub mod collisions;
+pub mod delta;
 pub mod entropy;
 pub mod estimate;
 pub mod f0;
@@ -62,6 +63,7 @@ pub mod stirling;
 pub use adaptive::{AdaptiveF2Estimator, TargetCollisionsPolicy};
 pub use baselines::{NaiveScaledF0, NaiveScaledFk, RusuDobraF2};
 pub use collisions::{CollisionOracle, ExactCollisions, LevelSetCollisions};
+pub use delta::{apply_snapshot_delta, snapshot_delta, SnapshotDelta};
 pub use entropy::SampledEntropyEstimator;
 pub use estimate::{
     rates_compatible, Estimate, Guarantee, MergeError, Statistic, SubsampledEstimator,

@@ -585,7 +585,10 @@ impl WireCodec for Monitor {
             }
             let tag = r.u16()?;
             let len = r.len_prefix(1)?;
-            let mut section = Reader::new(r.take(len)?);
+            // The section reader inherits the frame's format version so
+            // nested estimator payloads decode under the layout the
+            // envelope announced.
+            let mut section = Reader::with_version(r.take(len)?, r.version());
             let est = decode_estimator(tag, &mut section)?;
             section.expect_empty()?;
             entries.push(Entry { label, est });

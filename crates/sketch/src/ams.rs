@@ -10,7 +10,7 @@
 //! estimate `F_2` of the sampled stream, then invert
 //! `E[F_2(L)] = p²F_2(P) + p(1−p)F_1(P)`.
 
-use sss_codec::{CodecError, Reader, WireCodec};
+use sss_codec::{put_packed_i64s, put_varint_u64, CodecError, Reader, WireCodec};
 use sss_hash::{FourWiseSign, SplitMix64};
 
 /// AMS `F_2` estimator: `groups × copies` atomic counters.
@@ -21,6 +21,13 @@ pub struct AmsF2 {
     z: Vec<i64>,
     signs: Vec<FourWiseSign>,
     total: u64,
+    /// The construction seed the sign family was derived from, when
+    /// known. Snapshots then ship 8 bytes and regenerate the signs on
+    /// decode (each sign is a 40-byte degree-3 polynomial — shipping
+    /// them verbatim is what made the Rusu–Dobra wire image ~6× its
+    /// in-memory state). `None` only for states decoded from version-1
+    /// frames, which carried the signs explicitly and keep doing so.
+    seed: Option<u64>,
 }
 
 impl AmsF2 {
@@ -34,6 +41,7 @@ impl AmsF2 {
             z: vec![0; n],
             signs: (0..n).map(|_| FourWiseSign::new(sm.derive())).collect(),
             total: 0,
+            seed: Some(seed),
         }
     }
 
@@ -134,17 +142,66 @@ impl WireCodec for AmsF2 {
     const WIRE_TAG: u16 = 0x0203;
 
     fn encode_into(&self, out: &mut Vec<u8>) {
-        self.copies.encode_into(out);
-        self.z.encode_into(out);
-        self.signs.encode_into(out);
-        self.total.encode_into(out);
+        // v2 layout: `copies ‖ total ‖ packed z ‖ sign source`. When the
+        // construction seed is known (every live constructor path) the
+        // sign family ships as that one seed and is re-derived on decode
+        // exactly as `new` derives it — bit-identical coefficients, so
+        // merge compatibility and continued ingestion are unchanged.
+        put_varint_u64(out, self.copies as u64);
+        put_varint_u64(out, self.total);
+        put_packed_i64s(out, &self.z);
+        match self.seed {
+            Some(seed) => {
+                out.push(0);
+                seed.encode_into(out);
+            }
+            None => {
+                out.push(1);
+                self.signs.encode_into(out);
+            }
+        }
     }
 
     fn decode(r: &mut Reader) -> Result<Self, CodecError> {
-        let copies = usize::decode(r)?;
-        let z: Vec<i64> = Vec::decode(r)?;
-        let signs: Vec<FourWiseSign> = Vec::decode(r)?;
-        let total = r.u64()?;
+        let (copies, z, signs, total, seed);
+        if r.v2() {
+            copies = r.varint_u64()? as usize;
+            total = r.varint_u64()?;
+            z = r.packed_i64s()?;
+            match r.u8()? {
+                0 => {
+                    // Regenerating one 40-byte polynomial per counter
+                    // from a few wire bytes needs its own allocation
+                    // guard; 2^22 matches the constructor's safety cap.
+                    if z.len() > (1 << 22) {
+                        return Err(CodecError::Invalid {
+                            what: "AmsF2 counter count above the 2^22 safety cap",
+                        });
+                    }
+                    let s = r.u64()?;
+                    let mut sm = SplitMix64::new(s);
+                    signs = (0..z.len())
+                        .map(|_| FourWiseSign::new(sm.derive()))
+                        .collect();
+                    seed = Some(s);
+                }
+                1 => {
+                    signs = Vec::<FourWiseSign>::decode(r)?;
+                    seed = None;
+                }
+                _ => {
+                    return Err(CodecError::Invalid {
+                        what: "AmsF2 sign-source byte not 0/1",
+                    })
+                }
+            }
+        } else {
+            copies = usize::decode(r)?;
+            z = Vec::<i64>::decode(r)?;
+            signs = Vec::<FourWiseSign>::decode(r)?;
+            total = r.u64()?;
+            seed = None;
+        }
         if copies == 0 || z.is_empty() {
             return Err(CodecError::Invalid {
                 what: "AmsF2 empty dimensions",
@@ -160,6 +217,7 @@ impl WireCodec for AmsF2 {
             z,
             signs,
             total,
+            seed,
         })
     }
 }

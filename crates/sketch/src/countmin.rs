@@ -11,7 +11,7 @@
 //! stream. Rows use independent 2-wise polynomial hash functions, which the
 //! original analysis requires.
 
-use sss_codec::{CodecError, Reader, WireCodec};
+use sss_codec::{put_packed_u64s, put_varint_u64, CodecError, Reader, WireCodec};
 use sss_hash::{PairwiseHash, SplitMix64};
 
 /// CountMin sketch over `u64` items with `u64` counts.
@@ -150,21 +150,33 @@ impl CountMin {
 
 impl WireCodec for CountMin {
     const WIRE_TAG: u16 = 0x0204;
+    const MIN_WIRE_BYTES: usize = 8;
 
     fn encode_into(&self, out: &mut Vec<u8>) {
-        self.width.encode_into(out);
-        self.counters.encode_into(out);
+        // v2 layout: the counter grid (the dominant section — counts are
+        // tiny next to their fixed 8-byte v1 cells) ships FoR-packed.
+        put_varint_u64(out, self.width as u64);
+        put_packed_u64s(out, &self.counters);
         self.hashes.encode_into(out);
-        self.total.encode_into(out);
+        put_varint_u64(out, self.total);
         self.conservative.encode_into(out);
     }
 
     fn decode(r: &mut Reader) -> Result<Self, CodecError> {
-        let width = usize::decode(r)?;
-        let counters: Vec<u64> = Vec::decode(r)?;
-        let hashes: Vec<PairwiseHash> = Vec::decode(r)?;
-        let total = r.u64()?;
-        let conservative = r.bool()?;
+        let (width, counters, hashes, total, conservative);
+        if r.v2() {
+            width = r.varint_u64()? as usize;
+            counters = r.packed_u64s()?;
+            hashes = Vec::<PairwiseHash>::decode(r)?;
+            total = r.varint_u64()?;
+            conservative = r.bool()?;
+        } else {
+            width = usize::decode(r)?;
+            counters = Vec::<u64>::decode(r)?;
+            hashes = Vec::<PairwiseHash>::decode(r)?;
+            total = r.u64()?;
+            conservative = r.bool()?;
+        }
         if width == 0
             || hashes.is_empty()
             || width.checked_mul(hashes.len()) != Some(counters.len())

@@ -14,7 +14,7 @@
 //! "fast AMS" view of CountSketch) — used both by the `F_2` heavy-hitter
 //! threshold and the level-set bucket selection.
 
-use sss_codec::{CodecError, Reader, WireCodec};
+use sss_codec::{put_packed_i64s, put_varint_u64, CodecError, Reader, WireCodec};
 use sss_hash::{FourWiseSign, PairwiseHash, SplitMix64};
 
 /// CountSketch over `u64` items with `i64` counters.
@@ -167,20 +167,32 @@ impl WireCodec for CountSketch {
     fn encode_into(&self, out: &mut Vec<u8>) {
         // `row_sumsq` is derived state: recomputed on decode (exact
         // integer arithmetic, so it matches the incremental values
-        // bit for bit) rather than trusted from the wire.
-        self.width.encode_into(out);
-        self.counters.encode_into(out);
+        // bit for bit) rather than trusted from the wire. v2 ships the
+        // counter grid zigzag + FoR bit-packed — signed cell values sit
+        // in a narrow band around zero, so this is where the multi-MiB
+        // F2 heavy-hitter snapshots collapse.
+        put_varint_u64(out, self.width as u64);
+        put_packed_i64s(out, &self.counters);
         self.bucket_hashes.encode_into(out);
         self.sign_hashes.encode_into(out);
-        self.total.encode_into(out);
+        put_varint_u64(out, self.total);
     }
 
     fn decode(r: &mut Reader) -> Result<Self, CodecError> {
-        let width = usize::decode(r)?;
-        let counters: Vec<i64> = Vec::decode(r)?;
-        let bucket_hashes: Vec<PairwiseHash> = Vec::decode(r)?;
-        let sign_hashes: Vec<FourWiseSign> = Vec::decode(r)?;
-        let total = r.u64()?;
+        let (width, counters, bucket_hashes, sign_hashes, total);
+        if r.v2() {
+            width = r.varint_u64()? as usize;
+            counters = r.packed_i64s()?;
+            bucket_hashes = Vec::<PairwiseHash>::decode(r)?;
+            sign_hashes = Vec::<FourWiseSign>::decode(r)?;
+            total = r.varint_u64()?;
+        } else {
+            width = usize::decode(r)?;
+            counters = Vec::<i64>::decode(r)?;
+            bucket_hashes = Vec::<PairwiseHash>::decode(r)?;
+            sign_hashes = Vec::<FourWiseSign>::decode(r)?;
+            total = r.u64()?;
+        }
         let depth = bucket_hashes.len();
         if width == 0
             || depth == 0

@@ -10,7 +10,7 @@
 
 use std::collections::BTreeSet;
 
-use sss_codec::{put_len, CodecError, Reader, WireCodec};
+use sss_codec::{put_packed_sorted_u64s, put_varint_u64, CodecError, Reader, WireCodec};
 use sss_hash::{PairwiseHash, SplitMix64};
 
 /// Bottom-k distinct sketch.
@@ -228,36 +228,57 @@ impl MedianF0 {
 
 impl WireCodec for KmvSketch {
     const WIRE_TAG: u16 = 0x0201;
-    // k ‖ PairwiseHash (len + 2 coeffs) ‖ smallest len — bounds the
-    // pre-allocation a corrupt Vec<KmvSketch> length can request.
-    const MIN_WIRE_BYTES: usize = 40;
+    // varint k ‖ PairwiseHash (len + 2 coeffs) ‖ packed-slice header —
+    // the v2 lower bound, bounding the pre-allocation a corrupt
+    // Vec<KmvSketch> length can request.
+    const MIN_WIRE_BYTES: usize = 16;
 
     fn encode_into(&self, out: &mut Vec<u8>) {
-        self.k.encode_into(out);
+        // v2 layout: the bottom-k values are the k smallest of a
+        // uniform hash image, i.e. a strictly-increasing sequence with
+        // small gaps — sorted-delta packing beats 8 bytes per value.
+        put_varint_u64(out, self.k as u64);
         self.hash.encode_into(out);
-        put_len(out, self.smallest.len());
-        for &h in &self.smallest {
-            h.encode_into(out);
-        }
+        let vals: Vec<u64> = self.smallest.iter().copied().collect();
+        put_packed_sorted_u64s(out, &vals);
     }
 
     fn decode(r: &mut Reader) -> Result<Self, CodecError> {
-        let k = usize::decode(r)?;
-        if k < 3 {
-            return Err(CodecError::Invalid {
-                what: "KmvSketch k < 3",
-            });
+        let (k, hash, vals);
+        if r.v2() {
+            k = r.varint_u64()? as usize;
+            if k < 3 {
+                return Err(CodecError::Invalid {
+                    what: "KmvSketch k < 3",
+                });
+            }
+            hash = PairwiseHash::decode(r)?;
+            // Strict monotonicity is enforced by the decoder, so the
+            // values are unique by construction.
+            vals = r.packed_sorted_u64s()?;
+        } else {
+            k = usize::decode(r)?;
+            if k < 3 {
+                return Err(CodecError::Invalid {
+                    what: "KmvSketch k < 3",
+                });
+            }
+            hash = PairwiseHash::decode(r)?;
+            let len = r.len_prefix(8)?;
+            let mut v = Vec::with_capacity(len);
+            for _ in 0..len {
+                v.push(r.u64()?);
+            }
+            vals = v;
         }
-        let hash = PairwiseHash::decode(r)?;
-        let len = r.len_prefix(8)?;
-        if len > k {
+        if vals.len() > k {
             return Err(CodecError::Invalid {
                 what: "KmvSketch holds more than k values",
             });
         }
         let mut smallest = BTreeSet::new();
-        for _ in 0..len {
-            if !smallest.insert(r.u64()?) {
+        for h in vals {
+            if !smallest.insert(h) {
                 return Err(CodecError::Invalid {
                     what: "KmvSketch duplicate hash value",
                 });

@@ -30,7 +30,7 @@
 //! degenerate `η ≈ 0` corner (Lemma 6); we draw `η ∈ [1/2, 1)`, which is
 //! that same conditioning realised at construction time.
 
-use sss_codec::{CodecError, Reader, WireCodec};
+use sss_codec::{put_varint_u64, CodecError, Reader, WireCodec};
 use sss_hash::{PairwiseHash, RngCore64, SplitMix64};
 
 use crate::countsketch::CountSketch;
@@ -305,22 +305,24 @@ impl LevelSetEstimator {
 }
 
 impl WireCodec for Level {
-    // CountSketch minimum (width + 3 section lengths + total) +
-    // TopKTracker minimum (cap + len) + updates — bounds the
-    // pre-allocation a corrupt Vec<Level> length can request.
-    const MIN_WIRE_BYTES: usize = 64;
+    // The v2 lower bound: varint-headed CountSketch + TopKTracker +
+    // updates — bounds the pre-allocation a corrupt Vec<Level> length
+    // can request (a valid v2 level can be far smaller than its v1
+    // fixed-width image, so the old 64-byte floor would reject honest
+    // frames).
+    const MIN_WIRE_BYTES: usize = 8;
 
     fn encode_into(&self, out: &mut Vec<u8>) {
         self.cs.encode_into(out);
         self.tracker.encode_into(out);
-        self.updates.encode_into(out);
+        put_varint_u64(out, self.updates);
     }
 
     fn decode(r: &mut Reader) -> Result<Self, CodecError> {
         Ok(Level {
             cs: CountSketch::decode(r)?,
             tracker: TopKTracker::decode(r)?,
-            updates: r.u64()?,
+            updates: if r.v2() { r.varint_u64()? } else { r.u64()? },
         })
     }
 }

@@ -6,7 +6,9 @@
 //! insert-only alternative to CountMin for `F_1` heavy hitters (§6); it is
 //! also the dominant-element detector inside the entropy estimator.
 
-use sss_codec::{put_len, CodecError, Reader, WireCodec};
+use sss_codec::{
+    put_packed_sorted_u64s, put_varint_u64, put_varint_u64s, CodecError, Reader, WireCodec,
+};
 use sss_hash::{fp_hash_map, FpHashMap};
 
 /// Misra–Gries summary with `k` counters.
@@ -107,36 +109,60 @@ impl WireCodec for MisraGries {
     const WIRE_TAG: u16 = 0x0206;
 
     fn encode_into(&self, out: &mut Vec<u8>) {
-        self.k.encode_into(out);
-        self.n.encode_into(out);
-        // Deterministic order: sorted by item id.
+        // v2 layout: columnar — sorted-delta-packed item ids, then the
+        // FoR-packed count column (deterministic order: sorted by id).
+        put_varint_u64(out, self.k as u64);
+        put_varint_u64(out, self.n);
         let mut rows: Vec<(u64, u64)> = self.counters.iter().map(|(&i, &c)| (i, c)).collect();
         rows.sort_unstable();
-        put_len(out, rows.len());
-        for (i, c) in rows {
-            i.encode_into(out);
-            c.encode_into(out);
-        }
+        let items: Vec<u64> = rows.iter().map(|&(i, _)| i).collect();
+        let counts: Vec<u64> = rows.iter().map(|&(_, c)| c).collect();
+        put_packed_sorted_u64s(out, &items);
+        put_varint_u64s(out, &counts);
     }
 
     fn decode(r: &mut Reader) -> Result<Self, CodecError> {
-        let k = usize::decode(r)?;
-        let n = r.u64()?;
-        if k == 0 {
-            return Err(CodecError::Invalid {
-                what: "MisraGries k == 0",
-            });
+        let (k, n, items, counts);
+        if r.v2() {
+            k = r.varint_u64()? as usize;
+            n = r.varint_u64()?;
+            if k == 0 {
+                return Err(CodecError::Invalid {
+                    what: "MisraGries k == 0",
+                });
+            }
+            items = r.packed_sorted_u64s()?;
+            counts = r.varint_u64s()?;
+            if counts.len() != items.len() {
+                return Err(CodecError::Invalid {
+                    what: "MisraGries count column length mismatch",
+                });
+            }
+        } else {
+            k = usize::decode(r)?;
+            n = r.u64()?;
+            if k == 0 {
+                return Err(CodecError::Invalid {
+                    what: "MisraGries k == 0",
+                });
+            }
+            let len = r.len_prefix(16)?;
+            let mut is = Vec::with_capacity(len);
+            let mut cs = Vec::with_capacity(len);
+            for _ in 0..len {
+                is.push(r.u64()?);
+                cs.push(r.u64()?);
+            }
+            items = is;
+            counts = cs;
         }
-        let len = r.len_prefix(16)?;
-        if len > k {
+        if items.len() > k {
             return Err(CodecError::Invalid {
                 what: "MisraGries holds more than k counters",
             });
         }
         let mut counters = fp_hash_map();
-        for _ in 0..len {
-            let item = r.u64()?;
-            let count = r.u64()?;
+        for (item, count) in items.into_iter().zip(counts) {
             if count == 0 {
                 return Err(CodecError::Invalid {
                     what: "MisraGries zero counter",

@@ -9,7 +9,9 @@
 
 use std::collections::BTreeSet;
 
-use sss_codec::{put_len, CodecError, Reader, WireCodec};
+use sss_codec::{
+    put_packed_sorted_u64s, put_varint_u64, put_varint_u64s, CodecError, Reader, WireCodec,
+};
 use sss_hash::{fp_hash_map, FpHashMap};
 
 /// SpaceSaving summary with `k` counters.
@@ -137,40 +139,69 @@ impl WireCodec for SpaceSaving {
     const WIRE_TAG: u16 = 0x0207;
 
     fn encode_into(&self, out: &mut Vec<u8>) {
-        // `by_count` is derived (count, item) ordering — rebuilt on decode.
-        self.k.encode_into(out);
-        self.n.encode_into(out);
+        // `by_count` is derived (count, item) ordering — rebuilt on
+        // decode. v2 layout: columnar — sorted-delta-packed item ids,
+        // FoR-packed count and error columns.
+        put_varint_u64(out, self.k as u64);
+        put_varint_u64(out, self.n);
         let mut rows: Vec<(u64, u64, u64)> =
             self.table.iter().map(|(&i, &(c, e))| (i, c, e)).collect();
         rows.sort_unstable();
-        put_len(out, rows.len());
-        for (i, c, e) in rows {
-            i.encode_into(out);
-            c.encode_into(out);
-            e.encode_into(out);
-        }
+        let items: Vec<u64> = rows.iter().map(|&(i, _, _)| i).collect();
+        let counts: Vec<u64> = rows.iter().map(|&(_, c, _)| c).collect();
+        let errs: Vec<u64> = rows.iter().map(|&(_, _, e)| e).collect();
+        put_packed_sorted_u64s(out, &items);
+        put_varint_u64s(out, &counts);
+        put_varint_u64s(out, &errs);
     }
 
     fn decode(r: &mut Reader) -> Result<Self, CodecError> {
-        let k = usize::decode(r)?;
-        let n = r.u64()?;
-        if k == 0 {
-            return Err(CodecError::Invalid {
-                what: "SpaceSaving k == 0",
-            });
+        let (k, n, rows);
+        if r.v2() {
+            k = r.varint_u64()? as usize;
+            n = r.varint_u64()?;
+            if k == 0 {
+                return Err(CodecError::Invalid {
+                    what: "SpaceSaving k == 0",
+                });
+            }
+            let items = r.packed_sorted_u64s()?;
+            let counts = r.varint_u64s()?;
+            let errs = r.varint_u64s()?;
+            if counts.len() != items.len() || errs.len() != items.len() {
+                return Err(CodecError::Invalid {
+                    what: "SpaceSaving column length mismatch",
+                });
+            }
+            rows = items
+                .into_iter()
+                .zip(counts)
+                .zip(errs)
+                .map(|((i, c), e)| (i, c, e))
+                .collect::<Vec<_>>();
+        } else {
+            k = usize::decode(r)?;
+            n = r.u64()?;
+            if k == 0 {
+                return Err(CodecError::Invalid {
+                    what: "SpaceSaving k == 0",
+                });
+            }
+            let len = r.len_prefix(24)?;
+            let mut v = Vec::with_capacity(len);
+            for _ in 0..len {
+                v.push((r.u64()?, r.u64()?, r.u64()?));
+            }
+            rows = v;
         }
-        let len = r.len_prefix(24)?;
-        if len > k {
+        if rows.len() > k {
             return Err(CodecError::Invalid {
                 what: "SpaceSaving holds more than k counters",
             });
         }
         let mut table = fp_hash_map();
         let mut by_count = BTreeSet::new();
-        for _ in 0..len {
-            let item = r.u64()?;
-            let count = r.u64()?;
-            let err = r.u64()?;
+        for (item, count, err) in rows {
             if count == 0 || err >= count {
                 return Err(CodecError::Invalid {
                     what: "SpaceSaving counter not above its error",

@@ -15,11 +15,12 @@ use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use sss_codec::WireCodec;
-use sss_core::Monitor;
+use sss_core::{snapshot_delta, Monitor};
 
 use crate::proto::{
     encode_push_frame, read_frame, write_frame, AckStatus, Goodbye, Hello, HelloAck, SnapshotAck,
-    TAG_HELLO_ACK, TAG_SNAPSHOT_ACK, TRANSPORT_PROTO_VERSION,
+    SnapshotDeltaPush, FEATURE_DELTA_PUSH, TAG_HELLO_ACK, TAG_SNAPSHOT_ACK,
+    TRANSPORT_PROTO_VERSION,
 };
 use crate::TransportError;
 
@@ -62,6 +63,13 @@ pub struct ClientConfig {
     /// Payload cap on frames read back (acks are tiny; the cap only
     /// guards against a confused peer). Default 1 MiB.
     pub max_frame_payload: usize,
+    /// Offer delta pushes in the hello and, when the collector grants
+    /// them, ship each snapshot as a byte diff against the last one the
+    /// collector accepted (falling back to a full push transparently
+    /// when the collector's base moved, or when the diff would not be
+    /// smaller). Costs retaining one snapshot buffer client-side.
+    /// Default true.
+    pub delta_pushes: bool,
 }
 
 impl ClientConfig {
@@ -74,6 +82,7 @@ impl ClientConfig {
             ack_timeout: Duration::from_secs(10),
             connect_timeout: Duration::from_secs(5),
             max_frame_payload: 1 << 20,
+            delta_pushes: true,
         }
     }
 }
@@ -86,6 +95,12 @@ pub struct ClientStats {
     /// Pushes answered `Duplicate` (the retry raced a lost ack; the
     /// collector already had the snapshot).
     pub snapshots_duplicate: u64,
+    /// Snapshots that travelled as delta pushes (subset of
+    /// `snapshots_pushed`).
+    pub snapshots_delta: u64,
+    /// Delta pushes the collector answered `RejectedUnknownBase`,
+    /// transparently re-sent as full pushes with the same sequence.
+    pub delta_fallbacks: u64,
     /// Frame bytes written (pushes only, including re-sends).
     pub bytes_out: u64,
     /// Successful handshakes after the first (reconnects).
@@ -125,6 +140,19 @@ pub struct SiteClient {
     handshakes: u64,
     next_seq: u64,
     stats: ClientStats,
+    /// Whether the current connection's hello ack granted delta pushes.
+    delta_enabled: bool,
+    /// The last snapshot the collector accepted (sequence + bytes) —
+    /// the base the next push is diffed against.
+    acked: Option<(u64, Vec<u8>)>,
+}
+
+/// What one push round trip concluded (internal: the public outcome
+/// collapses `UnknownBase`, which triggers the full-push fallback).
+enum AckOutcome {
+    Accepted,
+    Duplicate,
+    UnknownBase,
 }
 
 impl SiteClient {
@@ -141,6 +169,8 @@ impl SiteClient {
             handshakes: 0,
             next_seq: 0,
             stats: ClientStats::default(),
+            delta_enabled: false,
+            acked: None,
         };
         client.with_retries(|c| {
             c.ensure_connected()?;
@@ -176,6 +206,13 @@ impl SiteClient {
     /// acks, retrying through disconnects with the same sequence number
     /// so delivery is exactly-once from the collector's point of view.
     ///
+    /// When the hello negotiated delta pushes and a previous snapshot
+    /// from this client was accepted, the snapshot travels as a byte
+    /// diff against it whenever the diff is smaller; a collector whose
+    /// retained base moved answers `RejectedUnknownBase` and the client
+    /// transparently re-sends the *full* snapshot with the same
+    /// sequence number — delivery semantics are identical either way.
+    ///
     /// # Errors
     /// [`TransportError::Rejected`] if the collector NACKed the
     /// snapshot (re-sending identical bytes cannot succeed — the
@@ -184,30 +221,88 @@ impl SiteClient {
     /// without an ack.
     pub fn push_wire(&mut self, snapshot: Vec<u8>) -> Result<PushOutcome, TransportError> {
         let site_id = self.cfg.site_id;
+        // Diff against the last landed snapshot up front (the diff is
+        // pure CPU — no reason to redo it per retry). Kept only when it
+        // actually beats the full payload.
+        let delta: Option<(u64, Vec<u8>)> = if self.cfg.delta_pushes {
+            self.acked.as_ref().and_then(|(base_seq, base)| {
+                let d = snapshot_delta(base, &snapshot);
+                (d.len() < snapshot.len()).then_some((*base_seq, d))
+            })
+        } else {
+            None
+        };
+
         // The sequence is captured on the first attempt (after any
-        // initial reconnect) and every retry re-sends it unchanged —
-        // the documented same-seq rule. If a mid-push reconnect's
-        // hello ack fast-forwards `next_seq` *past* the in-flight
-        // sequence, the collector already accepted it and only the ack
-        // was lost: resolve locally as `Duplicate` instead of
-        // renumbering, which would double-count the snapshot in the
-        // collector's accept stats.
+        // initial reconnect) and every retry — and the unknown-base
+        // fallback — re-sends it unchanged: the documented same-seq
+        // rule. If a mid-push reconnect's hello ack fast-forwards
+        // `next_seq` *past* the in-flight sequence, the collector
+        // already accepted it and only the ack was lost: resolve
+        // locally as `Duplicate` instead of renumbering, which would
+        // double-count the snapshot in the collector's accept stats.
         let mut pushing: Option<u64> = None;
-        let mut frame: Option<Vec<u8>> = None;
-        let (seq, outcome) = self.with_retries(|c| {
-            c.ensure_connected()?;
-            let seq = *pushing.get_or_insert(c.next_seq);
-            if c.next_seq > seq {
-                return Ok((seq, PushOutcome::Duplicate));
+        let mut full_frame: Option<Vec<u8>> = None;
+        let mut delta_frame: Option<Vec<u8>> = None;
+        let mut attempt_delta = delta.is_some();
+        let (seq, outcome, was_delta) = loop {
+            let mut sent_delta = false;
+            let (seq, outcome) = self.with_retries(|c| {
+                c.ensure_connected()?;
+                let seq = *pushing.get_or_insert(c.next_seq);
+                if c.next_seq > seq {
+                    return Ok((seq, AckOutcome::Duplicate));
+                }
+                let frame = if attempt_delta && c.delta_enabled {
+                    sent_delta = true;
+                    let (base_seq, d) = delta.as_ref().expect("attempt_delta implies delta");
+                    delta_frame.get_or_insert_with(|| {
+                        SnapshotDeltaPush {
+                            site_id,
+                            seq,
+                            base_seq: *base_seq,
+                            delta: d.clone(),
+                        }
+                        .encode_framed()
+                    })
+                } else {
+                    sent_delta = false;
+                    full_frame.get_or_insert_with(|| encode_push_frame(site_id, seq, &snapshot))
+                };
+                c.push_once(seq, frame).map(|outcome| (seq, outcome))
+            })?;
+            match outcome {
+                AckOutcome::UnknownBase if sent_delta => {
+                    // The collector's base moved (another connection
+                    // advanced it, or it restarted): same sequence,
+                    // full bytes.
+                    self.stats.delta_fallbacks += 1;
+                    attempt_delta = false;
+                }
+                AckOutcome::UnknownBase => {
+                    return Err(TransportError::Protocol {
+                        what: "unknown-base ack answering a full push".to_string(),
+                    });
+                }
+                AckOutcome::Accepted => break (seq, PushOutcome::Accepted, sent_delta),
+                AckOutcome::Duplicate => break (seq, PushOutcome::Duplicate, sent_delta),
             }
-            let frame = frame.get_or_insert_with(|| encode_push_frame(site_id, seq, &snapshot));
-            c.push_once(seq, frame).map(|outcome| (seq, outcome))
-        })?;
+        };
         self.next_seq = self.next_seq.max(seq + 1);
         match outcome {
-            PushOutcome::Accepted => self.stats.snapshots_pushed += 1,
+            PushOutcome::Accepted => {
+                self.stats.snapshots_pushed += 1;
+                if was_delta {
+                    self.stats.snapshots_delta += 1;
+                }
+            }
             PushOutcome::Duplicate => self.stats.snapshots_duplicate += 1,
         }
+        // Either way the collector now holds exactly these bytes under
+        // `seq` (a duplicate whose bytes somehow differ self-heals: the
+        // next delta's base checksum won't match and the push falls
+        // back to full).
+        self.acked = Some((seq, snapshot));
         Ok(outcome)
     }
 
@@ -287,6 +382,11 @@ impl SiteClient {
             proto_version: TRANSPORT_PROTO_VERSION,
             site_id: self.cfg.site_id,
             site_name: self.cfg.site_name.clone(),
+            features: if self.cfg.delta_pushes {
+                FEATURE_DELTA_PUSH
+            } else {
+                0
+            },
         };
         write_frame(&mut stream, &hello.encode_framed())?;
         let (fh, bytes) = read_frame(&mut stream, self.cfg.max_frame_payload)?;
@@ -299,6 +399,7 @@ impl SiteClient {
         if !ack.accepted {
             return Err(TransportError::HandshakeRefused { reason: ack.reason });
         }
+        self.delta_enabled = self.cfg.delta_pushes && ack.features & FEATURE_DELTA_PUSH != 0;
         // Fast-forward past the collector's dedup window: a restarted
         // site whose counter reset to 0 resumes where it left off
         // instead of pushing sequences the server would swallow as
@@ -313,11 +414,7 @@ impl SiteClient {
     }
 
     /// One write-push-await-ack round trip on the current connection.
-    fn push_once(
-        &mut self,
-        expected_seq: u64,
-        frame: &[u8],
-    ) -> Result<PushOutcome, TransportError> {
+    fn push_once(&mut self, expected_seq: u64, frame: &[u8]) -> Result<AckOutcome, TransportError> {
         let cap = self.cfg.max_frame_payload;
         let stream = self.conn.as_mut().expect("ensure_connected ran");
         write_frame(stream, frame)?;
@@ -334,8 +431,9 @@ impl SiteClient {
             _ if ack.seq != expected_seq => Err(TransportError::Protocol {
                 what: format!("ack for seq {} while pushing seq {expected_seq}", ack.seq),
             }),
-            AckStatus::Accepted => Ok(PushOutcome::Accepted),
-            AckStatus::Duplicate => Ok(PushOutcome::Duplicate),
+            AckStatus::Accepted => Ok(AckOutcome::Accepted),
+            AckStatus::Duplicate => Ok(AckOutcome::Duplicate),
+            AckStatus::RejectedUnknownBase => Ok(AckOutcome::UnknownBase),
         }
     }
 }

@@ -13,12 +13,14 @@
 //!
 //! ```text
 //! site                          collector
-//!  │ ── Hello {proto, site id} ──► │   refused ⇒ HelloAck{accepted:false} + close
-//!  │ ◄── HelloAck {accepted} ───── │
-//!  │ ── SnapshotPush {seq, bytes}► │   decode + try_merge; dedup on seq
-//!  │ ◄── SnapshotAck {seq, status}─ │   Accepted / Duplicate / Rejected+reason
-//!  │            …                  │
-//!  │ ── Goodbye ─────────────────► │   clean close
+//!  │ ── Hello {proto, site id, features} ──► │   refused ⇒ HelloAck{accepted:false} + close
+//!  │ ◄── HelloAck {accepted, features} ───── │   granted = offered ∩ supported
+//!  │ ── SnapshotPush {seq, bytes} ─────────► │   decode + try_merge; dedup on seq
+//!  │ ◄── SnapshotAck {seq, status} ───────── │   Accepted / Duplicate / Rejected+reason
+//!  │ ── SnapshotDeltaPush {seq, base, diff}► │   apply to retained base, then as above
+//!  │ ◄── SnapshotAck {seq, status} ───────── │   + RejectedUnknownBase ⇒ site re-sends full
+//!  │            …                            │
+//!  │ ── Goodbye ───────────────────────────► │   clean close
 //! ```
 //!
 //! Transport messages use the `0x05xx` tag range (the next free crate
@@ -39,8 +41,19 @@ use crate::TransportError;
 
 /// Version of the *conversation* (message set and state machine),
 /// independent of the codec's `WIRE_VERSION` (byte layout). Both are
-/// checked during the hello handshake.
+/// checked during the hello handshake; optional capabilities on top of
+/// the base conversation (delta pushes) are negotiated through the
+/// hello's feature bitmask instead of version bumps.
 pub const TRANSPORT_PROTO_VERSION: u16 = 1;
+
+/// Hello feature bit: the peer understands [`SnapshotDeltaPush`] — the
+/// collector retains each site's latest accepted snapshot bytes as the
+/// delta base, and the site may push deltas against it. A client only
+/// sends deltas when the collector's [`HelloAck`] echoes this bit.
+pub const FEATURE_DELTA_PUSH: u64 = 1 << 0;
+
+/// Every feature bit this build implements.
+pub const SUPPORTED_FEATURES: u64 = FEATURE_DELTA_PUSH;
 
 /// Wire tag of [`Hello`].
 pub const TAG_HELLO: u16 = 0x0501;
@@ -52,9 +65,12 @@ pub const TAG_SNAPSHOT_PUSH: u16 = 0x0503;
 pub const TAG_SNAPSHOT_ACK: u16 = 0x0504;
 /// Wire tag of [`Goodbye`].
 pub const TAG_GOODBYE: u16 = 0x0505;
+/// Wire tag of [`SnapshotDeltaPush`].
+pub const TAG_SNAPSHOT_DELTA_PUSH: u16 = 0x0506;
 
-/// First message on every connection: the site introduces itself and
-/// states its protocol version. The collector answers [`HelloAck`].
+/// First message on every connection: the site introduces itself,
+/// states its protocol version and offers its optional capabilities.
+/// The collector answers [`HelloAck`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Hello {
     /// The site's [`TRANSPORT_PROTO_VERSION`].
@@ -64,6 +80,10 @@ pub struct Hello {
     pub site_id: u64,
     /// Human-readable site name for the collector's observability.
     pub site_name: String,
+    /// Capability bits the site offers ([`FEATURE_DELTA_PUSH`], …).
+    /// Wire-v1 hellos predate the field and decode as 0 (no optional
+    /// features), which is exactly what a v1 peer supports.
+    pub features: u64,
 }
 
 impl WireCodec for Hello {
@@ -73,6 +93,7 @@ impl WireCodec for Hello {
         self.proto_version.encode_into(out);
         self.site_id.encode_into(out);
         self.site_name.encode_into(out);
+        self.features.encode_into(out);
     }
 
     fn decode(r: &mut Reader) -> Result<Self, CodecError> {
@@ -80,6 +101,7 @@ impl WireCodec for Hello {
             proto_version: r.u16()?,
             site_id: r.u64()?,
             site_name: String::decode(r)?,
+            features: if r.v2() { r.u64()? } else { 0 },
         })
     }
 }
@@ -101,6 +123,10 @@ pub struct HelloAck {
     pub resume_seq: u64,
     /// Refusal reason (empty when accepted).
     pub reason: String,
+    /// Capability bits granted for this session: the intersection of
+    /// the hello's offer and what the collector implements. A client
+    /// must not send feature-gated messages the ack did not grant.
+    pub features: u64,
 }
 
 impl WireCodec for HelloAck {
@@ -111,6 +137,7 @@ impl WireCodec for HelloAck {
         self.proto_version.encode_into(out);
         self.resume_seq.encode_into(out);
         self.reason.encode_into(out);
+        self.features.encode_into(out);
     }
 
     fn decode(r: &mut Reader) -> Result<Self, CodecError> {
@@ -119,6 +146,7 @@ impl WireCodec for HelloAck {
             proto_version: r.u16()?,
             resume_seq: r.u64()?,
             reason: String::decode(r)?,
+            features: if r.v2() { r.u64()? } else { 0 },
         })
     }
 }
@@ -162,7 +190,59 @@ impl WireCodec for SnapshotPush {
     }
 }
 
-/// Collector verdict on one [`SnapshotPush`].
+/// One *delta* snapshot travelling site → collector: the byte diff
+/// (`sss_core::delta` framed [`SnapshotDelta`]) between the site's new
+/// cumulative checkpoint and the snapshot the collector last accepted
+/// from it (`base_seq`). Sent only when the hello negotiated
+/// [`FEATURE_DELTA_PUSH`]. If the collector's retained base no longer
+/// matches `base_seq` it answers [`AckStatus::RejectedUnknownBase`] and
+/// the site falls back to a full [`SnapshotPush`] with the *same*
+/// sequence number — exactly-once delivery is unchanged.
+///
+/// [`SnapshotDelta`]: sss_core::SnapshotDelta
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotDeltaPush {
+    /// Must match the connection's [`Hello::site_id`].
+    pub site_id: u64,
+    /// Site-scoped sequence number of the snapshot this delta
+    /// reconstructs (same rules as [`SnapshotPush::seq`]).
+    pub seq: u64,
+    /// Sequence number of the accepted snapshot the delta was computed
+    /// against — the collector applies it only if this is exactly its
+    /// latest accepted sequence for the site.
+    pub base_seq: u64,
+    /// Framed `SnapshotDelta` bytes (nested envelope, nested checksum,
+    /// plus base/target checksums inside).
+    pub delta: Vec<u8>,
+}
+
+impl WireCodec for SnapshotDeltaPush {
+    const WIRE_TAG: u16 = TAG_SNAPSHOT_DELTA_PUSH;
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.site_id.encode_into(out);
+        self.seq.encode_into(out);
+        self.base_seq.encode_into(out);
+        put_len(out, self.delta.len());
+        out.extend_from_slice(&self.delta);
+    }
+
+    fn decode(r: &mut Reader) -> Result<Self, CodecError> {
+        let site_id = r.u64()?;
+        let seq = r.u64()?;
+        let base_seq = r.u64()?;
+        let len = r.len_prefix(1)?;
+        let delta = r.take(len)?.to_vec();
+        Ok(SnapshotDeltaPush {
+            site_id,
+            seq,
+            base_seq,
+            delta,
+        })
+    }
+}
+
+/// Collector verdict on one [`SnapshotPush`] or [`SnapshotDeltaPush`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AckStatus {
     /// Decoded, validated and folded into the collector view.
@@ -173,6 +253,11 @@ pub enum AckStatus {
     /// Corrupt or incompatible — counted under a typed reason and never
     /// merged. Re-sending the same bytes cannot succeed.
     Rejected,
+    /// A delta push named a base the collector does not hold (its
+    /// retained sequence moved, or it restarted). Not terminal for the
+    /// *snapshot*: the site re-sends it as a full push with the same
+    /// sequence number.
+    RejectedUnknownBase,
 }
 
 impl AckStatus {
@@ -181,6 +266,7 @@ impl AckStatus {
             AckStatus::Accepted => 0,
             AckStatus::Duplicate => 1,
             AckStatus::Rejected => 2,
+            AckStatus::RejectedUnknownBase => 3,
         }
     }
 
@@ -189,8 +275,9 @@ impl AckStatus {
             0 => Ok(AckStatus::Accepted),
             1 => Ok(AckStatus::Duplicate),
             2 => Ok(AckStatus::Rejected),
+            3 => Ok(AckStatus::RejectedUnknownBase),
             _ => Err(CodecError::Invalid {
-                what: "AckStatus byte not 0/1/2",
+                what: "AckStatus byte not 0/1/2/3",
             }),
         }
     }
@@ -419,6 +506,7 @@ mod tests {
             proto_version: TRANSPORT_PROTO_VERSION,
             site_id: 9,
             site_name: "edge-router-9".to_string(),
+            features: SUPPORTED_FEATURES,
         };
         assert_eq!(Hello::decode_framed(&hello.encode_framed()).unwrap(), hello);
 
@@ -427,6 +515,7 @@ mod tests {
             proto_version: TRANSPORT_PROTO_VERSION,
             resume_seq: 17,
             reason: "speak v1".to_string(),
+            features: FEATURE_DELTA_PUSH,
         };
         assert_eq!(HelloAck::decode_framed(&ack.encode_framed()).unwrap(), ack);
 
@@ -440,6 +529,17 @@ mod tests {
             push
         );
 
+        let dpush = SnapshotDeltaPush {
+            site_id: 9,
+            seq: 4,
+            base_seq: 3,
+            delta: vec![7, 7, 7],
+        };
+        assert_eq!(
+            SnapshotDeltaPush::decode_framed(&dpush.encode_framed()).unwrap(),
+            dpush
+        );
+
         let sack = SnapshotAck {
             seq: 3,
             status: AckStatus::Rejected,
@@ -449,9 +549,38 @@ mod tests {
             SnapshotAck::decode_framed(&sack.encode_framed()).unwrap(),
             sack
         );
+        let sack = SnapshotAck {
+            seq: 4,
+            status: AckStatus::RejectedUnknownBase,
+            reason: "base moved".to_string(),
+        };
+        assert_eq!(
+            SnapshotAck::decode_framed(&sack.encode_framed()).unwrap(),
+            sack
+        );
 
         let bye = Goodbye { site_id: 9 };
         assert_eq!(Goodbye::decode_framed(&bye.encode_framed()).unwrap(), bye);
+    }
+
+    #[test]
+    fn v1_hello_decodes_with_no_features() {
+        // A wire-v1 peer's hello has no feature mask: hand-build the v1
+        // frame and check it decodes as "no optional features".
+        let mut payload = Vec::new();
+        TRANSPORT_PROTO_VERSION.encode_into(&mut payload);
+        5u64.encode_into(&mut payload);
+        "old-site".to_string().encode_into(&mut payload);
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&sss_codec::WIRE_MAGIC);
+        frame.extend_from_slice(&1u16.to_le_bytes());
+        frame.extend_from_slice(&TAG_HELLO.to_le_bytes());
+        put_len(&mut frame, payload.len());
+        frame.extend_from_slice(&sss_codec::fnv1a64(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        let hello = Hello::decode_framed(&frame).unwrap();
+        assert_eq!(hello.site_id, 5);
+        assert_eq!(hello.features, 0);
     }
 
     #[test]
@@ -474,6 +603,7 @@ mod tests {
             proto_version: 1,
             site_id: 1,
             site_name: "a".into(),
+            features: 0,
         }
         .encode_framed();
         let b = Goodbye { site_id: 1 }.encode_framed();

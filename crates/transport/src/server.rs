@@ -26,12 +26,13 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use sss_codec::{CodecError, WireCodec};
-use sss_core::Monitor;
+use sss_core::{Monitor, SnapshotDelta};
 
 use crate::proto::AckStatus;
 use crate::proto::{
-    read_frame_inner, write_frame, FrameRead, Goodbye, Hello, HelloAck, SnapshotAck, SnapshotPush,
-    SEQ_UNKNOWN, TAG_GOODBYE, TAG_HELLO, TAG_SNAPSHOT_PUSH, TRANSPORT_PROTO_VERSION,
+    read_frame_inner, write_frame, FrameRead, Goodbye, Hello, HelloAck, SnapshotAck,
+    SnapshotDeltaPush, SnapshotPush, SEQ_UNKNOWN, SUPPORTED_FEATURES, TAG_GOODBYE, TAG_HELLO,
+    TAG_SNAPSHOT_DELTA_PUSH, TAG_SNAPSHOT_PUSH, TRANSPORT_PROTO_VERSION,
 };
 use crate::TransportError;
 
@@ -69,11 +70,15 @@ pub enum RejectReason {
     UnexpectedMessage,
     /// The hello handshake was refused (transport protocol version).
     HandshakeRefused,
+    /// A delta push named a base snapshot the collector does not hold
+    /// (sequence moved or bytes disagree) — answered
+    /// `RejectedUnknownBase`, prompting a full-push fallback.
+    UnknownBase,
 }
 
 impl RejectReason {
     /// Number of distinct reasons (length of the counter array).
-    pub const COUNT: usize = 13;
+    pub const COUNT: usize = 14;
 
     /// Every reason, index-aligned with the counter array.
     pub const ALL: [RejectReason; Self::COUNT] = [
@@ -90,6 +95,7 @@ impl RejectReason {
         RejectReason::SiteMismatch,
         RejectReason::UnexpectedMessage,
         RejectReason::HandshakeRefused,
+        RejectReason::UnknownBase,
     ];
 
     /// Stable label for logs and JSON.
@@ -108,6 +114,7 @@ impl RejectReason {
             RejectReason::SiteMismatch => "site_mismatch",
             RejectReason::UnexpectedMessage => "unexpected_message",
             RejectReason::HandshakeRefused => "handshake_refused",
+            RejectReason::UnknownBase => "unknown_base",
         }
     }
 
@@ -124,6 +131,7 @@ impl RejectReason {
             CodecError::TrailingBytes { .. } => RejectReason::TrailingBytes,
             CodecError::ChecksumMismatch { .. } => RejectReason::ChecksumMismatch,
             CodecError::Invalid { .. } => RejectReason::InvalidPayload,
+            CodecError::BadBase { .. } => RejectReason::UnknownBase,
         }
     }
 }
@@ -227,6 +235,10 @@ struct SiteState {
     accepted: u64,
     bytes_in: u64,
     latest: Option<Monitor>,
+    /// The framed checkpoint bytes behind `latest` — the base the next
+    /// delta push from this site is applied against. `Arc` so a handler
+    /// thread can diff outside the sites lock without a multi-MiB copy.
+    latest_bytes: Option<Arc<Vec<u8>>>,
     last_seen: Instant,
 }
 
@@ -520,6 +532,7 @@ fn serve(stream: &mut TcpStream, shared: &Shared) -> bool {
                         accepted: 0,
                         bytes_in: 0,
                         latest: None,
+                        latest_bytes: None,
                         last_seen: Instant::now(),
                     });
                     entry.name = hello.site_name.clone();
@@ -528,13 +541,19 @@ fn serve(stream: &mut TcpStream, shared: &Shared) -> bool {
                     // restarted site (counter back at 0) fast-forwards
                     // past the dedup window instead of having its
                     // fresh snapshots swallowed as duplicates.
-                    let resume_seq = entry.last_seq.map_or(0, |s| s + 1);
+                    // (Saturating: SEQ_UNKNOWN is rejected at accept
+                    // time, but a stored u64::MAX must still not panic
+                    // the handler under debug assertions.)
+                    let resume_seq = entry.last_seq.map_or(0, |s| s.saturating_add(1));
                     drop(sites);
                     let ack = HelloAck {
                         accepted: true,
                         proto_version: TRANSPORT_PROTO_VERSION,
                         resume_seq,
                         reason: String::new(),
+                        // Grant the intersection of what the site
+                        // offered and what this build implements.
+                        features: hello.features & SUPPORTED_FEATURES,
                     };
                     if write_frame(stream, &ack.encode_framed()).is_err() {
                         return false;
@@ -609,13 +628,31 @@ fn serve(stream: &mut TcpStream, shared: &Shared) -> bool {
                 match fh.tag {
                     TAG_SNAPSHOT_PUSH => {
                         let ack = match SnapshotPush::decode_framed(&bytes) {
-                            Ok(push) => handle_push(shared, site_id, &push, bytes.len() as u64),
+                            Ok(push) => handle_push(shared, site_id, push, bytes.len() as u64),
                             Err(e) => {
                                 shared.reject(RejectReason::from_codec(&e));
                                 SnapshotAck {
                                     seq: SEQ_UNKNOWN,
                                     status: AckStatus::Rejected,
                                     reason: format!("push frame rejected: {e}"),
+                                }
+                            }
+                        };
+                        if write_frame(stream, &ack.encode_framed()).is_err() {
+                            return false;
+                        }
+                    }
+                    TAG_SNAPSHOT_DELTA_PUSH => {
+                        let ack = match SnapshotDeltaPush::decode_framed(&bytes) {
+                            Ok(push) => {
+                                handle_delta_push(shared, site_id, push, bytes.len() as u64)
+                            }
+                            Err(e) => {
+                                shared.reject(RejectReason::from_codec(&e));
+                                SnapshotAck {
+                                    seq: SEQ_UNKNOWN,
+                                    status: AckStatus::Rejected,
+                                    reason: format!("delta push frame rejected: {e}"),
                                 }
                             }
                         };
@@ -644,63 +681,207 @@ fn serve(stream: &mut TcpStream, shared: &Shared) -> bool {
     }
 }
 
-/// Validate one decoded push and fold it in. Returns the ack to send;
-/// every rejection increments exactly one reason counter.
+/// O(1) duplicate answer shared by both push paths.
+fn duplicate_ack(shared: &Shared, seq: u64) -> SnapshotAck {
+    shared
+        .counters
+        .snapshots_duplicate
+        .fetch_add(1, Ordering::Relaxed);
+    SnapshotAck {
+        seq,
+        status: AckStatus::Duplicate,
+        reason: String::new(),
+    }
+}
+
+/// Whether `seq` is already covered by the site's accepted window.
+fn is_duplicate(shared: &Shared, site: u64, seq: u64) -> bool {
+    let sites = shared.sites.lock().expect("sites lock");
+    let entry = sites.get(&site).expect("site registered at hello");
+    matches!(entry.last_seq, Some(last) if seq <= last)
+}
+
+/// Reject pushes carrying the reserved sequence: `u64::MAX` is
+/// [`SEQ_UNKNOWN`] (the undecodable-payload ack sentinel), and
+/// accepting it would also wedge the dedup window at the top of the
+/// range. No honest client gets near it (sequences count up from 0).
+fn check_reserved_seq(shared: &Shared, seq: u64) -> Option<SnapshotAck> {
+    if seq == SEQ_UNKNOWN {
+        shared.reject(RejectReason::InvalidPayload);
+        return Some(SnapshotAck {
+            seq,
+            status: AckStatus::Rejected,
+            reason: "sequence u64::MAX is reserved".to_string(),
+        });
+    }
+    None
+}
+
+/// Validate one decoded full push and fold it in. Returns the ack to
+/// send; every rejection increments exactly one reason counter.
 fn handle_push(
     shared: &Shared,
     session_site: u64,
-    push: &SnapshotPush,
+    push: SnapshotPush,
     frame_bytes: u64,
 ) -> SnapshotAck {
-    let reject = |reason: RejectReason, text: String| {
-        shared.reject(reason);
-        SnapshotAck {
+    if push.site_id != session_site {
+        shared.reject(RejectReason::SiteMismatch);
+        return SnapshotAck {
             seq: push.seq,
             status: AckStatus::Rejected,
-            reason: text,
-        }
-    };
-
-    if push.site_id != session_site {
-        return reject(
-            RejectReason::SiteMismatch,
-            format!(
+            reason: format!(
                 "push for site {} on a connection that authenticated as site {}",
                 push.site_id, session_site
             ),
-        );
+        };
     }
 
-    let duplicate_ack = || {
-        shared
-            .counters
-            .snapshots_duplicate
-            .fetch_add(1, Ordering::Relaxed);
-        SnapshotAck {
-            seq: push.seq,
-            status: AckStatus::Duplicate,
-            reason: String::new(),
-        }
-    };
+    if let Some(ack) = check_reserved_seq(shared, push.seq) {
+        return ack;
+    }
 
     // Sequence dedup FIRST: a retry after a lost ack (the normal
     // recovery path) re-sends a multi-MiB snapshot the collector
     // already holds — answer `Duplicate` in O(1) instead of paying a
     // full decode for bytes that will be discarded.
-    {
+    if is_duplicate(shared, session_site, push.seq) {
+        return duplicate_ack(shared, push.seq);
+    }
+
+    accept_snapshot(shared, session_site, push.seq, push.snapshot, frame_bytes)
+}
+
+/// Validate one decoded delta push: resolve the base, rebuild the full
+/// snapshot bytes, then run the ordinary accept path on them. A base
+/// the collector does not hold (sequence moved, or the bytes disagree
+/// with the delta's recorded base checksum) answers
+/// [`AckStatus::RejectedUnknownBase`] — the site's cue to fall back to
+/// a full push with the same sequence.
+fn handle_delta_push(
+    shared: &Shared,
+    session_site: u64,
+    push: SnapshotDeltaPush,
+    frame_bytes: u64,
+) -> SnapshotAck {
+    if push.site_id != session_site {
+        shared.reject(RejectReason::SiteMismatch);
+        return SnapshotAck {
+            seq: push.seq,
+            status: AckStatus::Rejected,
+            reason: format!(
+                "delta push for site {} on a connection that authenticated as site {}",
+                push.site_id, session_site
+            ),
+        };
+    }
+    if let Some(ack) = check_reserved_seq(shared, push.seq) {
+        return ack;
+    }
+    if is_duplicate(shared, session_site, push.seq) {
+        return duplicate_ack(shared, push.seq);
+    }
+
+    let unknown_base = |text: String| {
+        shared.reject(RejectReason::UnknownBase);
+        SnapshotAck {
+            seq: push.seq,
+            status: AckStatus::RejectedUnknownBase,
+            reason: text,
+        }
+    };
+
+    // Resolve the retained base under the lock; the `Arc` clone makes
+    // the (multi-MiB) reconstruction below run outside it.
+    let base: Arc<Vec<u8>> = {
         let sites = shared.sites.lock().expect("sites lock");
         let entry = sites.get(&session_site).expect("site registered at hello");
-        if matches!(entry.last_seq, Some(last) if push.seq <= last) {
+        if entry.last_seq != Some(push.base_seq) {
+            let held = entry.last_seq;
             drop(sites);
-            return duplicate_ack();
+            return unknown_base(format!(
+                "delta names base seq {} but the collector holds {:?}",
+                push.base_seq, held
+            ));
         }
+        match &entry.latest_bytes {
+            Some(bytes) => Arc::clone(bytes),
+            None => {
+                drop(sites);
+                return unknown_base(format!(
+                    "no snapshot bytes retained for base seq {}",
+                    push.base_seq
+                ));
+            }
+        }
+    };
+
+    let delta = match SnapshotDelta::decode_framed(&push.delta) {
+        Ok(d) => d,
+        Err(e) => {
+            shared.reject(RejectReason::from_codec(&e));
+            return SnapshotAck {
+                seq: push.seq,
+                status: AckStatus::Rejected,
+                reason: format!("delta rejected: {e}"),
+            };
+        }
+    };
+    // The reconstructed snapshot obeys the same payload cap as one that
+    // arrived whole — checked before paying for the reconstruction.
+    if delta.target_len() > shared.cfg.max_frame_payload {
+        shared.reject(RejectReason::Oversize);
+        return SnapshotAck {
+            seq: push.seq,
+            status: AckStatus::Rejected,
+            reason: format!(
+                "delta reconstructs {} bytes, above the {} cap",
+                delta.target_len(),
+                shared.cfg.max_frame_payload
+            ),
+        };
     }
+    let snapshot = match delta.apply_with_limit(&base, shared.cfg.max_frame_payload) {
+        Ok(bytes) => bytes,
+        Err(e @ CodecError::BadBase { .. }) => {
+            return unknown_base(format!("delta does not apply: {e}"));
+        }
+        Err(e) => {
+            shared.reject(RejectReason::from_codec(&e));
+            return SnapshotAck {
+                seq: push.seq,
+                status: AckStatus::Rejected,
+                reason: format!("delta rejected: {e}"),
+            };
+        }
+    };
+
+    accept_snapshot(shared, session_site, push.seq, snapshot, frame_bytes)
+}
+
+/// Decode, merge-probe and store one full snapshot (arrived whole or
+/// rebuilt from a delta). Returns the ack to send.
+fn accept_snapshot(
+    shared: &Shared,
+    session_site: u64,
+    seq: u64,
+    snapshot: Vec<u8>,
+    frame_bytes: u64,
+) -> SnapshotAck {
+    let reject = |reason: RejectReason, text: String| {
+        shared.reject(reason);
+        SnapshotAck {
+            seq,
+            status: AckStatus::Rejected,
+            reason: text,
+        }
+    };
 
     // The snapshot is its own checksummed frame: restore re-validates
     // magic, version, tag and payload checksum independently of the
     // transport frame that carried it. (The sites lock is NOT held
     // across the decode — other sites keep landing pushes meanwhile.)
-    let snap = match Monitor::restore(&push.snapshot) {
+    let snap = match Monitor::restore(&snapshot) {
         Ok(m) => m,
         Err(e) => {
             return reject(
@@ -730,13 +911,16 @@ fn handle_push(
 
     // Re-check under the lock: a second connection for the same site
     // id could have advanced the sequence while we were decoding.
-    if matches!(entry.last_seq, Some(last) if push.seq <= last) {
+    if matches!(entry.last_seq, Some(last) if seq <= last) {
         drop(sites);
-        return duplicate_ack();
+        return duplicate_ack(shared, seq);
     }
 
     entry.latest = Some(snap);
-    entry.last_seq = Some(push.seq);
+    // Retain the framed bytes as the base for this site's next delta
+    // push (one snapshot per site, the price of delta support).
+    entry.latest_bytes = Some(Arc::new(snapshot));
+    entry.last_seq = Some(seq);
     entry.accepted += 1;
     entry.bytes_in += frame_bytes;
     entry.last_seen = Instant::now();
@@ -746,7 +930,7 @@ fn handle_push(
         .snapshots_accepted
         .fetch_add(1, Ordering::Relaxed);
     SnapshotAck {
-        seq: push.seq,
+        seq,
         status: AckStatus::Accepted,
         reason: String::new(),
     }
@@ -760,6 +944,7 @@ fn refuse_hello(stream: &mut TcpStream, reason: String) {
         proto_version: TRANSPORT_PROTO_VERSION,
         resume_seq: 0,
         reason,
+        features: 0,
     };
     let _ = write_frame(stream, &ack.encode_framed());
 }

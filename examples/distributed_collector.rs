@@ -111,13 +111,16 @@ fn main() {
             let stats = client.close();
             println!(
                 "site {s}: {} of {} packets sampled ({:.1}%) across {shards_per_site} shards; \
-                 pushed mid-run {} KiB + final {} KiB over TCP ({} accepted, {} retries)",
+                 pushed mid-run {} KiB + final {} KiB snapshot over TCP as {} KiB of frames \
+                 ({} accepted, {} as deltas, {} retries)",
                 monitor.samples_seen(),
                 trace.len(),
                 100.0 * monitor.samples_seen() as f64 / trace.len() as f64,
                 mid_len / 1024,
                 wire_len / 1024,
+                stats.bytes_out / 1024,
                 stats.snapshots_pushed,
+                stats.snapshots_delta,
                 stats.retries,
             );
         }));
@@ -139,6 +142,7 @@ fn main() {
             proto_version: TRANSPORT_PROTO_VERSION,
             site_id: 77,
             site_name: "bit-rot".to_string(),
+            features: 0,
         };
         write_frame(&mut raw, &hello.encode_framed()).expect("hello");
         let _ = subsampled_streams::transport::read_frame(&mut raw, 1 << 20);

@@ -1,20 +1,24 @@
-//! Regenerate the committed wire-format fixture corpus.
+//! Regenerate the committed wire-format fixture corpus for the
+//! *current* `WIRE_VERSION`.
 //!
 //! ```text
 //! cargo run --release --example gen_wire_fixtures
 //! ```
 //!
-//! Writes one framed version-1 snapshot per estimator family to
-//! `tests/fixtures/wire_v1/`, plus `manifest.tsv` pinning each file's
-//! wire tag, estimate bits and sample count. `tests/wire_fixtures.rs`
-//! decodes the **committed** bytes on every CI run, so cross-version
-//! compatibility is guarded by bytes, not by review.
+//! Writes one framed snapshot per estimator family to
+//! `tests/fixtures/wire_v<WIRE_VERSION>/`, plus `manifest.tsv` pinning
+//! each file's wire tag, estimate bits and sample count.
+//! `tests/wire_fixtures.rs` decodes the **committed** bytes on every CI
+//! run, so cross-version compatibility is guarded by bytes, not by
+//! review.
 //!
-//! The corpus must NOT be regenerated casually: these bytes are the
-//! contract. Rerun this generator only when intentionally breaking the
-//! wire format (a `WIRE_VERSION` bump), and move the old corpus to a
-//! `wire_v<old>/` directory that stays decodable if the old version
-//! remains supported. Everything here is deterministic (fixed seeds,
+//! Frozen corpora must NOT be regenerated: `tests/fixtures/wire_v1/`
+//! was written by the last version-1 build and is the permanent v1
+//! compatibility suite — this generator cannot reproduce it (encoders
+//! always write the current version) and must never touch it. When the
+//! format moves again, bump `WIRE_VERSION`, rerun this generator (it
+//! writes the new `wire_v<N>/` directory) and freeze the previous one
+//! exactly like v1. Everything here is deterministic (fixed seeds,
 //! fixed parameters), so an unchanged codebase regenerates identical
 //! bytes — a handy way to prove a refactor didn't move the format.
 
@@ -125,7 +129,10 @@ fn main() {
         samples_seen: monitor.samples_seen(),
     });
 
-    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/wire_v1");
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join(format!(
+        "tests/fixtures/wire_v{}",
+        subsampled_streams::codec::WIRE_VERSION
+    ));
     std::fs::create_dir_all(&dir).expect("create fixture dir");
     let mut manifest = String::from(
         "# name\twire_tag\testimate_bits\tsamples_seen\tbytes\n# regenerate: cargo run --release --example gen_wire_fixtures\n",

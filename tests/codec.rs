@@ -622,6 +622,147 @@ fn corruption_yields_typed_errors_never_panics() {
 }
 
 #[test]
+fn v2_packed_payload_corruption_is_typed_even_without_the_envelope() {
+    // The frame checksum catches every flip of a *framed* buffer (the
+    // fuzz above); this drills the decoders themselves on raw v2
+    // payloads, where varint-packed sections must reject malformed
+    // encodings with typed errors and never panic or misparse.
+    use subsampled_streams::codec::{put_varint_u64, Reader};
+
+    let feed = stream(20_000, 9);
+    let mut mg = MisraGries::new(64);
+    mg.update_batch(&feed);
+    let mut cs = CountSketch::new(5, 256, 6);
+    cs.update_batch(&feed);
+    let mut kmv = KmvSketch::new(128, 1);
+    kmv.update_batch(&feed);
+
+    // Truncation at every byte of every packed payload is typed.
+    let payload = mg.encode();
+    for cut in 0..payload.len() {
+        assert!(MisraGries::decode_slice(&payload[..cut]).is_err());
+    }
+    let payload = cs.encode();
+    for cut in 0..payload.len() {
+        assert!(CountSketch::decode_slice(&payload[..cut]).is_err());
+    }
+    let payload = kmv.encode();
+    for cut in 0..payload.len() {
+        assert!(KmvSketch::decode_slice(&payload[..cut]).is_err());
+    }
+
+    // Every single-byte flip of a raw payload either decodes to *some*
+    // valid state or fails typed — never a panic, never an OOM (the
+    // allocation guards hold without the envelope's checksum).
+    let payload = mg.encode();
+    for i in 0..payload.len() {
+        let mut b = payload.clone();
+        b[i] ^= 0xFF;
+        let _ = MisraGries::decode_slice(&b);
+    }
+
+    // Overlong varint in a v2 scalar slot (k of MisraGries encoded
+    // non-canonically as two bytes).
+    let mut bad = vec![0x80 | 64, 0x00]; // k = 64, overlong
+    put_varint_u64(&mut bad, 0); // n
+    put_varint_u64(&mut bad, 0); // empty item column
+    put_varint_u64(&mut bad, 0); // empty count column
+    assert!(matches!(
+        MisraGries::decode_slice(&bad),
+        Err(CodecError::Invalid {
+            what: "overlong varint encoding"
+        })
+    ));
+
+    // Truncated varint (continuation bit set, stream ends).
+    assert!(matches!(
+        MisraGries::decode_slice(&[0xFF]),
+        Err(CodecError::Truncated { .. })
+    ));
+
+    // An 11-byte varint (more than 64 bits of payload) in a packed
+    // stream is rejected before any allocation.
+    let mut r = Reader::new(&[0xFF; 16]);
+    assert!(r.varint_u64().is_err());
+
+    // Out-of-range zigzag: a 10-byte varint whose final byte carries
+    // more than the single permitted bit overflows u64 — the i64 view
+    // can never see it as a value.
+    let mut bytes = vec![0xFF; 9];
+    bytes.push(0x03);
+    let mut r = Reader::new(&bytes);
+    assert_eq!(
+        r.varint_i64(),
+        Err(CodecError::Invalid {
+            what: "varint encodes more than 64 bits"
+        })
+    );
+}
+
+#[test]
+fn delta_checkpoints_roundtrip_and_reject_wrong_bases() {
+    let p = 0.3;
+    let mut monitor = full_monitor(p);
+    let sampled = BernoulliSampler::new(p, 71).sample_to_vec(&stream(60_000, 10));
+    let (head, mid, tail) = {
+        let (h, rest) = sampled.split_at(sampled.len() / 3);
+        let (m, t) = rest.split_at(rest.len() / 2);
+        (h, m, t)
+    };
+
+    monitor.update_batch(head);
+    let base = monitor.checkpoint().expect("base checkpoint");
+
+    monitor.update_batch(mid);
+    let delta = monitor.checkpoint_delta(&base).expect("delta checkpoint");
+    let full = monitor.checkpoint().expect("full checkpoint");
+    assert!(
+        delta.len() * 2 < full.len(),
+        "steady-state delta ({} B) should be well under the full snapshot ({} B)",
+        delta.len(),
+        full.len()
+    );
+
+    // Applying to the right base rebuilds the exact checkpoint bytes,
+    // and the restored monitor is observationally identical.
+    assert_eq!(Monitor::apply_delta(&base, &delta).expect("apply"), full);
+    let mut restored = Monitor::restore_delta(&base, &delta).expect("restore");
+    assert_reports_bitwise_equal(&monitor, &restored);
+    monitor.update_batch(tail);
+    restored.update_batch(tail);
+    assert_reports_bitwise_equal(&monitor, &restored);
+
+    // Wrong base: a *different* checkpoint of the same monitor family.
+    let mut other = full_monitor(p);
+    other.update_batch(mid);
+    let wrong_base = other.checkpoint().expect("other checkpoint");
+    assert!(matches!(
+        Monitor::apply_delta(&wrong_base, &delta),
+        Err(CodecError::BadBase { .. })
+    ));
+    // A corrupted copy of the right base is also BadBase (checksum).
+    let mut bent = base.clone();
+    bent[base.len() / 2] ^= 0x10;
+    assert!(matches!(
+        Monitor::apply_delta(&bent, &delta),
+        Err(CodecError::BadBase { .. })
+    ));
+
+    // Corrupt delta frames: typed errors at every cut and every flip.
+    for cut in [0, 1, delta.len() / 2, delta.len() - 1] {
+        assert!(Monitor::apply_delta(&base, &delta[..cut]).is_err());
+    }
+    for i in (0..delta.len()).step_by(7) {
+        let mut b = delta.clone();
+        b[i] ^= 0xFF;
+        assert!(
+            Monitor::apply_delta(&base, &b).is_err(),
+            "flip at {i} applied"
+        );
+    }
+}
+
+#[test]
 fn sentinel_item_u64_max_survives_the_wire() {
     // The entropy reservoir marks empty slots with item == u64::MAX; a
     // stream that legitimately contains that id must still round-trip

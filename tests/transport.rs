@@ -190,6 +190,7 @@ fn duplicate_sequence_is_acked_but_not_double_counted() {
         proto_version: TRANSPORT_PROTO_VERSION,
         site_id: 5,
         site_name: "raw-site".to_string(),
+        features: 0,
     };
     write_frame(&mut stream, &hello.encode_framed()).expect("hello");
     let (_, bytes) = read_frame(&mut stream, 1 << 20).expect("hello ack");
@@ -210,9 +211,24 @@ fn duplicate_sequence_is_acked_but_not_double_counted() {
         assert_eq!(ack.status, expected, "round {round}");
     }
 
+    // The reserved sequence (u64::MAX = SEQ_UNKNOWN, the undecodable-
+    // payload ack sentinel) is rejected instead of wedging the dedup
+    // window at the top of the range.
+    let push = SnapshotPush {
+        site_id: 5,
+        seq: u64::MAX,
+        snapshot: frame[..0].to_vec(),
+    };
+    write_frame(&mut stream, &push.encode_framed()).expect("reserved-seq push");
+    let (_, bytes) = read_frame(&mut stream, 1 << 20).expect("nack");
+    let ack = SnapshotAck::decode_framed(&bytes).expect("decode nack");
+    assert_eq!(ack.status, AckStatus::Rejected);
+    assert!(ack.reason.contains("reserved"), "reason: {}", ack.reason);
+
     let (merged, stats) = server.shutdown();
     assert_eq!(stats.snapshots_accepted, 1);
     assert_eq!(stats.snapshots_duplicate, 1);
+    assert_eq!(stats.rejected(RejectReason::InvalidPayload), 1);
     assert_eq!(
         merged.samples_seen(),
         site.samples_seen(),
@@ -237,6 +253,7 @@ fn corruption_and_incompatibility_increment_reasons_and_keep_serving() {
         proto_version: TRANSPORT_PROTO_VERSION,
         site_id: 9,
         site_name: "chaos-site".to_string(),
+        features: 0,
     };
     write_frame(&mut stream, &hello.encode_framed()).expect("hello");
     let (_, bytes) = read_frame(&mut stream, 1 << 20).expect("hello ack");
@@ -332,9 +349,10 @@ fn version_mismatch_handshakes_are_refused() {
         proto_version: TRANSPORT_PROTO_VERSION,
         site_id: 2,
         site_name: "stale-wire".to_string(),
+        features: 0,
     }
     .encode_framed();
-    frame[4] ^= 0x03;
+    frame[4] ^= 0x07;
     write_frame(&mut stream, &frame).expect("send stale hello");
     let (_, bytes) = read_frame(&mut stream, 1 << 20).expect("refusal");
     let ack = HelloAck::decode_framed(&bytes).expect("decode refusal");
@@ -359,6 +377,7 @@ fn version_mismatch_handshakes_are_refused() {
         proto_version: 99,
         site_id: 3,
         site_name: "time-traveller".to_string(),
+        features: 0,
     };
     write_frame(&mut stream, &hello.encode_framed()).expect("send future hello");
     let (_, bytes) = read_frame(&mut stream, 1 << 20).expect("refusal");
@@ -442,6 +461,7 @@ fn shutdown_completes_with_a_peer_stalled_mid_frame() {
         proto_version: TRANSPORT_PROTO_VERSION,
         site_id: 4,
         site_name: "stalled".to_string(),
+        features: 0,
     };
     write_frame(&mut stream, &hello.encode_framed()).expect("hello");
     let (_, bytes) = read_frame(&mut stream, 1 << 20).expect("hello ack");
@@ -467,6 +487,322 @@ fn shutdown_completes_with_a_peer_stalled_mid_frame() {
         .expect("shutdown must complete despite the stalled peer");
     assert_eq!(stats.snapshots_accepted, 0);
     drop(stream);
+}
+
+/// Steady-state pushes through the `SiteClient` travel as deltas once
+/// the first full snapshot landed, cutting wire bytes while the merged
+/// result stays bitwise-identical to an in-memory merge.
+#[test]
+fn steady_state_pushes_travel_as_deltas_and_merge_identically() {
+    let stream = ZipfStream::new(2_000, 1.2).generate(60_000, 31);
+    let server =
+        CollectorServer::bind("127.0.0.1:0", prototype(), test_server_config()).expect("bind");
+    let mut client =
+        SiteClient::connect(server.local_addr(), test_client_config(1)).expect("connect");
+
+    // Warm-up to a saturated state (the steady-state regime: the key
+    // sets are stable, increments only nudge counters), push the full
+    // base, then push after each small increment.
+    let (warmup, rest) = stream.split_at(stream.len() * 3 / 4);
+    let increments: Vec<&[u64]> = rest.chunks(rest.len() / 4).collect();
+    let mut monitor = prototype();
+    let mut sampler = BernoulliSampler::new(P, 37);
+    sampler.sample_batches(warmup, 1024, |c| monitor.update_batch(c));
+    assert_eq!(
+        client
+            .push_wire(monitor.checkpoint().expect("base"))
+            .expect("base push"),
+        PushOutcome::Accepted
+    );
+    let base_bytes_out = client.stats().bytes_out;
+
+    let mut full_bytes = 0usize;
+    for chunk in &increments {
+        sampler.sample_batches(chunk, 1024, |c| monitor.update_batch(c));
+        let wire = monitor.checkpoint().expect("checkpoint");
+        full_bytes += wire.len();
+        assert_eq!(client.push_wire(wire).expect("push"), PushOutcome::Accepted);
+    }
+    let stats = client.stats().clone();
+    client.close();
+
+    // The base is necessarily full; every steady-state push after it
+    // rides as a delta at a fraction of the full snapshot size.
+    assert_eq!(stats.snapshots_pushed, increments.len() as u64 + 1);
+    assert_eq!(stats.snapshots_delta, increments.len() as u64);
+    assert_eq!(stats.delta_fallbacks, 0);
+    let delta_bytes = (stats.bytes_out - base_bytes_out) as usize;
+    assert!(
+        delta_bytes * 2 < full_bytes,
+        "steady-state delta pushes wrote {delta_bytes} B where full pushes would write {full_bytes} B"
+    );
+
+    let (merged, sstats) = server.shutdown();
+    assert_eq!(sstats.rejected_total(), 0);
+    assert_eq!(merged.samples_seen(), monitor.samples_seen());
+    for ((la, ea), (lb, eb)) in merged.report().iter().zip(&monitor.report()) {
+        assert_eq!(la, lb);
+        assert_eq!(ea.value.to_bits(), eb.value.to_bits(), "{la} diverged");
+    }
+}
+
+/// Hand-rolled peer exercising the delta protocol edge cases on one
+/// socket: interleaved full/delta pushes, a delta naming a base the
+/// collector does not hold (`RejectedUnknownBase`, counted under
+/// `unknown_base`), a corrupt delta body, and a replayed delta sequence
+/// answered `Duplicate` and merged once.
+#[test]
+fn delta_pushes_over_a_raw_socket_with_wrong_base_and_replay() {
+    use subsampled_streams::core::snapshot_delta;
+    use subsampled_streams::transport::SnapshotDeltaPush;
+
+    let server =
+        CollectorServer::bind("127.0.0.1:0", prototype(), test_server_config()).expect("bind");
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("timeout");
+    let hello = Hello {
+        proto_version: TRANSPORT_PROTO_VERSION,
+        site_id: 12,
+        site_name: "delta-site".to_string(),
+        features: subsampled_streams::transport::FEATURE_DELTA_PUSH,
+    };
+    write_frame(&mut stream, &hello.encode_framed()).expect("hello");
+    let (_, bytes) = read_frame(&mut stream, 1 << 20).expect("hello ack");
+    let ack = HelloAck::decode_framed(&bytes).expect("decode");
+    assert!(ack.accepted);
+    assert_eq!(
+        ack.features & subsampled_streams::transport::FEATURE_DELTA_PUSH,
+        subsampled_streams::transport::FEATURE_DELTA_PUSH,
+        "collector must grant delta pushes"
+    );
+
+    // Base: a full push (seq 0).
+    let trace = ZipfStream::new(400, 1.1).generate(30_000, 43);
+    let (first, second) = trace.split_at(trace.len() / 2);
+    let mut monitor = prototype();
+    let mut sampler = BernoulliSampler::new(P, 19);
+    sampler.sample_batches(first, 1024, |c| monitor.update_batch(c));
+    let base_wire = monitor.checkpoint().expect("base");
+    let push = SnapshotPush {
+        site_id: 12,
+        seq: 0,
+        snapshot: base_wire.clone(),
+    };
+    write_frame(&mut stream, &push.encode_framed()).expect("full push");
+    let (_, bytes) = read_frame(&mut stream, 1 << 20).expect("ack");
+    assert_eq!(
+        SnapshotAck::decode_framed(&bytes).expect("ack").status,
+        AckStatus::Accepted
+    );
+
+    // Next checkpoint as a delta.
+    sampler.sample_batches(second, 1024, |c| monitor.update_batch(c));
+    let next_wire = monitor.checkpoint().expect("next");
+    let delta = snapshot_delta(&base_wire, &next_wire);
+    assert!(delta.len() < next_wire.len());
+
+    // 1) Wrong base sequence → RejectedUnknownBase, nothing merged.
+    let bad = SnapshotDeltaPush {
+        site_id: 12,
+        seq: 1,
+        base_seq: 7,
+        delta: delta.clone(),
+    };
+    write_frame(&mut stream, &bad.encode_framed()).expect("bad-base push");
+    let (_, bytes) = read_frame(&mut stream, 1 << 20).expect("nack");
+    let ack = SnapshotAck::decode_framed(&bytes).expect("nack");
+    assert_eq!(ack.status, AckStatus::RejectedUnknownBase);
+    assert!(ack.reason.contains("base"), "reason: {}", ack.reason);
+
+    // 2) Right base sequence but corrupt delta body → Rejected (typed),
+    //    connection keeps serving.
+    let mut torn = delta.clone();
+    let n = torn.len();
+    torn[n / 2] ^= 0x20;
+    let bad = SnapshotDeltaPush {
+        site_id: 12,
+        seq: 1,
+        base_seq: 0,
+        delta: torn,
+    };
+    write_frame(&mut stream, &bad.encode_framed()).expect("corrupt delta push");
+    let (_, bytes) = read_frame(&mut stream, 1 << 20).expect("nack");
+    assert_eq!(
+        SnapshotAck::decode_framed(&bytes).expect("nack").status,
+        AckStatus::Rejected
+    );
+
+    // 3) The good delta lands…
+    let good = SnapshotDeltaPush {
+        site_id: 12,
+        seq: 1,
+        base_seq: 0,
+        delta: delta.clone(),
+    };
+    write_frame(&mut stream, &good.encode_framed()).expect("delta push");
+    let (_, bytes) = read_frame(&mut stream, 1 << 20).expect("ack");
+    assert_eq!(
+        SnapshotAck::decode_framed(&bytes).expect("ack").status,
+        AckStatus::Accepted
+    );
+
+    // 4) …and its replay (retry-after-lost-ack) is deduplicated.
+    write_frame(&mut stream, &good.encode_framed()).expect("replayed delta");
+    let (_, bytes) = read_frame(&mut stream, 1 << 20).expect("ack");
+    assert_eq!(
+        SnapshotAck::decode_framed(&bytes).expect("ack").status,
+        AckStatus::Duplicate
+    );
+
+    let (merged, stats) = server.shutdown();
+    assert_eq!(stats.snapshots_accepted, 2);
+    assert_eq!(stats.snapshots_duplicate, 1);
+    assert_eq!(stats.rejected(RejectReason::UnknownBase), 1);
+    assert_eq!(stats.rejected(RejectReason::ChecksumMismatch), 1);
+    // The reconstructed snapshot merged bitwise like the in-memory one.
+    assert_eq!(merged.samples_seen(), monitor.samples_seen());
+    for ((la, ea), (lb, eb)) in merged.report().iter().zip(&monitor.report()) {
+        assert_eq!(la, lb);
+        assert_eq!(ea.value.to_bits(), eb.value.to_bits(), "{la} diverged");
+    }
+}
+
+/// A site whose retained base went stale (another connection advanced
+/// the collector's sequence) transparently falls back to a full push
+/// with the same sequence number — nothing lost, nothing double-counted.
+#[test]
+fn stale_base_falls_back_to_a_full_push_transparently() {
+    let trace = ZipfStream::new(600, 1.1).generate(40_000, 53);
+    let parts: Vec<&[u64]> = trace.chunks(trace.len() / 4).collect();
+    let server =
+        CollectorServer::bind("127.0.0.1:0", prototype(), test_server_config()).expect("bind");
+    let addr = server.local_addr();
+
+    // First client instance for site 8: one full push (seq 0).
+    let mut monitor = prototype();
+    let mut sampler = BernoulliSampler::new(P, 61);
+    let mut client_a = SiteClient::connect(addr, test_client_config(8)).expect("connect a");
+    sampler.sample_batches(parts[0], 1024, |c| monitor.update_batch(c));
+    client_a.push_monitor(&monitor).expect("a push 0");
+
+    // A second instance for the same site advances the collector's
+    // sequence (and therefore its retained delta base) twice.
+    let mut client_b = SiteClient::connect(addr, test_client_config(8)).expect("connect b");
+    sampler.sample_batches(parts[1], 1024, |c| monitor.update_batch(c));
+    client_b.push_monitor(&monitor).expect("b push 1");
+    sampler.sample_batches(parts[2], 1024, |c| monitor.update_batch(c));
+    client_b.push_monitor(&monitor).expect("b push 2");
+    client_b.close();
+
+    // Client A reconnects (fast-forwarding its sequence) and pushes: its
+    // retained base (seq 0) is long gone server-side, so the delta is
+    // answered RejectedUnknownBase and the client transparently re-sends
+    // the full snapshot under the same sequence.
+    client_a.drop_connection();
+    sampler.sample_batches(parts[3], 1024, |c| monitor.update_batch(c));
+    assert_eq!(
+        client_a.push_monitor(&monitor).expect("a push 3"),
+        PushOutcome::Accepted
+    );
+    let stats_a = client_a.stats().clone();
+    client_a.close();
+    assert_eq!(stats_a.delta_fallbacks, 1, "the fallback must be visible");
+    assert_eq!(stats_a.snapshots_pushed, 2);
+
+    let (merged, stats) = server.shutdown();
+    assert_eq!(stats.snapshots_accepted, 4);
+    assert_eq!(stats.rejected(RejectReason::UnknownBase), 1);
+    assert_eq!(
+        merged.samples_seen(),
+        monitor.samples_seen(),
+        "the collector must hold the final cumulative state exactly once"
+    );
+}
+
+/// Acceptance drill: a collector fed a mix of wire-v1 full pushes (the
+/// committed fixture bytes), v2 full pushes and v2 delta pushes yields
+/// a merged view bitwise-identical to the in-memory merge of the same
+/// snapshots.
+#[test]
+fn collector_merges_v1_full_v2_full_and_v2_delta_pushes_bitwise() {
+    // The committed wire-v1 monitor fixture's builder configuration
+    // (see examples/gen_wire_fixtures.rs — frozen with the corpus).
+    let p = 0.25;
+    let proto = || {
+        MonitorBuilder::with_seed(p, 7)
+            .f0(0.05)
+            .fk(2)
+            .entropy(256)
+            .f1_heavy_hitters(0.05, 0.2, 0.05)
+            .f2_heavy_hitters(0.5, 0.5, 0.3)
+            .build()
+    };
+    let v1_wire = std::fs::read(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/wire_v1/monitor_full.bin"
+    ))
+    .expect("committed v1 fixture");
+
+    let server = CollectorServer::bind("127.0.0.1:0", proto(), test_server_config()).expect("bind");
+    let addr = server.local_addr();
+
+    // Site 1: the version-1 frame, pushed verbatim.
+    let mut c1 = SiteClient::connect(addr, test_client_config(1)).expect("c1");
+    assert_eq!(
+        c1.push_wire(v1_wire.clone()).expect("v1 push"),
+        PushOutcome::Accepted
+    );
+    c1.close();
+
+    // Site 2: a v2 full push.
+    let trace = ZipfStream::new(1 << 12, 1.2).generate(30_000, 97);
+    let (left, right) = trace.split_at(trace.len() / 2);
+    let mut m2 = proto();
+    let mut s2 = BernoulliSampler::new(p, 201);
+    s2.sample_batches(left, 1024, |c| m2.update_batch(c));
+    let mut c2 = SiteClient::connect(addr, test_client_config(2)).expect("c2");
+    c2.push_monitor(&m2).expect("v2 full push");
+    c2.close();
+
+    // Site 3: a v2 full push followed by a delta push.
+    let mut m3 = proto();
+    let mut s3 = BernoulliSampler::new(p, 301);
+    s3.sample_batches(left, 1024, |c| m3.update_batch(c));
+    let mut c3 = SiteClient::connect(addr, test_client_config(3)).expect("c3");
+    c3.push_monitor(&m3).expect("v2 base push");
+    s3.sample_batches(right, 1024, |c| m3.update_batch(c));
+    c3.push_monitor(&m3).expect("v2 delta push");
+    let stats3 = c3.stats().clone();
+    c3.close();
+    assert_eq!(
+        stats3.snapshots_delta, 1,
+        "second push must ride as a delta"
+    );
+
+    let (merged, stats) = server.shutdown();
+    assert_eq!(stats.rejected_total(), 0);
+    assert_eq!(stats.snapshots_accepted, 4);
+
+    // In-memory reference, same ascending-site fold order.
+    let mut reference = proto();
+    reference
+        .try_merge(&Monitor::restore(&v1_wire).expect("v1 restores"))
+        .expect("v1 merges");
+    reference.try_merge(&m2).expect("site 2 merges");
+    reference.try_merge(&m3).expect("site 3 merges");
+    assert_eq!(merged.samples_seen(), reference.samples_seen());
+    for ((la, ea), (lb, eb)) in merged.report().iter().zip(&reference.report()) {
+        assert_eq!(la, lb);
+        assert_eq!(
+            ea.value.to_bits(),
+            eb.value.to_bits(),
+            "{la}: mixed-version TCP merge {} vs in-memory {}",
+            ea.value,
+            eb.value
+        );
+    }
 }
 
 /// The client's bounded retry gives up with a typed error when nothing

@@ -1,23 +1,33 @@
-//! Cross-version decode pinned by bytes, not by review: the committed
-//! `tests/fixtures/wire_v1/` corpus (one framed version-1 snapshot per
-//! estimator family, written once by `examples/gen_wire_fixtures.rs`)
-//! must keep decoding on every build, answer the estimates pinned in
-//! the manifest, and re-encode to the *identical* bytes. Any codec or
-//! estimator-layout change that silently breaks version-1 frames fails
-//! here before it ships.
+//! Cross-version decode pinned by bytes, not by review.
+//!
+//! Two committed corpora (one framed snapshot per estimator family,
+//! written by `examples/gen_wire_fixtures.rs`):
+//!
+//! * `tests/fixtures/wire_v1/` — **frozen**: written by the last
+//!   version-1 build and never regenerated. Every build must keep
+//!   decoding these frames under the current codec and answer the
+//!   estimates pinned in the manifest bit for bit. (Re-encoding them
+//!   produces current-version frames, so byte-identity is checked on
+//!   the *round trip through the current format*, not against the v1
+//!   bytes.)
+//! * `tests/fixtures/wire_v2/` — the current format's corpus: decodes,
+//!   answers its pinned estimates, and re-encodes to the *identical*
+//!   bytes — any layout change that silently moves the format fails
+//!   here before it ships (and is the cue to bump `WIRE_VERSION`, add
+//!   a `wire_v3/` corpus and freeze this one).
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
-use subsampled_streams::codec::{peek_frame, WireCodec, WIRE_VERSION};
+use subsampled_streams::codec::{peek_frame, WireCodec, WIRE_VERSION, WIRE_VERSION_MIN};
 use subsampled_streams::core::{
     AdaptiveF2Estimator, ExactCollisions, LevelSetCollisions, Monitor, NaiveScaledF0,
     NaiveScaledFk, RusuDobraF2, SampledEntropyEstimator, SampledF0Estimator, SampledF1HeavyHitters,
     SampledF2HeavyHitters, SampledFkEstimator, Statistic, SubsampledEstimator,
 };
 
-fn fixture_dir() -> PathBuf {
-    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/wire_v1")
+fn fixture_dir(version: u16) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join(format!("tests/fixtures/wire_v{version}"))
 }
 
 struct ManifestRow {
@@ -27,8 +37,8 @@ struct ManifestRow {
     bytes: usize,
 }
 
-fn manifest() -> BTreeMap<String, ManifestRow> {
-    let text = std::fs::read_to_string(fixture_dir().join("manifest.tsv"))
+fn manifest(version: u16) -> BTreeMap<String, ManifestRow> {
+    let text = std::fs::read_to_string(fixture_dir(version).join("manifest.tsv"))
         .expect("committed manifest.tsv");
     let mut rows = BTreeMap::new();
     for line in text
@@ -57,7 +67,7 @@ fn manifest() -> BTreeMap<String, ManifestRow> {
 /// generator without teaching this dispatcher fails the test.
 fn decode_fixture(name: &str, bytes: &[u8]) -> (u64, u64, Vec<u8>) {
     fn typed<E: SubsampledEstimator + WireCodec>(bytes: &[u8]) -> (u64, u64, Vec<u8>) {
-        let est = E::decode_framed(bytes).expect("version-1 fixture decodes");
+        let est = E::decode_framed(bytes).expect("committed fixture decodes");
         (
             SubsampledEstimator::estimate(&est).value.to_bits(),
             est.samples_seen(),
@@ -76,7 +86,7 @@ fn decode_fixture(name: &str, bytes: &[u8]) -> (u64, u64, Vec<u8>) {
         "naive_f0" => typed::<NaiveScaledF0>(bytes),
         "adaptive_f2" => typed::<AdaptiveF2Estimator>(bytes),
         "monitor_full" => {
-            let m = Monitor::restore(bytes).expect("version-1 monitor restores");
+            let m = Monitor::restore(bytes).expect("committed monitor restores");
             (
                 m.estimate(Statistic::Fk(2))
                     .expect("registered")
@@ -90,25 +100,27 @@ fn decode_fixture(name: &str, bytes: &[u8]) -> (u64, u64, Vec<u8>) {
     }
 }
 
-#[test]
-fn committed_v1_corpus_decodes_and_reencodes_identically() {
-    let rows = manifest();
+/// Shared corpus walk: decode every committed fixture of `version`,
+/// check its pinned estimate/provenance bits, and hand the re-encoded
+/// bytes to `check_reencoded`.
+fn check_corpus(version: u16, check_reencoded: impl Fn(&str, &[u8], Vec<u8>)) {
+    let rows = manifest(version);
     assert!(
         rows.len() >= 11,
         "corpus should cover every estimator family, found {}",
         rows.len()
     );
     for (name, row) in &rows {
-        let bytes =
-            std::fs::read(fixture_dir().join(format!("{name}.bin"))).expect("committed fixture");
+        let bytes = std::fs::read(fixture_dir(version).join(format!("{name}.bin")))
+            .expect("committed fixture");
         assert_eq!(bytes.len(), row.bytes, "{name}: committed size changed");
 
-        let (version, tag, payload) = peek_frame(&bytes).expect("frame header");
-        assert_eq!(version, 1, "{name}: corpus is version-1 by definition");
-        assert_eq!(
-            version, WIRE_VERSION,
-            "{name}: WIRE_VERSION moved — keep version-1 frames decodable \
-             and add a new corpus instead of regenerating this one"
+        let (found_version, tag, payload) = peek_frame(&bytes).expect("frame header");
+        assert_eq!(found_version, version, "{name}: corpus carries its version");
+        assert!(
+            (WIRE_VERSION_MIN..=WIRE_VERSION).contains(&found_version),
+            "{name}: version {found_version} fell out of the supported window \
+             [{WIRE_VERSION_MIN}, {WIRE_VERSION}] — old frames must stay decodable"
         );
         assert_eq!(tag, row.tag, "{name}: wire tag changed");
         assert!(payload > 0);
@@ -119,31 +131,83 @@ fn committed_v1_corpus_decodes_and_reencodes_identically() {
             "{name}: decoded estimate drifted from the pinned bits"
         );
         assert_eq!(samples_seen, row.samples_seen, "{name}: provenance drifted");
+        check_reencoded(name, &bytes, reencoded);
+    }
+}
+
+#[test]
+fn committed_v1_corpus_decodes_under_the_v2_codec() {
+    check_corpus(1, |name, _original, reencoded| {
+        // Re-encoding a v1-decoded state writes the *current* format;
+        // the result must be a valid current-version frame that decodes
+        // back to the same pinned estimate — the full v1 → v2 migration
+        // path, exercised on every committed family.
+        let (version, _, _) = peek_frame(&reencoded).expect("re-encoded frame header");
         assert_eq!(
-            reencoded, bytes,
+            version, WIRE_VERSION,
+            "{name}: re-encode must write the current version"
+        );
+        let (bits_a, samples_a, _) = decode_fixture(name, &reencoded);
+        let rows = manifest(1);
+        let row = &rows[name];
+        assert_eq!(
+            bits_a, row.estimate_bits,
+            "{name}: v1 → v2 re-encode changed the estimate"
+        );
+        assert_eq!(samples_a, row.samples_seen);
+    });
+}
+
+#[test]
+fn committed_v2_corpus_decodes_and_reencodes_identically() {
+    check_corpus(2, |name, original, reencoded| {
+        assert_eq!(
+            reencoded, original,
             "{name}: decode→encode no longer reproduces the committed bytes"
         );
-    }
+    });
+}
+
+#[test]
+fn v2_snapshots_are_at_least_2x_smaller_than_v1() {
+    // The compaction target, pinned on the committed corpora (same
+    // seeds, same stream, same parameters in both generators): the
+    // full-monitor v2 snapshot must stay ≥ 2× smaller than v1.
+    let v1 = manifest(1);
+    let v2 = manifest(2);
+    let (a, b) = (v1["monitor_full"].bytes, v2["monitor_full"].bytes);
+    assert!(
+        b * 2 <= a,
+        "monitor_full: v2 snapshot {b} B is not 2x smaller than v1 {a} B"
+    );
+    // And the Rusu–Dobra wire-bloat fix specifically (was ~6x state).
+    let (a, b) = (v1["rusu_dobra_f2"].bytes, v2["rusu_dobra_f2"].bytes);
+    assert!(
+        b * 4 <= a,
+        "rusu_dobra_f2: v2 snapshot {b} B should be far below v1's {a} B"
+    );
 }
 
 #[test]
 fn corpus_files_match_manifest_exactly() {
     // No orphan fixtures, no missing ones: the directory and the
-    // manifest must agree file for file.
-    let rows = manifest();
-    let mut on_disk: Vec<String> = std::fs::read_dir(fixture_dir())
-        .expect("fixture dir")
-        .filter_map(|e| {
-            let name = e
-                .expect("dir entry")
-                .file_name()
-                .into_string()
-                .expect("utf-8");
-            name.strip_suffix(".bin").map(|s| s.to_string())
-        })
-        .collect();
-    on_disk.sort();
-    let mut in_manifest: Vec<String> = rows.keys().cloned().collect();
-    in_manifest.sort();
-    assert_eq!(on_disk, in_manifest);
+    // manifest must agree file for file — in both corpora.
+    for version in [1u16, 2] {
+        let rows = manifest(version);
+        let mut on_disk: Vec<String> = std::fs::read_dir(fixture_dir(version))
+            .expect("fixture dir")
+            .filter_map(|e| {
+                let name = e
+                    .expect("dir entry")
+                    .file_name()
+                    .into_string()
+                    .expect("utf-8");
+                name.strip_suffix(".bin").map(|s| s.to_string())
+            })
+            .collect();
+        on_disk.sort();
+        let mut in_manifest: Vec<String> = rows.keys().cloned().collect();
+        in_manifest.sort();
+        assert_eq!(on_disk, in_manifest, "wire_v{version}");
+    }
 }
