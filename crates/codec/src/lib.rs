@@ -54,7 +54,8 @@
 //! keeping the old tag decodable for a deprecation window. Tags are
 //! allocated in per-crate ranges: `0x01xx` = `sss-hash`, `0x02xx` =
 //! `sss-sketch`, `0x03xx` = `sss-stream`, `0x04xx` = `sss-core`,
-//! `0x05xx` = `sss-transport`.
+//! `0x05xx` = `sss-transport`, `0x06xx` = `sss-window` (bucket ring,
+//! decayed ring, query registry, alerts).
 
 use std::fmt;
 

@@ -515,7 +515,7 @@ mod tests {
         let base: Vec<u8> = (0..65_536u64).map(|i| (i % 251) as u8).collect();
         let honest = SnapshotDelta::compute(&base, &base);
         let mut hostile = honest.clone();
-        hostile.target_len = (1 << 50) as u64;
+        hostile.target_len = 1u64 << 50;
         hostile.ops = (0..1_000)
             .map(|_| DeltaOp::Copy {
                 offset: 0,

@@ -9,12 +9,14 @@ mod basic;
 mod lower_bound;
 mod netflow;
 mod planted;
+mod timed;
 mod zipf;
 
 pub use basic::{ConstantStream, DistinctStream, UniformStream};
 pub use lower_bound::{EntropyScenarioPair, F0HardPair};
 pub use netflow::NetFlowStream;
 pub use planted::PlantedHeavyHitters;
+pub use timed::TimedStream;
 pub use zipf::ZipfStream;
 
 use crate::types::Item;

@@ -1,0 +1,104 @@
+//! Event-time hooks: pair any [`StreamGen`] workload with monotone
+//! arrival timestamps, producing the `(ts, item)` traces that windowed
+//! monitors ingest (`epoch = ts / bucket_span`).
+
+use sss_hash::{split_seed, RngCore64, Xoshiro256pp};
+
+use super::StreamGen;
+use crate::types::Item;
+
+/// Seed lane separating the arrival-time process from the item process,
+/// so the same `seed` yields the same items whether or not they are
+/// timestamped.
+const TIMED_LANE: u64 = 0x7469_6d65; // "time"
+
+/// A [`StreamGen`] workload with a renewal arrival process: consecutive
+/// arrivals are separated by `1 + Geometric(1/mean_gap)` ticks, so the
+/// mean inter-arrival time is `mean_gap` and timestamps strictly
+/// increase. `mean_gap = 1.0` gives the dense unit-tick trace
+/// (`ts = 1, 2, 3, …`) that makes epoch boundaries exact item counts —
+/// handy for tests; larger gaps model bursty/sparse telemetry.
+#[derive(Debug, Clone)]
+pub struct TimedStream<G> {
+    inner: G,
+    mean_gap: f64,
+}
+
+impl<G: StreamGen> TimedStream<G> {
+    /// Attach arrival times with the given mean inter-arrival gap
+    /// (must be ≥ 1 tick).
+    pub fn new(inner: G, mean_gap: f64) -> Self {
+        assert!(
+            mean_gap.is_finite() && mean_gap >= 1.0,
+            "mean inter-arrival gap must be >= 1 tick, got {mean_gap}"
+        );
+        Self { inner, mean_gap }
+    }
+
+    /// Universe size of the underlying workload.
+    pub fn universe(&self) -> u64 {
+        self.inner.universe()
+    }
+
+    /// Emit `(ts, item)` arrivals; items are exactly
+    /// `inner.emit(n, seed, …)`'s, timestamps come from the lane-split
+    /// arrival RNG.
+    pub fn emit(&self, n: u64, seed: u64, f: &mut dyn FnMut(u64, Item)) {
+        let mut clock = Xoshiro256pp::new(split_seed(seed, TIMED_LANE));
+        let p = 1.0 / self.mean_gap;
+        let mut ts = 0u64;
+        self.inner.emit(n, seed, &mut |x| {
+            ts = ts.saturating_add(1 + clock.next_geometric(p));
+            f(ts, x);
+        });
+    }
+
+    /// Materialise the timestamped trace.
+    pub fn generate(&self, n: u64, seed: u64) -> Vec<(u64, Item)> {
+        let mut out = Vec::with_capacity(n.min(1 << 28) as usize);
+        self.emit(n, seed, &mut |ts, x| out.push((ts, x)));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::ZipfStream;
+
+    #[test]
+    fn items_match_the_untimed_stream() {
+        let zipf = ZipfStream::new(1000, 1.2);
+        let plain = zipf.generate(5_000, 9);
+        let timed = TimedStream::new(zipf, 3.0).generate(5_000, 9);
+        assert_eq!(timed.len(), plain.len());
+        for ((_, a), b) in timed.iter().zip(plain.iter()) {
+            assert_eq!(a, b, "timestamps must not perturb the item process");
+        }
+    }
+
+    #[test]
+    fn timestamps_strictly_increase_with_the_requested_mean_gap() {
+        let timed = TimedStream::new(ZipfStream::new(100, 1.1), 5.0).generate(20_000, 4);
+        for w in timed.windows(2) {
+            assert!(w[0].0 < w[1].0);
+        }
+        let span = timed.last().expect("nonempty").0 - timed[0].0;
+        let mean = span as f64 / (timed.len() - 1) as f64;
+        assert!((mean - 5.0).abs() < 0.2, "mean gap = {mean}");
+    }
+
+    #[test]
+    fn unit_gap_is_the_dense_trace() {
+        let timed = TimedStream::new(ZipfStream::new(100, 1.1), 1.0).generate(100, 1);
+        let ts: Vec<u64> = timed.iter().map(|(t, _)| *t).collect();
+        assert_eq!(ts, (1..=100u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = TimedStream::new(ZipfStream::new(500, 1.3), 4.0);
+        assert_eq!(g.generate(3_000, 7), g.generate(3_000, 7));
+        assert_ne!(g.generate(3_000, 7), g.generate(3_000, 8));
+    }
+}

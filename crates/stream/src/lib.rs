@@ -23,8 +23,8 @@ pub mod types;
 pub use exact::ExactStats;
 pub use gen::{
     ConstantStream, DistinctStream, EntropyScenarioPair, F0HardPair, NetFlowStream,
-    PlantedHeavyHitters, StreamGen, UniformStream, ZipfStream,
+    PlantedHeavyHitters, StreamGen, TimedStream, UniformStream, ZipfStream,
 };
 pub use sample_hold::SampleAndHold;
-pub use sampler::{BernoulliSampler, OneInNSampler};
+pub use sampler::{BernoulliSampler, OneInNSampler, SkipPositions};
 pub use types::Item;

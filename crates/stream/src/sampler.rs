@@ -71,18 +71,40 @@ impl BernoulliSampler {
         self.rng.next_bool(self.p)
     }
 
+    /// Lazily yield the surviving **positions** among the next `n`
+    /// elements — the geometric-skip generator decoupled from any
+    /// materialised data. `O(survivors)` RNG draws total, `O(1)` state:
+    /// at `p ≪ 1` a consumer visits only the `≈ p·n` surviving offsets
+    /// of a stream it never has to touch element-by-element (windowed
+    /// replay of sparse buckets, columnar scans, mmap'd traces).
+    ///
+    /// The position sequence is exactly the one
+    /// [`BernoulliSampler::sample_slice`] visits: both draw the same
+    /// `Geometric(p)` gaps from the same RNG state.
+    pub fn skip_positions(&mut self, n: u64) -> SkipPositions<'_> {
+        SkipPositions {
+            p: self.p,
+            rng: &mut self.rng,
+            n,
+            cursor: None,
+            done: false,
+        }
+    }
+
+    /// Sample a borrowed slice, invoking `f` with `(position, item)` for
+    /// every surviving element. Skip-based: cost is `O(|L|)` RNG draws,
+    /// not `O(|P|)`.
+    pub fn sample_indexed<F: FnMut(usize, Item)>(&mut self, data: &[Item], mut f: F) {
+        let n = data.len() as u64;
+        for pos in self.skip_positions(n) {
+            f(pos as usize, data[pos as usize]);
+        }
+    }
+
     /// Sample a borrowed slice, invoking `f` for every surviving element.
     /// Skip-based: cost is `O(|L|)` RNG draws, not `O(|P|)`.
     pub fn sample_slice<F: FnMut(Item)>(&mut self, data: &[Item], mut f: F) {
-        let mut idx = self.rng.next_geometric(self.p);
-        while (idx as usize) < data.len() {
-            f(data[idx as usize]);
-            let gap = self.rng.next_geometric(self.p);
-            idx = match idx.checked_add(1).and_then(|i| i.checked_add(gap)) {
-                Some(i) => i,
-                None => break,
-            };
-        }
+        self.sample_indexed(data, |_, x| f(x));
     }
 
     /// Sample a borrowed slice, delivering the survivors to `f` in chunks
@@ -96,18 +118,12 @@ impl BernoulliSampler {
     pub fn sample_batches<F: FnMut(&[Item])>(&mut self, data: &[Item], batch: usize, mut f: F) {
         assert!(batch >= 1, "batch size must be positive");
         let mut buf: Vec<Item> = Vec::with_capacity(batch);
-        let mut idx = self.rng.next_geometric(self.p);
-        while (idx as usize) < data.len() {
-            buf.push(data[idx as usize]);
+        for pos in self.skip_positions(data.len() as u64) {
+            buf.push(data[pos as usize]);
             if buf.len() == batch {
                 f(&buf);
                 buf.clear();
             }
-            let gap = self.rng.next_geometric(self.p);
-            idx = match idx.checked_add(1).and_then(|i| i.checked_add(gap)) {
-                Some(i) => i,
-                None => break,
-            };
         }
         if !buf.is_empty() {
             f(&buf);
@@ -148,6 +164,51 @@ impl WireCodec for BernoulliSampler {
         let seed = r.u64()?;
         let rng = Xoshiro256pp::decode(r)?;
         Ok(BernoulliSampler { p, seed, rng })
+    }
+}
+
+/// Lazy surviving-position iterator produced by
+/// [`BernoulliSampler::skip_positions`]. Fused: the first position at
+/// or beyond `n` ends the iteration, and no further RNG is drawn — so
+/// the sampler can resume on the next range with the state it would
+/// have had after [`BernoulliSampler::sample_slice`] over `n` elements.
+#[derive(Debug)]
+pub struct SkipPositions<'a> {
+    p: f64,
+    rng: &'a mut Xoshiro256pp,
+    n: u64,
+    /// Last yielded position (`None` before the first draw).
+    cursor: Option<u64>,
+    done: bool,
+}
+
+impl Iterator for SkipPositions<'_> {
+    type Item = u64;
+
+    #[inline]
+    fn next(&mut self) -> Option<u64> {
+        if self.done {
+            return None;
+        }
+        let idx = match self.cursor {
+            None => self.rng.next_geometric(self.p),
+            Some(prev) => {
+                let gap = self.rng.next_geometric(self.p);
+                match prev.checked_add(1).and_then(|i| i.checked_add(gap)) {
+                    Some(i) => i,
+                    None => {
+                        self.done = true;
+                        return None;
+                    }
+                }
+            }
+        };
+        if idx >= self.n {
+            self.done = true;
+            return None;
+        }
+        self.cursor = Some(idx);
+        Some(idx)
     }
 }
 
@@ -315,6 +376,70 @@ mod tests {
         let mut advanced = BernoulliSampler::new(0.2, 9);
         let _ = advanced.sample_to_vec(&data);
         assert_eq!(advanced.fork(1).sample_to_vec(&data), b);
+    }
+
+    #[test]
+    fn skip_positions_match_the_sampled_elements() {
+        let data: Vec<Item> = (0..60_000u64).map(|i| i * 7 + 1).collect();
+        for &p in &[0.01, 0.13, 0.5, 1.0] {
+            let mut s1 = BernoulliSampler::new(p, 77);
+            let via_slice = s1.sample_to_vec(&data);
+            let mut s2 = BernoulliSampler::new(p, 77);
+            let positions: Vec<u64> = s2.skip_positions(data.len() as u64).collect();
+            let via_positions: Vec<Item> = positions.iter().map(|&i| data[i as usize]).collect();
+            assert_eq!(via_slice, via_positions, "p = {p}");
+            for w in positions.windows(2) {
+                assert!(w[0] < w[1], "positions strictly increase");
+            }
+        }
+    }
+
+    #[test]
+    fn skip_positions_is_o_survivors_and_fused() {
+        // At p = 1/1000 over a million virtual elements the generator
+        // yields ~1000 positions without any per-element work — and once
+        // exhausted it stays exhausted without advancing the RNG.
+        let mut s = BernoulliSampler::new(0.001, 5);
+        let mut iter = s.skip_positions(1_000_000);
+        let count = iter.by_ref().count();
+        assert!((500..2_000).contains(&count), "count = {count}");
+        assert_eq!(iter.next(), None, "fused after exhaustion");
+    }
+
+    #[test]
+    fn skip_positions_resumes_across_ranges_like_slices() {
+        // Consuming positions range-by-range must advance the RNG the
+        // same way as sampling the concatenated slice.
+        let data: Vec<Item> = (0..30_000u64).collect();
+        let mut whole = BernoulliSampler::new(0.07, 13);
+        let expect = whole.sample_to_vec(&data);
+        let mut split = BernoulliSampler::new(0.07, 13);
+        let mut got = Vec::new();
+        for chunk in data.chunks(7_500) {
+            for pos in split.skip_positions(chunk.len() as u64) {
+                got.push(chunk[pos as usize]);
+            }
+        }
+        // Note: per-range resampling re-draws the boundary gap, so the
+        // *sets* differ slightly — but each range is itself a faithful
+        // Bernoulli sample, and the total rate matches.
+        let rate_a = expect.len() as f64 / data.len() as f64;
+        let rate_b = got.len() as f64 / data.len() as f64;
+        assert!((rate_a - rate_b).abs() < 0.01, "{rate_a} vs {rate_b}");
+    }
+
+    #[test]
+    fn sample_indexed_agrees_with_sample_slice() {
+        let data: Vec<Item> = (0..25_000u64).map(|i| i ^ 0x5a5a).collect();
+        let mut s1 = BernoulliSampler::new(0.2, 31);
+        let via_slice = s1.sample_to_vec(&data);
+        let mut s2 = BernoulliSampler::new(0.2, 31);
+        let mut via_indexed = Vec::new();
+        s2.sample_indexed(&data, |i, x| {
+            assert_eq!(data[i], x);
+            via_indexed.push(x);
+        });
+        assert_eq!(via_slice, via_indexed);
     }
 
     #[test]

@@ -1,0 +1,304 @@
+//! Exponential time decay as a query-time weighting over the bucket
+//! ring — the DGIM/exponential-histogram trade dressed in this stack's
+//! merge algebra: per-item state is untouched (buckets are the same
+//! sub-`Monitor`s a [`WindowedMonitor`] keeps), and "decay" is applied
+//! when a question is asked, as a per-bucket weight `2^(−age/half_life)`.
+
+use sss_codec::{put_len, CodecError, Reader, WireCodec};
+use sss_core::{Estimate, Guarantee, Monitor, Statistic};
+
+use crate::windowed::{WindowConfig, WindowedMonitor};
+
+/// Time-decayed statistics: a [`WindowedMonitor`] bucket ring whose
+/// estimates are combined with exponential per-bucket weights at query
+/// time. A bucket `a` epochs old weighs `2^(−a / half_life)`.
+///
+/// The combination rule follows the statistic's type:
+///
+/// * **additive statistics** (`F_0`, `F_k`, heavy-hitter mass): the
+///   decayed value is the *weighted sum* of per-bucket estimates — the
+///   natural "recent traffic counts more" total. Note this is a
+///   per-bucket decay of the paper's estimators, not an estimator over
+///   a decayed stream: cross-bucket structure (e.g. an item recurring
+///   in several buckets) is weighted per bucket, so answers carry
+///   [`Guarantee::Heuristic`].
+/// * **entropy**: a weighted *mean* of per-bucket entropies (entropy is
+///   an average-type quantity; summing it would be meaningless).
+///
+/// The retention depth is the window's bucket count: buckets older than
+/// `cfg.buckets` epochs have weight at most `2^(−buckets/half_life)`
+/// *and* have been retired — choose `buckets ≳ 3·half_life` so the
+/// truncation error stays below ~12% of the weight mass.
+#[derive(Clone)]
+pub struct DecayedMonitor {
+    inner: WindowedMonitor,
+    half_life: f64,
+}
+
+impl DecayedMonitor {
+    /// Wrap a pristine monitor configuration into a decayed window with
+    /// the given `half_life` measured in epochs.
+    ///
+    /// # Panics
+    /// If `half_life` is not finite and positive, or the prototype is
+    /// not pristine.
+    pub fn new(prototype: Monitor, cfg: WindowConfig, half_life: f64) -> Self {
+        assert!(
+            half_life.is_finite() && half_life > 0.0,
+            "half-life must be a positive number of epochs, got {half_life}"
+        );
+        Self {
+            inner: WindowedMonitor::new(prototype, cfg),
+            half_life,
+        }
+    }
+
+    /// The decay half-life, in epochs.
+    #[inline]
+    pub fn half_life(&self) -> f64 {
+        self.half_life
+    }
+
+    /// The underlying bucket ring (clock, retirement counters, …).
+    #[inline]
+    pub fn window(&self) -> &WindowedMonitor {
+        &self.inner
+    }
+
+    /// Ingest one sampled item observed at event time `ts`.
+    #[inline]
+    pub fn ingest_at(&mut self, ts: u64, x: u64) {
+        self.inner.ingest_at(ts, x);
+    }
+
+    /// Ingest a batch sharing event time `ts`.
+    #[inline]
+    pub fn ingest_batch_at(&mut self, ts: u64, xs: &[u64]) {
+        self.inner.ingest_batch_at(ts, xs);
+    }
+
+    /// Advance the clock without ingesting (ages every bucket).
+    #[inline]
+    pub fn advance_to(&mut self, epoch: u64) {
+        self.inner.advance_to(epoch);
+    }
+
+    /// `(epoch, weight)` of every live bucket, ascending epoch — the
+    /// weights the next [`DecayedMonitor::estimate`] will apply.
+    pub fn weights(&self) -> Vec<(u64, f64)> {
+        self.inner
+            .bucket_epochs()
+            .into_iter()
+            .map(|e| (e, self.weight_of(e)))
+            .collect()
+    }
+
+    #[inline]
+    fn weight_of(&self, epoch: u64) -> f64 {
+        let age = (self.inner.cur_epoch() - epoch) as f64;
+        (-(age / self.half_life) * std::f64::consts::LN_2).exp()
+    }
+
+    /// The decayed estimate for `stat` (`None` if unregistered).
+    pub fn estimate(&self, stat: Statistic) -> Option<Estimate> {
+        self.estimate_labeled(&stat.to_string())
+    }
+
+    /// The decayed estimate under an explicit label: weighted sum for
+    /// additive statistics, weighted mean for entropy, always
+    /// [`Guarantee::Heuristic`].
+    pub fn estimate_labeled(&self, label: &str) -> Option<Estimate> {
+        let stat = self
+            .inner
+            .prototype_ref()
+            .space_breakdown()
+            .into_iter()
+            .find(|(l, _, _)| l == label)
+            .map(|(_, s, _)| s)?;
+        let average = matches!(stat, Statistic::Entropy);
+        let mut value = 0.0;
+        let mut weight_sum = 0.0;
+        let mut samples = 0u64;
+        for (epoch, bucket) in self.inner.iter_buckets() {
+            let est = bucket.estimate_labeled(label)?;
+            let w = self.weight_of(epoch);
+            value += w * est.value;
+            weight_sum += w;
+            samples += est.samples_seen;
+        }
+        if average {
+            if weight_sum == 0.0 {
+                return Some(Estimate::scalar(
+                    0.0,
+                    Guarantee::Heuristic,
+                    self.inner.p(),
+                    0,
+                ));
+            }
+            value /= weight_sum;
+        }
+        Some(Estimate::scalar(
+            value,
+            Guarantee::Heuristic,
+            self.inner.p(),
+            samples,
+        ))
+    }
+
+    /// All decayed estimates as `(label, estimate)` rows.
+    pub fn report(&self) -> Vec<(String, Estimate)> {
+        self.inner
+            .prototype_ref()
+            .space_breakdown()
+            .into_iter()
+            .filter_map(|(label, _, _)| self.estimate_labeled(&label).map(|e| (label.clone(), e)))
+            .collect()
+    }
+
+    /// Serialize as a framed wire snapshot (see
+    /// [`WindowedMonitor::checkpoint`]).
+    pub fn checkpoint(&self) -> Result<Vec<u8>, CodecError> {
+        self.inner.checkpoint()?;
+        Ok(self.encode_framed())
+    }
+
+    /// Rebuild from [`DecayedMonitor::checkpoint`] bytes.
+    pub fn restore(bytes: &[u8]) -> Result<DecayedMonitor, CodecError> {
+        DecayedMonitor::decode_framed(bytes)
+    }
+}
+
+impl WireCodec for DecayedMonitor {
+    const WIRE_TAG: u16 = 0x0602;
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.half_life.encode_into(out);
+        let mut payload = Vec::new();
+        self.inner.encode_into(&mut payload);
+        put_len(out, payload.len());
+        out.extend_from_slice(&payload);
+    }
+
+    fn decode(r: &mut Reader) -> Result<Self, CodecError> {
+        let half_life = r.f64()?;
+        if !(half_life.is_finite() && half_life > 0.0) {
+            return Err(CodecError::Invalid {
+                what: "half-life must be finite and positive",
+            });
+        }
+        let len = r.len_prefix(1)?;
+        let mut section = Reader::with_version(r.take(len)?, r.version());
+        let inner = WindowedMonitor::decode(&mut section)?;
+        section.expect_empty()?;
+        Ok(DecayedMonitor { inner, half_life })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sss_core::MonitorBuilder;
+
+    fn decayed(buckets: usize, half_life: f64) -> DecayedMonitor {
+        let proto = MonitorBuilder::with_seed(1.0, 11)
+            .f0(0.01)
+            .entropy(512)
+            .build();
+        DecayedMonitor::new(proto, WindowConfig::new(buckets, 100), half_life)
+    }
+
+    /// Epoch `e` gets `per_epoch` *distinct* items disjoint from every
+    /// other epoch, so each bucket's F0 is exactly `per_epoch` at p = 1.
+    fn fill_epochs(d: &mut DecayedMonitor, epochs: u64, per_epoch: u64) {
+        for e in 0..epochs {
+            for i in 0..per_epoch {
+                d.ingest_at(e * 100, e * per_epoch + i);
+            }
+        }
+    }
+
+    #[test]
+    fn weights_halve_per_half_life_and_sum_weighted_f0() {
+        let mut d = decayed(8, 1.0);
+        fill_epochs(&mut d, 4, 50);
+        let weights = d.weights();
+        assert_eq!(weights.len(), 4);
+        for (i, (epoch, w)) in weights.iter().enumerate() {
+            assert_eq!(*epoch, i as u64);
+            let expect = 0.5f64.powi((3 - i) as i32);
+            assert!((w - expect).abs() < 1e-12, "epoch {epoch}: {w}");
+        }
+        // Distinct disjoint items per epoch: decayed F0 = 50 · Σ w.
+        let expect = 50.0 * (1.0 + 0.5 + 0.25 + 0.125);
+        let got = d.estimate(Statistic::F0).expect("registered");
+        assert!(matches!(got.guarantee, Guarantee::Heuristic));
+        assert!(
+            (got.value - expect).abs() < 1e-6,
+            "decayed F0 {} vs {expect}",
+            got.value
+        );
+        // Undecayed comparison: the plain window fold sees all 200
+        // distinct (estimated — the union exceeds the bottom-k budget).
+        let flat = d.window().estimate(Statistic::F0).expect("registered");
+        assert!((flat.value - 200.0).abs() < 30.0, "flat F0 {}", flat.value);
+    }
+
+    #[test]
+    fn aging_without_traffic_shrinks_the_answer() {
+        let mut d = decayed(16, 2.0);
+        fill_epochs(&mut d, 2, 100);
+        let before = d.estimate(Statistic::F0).expect("registered").value;
+        d.advance_to(6);
+        let after = d.estimate(Statistic::F0).expect("registered").value;
+        assert!(
+            after < before / 3.0,
+            "aging 5 epochs at half-life 2 must shrink the mass: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn entropy_is_weight_averaged_not_summed() {
+        let mut d = decayed(8, 1.0);
+        // Same uniform-ish composition every epoch: per-bucket entropy
+        // is ~equal, so the weighted mean must sit near it (a sum would
+        // be ~4x larger).
+        for e in 0..4u64 {
+            for i in 0..400u64 {
+                d.ingest_at(e * 100, i % 16);
+            }
+        }
+        let per_bucket = d
+            .window()
+            .fold()
+            .estimate(Statistic::Entropy)
+            .expect("registered")
+            .value;
+        let decayed_h = d.estimate(Statistic::Entropy).expect("registered").value;
+        assert!(
+            (decayed_h - per_bucket).abs() < 0.5,
+            "decayed entropy {decayed_h} should sit near per-bucket {per_bucket}"
+        );
+    }
+
+    #[test]
+    fn empty_ring_answers_zero_and_unknown_labels_none() {
+        let d = decayed(4, 1.0);
+        assert_eq!(d.estimate(Statistic::F0).expect("registered").value, 0.0);
+        assert!(d.estimate(Statistic::Fk(2)).is_none());
+    }
+
+    #[test]
+    fn wire_round_trip_is_byte_identical() {
+        let mut d = decayed(6, 1.5);
+        fill_epochs(&mut d, 3, 30);
+        let bytes = d.checkpoint().expect("checkpoint");
+        let back = DecayedMonitor::restore(&bytes).expect("restore");
+        assert_eq!(back.checkpoint().expect("re-checkpoint"), bytes);
+        assert_eq!(back.half_life(), d.half_life());
+        let (a, b) = (
+            d.estimate(Statistic::F0).expect("f0").value,
+            back.estimate(Statistic::F0).expect("f0").value,
+        );
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+}

@@ -1,0 +1,50 @@
+//! Sliding-window and time-decayed statistics over sub-sampled streams.
+//!
+//! Everything the [`sss_core::Monitor`] computes is whole-stream; the
+//! production questions (telemetry, NIDS, netflow) are windowed —
+//! "entropy over the last five minutes", "did the heavy-hitter set
+//! shift this hour". This crate answers them **without new estimator
+//! math**: the stream is partitioned into tumbling event-time buckets,
+//! each bucket is a full sub-`Monitor` forked under the seed-splitting
+//! contract, whole buckets retire as the window slides, and a query
+//! folds the live buckets through the existing merge algebra.
+//!
+//! * [`WindowedMonitor`] — a ring of up to `W` tumbling buckets, each
+//!   spanning `bucket_span` event-time ticks. Ingestion routes items by
+//!   timestamp (`epoch = ts / bucket_span`), rollovers retire the
+//!   bucket that fell out, and [`WindowedMonitor::fold`] merges the
+//!   live buckets into one `Monitor` answering for exactly the window.
+//!   Exact substrates (bottom-k `F_0`, collision-counting `F_k`,
+//!   CountMin) merge losslessly, so the fold over the last `W` buckets
+//!   is *bitwise-identical* to a fresh monitor fed only those items.
+//! * [`DecayedMonitor`] — the same bucket ring with exponential time
+//!   decay applied at query time: bucket at age `a` epochs weighs
+//!   `2^(-a/half_life)`. No per-item cost; decay is a query-side
+//!   weighting, and the answer is flagged
+//!   [`sss_core::Guarantee::Heuristic`].
+//! * [`QuerySpec`]/[`Alert`] — a continuous-query surface: threshold,
+//!   delta-vs-previous-window and change-point queries registered
+//!   against estimator labels, evaluated once per bucket rollover,
+//!   emitting typed alerts drained via
+//!   [`WindowedMonitor::take_alerts`].
+//! * [`ShardedWindowedMonitor`] — the windowed analogue of
+//!   [`sss_core::ShardedMonitor`]: per-shard windowed monitors fork
+//!   under `split_seed`, retire buckets on the same global epoch
+//!   boundaries (epochs come from event time, never from per-shard
+//!   counts), and the coordinator folds shards in ascending order so
+//!   the result is bitwise-deterministic.
+//!
+//! All window state implements [`sss_codec::WireCodec`] in the
+//! `0x06xx` tag range (bucket ring, clock, query registry, pending
+//! alerts), so windows checkpoint/restore and ship over
+//! `sss-transport` like every other part of the stack.
+
+mod decayed;
+mod query;
+mod sharded;
+mod windowed;
+
+pub use decayed::DecayedMonitor;
+pub use query::{Alert, AlertKind, QueryKind, QuerySpec};
+pub use sharded::{ShardedWindowConfig, ShardedWindowedMonitor};
+pub use windowed::{WindowConfig, WindowMergeError, WindowedMonitor};

@@ -1,0 +1,434 @@
+//! The continuous-query surface: registered queries evaluated on every
+//! bucket rollover, emitting typed [`Alert`]s.
+//!
+//! A query watches one estimator label of the window fold (`"entropy"`,
+//! `"F0"`, …). Evaluation happens exactly once per closed epoch, on the
+//! fold *as of* that epoch — so a query sees the same deterministic
+//! sequence of values whether the window ran live, was checkpointed and
+//! restored mid-stream, or was replayed from a transcript. Query
+//! runtime state (previous value, change-point history) is part of the
+//! window's wire snapshot for exactly that reason.
+
+use std::collections::VecDeque;
+
+use sss_codec::{put_len, CodecError, Reader, WireCodec};
+use sss_core::Monitor;
+
+/// What a registered query tests on each rollover.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryKind {
+    /// Fire when the watched estimate crosses `level` (`above` picks
+    /// the direction).
+    Threshold {
+        /// The fixed level to compare against.
+        level: f64,
+        /// `true`: fire on `value > level`; `false`: on `value < level`.
+        above: bool,
+    },
+    /// Fire when the estimate moved by at least `rel_change` (relative)
+    /// versus the previous window — i.e. versus the fold one rollover
+    /// ago.
+    DeltaVsPrev {
+        /// Minimum relative change `|v − prev| / |prev|` that fires.
+        rel_change: f64,
+    },
+    /// Fire when the estimate deviates from the rolling mean of the
+    /// last `history` rollovers by more than `z` standard deviations —
+    /// the classic lightweight change-point test.
+    ChangePoint {
+        /// Rolling history length (evaluation starts once it is full).
+        history: usize,
+        /// Deviation threshold in standard deviations.
+        z: f64,
+    },
+}
+
+impl QueryKind {
+    fn validate(&self) -> Result<(), &'static str> {
+        match self {
+            QueryKind::Threshold { level, .. } if !level.is_finite() => {
+                Err("threshold level must be finite")
+            }
+            QueryKind::DeltaVsPrev { rel_change } if rel_change.is_nan() || *rel_change <= 0.0 => {
+                Err("delta rel_change must be > 0")
+            }
+            QueryKind::ChangePoint { history, z } if *history < 2 || z.is_nan() || *z <= 0.0 => {
+                Err("change-point needs history >= 2 and z > 0")
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+/// A registered continuous query: a name, the estimator label it
+/// watches, and the test to run on each rollover.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuerySpec {
+    /// Caller-chosen name, echoed in alerts.
+    pub name: String,
+    /// The estimator label in the window's monitors (e.g. `"entropy"`).
+    pub label: String,
+    /// The rollover test.
+    pub kind: QueryKind,
+}
+
+impl QuerySpec {
+    /// A threshold query.
+    pub fn threshold(name: &str, label: &str, level: f64, above: bool) -> Self {
+        Self {
+            name: name.into(),
+            label: label.into(),
+            kind: QueryKind::Threshold { level, above },
+        }
+    }
+
+    /// A delta-vs-previous-window query.
+    pub fn delta_vs_prev(name: &str, label: &str, rel_change: f64) -> Self {
+        Self {
+            name: name.into(),
+            label: label.into(),
+            kind: QueryKind::DeltaVsPrev { rel_change },
+        }
+    }
+
+    /// A rolling-z-score change-point query.
+    pub fn change_point(name: &str, label: &str, history: usize, z: f64) -> Self {
+        Self {
+            name: name.into(),
+            label: label.into(),
+            kind: QueryKind::ChangePoint { history, z },
+        }
+    }
+
+    pub(crate) fn assert_valid(&self) {
+        if let Err(what) = self.kind.validate() {
+            panic!("query '{}': {what}", self.name);
+        }
+    }
+}
+
+/// Which test fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlertKind {
+    /// A [`QueryKind::Threshold`] crossing.
+    Threshold,
+    /// A [`QueryKind::DeltaVsPrev`] jump.
+    Delta,
+    /// A [`QueryKind::ChangePoint`] deviation.
+    ChangePoint,
+}
+
+/// A typed alert emitted by a continuous query at a bucket rollover.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Alert {
+    /// Name of the query that fired.
+    pub query: String,
+    /// The estimator label it watches.
+    pub label: String,
+    /// The epoch whose rollover triggered the evaluation.
+    pub epoch: u64,
+    /// The watched estimate on the window fold at that rollover.
+    pub value: f64,
+    /// What the value was compared against: the threshold level, the
+    /// previous window's value, or the rolling mean.
+    pub baseline: f64,
+    /// Which test fired.
+    pub kind: AlertKind,
+}
+
+/// A registered query plus its rollover-to-rollover runtime state.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Query {
+    pub(crate) spec: QuerySpec,
+    /// The watched value at the previous rollover.
+    prev: Option<f64>,
+    /// Rolling history for change-point queries (most recent last).
+    history: VecDeque<f64>,
+}
+
+impl Query {
+    pub(crate) fn new(spec: QuerySpec) -> Self {
+        Self {
+            spec,
+            prev: None,
+            history: VecDeque::new(),
+        }
+    }
+
+    /// Evaluate against the window fold at `epoch`'s rollover, update
+    /// the runtime state, and return the alert if the test fired.
+    pub(crate) fn observe(&mut self, epoch: u64, fold: &Monitor) -> Option<Alert> {
+        // Registration validated the label against the prototype, so a
+        // missing estimate cannot happen on a well-formed window.
+        let value = fold.estimate_labeled(&self.spec.label)?.value;
+        let alert = |baseline: f64, kind: AlertKind| Alert {
+            query: self.spec.name.clone(),
+            label: self.spec.label.clone(),
+            epoch,
+            value,
+            baseline,
+            kind,
+        };
+        let fired = match &self.spec.kind {
+            QueryKind::Threshold { level, above } => {
+                let crossed = if *above {
+                    value > *level
+                } else {
+                    value < *level
+                };
+                crossed.then(|| alert(*level, AlertKind::Threshold))
+            }
+            QueryKind::DeltaVsPrev { rel_change } => self.prev.and_then(|prev| {
+                let denom = prev.abs().max(f64::MIN_POSITIVE);
+                ((value - prev).abs() / denom >= *rel_change).then(|| alert(prev, AlertKind::Delta))
+            }),
+            QueryKind::ChangePoint { history, z } => {
+                if self.history.len() < *history {
+                    None
+                } else {
+                    let n = self.history.len() as f64;
+                    let mean = self.history.iter().sum::<f64>() / n;
+                    let var = self
+                        .history
+                        .iter()
+                        .map(|v| (v - mean) * (v - mean))
+                        .sum::<f64>()
+                        / n;
+                    // Floor the deviation scale so a perfectly flat
+                    // history still admits a finite trigger band.
+                    let sd = var.sqrt().max(1e-9 * mean.abs().max(1.0));
+                    ((value - mean).abs() > *z * sd).then(|| alert(mean, AlertKind::ChangePoint))
+                }
+            }
+        };
+        self.prev = Some(value);
+        if let QueryKind::ChangePoint { history, .. } = &self.spec.kind {
+            self.history.push_back(value);
+            while self.history.len() > *history {
+                self.history.pop_front();
+            }
+        }
+        fired
+    }
+}
+
+impl WireCodec for QuerySpec {
+    const WIRE_TAG: u16 = 0x0603;
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.name.encode_into(out);
+        self.label.encode_into(out);
+        match &self.kind {
+            QueryKind::Threshold { level, above } => {
+                out.push(0);
+                level.encode_into(out);
+                above.encode_into(out);
+            }
+            QueryKind::DeltaVsPrev { rel_change } => {
+                out.push(1);
+                rel_change.encode_into(out);
+            }
+            QueryKind::ChangePoint { history, z } => {
+                out.push(2);
+                put_len(out, *history);
+                z.encode_into(out);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader) -> Result<Self, CodecError> {
+        let name = String::decode(r)?;
+        let label = String::decode(r)?;
+        let kind = match r.u8()? {
+            0 => QueryKind::Threshold {
+                level: r.f64()?,
+                above: r.bool()?,
+            },
+            1 => QueryKind::DeltaVsPrev {
+                rel_change: r.f64()?,
+            },
+            2 => QueryKind::ChangePoint {
+                history: r.len_prefix(1)?,
+                z: r.f64()?,
+            },
+            _ => {
+                return Err(CodecError::Invalid {
+                    what: "unknown query kind discriminant",
+                })
+            }
+        };
+        if kind.validate().is_err() {
+            return Err(CodecError::Invalid {
+                what: "query parameters out of range",
+            });
+        }
+        Ok(QuerySpec { name, label, kind })
+    }
+}
+
+impl WireCodec for Query {
+    const WIRE_TAG: u16 = QuerySpec::WIRE_TAG;
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.spec.encode_into(out);
+        self.prev.encode_into(out);
+        put_len(out, self.history.len());
+        for v in &self.history {
+            v.encode_into(out);
+        }
+    }
+
+    fn decode(r: &mut Reader) -> Result<Self, CodecError> {
+        let spec = QuerySpec::decode(r)?;
+        let prev = Option::<f64>::decode(r)?;
+        let len = r.len_prefix(8)?;
+        let cap = match &spec.kind {
+            QueryKind::ChangePoint { history, .. } => *history,
+            _ => 0,
+        };
+        if len > cap {
+            return Err(CodecError::Invalid {
+                what: "query history longer than its configured window",
+            });
+        }
+        let mut history = VecDeque::with_capacity(len);
+        for _ in 0..len {
+            history.push_back(r.f64()?);
+        }
+        Ok(Query {
+            spec,
+            prev,
+            history,
+        })
+    }
+}
+
+impl WireCodec for Alert {
+    const WIRE_TAG: u16 = 0x0604;
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.query.encode_into(out);
+        self.label.encode_into(out);
+        self.epoch.encode_into(out);
+        self.value.encode_into(out);
+        self.baseline.encode_into(out);
+        out.push(match self.kind {
+            AlertKind::Threshold => 0,
+            AlertKind::Delta => 1,
+            AlertKind::ChangePoint => 2,
+        });
+    }
+
+    fn decode(r: &mut Reader) -> Result<Self, CodecError> {
+        Ok(Alert {
+            query: String::decode(r)?,
+            label: String::decode(r)?,
+            epoch: r.u64()?,
+            value: r.f64()?,
+            baseline: r.f64()?,
+            kind: match r.u8()? {
+                0 => AlertKind::Threshold,
+                1 => AlertKind::Delta,
+                2 => AlertKind::ChangePoint,
+                _ => {
+                    return Err(CodecError::Invalid {
+                        what: "unknown alert kind discriminant",
+                    })
+                }
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sss_core::MonitorBuilder;
+
+    fn fold_with(items: &[u64]) -> Monitor {
+        let mut m = MonitorBuilder::with_seed(1.0, 5).f0(0.05).build();
+        m.update_batch(items);
+        m
+    }
+
+    #[test]
+    fn threshold_fires_in_the_requested_direction() {
+        let mut q = Query::new(QuerySpec::threshold("big", "F0", 50.0, true));
+        let low = fold_with(&(0..10u64).collect::<Vec<_>>());
+        let high = fold_with(&(0..100u64).collect::<Vec<_>>());
+        assert!(q.observe(0, &low).is_none());
+        let a = q.observe(1, &high).expect("fires above level");
+        assert_eq!(a.kind, AlertKind::Threshold);
+        assert_eq!(a.epoch, 1);
+        assert_eq!(a.baseline, 50.0);
+        assert!(a.value > 50.0);
+
+        let mut below = Query::new(QuerySpec::threshold("small", "F0", 50.0, false));
+        assert!(below.observe(0, &high).is_none());
+        assert!(below.observe(1, &low).is_some());
+    }
+
+    #[test]
+    fn delta_needs_a_previous_window() {
+        let mut q = Query::new(QuerySpec::delta_vs_prev("jump", "F0", 0.5));
+        let low = fold_with(&(0..20u64).collect::<Vec<_>>());
+        let high = fold_with(&(0..200u64).collect::<Vec<_>>());
+        assert!(q.observe(0, &high).is_none(), "first rollover: no baseline");
+        assert!(q.observe(1, &high).is_none(), "no change");
+        let a = q.observe(2, &low).expect("large relative drop fires");
+        assert_eq!(a.kind, AlertKind::Delta);
+        assert!(a.baseline > a.value);
+    }
+
+    #[test]
+    fn change_point_waits_for_history_then_fires_on_deviation() {
+        let mut q = Query::new(QuerySpec::change_point("cp", "F0", 3, 4.0));
+        let calm = fold_with(&(0..40u64).collect::<Vec<_>>());
+        let spike = fold_with(&(0..400u64).collect::<Vec<_>>());
+        for epoch in 0..3 {
+            assert!(q.observe(epoch, &calm).is_none(), "history still filling");
+        }
+        assert!(q.observe(3, &calm).is_none(), "no deviation");
+        let a = q.observe(4, &spike).expect("deviation fires");
+        assert_eq!(a.kind, AlertKind::ChangePoint);
+        assert!((a.baseline - a.value).abs() > 100.0);
+    }
+
+    #[test]
+    fn query_state_round_trips_on_the_wire() {
+        let mut q = Query::new(QuerySpec::change_point("cp", "F0", 4, 2.0));
+        let fold = fold_with(&(0..30u64).collect::<Vec<_>>());
+        for epoch in 0..3 {
+            let _ = q.observe(epoch, &fold);
+        }
+        let bytes = q.encode();
+        let back = Query::decode_slice(&bytes).expect("decodes");
+        assert_eq!(back, q);
+        assert_eq!(back.encode(), bytes);
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected_on_decode() {
+        let bad = QuerySpec {
+            name: "bad".into(),
+            label: "F0".into(),
+            kind: QueryKind::DeltaVsPrev { rel_change: 0.0 },
+        };
+        let bytes = bad.encode();
+        assert!(QuerySpec::decode_slice(&bytes).is_err());
+    }
+
+    #[test]
+    fn alert_round_trips_on_the_wire() {
+        let a = Alert {
+            query: "q".into(),
+            label: "entropy".into(),
+            epoch: 17,
+            value: 3.25,
+            baseline: 1.5,
+            kind: AlertKind::Delta,
+        };
+        let back = Alert::decode_slice(&a.encode()).expect("decodes");
+        assert_eq!(back, a);
+    }
+}

@@ -1,0 +1,282 @@
+//! The windowed analogue of `sss_core::ShardedMonitor`: N worker
+//! threads, each owning a `fork_shard`-ed [`WindowedMonitor`] and an
+//! independently forked `BernoulliSampler`, fed timestamped chunks
+//! round-robin over bounded channels.
+//!
+//! The epoch contract that keeps the coordinator fold deterministic:
+//! bucket boundaries come from **event time** (`epoch = ts /
+//! bucket_span`), never from per-shard item counts — so every shard
+//! retires the same epochs at the same timeline positions regardless of
+//! how the dispatcher interleaved the chunks. At `finish()` the
+//! coordinator aligns all shard clocks to the maximum epoch any shard
+//! reached (retiring stragglers' old buckets exactly as the timeline
+//! demands) and merges the shards in ascending shard order — a
+//! bitwise-reproducible fold.
+
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::thread::JoinHandle;
+
+use sss_stream::{BernoulliSampler, Item};
+
+use crate::windowed::WindowedMonitor;
+
+/// Knobs for the sharded windowed pipeline.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardedWindowConfig {
+    /// Worker thread count (≥ 1).
+    pub shards: usize,
+    /// Bounded depth of each worker's job queue.
+    pub queue_depth: usize,
+}
+
+impl ShardedWindowConfig {
+    /// Defaults tuned like the core sharded pipeline's.
+    pub fn new(shards: usize) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        Self {
+            shards,
+            queue_depth: 4,
+        }
+    }
+}
+
+enum Job {
+    /// A chunk of the raw timestamped stream to sample and ingest.
+    Chunk(Vec<(u64, Item)>),
+    Finish,
+}
+
+/// Parallel windowed ingestion over raw `(event time, item)` chunks.
+///
+/// Each worker Bernoulli-samples its chunks with a per-shard forked
+/// sampler via the skip-position generator (`O(survivors)` RNG work)
+/// and routes survivors into its shard window by timestamp. `finish()`
+/// aligns the shard clocks and merges ascending — the returned window
+/// is bitwise-deterministic for a fixed `(prototype, sampler seed,
+/// chunk sequence, shard count)`.
+pub struct ShardedWindowedMonitor {
+    txs: Vec<SyncSender<Job>>,
+    handles: Vec<JoinHandle<WindowedMonitor>>,
+    /// Coordinator-side pristine window the shard results fold into.
+    coordinator: WindowedMonitor,
+    next: usize,
+    raw_dispatched: u64,
+}
+
+impl ShardedWindowedMonitor {
+    /// Launch the worker threads. `prototype` must be an empty window
+    /// (it seeds every shard fork and receives the final fold);
+    /// `sampler_seed` drives the per-shard Bernoulli forks at the
+    /// window's rate.
+    pub fn launch(
+        prototype: &WindowedMonitor,
+        sampler_seed: u64,
+        cfg: ShardedWindowConfig,
+    ) -> Self {
+        let base_sampler = BernoulliSampler::new(prototype.p(), sampler_seed);
+        let mut txs = Vec::with_capacity(cfg.shards);
+        let mut handles = Vec::with_capacity(cfg.shards);
+        for shard in 0..cfg.shards {
+            let (tx, rx): (SyncSender<Job>, Receiver<Job>) = sync_channel(cfg.queue_depth);
+            let window = prototype.fork_shard(shard as u64);
+            let sampler = base_sampler.fork(shard as u64);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("sss-window-shard-{shard}"))
+                    .spawn(move || worker_loop(window, sampler, rx))
+                    .expect("spawn shard worker"),
+            );
+            txs.push(tx);
+        }
+        Self {
+            txs,
+            handles,
+            coordinator: prototype.clone(),
+            next: 0,
+            raw_dispatched: 0,
+        }
+    }
+
+    /// Worker thread count.
+    pub fn shards(&self) -> usize {
+        self.txs.len()
+    }
+
+    /// Raw (pre-sampling) elements dispatched so far.
+    pub fn raw_dispatched(&self) -> u64 {
+        self.raw_dispatched
+    }
+
+    /// Dispatch one timestamped chunk to the next worker round-robin.
+    /// Chunks should be time-ordered overall (the stream's arrival
+    /// order); items late beyond the window are dropped and counted by
+    /// the owning shard.
+    pub fn ingest(&mut self, chunk: &[(u64, Item)]) {
+        if chunk.is_empty() {
+            return;
+        }
+        self.raw_dispatched += chunk.len() as u64;
+        let shard = self.next;
+        self.next = (self.next + 1) % self.txs.len();
+        self.txs[shard]
+            .send(Job::Chunk(chunk.to_vec()))
+            .expect("shard worker alive");
+    }
+
+    /// Drain the queues, stop the workers, align every shard clock to
+    /// the furthest epoch any shard reached, and fold the shards in
+    /// ascending shard order into the coordinator window.
+    pub fn finish(self) -> WindowedMonitor {
+        for tx in &self.txs {
+            tx.send(Job::Finish).expect("shard worker alive");
+        }
+        drop(self.txs);
+        let mut shards: Vec<WindowedMonitor> = self
+            .handles
+            .into_iter()
+            .map(|h| h.join().expect("shard worker panicked"))
+            .collect();
+        let top = shards
+            .iter()
+            .filter(|s| s.started())
+            .map(|s| s.cur_epoch())
+            .max();
+        let mut merged = self.coordinator;
+        if let Some(top) = top {
+            for s in &mut shards {
+                s.advance_to(top);
+            }
+        }
+        for s in &shards {
+            merged.merge(s);
+        }
+        merged
+    }
+}
+
+fn worker_loop(
+    mut window: WindowedMonitor,
+    mut sampler: BernoulliSampler,
+    rx: Receiver<Job>,
+) -> WindowedMonitor {
+    while let Ok(job) = rx.recv() {
+        match job {
+            Job::Chunk(chunk) => {
+                // O(survivors): the skip-position generator jumps
+                // straight between surviving offsets of the chunk.
+                let n = chunk.len() as u64;
+                for pos in sampler.skip_positions(n) {
+                    let (ts, x) = chunk[pos as usize];
+                    window.ingest_at(ts, x);
+                }
+            }
+            Job::Finish => break,
+        }
+    }
+    window
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::windowed::WindowConfig;
+    use sss_core::MonitorBuilder;
+
+    fn prototype(p: f64) -> WindowedMonitor {
+        let m = MonitorBuilder::with_seed(p, 31)
+            .f0(0.05)
+            .fk(2)
+            .entropy(256)
+            .build();
+        WindowedMonitor::new(m, WindowConfig::new(4, 1_000))
+    }
+
+    fn timed_stream(n: u64) -> Vec<(u64, Item)> {
+        (0..n).map(|i| (i * 3, (i * 17) % 509)).collect()
+    }
+
+    fn run(shards: usize, chunk: usize, p: f64, seed: u64) -> WindowedMonitor {
+        let proto = prototype(p);
+        let mut driver =
+            ShardedWindowedMonitor::launch(&proto, seed, ShardedWindowConfig::new(shards));
+        let stream = timed_stream(12_000);
+        for c in stream.chunks(chunk) {
+            driver.ingest(c);
+        }
+        driver.finish()
+    }
+
+    #[test]
+    fn repeated_runs_fold_bitwise_identically() {
+        let a = run(3, 512, 0.5, 7);
+        let b = run(3, 512, 0.5, 7);
+        assert_eq!(a.cur_epoch(), b.cur_epoch());
+        assert_eq!(a.bucket_epochs(), b.bucket_epochs());
+        for ((la, ea), (lb, eb)) in a.report().iter().zip(b.report().iter()) {
+            assert_eq!(la, lb);
+            assert_eq!(ea.value.to_bits(), eb.value.to_bits(), "{la}");
+        }
+        let (wa, wb) = (a.checkpoint().expect("a"), b.checkpoint().expect("b"));
+        assert_eq!(wa, wb, "whole window snapshots are bitwise equal");
+    }
+
+    #[test]
+    fn sharded_matches_sequential_emulation_bitwise() {
+        let shards = 3;
+        let chunk = 256;
+        let proto = prototype(0.5);
+        let parallel = run(shards, chunk, 0.5, 21);
+
+        // Sequential emulation: same forks, same round-robin chunk
+        // assignment, same per-shard sampler draws.
+        let base_sampler = BernoulliSampler::new(0.5, 21);
+        let mut windows: Vec<WindowedMonitor> =
+            (0..shards).map(|s| proto.fork_shard(s as u64)).collect();
+        let mut samplers: Vec<BernoulliSampler> =
+            (0..shards).map(|s| base_sampler.fork(s as u64)).collect();
+        let stream = timed_stream(12_000);
+        for (i, c) in stream.chunks(chunk).enumerate() {
+            let s = i % shards;
+            let n = c.len() as u64;
+            for pos in samplers[s].skip_positions(n) {
+                let (ts, x) = c[pos as usize];
+                windows[s].ingest_at(ts, x);
+            }
+        }
+        let top = windows
+            .iter()
+            .filter(|w| w.started())
+            .map(|w| w.cur_epoch())
+            .max()
+            .expect("saw data");
+        for w in &mut windows {
+            w.advance_to(top);
+        }
+        let mut merged = proto.clone();
+        for w in &windows {
+            merged.merge(w);
+        }
+
+        assert_eq!(
+            parallel.checkpoint().expect("parallel"),
+            merged.checkpoint().expect("sequential"),
+            "thread scheduling must not leak into the fold"
+        );
+    }
+
+    #[test]
+    fn shard_count_does_not_change_exact_substrates_at_p_one() {
+        let one = run(1, 512, 1.0, 5);
+        let four = run(4, 512, 1.0, 5);
+        for stat in [sss_core::Statistic::F0, sss_core::Statistic::Fk(2)] {
+            let a = one.estimate(stat).expect("registered").value;
+            let b = four.estimate(stat).expect("registered").value;
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "{stat}: at p=1 every shard count sees the same window multiset"
+            );
+        }
+        assert_eq!(one.window_samples(), four.window_samples());
+    }
+}

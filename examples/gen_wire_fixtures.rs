@@ -33,6 +33,7 @@ use subsampled_streams::core::{
 };
 use subsampled_streams::sketch::levelset::LevelSetConfig;
 use subsampled_streams::stream::{BernoulliSampler, StreamGen, ZipfStream};
+use subsampled_streams::window::{QuerySpec, WindowConfig, WindowedMonitor};
 
 /// Sampling rate baked into every fixture.
 const P: f64 = 0.25;
@@ -127,6 +128,35 @@ fn main() {
             .value
             .to_bits(),
         samples_seen: monitor.samples_seen(),
+    });
+
+    // The windowed monitor: a bucket ring caught mid-stream (live
+    // buckets, retirements behind it, a registered continuous query so
+    // the query registry and its runtime state are on the wire). Same
+    // raw stream, survivor *positions* as event times — dense unit-tick
+    // trace over 10 epochs of span 2000, window of 4. The pinned
+    // estimate is the window fold's F2; samples is the live-window count.
+    let mut windowed = WindowedMonitor::new(
+        MonitorBuilder::with_seed(P, 7)
+            .f0(0.05)
+            .fk(2)
+            .entropy(256)
+            .build(),
+        WindowConfig::new(4, 2_000),
+    );
+    windowed.register_query(QuerySpec::threshold("f0_high", "F0", 500.0, true));
+    let stream = ZipfStream::new(1 << 12, 1.2).generate(20_000, 42);
+    let mut sampler = BernoulliSampler::new(P, 43);
+    sampler.sample_indexed(&stream, |i, x| windowed.ingest_at(i as u64, x));
+    fixtures.push(Fixture {
+        name: "windowed_monitor",
+        bytes: windowed.checkpoint().expect("window checkpoint"),
+        estimate_bits: windowed
+            .estimate(Statistic::Fk(2))
+            .expect("registered")
+            .value
+            .to_bits(),
+        samples_seen: windowed.window_samples(),
     });
 
     let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join(format!(

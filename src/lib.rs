@@ -74,7 +74,14 @@
 //!   connections and folding their pushed snapshots (per-reason
 //!   rejection counters, sequence-number dedup), and a
 //!   [`SiteClient`](transport::SiteClient) shipping checkpoints with
-//!   bounded-retry exponential-backoff reconnect.
+//!   bounded-retry exponential-backoff reconnect,
+//! * [`window`] — sliding-window and time-decayed statistics: the
+//!   tumbling-bucket [`WindowedMonitor`](window::WindowedMonitor)
+//!   (each bucket a full sub-`Monitor`; queries fold live buckets
+//!   through the merge algebra), the exponential-decay
+//!   [`DecayedMonitor`](window::DecayedMonitor), and a continuous-query
+//!   surface emitting typed [`Alert`](window::Alert)s on bucket
+//!   rollover.
 
 pub use sss_codec as codec;
 pub use sss_core as core;
@@ -82,6 +89,7 @@ pub use sss_hash as hash;
 pub use sss_sketch as sketch;
 pub use sss_stream as stream;
 pub use sss_transport as transport;
+pub use sss_window as window;
 
 pub use sss_core::{
     Estimate, Guarantee, MergeError, Monitor, MonitorBuilder, ShardedConfig, ShardedMonitor,
@@ -89,4 +97,8 @@ pub use sss_core::{
 };
 pub use sss_transport::{
     ClientConfig, CollectorServer, ServerConfig, SiteClient, TransportError, TransportStats,
+};
+pub use sss_window::{
+    Alert, AlertKind, DecayedMonitor, QueryKind, QuerySpec, ShardedWindowedMonitor, WindowConfig,
+    WindowedMonitor,
 };

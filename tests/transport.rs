@@ -826,3 +826,88 @@ fn retries_exhaust_with_typed_error_when_collector_is_down() {
         other => panic!("expected RetriesExhausted, got {other}"),
     }
 }
+
+/// Windowed acceptance: sites run sliding windows over disjoint slices
+/// of the same timeline, ship their window *folds* (plain monitor
+/// frames — no protocol change) over real TCP, and the collector's
+/// merge is bitwise-equal to the in-memory merge of the same folds.
+#[test]
+fn windowed_folds_ship_over_tcp_and_merge_bitwise() {
+    use subsampled_streams::window::{WindowConfig, WindowedMonitor};
+
+    let sites = 2usize;
+    let span = 5_000u64;
+    let base = WindowedMonitor::new(prototype(), WindowConfig::new(4, span));
+    let trace: Vec<(u64, u64)> = ZipfStream::new(2_000, 1.2)
+        .generate(60_000, 23)
+        .into_iter()
+        .enumerate()
+        .map(|(i, x)| (i as u64, x))
+        .collect();
+
+    // Each site samples and windows its (round-robin) slice, then all
+    // clocks align to the shared timeline's last epoch.
+    let mut windows: Vec<WindowedMonitor> = (0..sites).map(|s| base.fork_shard(s as u64)).collect();
+    let mut samplers: Vec<BernoulliSampler> = (0..sites)
+        .map(|s| BernoulliSampler::new(P, 300 + s as u64))
+        .collect();
+    for &(ts, x) in &trace {
+        let s = (ts % sites as u64) as usize;
+        if samplers[s].keep() {
+            windows[s].ingest_at(ts, x);
+        }
+    }
+    let top = windows.iter().map(|w| w.cur_epoch()).max().expect("sites");
+    for w in &mut windows {
+        w.advance_to(top);
+    }
+
+    // Fold each window to a monitor snapshot; one codec round trip must
+    // be byte-stable before anything touches a socket.
+    let folds: Vec<Monitor> = windows.iter().map(|w| w.fold()).collect();
+    let wires: Vec<Vec<u8>> = folds
+        .iter()
+        .map(|f| f.checkpoint().expect("fold checkpoints"))
+        .collect();
+    for (f, wire) in folds.iter().zip(&wires) {
+        let back = Monitor::restore(wire).expect("fold restores");
+        assert_eq!(back.checkpoint().expect("re-checkpoint"), *wire);
+        assert_eq!(back.samples_seen(), f.samples_seen());
+    }
+
+    let server =
+        CollectorServer::bind("127.0.0.1:0", prototype(), test_server_config()).expect("bind");
+    let addr = server.local_addr();
+    for (s, wire) in wires.iter().enumerate() {
+        let mut client = SiteClient::connect(addr, test_client_config(s as u64)).expect("connect");
+        assert_eq!(
+            client.push_wire(wire.clone()).expect("push"),
+            PushOutcome::Accepted
+        );
+        client.close();
+    }
+    let (merged, stats) = server.shutdown();
+    assert_eq!(stats.snapshots_accepted, sites as u64);
+    assert_eq!(stats.rejected_total(), 0);
+
+    // In-memory reference: same folds, same ascending-site order.
+    let mut reference = prototype();
+    for fold in &folds {
+        reference.try_merge(fold).expect("in-memory merge");
+    }
+    assert_eq!(merged.samples_seen(), reference.samples_seen());
+    for ((la, ea), (lb, eb)) in merged.report().iter().zip(reference.report().iter()) {
+        assert_eq!(la, lb);
+        assert_eq!(
+            ea.value.to_bits(),
+            eb.value.to_bits(),
+            "{la}: TCP fold must be bitwise-equal to the in-memory fold"
+        );
+    }
+
+    // And the *whole window* state itself round-trips the codec: what a
+    // site would persist locally to survive a restart mid-window.
+    let snap = windows[0].checkpoint().expect("window checkpoint");
+    let restored = WindowedMonitor::restore(&snap).expect("window restores");
+    assert_eq!(restored.checkpoint().expect("re-checkpoint"), snap);
+}

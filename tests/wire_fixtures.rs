@@ -25,6 +25,7 @@ use subsampled_streams::core::{
     NaiveScaledFk, RusuDobraF2, SampledEntropyEstimator, SampledF0Estimator, SampledF1HeavyHitters,
     SampledF2HeavyHitters, SampledFkEstimator, Statistic, SubsampledEstimator,
 };
+use subsampled_streams::window::WindowedMonitor;
 
 fn fixture_dir(version: u16) -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join(format!("tests/fixtures/wire_v{version}"))
@@ -94,6 +95,17 @@ fn decode_fixture(name: &str, bytes: &[u8]) -> (u64, u64, Vec<u8>) {
                     .to_bits(),
                 m.samples_seen(),
                 m.checkpoint().expect("restored monitor re-checkpoints"),
+            )
+        }
+        "windowed_monitor" => {
+            let w = WindowedMonitor::restore(bytes).expect("committed window restores");
+            (
+                w.estimate(Statistic::Fk(2))
+                    .expect("registered")
+                    .value
+                    .to_bits(),
+                w.window_samples(),
+                w.checkpoint().expect("restored window re-checkpoints"),
             )
         }
         other => panic!("fixture '{other}' has no decoder in this test — add one"),
