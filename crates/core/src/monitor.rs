@@ -520,13 +520,26 @@ impl Monitor {
     /// but never restored, so the failure surfaces *now*, while the live
     /// state still exists, instead of at restore time.
     pub fn checkpoint(&self) -> Result<Vec<u8>, CodecError> {
+        self.validate_restorable()?;
+        Ok(self.encode_framed())
+    }
+
+    /// Check that every registered estimator's wire tag is in the
+    /// decode registry — [`Monitor::checkpoint`]'s precondition without
+    /// the encode. Wrappers that embed monitors in their own frames
+    /// (windowed, decayed) run this check up front instead of paying
+    /// for a throwaway serialization.
+    ///
+    /// # Errors
+    /// [`CodecError::UnknownTag`] for the first unrestorable tag.
+    pub fn validate_restorable(&self) -> Result<(), CodecError> {
         for e in &self.entries {
             let tag = e.est.wire_tag();
             if !registry_knows(tag) {
                 return Err(CodecError::UnknownTag { found: tag });
             }
         }
-        Ok(self.encode_framed())
+        Ok(())
     }
 
     /// Rebuild a monitor from [`Monitor::checkpoint`] bytes, validating

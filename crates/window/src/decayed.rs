@@ -158,7 +158,7 @@ impl DecayedMonitor {
     /// Serialize as a framed wire snapshot (see
     /// [`WindowedMonitor::checkpoint`]).
     pub fn checkpoint(&self) -> Result<Vec<u8>, CodecError> {
-        self.inner.checkpoint()?;
+        self.inner.prototype_ref().validate_restorable()?;
         Ok(self.encode_framed())
     }
 

@@ -14,6 +14,12 @@ use std::collections::VecDeque;
 use sss_codec::{put_len, CodecError, Reader, WireCodec};
 use sss_core::Monitor;
 
+/// Upper bound on [`QueryKind::ChangePoint`]'s `history`: the rolling
+/// buffer grows to `history` floats at runtime, so a sane fixed cap
+/// keeps both registration and snapshot decode from accepting a
+/// nonsense length.
+pub const MAX_CHANGE_POINT_HISTORY: usize = 1 << 20;
+
 /// What a registered query tests on each rollover.
 #[derive(Debug, Clone, PartialEq)]
 pub enum QueryKind {
@@ -52,8 +58,13 @@ impl QueryKind {
             QueryKind::DeltaVsPrev { rel_change } if rel_change.is_nan() || *rel_change <= 0.0 => {
                 Err("delta rel_change must be > 0")
             }
-            QueryKind::ChangePoint { history, z } if *history < 2 || z.is_nan() || *z <= 0.0 => {
-                Err("change-point needs history >= 2 and z > 0")
+            QueryKind::ChangePoint { history, z }
+                if *history < 2
+                    || *history > MAX_CHANGE_POINT_HISTORY
+                    || z.is_nan()
+                    || *z <= 0.0 =>
+            {
+                Err("change-point needs history in 2..=2^20 and z > 0")
             }
             _ => Ok(()),
         }
@@ -247,10 +258,23 @@ impl WireCodec for QuerySpec {
             1 => QueryKind::DeltaVsPrev {
                 rel_change: r.f64()?,
             },
-            2 => QueryKind::ChangePoint {
-                history: r.len_prefix(1)?,
-                z: r.f64()?,
-            },
+            2 => {
+                // `history` is a config scalar, not a count of elements
+                // in this payload (the runtime buffer is serialized
+                // separately in `Query`), so it must not go through
+                // `len_prefix`'s remaining-bytes allocation guard —
+                // validate() below bounds it instead.
+                let history = r.u64()?;
+                if history > MAX_CHANGE_POINT_HISTORY as u64 {
+                    return Err(CodecError::Invalid {
+                        what: "query parameters out of range",
+                    });
+                }
+                QueryKind::ChangePoint {
+                    history: history as usize,
+                    z: r.f64()?,
+                }
+            }
             _ => {
                 return Err(CodecError::Invalid {
                     what: "unknown query kind discriminant",
@@ -405,6 +429,26 @@ mod tests {
         let back = Query::decode_slice(&bytes).expect("decodes");
         assert_eq!(back, q);
         assert_eq!(back.encode(), bytes);
+    }
+
+    #[test]
+    fn change_point_history_decodes_as_a_scalar_not_a_length() {
+        // Regression: history 50 exceeds the bytes remaining after it
+        // in a bare spec encoding, which must not matter — it is a
+        // config knob, not an element count.
+        let spec = QuerySpec::change_point("cp", "F0", 50, 3.0);
+        let back = QuerySpec::decode_slice(&spec.encode()).expect("decodes");
+        assert_eq!(back, spec);
+
+        let absurd = QuerySpec {
+            name: "cp".into(),
+            label: "F0".into(),
+            kind: QueryKind::ChangePoint {
+                history: MAX_CHANGE_POINT_HISTORY + 1,
+                z: 3.0,
+            },
+        };
+        assert!(QuerySpec::decode_slice(&absurd.encode()).is_err());
     }
 
     #[test]

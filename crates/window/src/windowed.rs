@@ -19,13 +19,24 @@ pub struct WindowConfig {
     pub bucket_span: u64,
 }
 
+/// Upper bound on [`WindowConfig::buckets`]: the bucket count must fit
+/// in 32 bits, so snapshot decode can tell a plausible shape from a
+/// corrupted one. (Live buckets materialise lazily, so a wide window is
+/// cheap until epochs actually see items.)
+pub const MAX_WINDOW_BUCKETS: u64 = u32::MAX as u64;
+
 impl WindowConfig {
     /// A window of `buckets` tumbling buckets of `bucket_span` ticks.
     ///
     /// # Panics
-    /// If either dimension is zero.
+    /// If either dimension is zero, or `buckets` exceeds
+    /// [`MAX_WINDOW_BUCKETS`].
     pub fn new(buckets: usize, bucket_span: u64) -> Self {
         assert!(buckets >= 1, "window needs at least one bucket");
+        assert!(
+            buckets as u64 <= MAX_WINDOW_BUCKETS,
+            "window bucket count must fit in 32 bits"
+        );
         assert!(bucket_span >= 1, "bucket span must be at least one tick");
         Self {
             buckets,
@@ -526,7 +537,9 @@ impl WindowedMonitor {
     /// estimator outside the decode registry (surfaced now, not at
     /// restore time), exactly like [`Monitor::checkpoint`].
     pub fn checkpoint(&self) -> Result<Vec<u8>, CodecError> {
-        self.prototype.checkpoint()?;
+        // Every bucket is a fork of the prototype, so one registry
+        // check covers the whole ring without a throwaway encode.
+        self.prototype.validate_restorable()?;
         Ok(self.encode_framed())
     }
 
@@ -585,13 +598,19 @@ impl WireCodec for WindowedMonitor {
     }
 
     fn decode(r: &mut Reader) -> Result<Self, CodecError> {
-        let cap = r.len_prefix(1)?;
+        // The bucket capacity is a config scalar, not a count of
+        // elements present in the payload, so it gets a plain u64 with
+        // its own sanity bound — `len_prefix`'s allocation guard would
+        // reject any window wider than its snapshot's byte size (e.g. a
+        // day of one-tick buckets checkpointed while sparse).
+        let cap = r.u64()?;
         let bucket_span = r.u64()?;
-        if cap < 1 || bucket_span < 1 {
+        if !(1..=MAX_WINDOW_BUCKETS).contains(&cap) || bucket_span < 1 {
             return Err(CodecError::Invalid {
-                what: "window shape must have >= 1 bucket and span",
+                what: "window shape must have 1..=2^32-1 buckets and span >= 1",
             });
         }
+        let cap = cap as usize;
         let started = r.bool()?;
         let cur_epoch = r.u64()?;
         let late_dropped = r.u64()?;
@@ -870,6 +889,31 @@ mod tests {
         assert_eq!(back.checkpoint().expect("re-checkpoint"), bytes);
         assert_eq!(back.cur_epoch(), w.cur_epoch());
         assert_eq!(back.bucket_epochs(), w.bucket_epochs());
+        assert_eq!(back.queries(), w.queries());
+    }
+
+    #[test]
+    fn wide_sparse_window_checkpoint_restores() {
+        // Regression: the bucket capacity is a config scalar, so a
+        // window far wider than its snapshot's byte size (a day of
+        // one-tick buckets, one of them live) must still restore.
+        let mut w = windowed(1.0, 86_400, 1);
+        w.ingest_at(3, 7);
+        let bytes = w.checkpoint().expect("checkpoint");
+        let back = WindowedMonitor::restore(&bytes).expect("wide window restores");
+        assert_eq!(back.checkpoint().expect("re-checkpoint"), bytes);
+        assert_eq!(back.config(), w.config());
+        assert_eq!(back.bucket_epochs(), w.bucket_epochs());
+    }
+
+    #[test]
+    fn long_change_point_history_survives_restore() {
+        // Regression: a change-point history larger than the bytes that
+        // happen to follow it in the snapshot is still a valid config.
+        let mut w = windowed(1.0, 4, 10);
+        w.register_query(QuerySpec::change_point("cp", "F0", 50, 3.0));
+        let bytes = w.checkpoint().expect("checkpoint");
+        let back = WindowedMonitor::restore(&bytes).expect("fresh long-history query restores");
         assert_eq!(back.queries(), w.queries());
     }
 
