@@ -6,6 +6,8 @@
 //! as a table; `EXPERIMENTS.md` archives the output. All experiments are
 //! deterministic: trial `t` of an experiment uses seed `base_seed + t`.
 
+#![forbid(unsafe_code)]
+
 pub mod stats;
 pub mod table;
 pub mod timing;

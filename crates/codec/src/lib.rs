@@ -56,6 +56,12 @@
 //! `sss-sketch`, `0x03xx` = `sss-stream`, `0x04xx` = `sss-core`,
 //! `0x05xx` = `sss-transport`, `0x06xx` = `sss-window` (bucket ring,
 //! decayed ring, query registry, alerts).
+//!
+//! The never-panic / bounded-allocation contract and the tag ranges are
+//! machine-enforced by `sss-lint` (see "Invariants & static analysis"
+//! in `crates/core/src/README.md`).
+
+#![forbid(unsafe_code)]
 
 use std::fmt;
 
@@ -233,14 +239,26 @@ impl<'a> Reader<'a> {
     /// Take the next `n` raw bytes.
     #[inline]
     pub fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
-        if self.remaining() < n {
-            return Err(CodecError::Truncated {
+        match self.buf.get(self.pos..self.pos.saturating_add(n)) {
+            Some(out) => {
+                self.pos += n;
+                Ok(out)
+            }
+            None => Err(CodecError::Truncated {
                 needed: n,
                 available: self.remaining(),
-            });
+            }),
         }
-        let out = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
+    }
+
+    /// Take the next `N` bytes as a fixed-size array. The length is
+    /// checked once by [`take`](Self::take), so the conversion cannot
+    /// fail.
+    #[inline]
+    pub fn take_array<const N: usize>(&mut self) -> Result<[u8; N], CodecError> {
+        let bytes = self.take(N)?;
+        let mut out = [0u8; N];
+        out.copy_from_slice(bytes);
         Ok(out)
     }
 
@@ -258,33 +276,31 @@ impl<'a> Reader<'a> {
     /// Read one byte.
     #[inline]
     pub fn u8(&mut self) -> Result<u8, CodecError> {
-        Ok(self.take(1)?[0])
+        Ok(u8::from_le_bytes(self.take_array()?))
     }
 
     /// Read a little-endian `u16`.
     #[inline]
     pub fn u16(&mut self) -> Result<u16, CodecError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("len 2")))
+        Ok(u16::from_le_bytes(self.take_array()?))
     }
 
     /// Read a little-endian `u32`.
     #[inline]
     pub fn u32(&mut self) -> Result<u32, CodecError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
+        Ok(u32::from_le_bytes(self.take_array()?))
     }
 
     /// Read a little-endian `u64`.
     #[inline]
     pub fn u64(&mut self) -> Result<u64, CodecError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+        Ok(u64::from_le_bytes(self.take_array()?))
     }
 
     /// Read a little-endian `u128`.
     #[inline]
     pub fn u128(&mut self) -> Result<u128, CodecError> {
-        Ok(u128::from_le_bytes(
-            self.take(16)?.try_into().expect("len 16"),
-        ))
+        Ok(u128::from_le_bytes(self.take_array()?))
     }
 
     /// Read a little-endian `i64`.
@@ -644,13 +660,15 @@ pub fn put_varint_u64s(out: &mut Vec<u8>, vals: &[u64]) {
 /// stream the (strict) decoder rejects.
 pub fn put_packed_sorted_u64s(out: &mut Vec<u8>, vals: &[u64]) {
     put_varint_u64(out, vals.len() as u64);
-    if vals.is_empty() {
+    let Some((&first, rest)) = vals.split_first() else {
         return;
-    }
-    put_varint_u64(out, vals[0]);
-    for w in vals.windows(2) {
-        debug_assert!(w[1] > w[0], "put_packed_sorted_u64s input not sorted");
-        put_varint_u64(out, w[1].wrapping_sub(w[0]));
+    };
+    put_varint_u64(out, first);
+    let mut prev = first;
+    for &v in rest {
+        debug_assert!(v > prev, "put_packed_sorted_u64s input not sorted");
+        put_varint_u64(out, v.wrapping_sub(prev));
+        prev = v;
     }
 }
 
@@ -699,17 +717,14 @@ pub trait WireCodec: Sized {
     /// individually validated), so any single corrupted byte anywhere in
     /// the frame is guaranteed to surface as a typed error.
     fn encode_framed(&self) -> Vec<u8> {
-        let mut out = Vec::new();
+        let payload = self.encode();
+        let mut out = Vec::with_capacity(FRAME_HEADER_BYTES + payload.len());
         out.extend_from_slice(&WIRE_MAGIC);
         out.extend_from_slice(&WIRE_VERSION.to_le_bytes());
         out.extend_from_slice(&Self::WIRE_TAG.to_le_bytes());
-        put_len(&mut out, 0); // length, patched below
-        put_u64(&mut out, 0); // checksum, patched below
-        self.encode_into(&mut out);
-        let payload_len = (out.len() - FRAME_HEADER_BYTES) as u64;
-        let checksum = fnv1a64(&out[FRAME_HEADER_BYTES..]);
-        out[8..16].copy_from_slice(&payload_len.to_le_bytes());
-        out[16..24].copy_from_slice(&checksum.to_le_bytes());
+        put_len(&mut out, payload.len());
+        put_u64(&mut out, fnv1a64(&payload));
+        out.extend_from_slice(&payload);
         out
     }
 
@@ -720,7 +735,7 @@ pub trait WireCodec: Sized {
     /// section) to the matching layout.
     fn decode_framed(buf: &[u8]) -> Result<Self, CodecError> {
         let mut r = Reader::new(buf);
-        let magic: [u8; 4] = r.take(4)?.try_into().expect("len 4");
+        let magic: [u8; 4] = r.take_array()?;
         if magic != WIRE_MAGIC {
             return Err(CodecError::BadMagic { found: magic });
         }
@@ -753,7 +768,7 @@ pub trait WireCodec: Sized {
                 }
             });
         }
-        let found = fnv1a64(&buf[FRAME_HEADER_BYTES..]);
+        let found = fnv1a64(buf.get(FRAME_HEADER_BYTES..).unwrap_or(&[]));
         if found != expected {
             return Err(CodecError::ChecksumMismatch { expected, found });
         }
@@ -805,7 +820,7 @@ pub struct FrameHeader {
 /// a socket transport runs before allocating the payload buffer.
 pub fn parse_frame_header(header: &[u8; FRAME_HEADER_BYTES]) -> Result<FrameHeader, CodecError> {
     let mut r = Reader::new(header);
-    let magic: [u8; 4] = r.take(4)?.try_into().expect("len 4");
+    let magic: [u8; 4] = r.take_array()?;
     if magic != WIRE_MAGIC {
         return Err(CodecError::BadMagic { found: magic });
     }
@@ -834,7 +849,7 @@ pub fn parse_frame_header(header: &[u8; FRAME_HEADER_BYTES]) -> Result<FrameHead
 /// incompatible peer sent.
 pub fn peek_frame(buf: &[u8]) -> Result<(u16, u16, usize), CodecError> {
     let mut r = Reader::new(buf);
-    let magic: [u8; 4] = r.take(4)?.try_into().expect("len 4");
+    let magic: [u8; 4] = r.take_array()?;
     if magic != WIRE_MAGIC {
         return Err(CodecError::BadMagic { found: magic });
     }

@@ -177,6 +177,7 @@ impl NaiveScaledFk {
     pub fn merge(&mut self, other: &NaiveScaledFk) {
         assert_eq!(self.k, other.k, "moment order mismatch");
         crate::estimate::assert_rates_compatible(self.p, other.p);
+        // sss-lint: allow(canonical_iteration) — commutative u64 adds into an exact map; the merged state is iteration-order independent
         for (&i, &g) in &other.freqs {
             *self.freqs.entry(i).or_insert(0) += g;
         }

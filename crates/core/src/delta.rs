@@ -144,17 +144,15 @@ impl SnapshotDelta {
                     let end = offset.checked_add(len).ok_or(CodecError::Invalid {
                         what: "delta copy range overflows",
                     })?;
-                    if end > base.len() {
-                        return Err(CodecError::Invalid {
-                            what: "delta copy range escapes the base snapshot",
-                        });
-                    }
+                    let chunk = base.get(offset..end).ok_or(CodecError::Invalid {
+                        what: "delta copy range escapes the base snapshot",
+                    })?;
                     if out.len() + len > target_len {
                         return Err(CodecError::Invalid {
                             what: "delta reconstruction exceeds its recorded length",
                         });
                     }
-                    out.extend_from_slice(&base[offset..end]);
+                    out.extend_from_slice(chunk);
                 }
                 DeltaOp::Literal(bytes) => {
                     if out.len() + bytes.len() > target_len {

@@ -44,6 +44,8 @@
 //! assert_eq!(f2.value, 16.0); // 2·C₂/p² + F₁(L)/p on the toy sample
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod adaptive;
 pub mod baselines;
 pub mod collisions;

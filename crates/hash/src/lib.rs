@@ -18,6 +18,8 @@
 //! The crate is `no_std`-friendly in spirit (no I/O, no OS randomness): all
 //! seeding is explicit.
 
+#![forbid(unsafe_code)]
+
 pub mod map;
 pub mod mix;
 pub mod poly;

@@ -193,7 +193,7 @@ impl WireCodec for PolyHash {
                 what: "PolyHash coefficient outside the Mersenne field",
             });
         }
-        if coeffs.len() > 1 && coeffs[coeffs.len() - 1] == 0 {
+        if coeffs.len() > 1 && coeffs.last() == Some(&0) {
             // The constructor draws the leading coefficient from [1, p);
             // a zero here would silently lower the independence level.
             return Err(CodecError::Invalid {

@@ -1,0 +1,428 @@
+//! A lightweight Rust lexer — just enough tokenization for the rule
+//! passes: identifiers, numeric/string/char literals, lifetimes and
+//! single-character punctuation, each stamped with its 1-based source
+//! line. Comments are not tokens; they are collected on the side so the
+//! pragma pass ([`crate::scan`]) can map `// sss-lint: allow(...)`
+//! comments to the lines they bless.
+//!
+//! The lexer is deliberately lossy (no spans inside a line, no keyword
+//! classification, multi-character operators arrive as single `Punct`
+//! chars) — every rule works on token *sequences*, and `>>` arriving as
+//! two `>` tokens is exactly what makes nested-generic bracket matching
+//! trivial.
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `decode`, `MAX_WINDOW_BUCKETS`, ...).
+    Ident,
+    /// Numeric literal, text preserved (`0x0601`, `1_000`, `2.5e-3`).
+    Num,
+    /// String literal of any flavour (`"..."`, `r#"..."#`, `b"..."`).
+    Str,
+    /// Character or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// One punctuation character (`.`, `[`, `>`, ...).
+    Punct,
+}
+
+/// One lexeme with its source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: usize,
+}
+
+impl Token {
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.as_bytes()[0] == c as u8
+    }
+}
+
+/// A comment captured during lexing, for pragma extraction.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Line the comment starts on.
+    pub line: usize,
+    /// Comment text without the `//` / `/*` markers.
+    pub text: String,
+    /// Whether any token was emitted earlier on the same line (a
+    /// trailing comment blesses its own line; a standalone comment
+    /// blesses the next token-bearing line).
+    pub own_line: bool,
+}
+
+/// Lex `src` into tokens plus the side list of comments.
+pub fn lex(src: &str) -> (Vec<Token>, Vec<Comment>) {
+    let bytes: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let mut comments = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let mut last_tok_line = 0usize;
+    let n = bytes.len();
+
+    let is_ident_start = |c: char| c.is_alphabetic() || c == '_';
+    let is_ident_cont = |c: char| c.is_alphanumeric() || c == '_';
+
+    while i < n {
+        let c = bytes[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment.
+        if c == '/' && i + 1 < n && bytes[i + 1] == '/' {
+            let start = i + 2;
+            let mut j = start;
+            while j < n && bytes[j] != '\n' {
+                j += 1;
+            }
+            comments.push(Comment {
+                line,
+                text: bytes[start..j].iter().collect(),
+                own_line: last_tok_line != line,
+            });
+            i = j;
+            continue;
+        }
+        // Block comment (nested).
+        if c == '/' && i + 1 < n && bytes[i + 1] == '*' {
+            let start_line = line;
+            let own = last_tok_line != line;
+            let mut depth = 1usize;
+            let mut j = i + 2;
+            let text_start = j;
+            while j < n && depth > 0 {
+                if bytes[j] == '\n' {
+                    line += 1;
+                    j += 1;
+                } else if bytes[j] == '/' && j + 1 < n && bytes[j + 1] == '*' {
+                    depth += 1;
+                    j += 2;
+                } else if bytes[j] == '*' && j + 1 < n && bytes[j + 1] == '/' {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    j += 1;
+                }
+            }
+            let text_end = j.saturating_sub(2).max(text_start);
+            comments.push(Comment {
+                line: start_line,
+                text: bytes[text_start..text_end].iter().collect(),
+                own_line: own,
+            });
+            i = j;
+            continue;
+        }
+        // Raw strings and raw identifiers: r"...", r#"..."#, r#ident, br#"..."#.
+        if (c == 'r' || c == 'b') && i + 1 < n {
+            let (r_at, prefix_len) = if c == 'r' {
+                (i, 1)
+            } else if bytes[i + 1] == 'r' && i + 2 < n {
+                (i + 1, 2)
+            } else {
+                (usize::MAX, 0)
+            };
+            if r_at != usize::MAX {
+                let mut j = r_at + 1;
+                let mut hashes = 0usize;
+                while j < n && bytes[j] == '#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < n && bytes[j] == '"' {
+                    // Raw string: scan for `"` followed by `hashes` #s.
+                    let tok_line = line;
+                    j += 1;
+                    let body_start = j;
+                    'scan: while j < n {
+                        if bytes[j] == '\n' {
+                            line += 1;
+                            j += 1;
+                            continue;
+                        }
+                        if bytes[j] == '"' {
+                            let mut k = 0usize;
+                            while k < hashes && j + 1 + k < n && bytes[j + 1 + k] == '#' {
+                                k += 1;
+                            }
+                            if k == hashes {
+                                let body: String = bytes[body_start..j].iter().collect();
+                                toks.push(Token {
+                                    kind: TokKind::Str,
+                                    text: body,
+                                    line: tok_line,
+                                });
+                                last_tok_line = tok_line;
+                                j += 1 + hashes;
+                                break 'scan;
+                            }
+                        }
+                        j += 1;
+                    }
+                    i = j;
+                    continue;
+                }
+                if hashes == 1 && j < n && is_ident_start(bytes[j]) && prefix_len == 1 {
+                    // Raw identifier r#ident.
+                    let mut k = j;
+                    while k < n && is_ident_cont(bytes[k]) {
+                        k += 1;
+                    }
+                    toks.push(Token {
+                        kind: TokKind::Ident,
+                        text: bytes[j..k].iter().collect(),
+                        line,
+                    });
+                    last_tok_line = line;
+                    i = k;
+                    continue;
+                }
+            }
+        }
+        // Byte char / byte string prefix: b'...', b"...".
+        if c == 'b' && i + 1 < n && (bytes[i + 1] == '\'' || bytes[i + 1] == '"') {
+            i += 1;
+            // Fall through to the string/char cases below on the quote.
+            let q = bytes[i];
+            if q == '"' {
+                let (j, nl) = scan_string(&bytes, i + 1);
+                toks.push(Token {
+                    kind: TokKind::Str,
+                    text: String::new(),
+                    line,
+                });
+                last_tok_line = line;
+                line += nl;
+                i = j;
+            } else {
+                let j = scan_char(&bytes, i + 1);
+                toks.push(Token {
+                    kind: TokKind::Char,
+                    text: String::new(),
+                    line,
+                });
+                last_tok_line = line;
+                i = j;
+            }
+            continue;
+        }
+        if c == '"' {
+            let (j, nl) = scan_string(&bytes, i + 1);
+            toks.push(Token {
+                kind: TokKind::Str,
+                text: bytes[i + 1..j.saturating_sub(1).max(i + 1)]
+                    .iter()
+                    .collect(),
+                line,
+            });
+            last_tok_line = line;
+            line += nl;
+            i = j;
+            continue;
+        }
+        if c == '\'' {
+            // Lifetime vs char literal: `'ident` not closed by `'` is a
+            // lifetime; everything else is a char literal.
+            if i + 1 < n
+                && is_ident_start(bytes[i + 1])
+                && !(i + 2 < n && bytes[i + 2] == '\'' && bytes[i + 1] != '\\')
+            {
+                let mut j = i + 1;
+                while j < n && is_ident_cont(bytes[j]) {
+                    j += 1;
+                }
+                toks.push(Token {
+                    kind: TokKind::Lifetime,
+                    text: bytes[i + 1..j].iter().collect(),
+                    line,
+                });
+                last_tok_line = line;
+                i = j;
+                continue;
+            }
+            let j = scan_char(&bytes, i + 1);
+            toks.push(Token {
+                kind: TokKind::Char,
+                text: String::new(),
+                line,
+            });
+            last_tok_line = line;
+            i = j;
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let mut j = i;
+            while j < n && (is_ident_cont(bytes[j])) {
+                j += 1;
+            }
+            // Float continuation: `1.5`, `1.5e-3` (but not `1..` or `1.method()`).
+            if j < n && bytes[j] == '.' && j + 1 < n && bytes[j + 1].is_ascii_digit() {
+                j += 1;
+                while j < n && is_ident_cont(bytes[j]) {
+                    j += 1;
+                }
+            }
+            // Exponent sign: `1e-5` leaves us on '-' after consuming 'e'.
+            if j < n
+                && (bytes[j] == '-' || bytes[j] == '+')
+                && j > i
+                && (bytes[j - 1] == 'e' || bytes[j - 1] == 'E')
+                && j + 1 < n
+                && bytes[j + 1].is_ascii_digit()
+            {
+                j += 1;
+                while j < n && is_ident_cont(bytes[j]) {
+                    j += 1;
+                }
+            }
+            toks.push(Token {
+                kind: TokKind::Num,
+                text: bytes[i..j].iter().collect(),
+                line,
+            });
+            last_tok_line = line;
+            i = j;
+            continue;
+        }
+        if is_ident_start(c) {
+            let mut j = i;
+            while j < n && is_ident_cont(bytes[j]) {
+                j += 1;
+            }
+            toks.push(Token {
+                kind: TokKind::Ident,
+                text: bytes[i..j].iter().collect(),
+                line,
+            });
+            last_tok_line = line;
+            i = j;
+            continue;
+        }
+        toks.push(Token {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line,
+        });
+        last_tok_line = line;
+        i += 1;
+    }
+    (toks, comments)
+}
+
+/// Scan a (non-raw) string body starting after the opening quote;
+/// returns (index after the closing quote, newlines crossed).
+fn scan_string(bytes: &[char], mut j: usize) -> (usize, usize) {
+    let n = bytes.len();
+    let mut newlines = 0usize;
+    while j < n {
+        match bytes[j] {
+            '\\' => j += 2,
+            '"' => return (j + 1, newlines),
+            '\n' => {
+                newlines += 1;
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    (j, newlines)
+}
+
+/// Scan a char literal body starting after the opening quote; returns
+/// the index after the closing quote.
+fn scan_char(bytes: &[char], mut j: usize) -> usize {
+    let n = bytes.len();
+    while j < n {
+        match bytes[j] {
+            '\\' => j += 2,
+            '\'' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .0
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn basic_tokens_and_lines() {
+        let (toks, comments) = lex("fn f() {\n  x.unwrap() // note\n}\n");
+        assert!(toks.iter().any(|t| t.is_ident("unwrap") && t.line == 2));
+        assert_eq!(comments.len(), 1);
+        assert_eq!(comments[0].line, 2);
+        assert!(!comments[0].own_line);
+        assert_eq!(comments[0].text.trim(), "note");
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let (toks, _) = lex("impl<'a> X<'a> { fn f() -> char { 'x' } }");
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::Lifetime).count(),
+            2
+        );
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Char).count(), 1);
+    }
+
+    #[test]
+    fn strings_rawstrings_and_escapes() {
+        let (toks, _) = lex(r####"let s = "a\"b"; let r = r#"raw "x" ok"#; let b = b"bytes";"####);
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Str).count(), 3);
+        // No brace/bracket tokens leaked out of string bodies.
+        assert!(!toks.iter().any(|t| t.is_punct('#')));
+    }
+
+    #[test]
+    fn numbers_including_hex_and_floats() {
+        let (toks, _) = lex("const T: u16 = 0x0601; let x = 2.5e-3; let r = 1..10;");
+        let nums: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Num)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(nums, vec!["0x0601", "2.5e-3", "1", "10"]);
+    }
+
+    #[test]
+    fn nested_block_comments_and_own_line() {
+        let (toks, comments) =
+            lex("/* outer /* inner */ still */ fn g() {}\n// standalone\nlet x = 1;");
+        assert!(toks.iter().any(|t| t.is_ident("g")));
+        assert_eq!(comments.len(), 2);
+        assert!(comments[0].own_line);
+        assert!(comments[1].own_line);
+    }
+
+    #[test]
+    fn raw_idents() {
+        assert!(idents("let r#type = 1;").contains(&"type".to_string()));
+    }
+}

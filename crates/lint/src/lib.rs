@@ -1,0 +1,283 @@
+//! `sss-lint` — in-house static analysis for the subsampled-streams
+//! workspace.
+//!
+//! The compiler cannot check the invariants this codebase actually
+//! lives on: decode paths must never panic or over-allocate on
+//! untrusted bytes, merges and encodes must iterate canonically so
+//! folds are bitwise-equal, float ordering must survive NaN, and the
+//! wire-tag registry must stay globally consistent. `sss-lint` is a
+//! dependency-free lexer + per-rule token passes (no external parser —
+//! the build environment has no registry access) that enforces exactly
+//! those rules.
+//!
+//! Use it two ways:
+//!
+//! - CLI gate: `cargo run -p sss-lint -- --workspace` (exits non-zero
+//!   on any violation; CI runs this as the `lint` job);
+//! - library: `lint_workspace(root)` from a tier-1 test, so plain
+//!   `cargo test -q` catches regressions without CI.
+//!
+//! Audited exceptions are spelled in the source:
+//! `// sss-lint: allow(<rule>) — <reason>`.
+
+#![forbid(unsafe_code)]
+
+pub mod lexer;
+pub mod rules;
+pub mod scan;
+
+use scan::{FileKind, SourceFile};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub use rules::{
+    FixtureManifest, LintOptions, Violation, ALL_RULES, RULE_ALLOC, RULE_ITER, RULE_NAN,
+    RULE_NO_PANIC, RULE_TAGS,
+};
+
+/// Everything the rule passes need: parsed sources plus fixture
+/// manifests.
+pub struct Workspace {
+    pub files: Vec<SourceFile>,
+    pub manifests: Vec<FixtureManifest>,
+}
+
+/// Run every rule over an in-memory workspace. This is the entry the
+/// fixture tests use: hand-built `SourceFile`s, optional manifests,
+/// options gating the workspace-level checks.
+pub fn lint(ws: &Workspace, opts: &LintOptions) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for f in &ws.files {
+        rules::check_no_panic(f, &mut out);
+        rules::check_bounded_alloc(f, &mut out);
+        rules::check_nan_ordering(f, &mut out);
+        rules::check_canonical_iteration(f, &mut out);
+    }
+    rules::check_wire_tags(&ws.files, &ws.manifests, opts, &mut out);
+    out.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    out
+}
+
+/// Parse loose (crate name, path, source) inputs and lint them with
+/// `opts`. Convenience for per-rule fixture tests that do not want a
+/// real directory tree.
+pub fn lint_sources(sources: &[(&str, &str, &str)], opts: &LintOptions) -> Vec<Violation> {
+    let files = sources
+        .iter()
+        .map(|(krate, path, text)| {
+            SourceFile::parse(krate, PathBuf::from(path), FileKind::Lib, text)
+        })
+        .collect();
+    lint(
+        &Workspace {
+            files,
+            manifests: Vec::new(),
+        },
+        opts,
+    )
+}
+
+/// Load the real workspace rooted at `root` and lint it with default
+/// options.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Violation>> {
+    let ws = load_workspace(root)?;
+    Ok(lint(&ws, &LintOptions::default()))
+}
+
+/// Discover and parse workspace sources: every `crates/*/src/**/*.rs`
+/// (crate names read from each `Cargo.toml`), the root facade `src/`,
+/// and `examples/`. Fixture manifests come from the newest
+/// `tests/fixtures/wire_v<N>/manifest.tsv`.
+pub fn load_workspace(root: &Path) -> io::Result<Workspace> {
+    let mut files = Vec::new();
+
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        let manifest = dir.join("Cargo.toml");
+        if !manifest.is_file() {
+            continue;
+        }
+        let name = package_name(&fs::read_to_string(&manifest)?).unwrap_or_else(|| {
+            dir.file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default()
+        });
+        let src = dir.join("src");
+        if src.is_dir() {
+            collect_rs(&src, &mut |p| {
+                let kind = if p.components().any(|c| c.as_os_str() == "bin") {
+                    FileKind::BenchBin
+                } else {
+                    FileKind::Lib
+                };
+                push_file(root, &name, p, kind, &mut files)
+            })?;
+        }
+    }
+
+    // Root facade crate.
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        let name = package_name(&fs::read_to_string(root.join("Cargo.toml"))?)
+            .unwrap_or_else(|| "subsampled-streams".to_string());
+        collect_rs(&root_src, &mut |p| {
+            push_file(root, &name, p, FileKind::Lib, &mut files)
+        })?;
+    }
+
+    // Examples.
+    let examples = root.join("examples");
+    if examples.is_dir() {
+        collect_rs(&examples, &mut |p| {
+            push_file(root, "examples", p, FileKind::Example, &mut files)
+        })?;
+    }
+
+    // Fixture corpora: only the newest wire version is the live
+    // coverage target; frozen older corpora are exempt.
+    let mut manifests = Vec::new();
+    let fixtures = root.join("tests").join("fixtures");
+    if fixtures.is_dir() {
+        let mut best: Option<(u64, PathBuf)> = None;
+        for e in fs::read_dir(&fixtures)?.filter_map(|e| e.ok()) {
+            let p = e.path();
+            let Some(fname) = p.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            let Some(v) = fname
+                .strip_prefix("wire_v")
+                .and_then(|v| v.parse::<u64>().ok())
+            else {
+                continue;
+            };
+            let m = p.join("manifest.tsv");
+            if m.is_file() && best.as_ref().is_none_or(|(bv, _)| v > *bv) {
+                best = Some((v, m));
+            }
+        }
+        if let Some((_, m)) = best {
+            manifests.push(parse_manifest(root, &m)?);
+        }
+    }
+
+    Ok(Workspace { files, manifests })
+}
+
+fn push_file(
+    root: &Path,
+    krate: &str,
+    path: &Path,
+    kind: FileKind,
+    files: &mut Vec<SourceFile>,
+) -> io::Result<()> {
+    let text = fs::read_to_string(path)?;
+    let rel = path.strip_prefix(root).unwrap_or(path).to_path_buf();
+    files.push(SourceFile::parse(krate, rel, kind, &text));
+    Ok(())
+}
+
+/// Recursively visit `.rs` files under `dir` in sorted order.
+fn collect_rs(dir: &Path, f: &mut dyn FnMut(&Path) -> io::Result<()>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for p in entries {
+        if p.is_dir() {
+            collect_rs(&p, f)?;
+        } else if p.extension().is_some_and(|x| x == "rs") {
+            f(&p)?;
+        }
+    }
+    Ok(())
+}
+
+/// Pull `name = "..."` out of a `[package]` section without a TOML
+/// parser.
+fn package_name(toml: &str) -> Option<String> {
+    let mut in_package = false;
+    for line in toml.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_package = line == "[package]";
+            continue;
+        }
+        if !in_package {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("name") {
+            let rest = rest.trim_start().strip_prefix('=')?.trim();
+            return Some(rest.trim_matches('"').to_string());
+        }
+    }
+    None
+}
+
+/// Parse a fixture `manifest.tsv`: tab-separated
+/// `name  wire_tag  estimate_bits  samples_seen  bytes` rows, `#`
+/// comments.
+fn parse_manifest(root: &Path, path: &Path) -> io::Result<FixtureManifest> {
+    let text = fs::read_to_string(path)?;
+    let mut entries = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut cols = line.split('\t');
+        let (Some(name), Some(tag)) = (cols.next(), cols.next()) else {
+            continue;
+        };
+        let tag = tag.trim();
+        let parsed = tag
+            .strip_prefix("0x")
+            .or_else(|| tag.strip_prefix("0X"))
+            .and_then(|h| u16::from_str_radix(h, 16).ok())
+            .or_else(|| tag.parse().ok());
+        if let Some(t) = parsed {
+            entries.push((name.to_string(), t));
+        }
+    }
+    Ok(FixtureManifest {
+        path: path.strip_prefix(root).unwrap_or(path).to_path_buf(),
+        entries,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn package_name_parses() {
+        let toml = "[package]\nname = \"sss-codec\"\nversion = \"0.1.0\"\n";
+        assert_eq!(package_name(toml).as_deref(), Some("sss-codec"));
+    }
+
+    #[test]
+    fn package_name_ignores_other_sections() {
+        let toml = "[lib]\nname = \"wrong\"\n[package]\nname = \"right\"\n";
+        assert_eq!(package_name(toml).as_deref(), Some("right"));
+    }
+
+    #[test]
+    fn lint_sources_clean_on_trivial_input() {
+        let opts = LintOptions {
+            require_registry: false,
+            toplevel_types: Vec::new(),
+        };
+        let v = lint_sources(
+            &[("sss-x", "x.rs", "fn add(a: u64, b: u64) -> u64 { a + b }\n")],
+            &opts,
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+}

@@ -1,0 +1,109 @@
+//! CLI for `sss-lint`: `cargo run -p sss-lint -- --workspace`.
+//!
+//! Walks the workspace (rooted at `--root`, default: the nearest
+//! ancestor containing `crates/`), runs every rule, prints one
+//! `file:line: rule: message` per violation and exits 1 if any fired.
+//! `-D` semantics are the only semantics: there are no warnings.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut list_rules = false;
+    let mut workspace = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => workspace = true,
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("sss-lint: --root needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--list-rules" => list_rules = true,
+            "--help" | "-h" => {
+                print_help();
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("sss-lint: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if list_rules {
+        for r in sss_lint::ALL_RULES {
+            println!("{r}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    if !workspace {
+        print_help();
+        return ExitCode::from(2);
+    }
+
+    let root = match root.or_else(find_root) {
+        Some(r) => r,
+        None => {
+            eprintln!("sss-lint: no workspace root found (looked for a `crates/` dir); use --root");
+            return ExitCode::from(2);
+        }
+    };
+
+    match sss_lint::lint_workspace(&root) {
+        Ok(violations) if violations.is_empty() => {
+            println!(
+                "sss-lint: workspace clean ({} rules)",
+                sss_lint::ALL_RULES.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            for v in &violations {
+                println!("{v}");
+            }
+            eprintln!("sss-lint: {} violation(s)", violations.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("sss-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Nearest ancestor of the current directory containing `crates/`.
+fn find_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("crates").is_dir() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn print_help() {
+    println!(
+        "sss-lint — workspace static analysis (no-panic decode, bounded \
+         allocation, NaN-safe ordering, canonical iteration, wire-tag registry)\n\
+         \n\
+         USAGE: sss-lint --workspace [--root <path>]\n\
+         \n\
+         OPTIONS:\n\
+           --workspace      lint the whole workspace (required)\n\
+           --root <path>    workspace root (default: nearest ancestor with crates/)\n\
+           --list-rules     print rule ids and exit\n\
+         \n\
+         Violations always fail the run (-D semantics). Audited exceptions\n\
+         use `// sss-lint: allow(<rule>) — <reason>` pragmas in the source."
+    );
+}

@@ -1,0 +1,611 @@
+//! Source-file model: lex a file, map `sss-lint: allow(...)` pragmas to
+//! the lines they bless, mark `#[cfg(test)]` / `#[test]` regions, and
+//! extract items (functions with their impl context, `const`
+//! definitions) for the rule passes.
+
+use crate::lexer::{lex, Comment, Token};
+use std::collections::{HashMap, HashSet};
+use std::path::PathBuf;
+
+/// Where a file sits in the workspace — some rules scope by kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// A crate's library source (`crates/*/src/**`, root `src/`).
+    Lib,
+    /// An example (`examples/*.rs`).
+    Example,
+    /// A bench/experiment binary (`crates/bench/src/bin/*.rs`).
+    BenchBin,
+}
+
+/// A function item found in a file.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// The function's name.
+    pub name: String,
+    /// Normalized self type of the enclosing `impl`, if any
+    /// (e.g. `Reader`, `SampledFkEstimator<ExactCollisions>`).
+    pub impl_type: Option<String>,
+    /// Token range of the parameter list (inside the parens).
+    pub params: (usize, usize),
+    /// Token range of the body (inside the braces); `None` for
+    /// body-less trait methods.
+    pub body: Option<(usize, usize)>,
+    /// Whether the function sits in test-only code.
+    pub is_test: bool,
+}
+
+/// A `const NAME: TYPE = ...;` item found in a file.
+#[derive(Debug, Clone)]
+pub struct ConstItem {
+    pub name: String,
+    /// The annotated type's tokens joined (`u16`, `usize`, ...).
+    pub ty: String,
+    /// Token range of the initializer (between `=` and `;`).
+    pub value: (usize, usize),
+    pub impl_type: Option<String>,
+    pub line: usize,
+    pub is_test: bool,
+}
+
+/// One lexed-and-scanned source file.
+pub struct SourceFile {
+    /// Workspace-relative path (for reporting).
+    pub path: PathBuf,
+    /// Cargo package name owning the file (`sss-codec`, ...).
+    pub crate_name: String,
+    pub kind: FileKind,
+    pub tokens: Vec<Token>,
+    /// Rules blessed per line by `sss-lint: allow(rule)` pragmas.
+    pub allows: HashMap<usize, HashSet<String>>,
+    /// Token-index ranges inside `#[cfg(test)]` / `#[test]` items.
+    test_ranges: Vec<(usize, usize)>,
+    pub fns: Vec<FnItem>,
+    pub consts: Vec<ConstItem>,
+}
+
+impl SourceFile {
+    /// Lex and scan one file.
+    pub fn parse(crate_name: &str, path: PathBuf, kind: FileKind, src: &str) -> SourceFile {
+        let (tokens, comments) = lex(src);
+        let allows = pragma_lines(&comments, &tokens);
+        let test_ranges = find_test_ranges(&tokens);
+        let mut file = SourceFile {
+            path,
+            crate_name: crate_name.to_string(),
+            kind,
+            tokens,
+            allows,
+            test_ranges,
+            fns: Vec::new(),
+            consts: Vec::new(),
+        };
+        scan_items(&mut file);
+        file
+    }
+
+    /// Whether the token at `idx` lies in test-only code.
+    pub fn is_test_tok(&self, idx: usize) -> bool {
+        self.test_ranges.iter().any(|&(a, b)| idx >= a && idx < b)
+    }
+
+    /// Whether `rule` is blessed on `line` by a pragma.
+    pub fn allowed(&self, line: usize, rule: &str) -> bool {
+        self.allows.get(&line).is_some_and(|s| s.contains(rule))
+    }
+}
+
+/// Map pragma comments to the lines they bless: a trailing comment
+/// blesses its own line; a standalone comment blesses the next line
+/// that carries a token (so it can sit right above the flagged
+/// statement, across blank lines).
+fn pragma_lines(comments: &[Comment], tokens: &[Token]) -> HashMap<usize, HashSet<String>> {
+    let mut out: HashMap<usize, HashSet<String>> = HashMap::new();
+    for c in comments {
+        let Some(rules) = parse_pragma(&c.text) else {
+            continue;
+        };
+        let target = if c.own_line {
+            tokens
+                .iter()
+                .map(|t| t.line)
+                .find(|&l| l > c.line)
+                .unwrap_or(c.line + 1)
+        } else {
+            c.line
+        };
+        out.entry(target).or_default().extend(rules.clone());
+        // A pragma also blesses its own comment line, so trailing and
+        // standalone placement both work without thinking about it.
+        out.entry(c.line).or_default().extend(rules);
+    }
+    out
+}
+
+/// Parse `sss-lint: allow(rule_a, rule_b) — reason` out of a comment.
+/// Returns `None` when the comment is not a pragma.
+fn parse_pragma(text: &str) -> Option<Vec<String>> {
+    let idx = text.find("sss-lint:")?;
+    let rest = text[idx + "sss-lint:".len()..].trim_start();
+    let rest = rest.strip_prefix("allow")?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let end = rest.find(')')?;
+    let rules: Vec<String> = rest[..end]
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    if rules.is_empty() {
+        None
+    } else {
+        Some(rules)
+    }
+}
+
+/// Find token ranges covered by `#[cfg(test)]` / `#[test]` items: from
+/// the attribute, the range of the next brace block — unless a `;`
+/// intervenes (a non-block item like `#[cfg(test)] use x;`).
+fn find_test_ranges(toks: &[Token]) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].is_punct('#') && i + 1 < toks.len() && toks[i + 1].is_punct('[') {
+            // Attribute body to the matching ']'.
+            let close = match matching(toks, i + 1, '[', ']') {
+                Some(c) => c,
+                None => break,
+            };
+            let is_test_attr = toks[i + 2..close].iter().any(|t| t.is_ident("test"))
+                && (toks[i + 2..close].iter().any(|t| t.is_ident("cfg")) || close == i + 3);
+            if is_test_attr {
+                // Scan forward to the item's block, bailing on `;`.
+                let mut j = close + 1;
+                let mut ok = true;
+                while j < toks.len() && !toks[j].is_punct('{') {
+                    if toks[j].is_punct(';') {
+                        ok = false;
+                        break;
+                    }
+                    j += 1;
+                }
+                if ok && j < toks.len() {
+                    if let Some(end) = matching(toks, j, '{', '}') {
+                        out.push((i, end + 1));
+                        i = end + 1;
+                        continue;
+                    }
+                }
+            }
+            i = close + 1;
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Index of the token closing the bracket opened at `open_idx`.
+pub fn matching(toks: &[Token], open_idx: usize, open: char, close: char) -> Option<usize> {
+    let mut depth = 0usize;
+    for (j, t) in toks.iter().enumerate().skip(open_idx) {
+        if t.is_punct(open) {
+            depth += 1;
+        } else if t.is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+/// Walk the token stream collecting `fn` and `const` items, tracking
+/// the enclosing `impl` self type via a depth stack.
+fn scan_items(file: &mut SourceFile) {
+    let toks = &file.tokens;
+    let mut fns = Vec::new();
+    let mut consts = Vec::new();
+    // (brace depth at which the impl body opened, normalized self type)
+    let mut impl_stack: Vec<(usize, String)> = Vec::new();
+    let mut depth = 0usize;
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct('{') {
+            depth += 1;
+            i += 1;
+            continue;
+        }
+        if t.is_punct('}') {
+            depth = depth.saturating_sub(1);
+            while impl_stack.last().is_some_and(|&(d, _)| d > depth) {
+                impl_stack.pop();
+            }
+            i += 1;
+            continue;
+        }
+        if t.is_ident("impl") {
+            if let Some((ty, body_open)) = parse_impl_header(toks, i) {
+                impl_stack.push((depth + 1, ty));
+                depth += 1;
+                i = body_open + 1;
+                continue;
+            }
+        }
+        if t.is_ident("fn") && i + 1 < toks.len() {
+            if let Some(item) = parse_fn(file, toks, i, impl_stack.last().map(|(_, ty)| ty.clone()))
+            {
+                // Descend into the body for nested items, accounting
+                // for its '{'; body-less fns resume after the params.
+                let next = match item.body {
+                    Some((start, _)) => {
+                        depth += 1;
+                        start
+                    }
+                    None => item.params.1 + 1,
+                };
+                fns.push(item);
+                i = next;
+                continue;
+            }
+        }
+        if t.is_ident("const") && i + 1 < toks.len() {
+            if let Some((item, after)) = parse_const(file, toks, i, &impl_stack) {
+                consts.push(item);
+                i = after;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    file.fns = fns;
+    file.consts = consts;
+}
+
+/// Parse an `impl` header at `i`; returns (normalized self type, index
+/// of the body `{`).
+fn parse_impl_header(toks: &[Token], i: usize) -> Option<(String, usize)> {
+    let mut j = i + 1;
+    // Skip `<...>` generics (shift-free balancing: `>` closes one level).
+    if j < toks.len() && toks[j].is_punct('<') {
+        let mut d = 0i64;
+        while j < toks.len() {
+            if toks[j].is_punct('<') {
+                d += 1;
+            } else if toks[j].is_punct('>') {
+                d -= 1;
+                if d == 0 {
+                    j += 1;
+                    break;
+                }
+            }
+            j += 1;
+        }
+    }
+    // First path: to `for`, `where` or `{`.
+    let first_start = j;
+    let mut for_at = None;
+    while j < toks.len() && !toks[j].is_punct('{') {
+        if toks[j].is_ident("for") {
+            for_at = Some(j);
+            break;
+        }
+        if toks[j].is_ident("where") {
+            break;
+        }
+        if toks[j].is_punct(';') {
+            return None;
+        }
+        j += 1;
+    }
+    let (ty_start, ty_end_scan) = match for_at {
+        Some(f) => (f + 1, toks.len()),
+        None => (first_start, j),
+    };
+    let mut k = ty_start;
+    let mut end = ty_end_scan.min(toks.len());
+    if for_at.is_some() {
+        while k < toks.len() && !toks[k].is_punct('{') && !toks[k].is_ident("where") {
+            k += 1;
+        }
+        end = k;
+        k = ty_start;
+    }
+    // Find the body '{'.
+    let mut body = end;
+    while body < toks.len() && !toks[body].is_punct('{') {
+        if toks[body].is_punct(';') {
+            return None;
+        }
+        body += 1;
+    }
+    if body >= toks.len() {
+        return None;
+    }
+    Some((normalize_type(&toks[k..end]), body))
+}
+
+/// Normalize a type token run to `Base<Arg,Arg>` form: path prefixes
+/// (`crate::collisions::ExactCollisions`) collapse to their last
+/// segment, lifetimes and whitespace drop out.
+pub fn normalize_type(toks: &[Token]) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.kind == crate::lexer::TokKind::Ident {
+            // Collapse `a::b::c` to `c`.
+            let mut last = t.text.clone();
+            let mut j = i + 1;
+            while j + 1 < toks.len()
+                && toks[j].is_punct(':')
+                && toks[j + 1].is_punct(':')
+                && j + 2 < toks.len()
+                && toks[j + 2].kind == crate::lexer::TokKind::Ident
+            {
+                last = toks[j + 2].text.clone();
+                j += 3;
+            }
+            // `X as Trait` casts inside qualified paths: keep X, drop the trait.
+            if last == "as" {
+                i = j;
+                continue;
+            }
+            parts.push(last);
+            i = j;
+            continue;
+        }
+        if t.is_punct('<') || t.is_punct('>') || t.is_punct(',') {
+            parts.push(t.text.clone());
+        }
+        i += 1;
+    }
+    // Drop a trailing `as Trait` trait name that followed the base type
+    // inside `<X as Trait>` — the normalized parts would be X Trait.
+    let joined = parts.join("\u{0}");
+    let cleaned: Vec<&str> = joined.split('\u{0}').filter(|s| !s.is_empty()).collect();
+    let mut out = String::new();
+    let mut k = 0usize;
+    while k < cleaned.len() {
+        if cleaned[k] == "WireCodec" && k > 0 {
+            k += 1;
+            continue;
+        }
+        out.push_str(cleaned[k]);
+        k += 1;
+    }
+    // Lifetime-only generics leave empty brackets (`Reader<'a>` →
+    // `Reader<>`); drop them.
+    while let Some(p) = out.find("<>") {
+        out.replace_range(p..p + 2, "");
+    }
+    out
+}
+
+/// Parse a `fn` item at `i`.
+fn parse_fn(
+    file: &SourceFile,
+    toks: &[Token],
+    i: usize,
+    impl_type: Option<String>,
+) -> Option<FnItem> {
+    let name_tok = toks.get(i + 1)?;
+    if name_tok.kind != crate::lexer::TokKind::Ident {
+        return None;
+    }
+    // Find the parameter '(' (skipping generics).
+    let mut j = i + 2;
+    if j < toks.len() && toks[j].is_punct('<') {
+        let mut d = 0i64;
+        while j < toks.len() {
+            if toks[j].is_punct('<') {
+                d += 1;
+            } else if toks[j].is_punct('>') {
+                d -= 1;
+                if d == 0 {
+                    j += 1;
+                    break;
+                }
+            }
+            j += 1;
+        }
+    }
+    if j >= toks.len() || !toks[j].is_punct('(') {
+        return None;
+    }
+    let params_close = matching(toks, j, '(', ')')?;
+    // Body '{' or trait-method ';'.
+    let mut k = params_close + 1;
+    let mut body = None;
+    while k < toks.len() {
+        if toks[k].is_punct(';') {
+            break;
+        }
+        if toks[k].is_punct('{') {
+            let close = matching(toks, k, '{', '}')?;
+            body = Some((k + 1, close));
+            break;
+        }
+        k += 1;
+    }
+    Some(FnItem {
+        name: name_tok.text.clone(),
+        impl_type,
+        params: (j + 1, params_close),
+        body,
+        is_test: file.is_test_tok(i),
+    })
+}
+
+/// Parse a `const NAME: TYPE = VALUE;` item at `i`; returns the item
+/// and the index just past the `;`.
+fn parse_const(
+    file: &SourceFile,
+    toks: &[Token],
+    i: usize,
+    impl_stack: &[(usize, String)],
+) -> Option<(ConstItem, usize)> {
+    let name_tok = toks.get(i + 1)?;
+    if name_tok.kind != crate::lexer::TokKind::Ident {
+        return None; // `const fn`, `*const`, ...
+    }
+    if !toks.get(i + 2)?.is_punct(':') {
+        return None;
+    }
+    let mut j = i + 3;
+    let ty_start = j;
+    while j < toks.len() && !toks[j].is_punct('=') && !toks[j].is_punct(';') {
+        j += 1;
+    }
+    if j >= toks.len() || !toks[j].is_punct('=') {
+        return None;
+    }
+    let ty: String = toks[ty_start..j]
+        .iter()
+        .map(|t| t.text.as_str())
+        .collect::<Vec<_>>()
+        .join("");
+    let val_start = j + 1;
+    let mut k = val_start;
+    let mut d = 0i64;
+    while k < toks.len() {
+        if toks[k].is_punct('{') || toks[k].is_punct('[') || toks[k].is_punct('(') {
+            d += 1;
+        } else if toks[k].is_punct('}') || toks[k].is_punct(']') || toks[k].is_punct(')') {
+            d -= 1;
+        } else if toks[k].is_punct(';') && d == 0 {
+            break;
+        }
+        k += 1;
+    }
+    Some((
+        ConstItem {
+            name: name_tok.text.clone(),
+            ty,
+            value: (val_start, k),
+            impl_type: impl_stack.last().map(|(_, t)| t.clone()),
+            line: name_tok.line,
+            is_test: file.is_test_tok(i),
+        },
+        k.saturating_add(1),
+    ))
+}
+
+/// Split a token range into pseudo-statements: maximal runs between
+/// `;`, `{` and `}` at any depth. Fine-grained on purpose — an `if`
+/// condition, a `for` header and each plain statement all become their
+/// own run, which is the granularity the guard heuristics want.
+pub fn statements(toks: &[Token], range: (usize, usize)) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut start = range.0;
+    for (j, tok) in toks.iter().enumerate().take(range.1).skip(range.0) {
+        if tok.is_punct(';') || tok.is_punct('{') || tok.is_punct('}') {
+            if j > start {
+                out.push((start, j));
+            }
+            start = j + 1;
+        }
+    }
+    if range.1 > start {
+        out.push((start, range.1));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> SourceFile {
+        SourceFile::parse("sss-test", PathBuf::from("test.rs"), FileKind::Lib, src)
+    }
+
+    #[test]
+    fn finds_fns_with_impl_context() {
+        let f = parse(
+            "impl WireCodec for SampledFkEstimator<crate::c::ExactCollisions> {\n\
+             fn decode(r: &mut Reader) -> Result<Self, E> { inner() }\n\
+             }\n\
+             fn free() {}\n",
+        );
+        assert_eq!(f.fns.len(), 2);
+        assert_eq!(f.fns[0].name, "decode");
+        assert_eq!(
+            f.fns[0].impl_type.as_deref(),
+            Some("SampledFkEstimator<ExactCollisions>")
+        );
+        assert_eq!(f.fns[1].name, "free");
+        assert_eq!(f.fns[1].impl_type, None);
+    }
+
+    #[test]
+    fn qualified_impl_and_const_tags() {
+        let f = parse(
+            "impl Reader {\n\
+             pub const LIMIT: usize = 4;\n\
+             }\n\
+             impl WireCodec for Monitor { const WIRE_TAG: u16 = 0x040E; }\n",
+        );
+        let tag = f.consts.iter().find(|c| c.name == "WIRE_TAG").unwrap();
+        assert_eq!(tag.ty, "u16");
+        assert_eq!(tag.impl_type.as_deref(), Some("Monitor"));
+        let lim = f.consts.iter().find(|c| c.name == "LIMIT").unwrap();
+        assert_eq!(lim.impl_type.as_deref(), Some("Reader"));
+    }
+
+    #[test]
+    fn test_regions_marked() {
+        let f = parse(
+            "fn lib_code() {}\n\
+             #[cfg(test)]\nmod tests {\n fn helper() {}\n #[test]\n fn case() {}\n}\n",
+        );
+        let lib = f.fns.iter().find(|x| x.name == "lib_code").unwrap();
+        assert!(!lib.is_test);
+        for name in ["helper", "case"] {
+            let t = f.fns.iter().find(|x| x.name == name).unwrap();
+            assert!(t.is_test, "{name} should be test code");
+        }
+    }
+
+    #[test]
+    fn cfg_test_on_use_item_does_not_swallow_the_file() {
+        let f = parse("#[cfg(test)]\nuse std::x;\nfn real() {}\n");
+        let real = f.fns.iter().find(|x| x.name == "real").unwrap();
+        assert!(!real.is_test);
+    }
+
+    #[test]
+    fn pragmas_bless_their_line_and_the_next() {
+        let f = parse(
+            "// sss-lint: allow(no_panic_decode) — audited\n\
+             fn a() { x.unwrap(); }\n\
+             fn b() { y.unwrap(); } // sss-lint: allow(no_panic_decode, other) — ok\n",
+        );
+        assert!(f.allowed(2, "no_panic_decode"));
+        assert!(f.allowed(3, "no_panic_decode"));
+        assert!(f.allowed(3, "other"));
+        assert!(!f.allowed(2, "other"));
+    }
+
+    #[test]
+    fn alias_const_rhs_normalizes() {
+        let f = parse(
+            "const FK: u16 = <SampledFkEstimator<crate::collisions::ExactCollisions> as WireCodec>::WIRE_TAG;\n",
+        );
+        let c = &f.consts[0];
+        let norm = normalize_type(&f.tokens[c.value.0..c.value.1]);
+        assert!(
+            norm.contains("SampledFkEstimator<ExactCollisions>"),
+            "{norm}"
+        );
+    }
+
+    #[test]
+    fn statements_split_on_semis_and_braces() {
+        let f = parse("fn x() { let a = 1; if a > 2 { b(); } c(); }");
+        let body = f.fns[0].body.unwrap();
+        let stmts = statements(&f.tokens, body);
+        assert_eq!(stmts.len(), 4);
+    }
+}

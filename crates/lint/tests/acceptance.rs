@@ -1,0 +1,102 @@
+//! The two regression pins from the issue's acceptance criteria, run
+//! against the *real* workspace sources so they track the code as it
+//! evolves:
+//!
+//! 1. reintroducing the PR 6 window-restore bug (deleting the
+//!    `MAX_WINDOW_BUCKETS` guard in `crates/window/src/windowed.rs`)
+//!    must fire `bounded_decode_alloc`;
+//! 2. seeding a duplicate wire tag into the workspace must fire
+//!    `wire_tag_registry`.
+
+use std::path::{Path, PathBuf};
+
+use sss_lint::scan::{FileKind, SourceFile};
+use sss_lint::{lint, load_workspace, LintOptions};
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root")
+}
+
+#[test]
+fn deleting_the_window_bucket_guard_fires_bounded_alloc() {
+    let path = repo_root().join("crates/window/src/windowed.rs");
+    let src = std::fs::read_to_string(&path).expect("read windowed.rs");
+
+    // The guard under test, as it exists today. If this block changes
+    // shape the assert below fails and the pin needs updating — that is
+    // deliberate: the fixture must keep tracking the real source.
+    let guard_open = "if !(1..=MAX_WINDOW_BUCKETS).contains(&cap)";
+    let start = src
+        .find(guard_open)
+        .expect("MAX_WINDOW_BUCKETS guard not found in windowed.rs — update this pin");
+    let end = start + src[start..].find("}\n").expect("guard block end") + 2;
+    let mut stripped = String::with_capacity(src.len());
+    stripped.push_str(&src[..start]);
+    stripped.push_str(&src[end..]);
+
+    let lint_file = |text: &str| {
+        let f = SourceFile::parse(
+            "sss-window",
+            PathBuf::from("windowed.rs"),
+            FileKind::Lib,
+            text,
+        );
+        let mut out = Vec::new();
+        sss_lint::rules::check_bounded_alloc(&f, &mut out);
+        out
+    };
+
+    assert!(
+        lint_file(&src).is_empty(),
+        "pristine windowed.rs must be clean"
+    );
+    let v = lint_file(&stripped);
+    assert!(
+        v.iter().any(|x| {
+            x.rule == "bounded_decode_alloc" && x.message.contains("decoded scalar `cap`")
+        }),
+        "guard deletion must fire bounded_decode_alloc, got: {v:?}"
+    );
+}
+
+#[test]
+fn seeding_a_duplicate_wire_tag_fires_the_registry_audit() {
+    let root = repo_root();
+    let mut ws = load_workspace(&root).expect("load workspace");
+    let baseline = lint(&ws, &LintOptions::default());
+    assert!(
+        baseline.is_empty(),
+        "workspace must start clean: {baseline:?}"
+    );
+
+    // A rogue type claiming the WindowedMonitor's tag.
+    ws.files.push(SourceFile::parse(
+        "sss-window",
+        PathBuf::from("crates/window/src/rogue.rs"),
+        FileKind::Lib,
+        "impl WireCodec for Rogue {\n    const WIRE_TAG: u16 = 0x0601;\n}\n",
+    ));
+    let v = lint(&ws, &LintOptions::default());
+    assert!(
+        v.iter()
+            .any(|x| { x.rule == "wire_tag_registry" && x.message.contains("wire tag 0x0601") }),
+        "duplicate tag must fire wire_tag_registry, got: {v:?}"
+    );
+}
+
+#[test]
+fn workspace_registry_and_fixture_corpus_agree() {
+    // The full default-option run also exercises restore-registry
+    // resolution and fixture-corpus coverage against the live tree.
+    let root = repo_root();
+    let ws = load_workspace(&root).expect("load workspace");
+    assert!(
+        !ws.manifests.is_empty(),
+        "expected a tests/fixtures/wire_v*/manifest.tsv corpus"
+    );
+    let v = lint(&ws, &LintOptions::default());
+    assert!(v.is_empty(), "{v:?}");
+}

@@ -1,0 +1,8 @@
+pub fn decode(r: &mut Reader) -> Result<Table, CodecError> {
+    let rows = r.u64()?;
+    let mut out = Vec::with_capacity(rows as usize);
+    for _ in 0..rows {
+        out.push(r.u64()?);
+    }
+    Ok(Table { out })
+}

@@ -1,0 +1,15 @@
+pub fn decode(r: &mut Reader) -> Result<Table, CodecError> {
+    let rows = r.len_prefix(8)?;
+    let mut out = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        out.push(r.u64()?);
+    }
+    let cap = r.u64()?;
+    if cap > MAX_TABLE_CAP {
+        return Err(CodecError::Invalid {
+            what: "table capacity above the decode bound",
+        });
+    }
+    let cap = cap as usize;
+    Ok(Table { out, cap })
+}

@@ -1,0 +1,14 @@
+pub struct Sketch {
+    counts: HashMap<u64, u64>,
+    total: f64,
+}
+
+impl Sketch {
+    pub fn estimate(&self) -> f64 {
+        let mut acc = 0.0;
+        for (_, &c) in &self.counts {
+            acc += (c as f64) / self.total;
+        }
+        acc
+    }
+}

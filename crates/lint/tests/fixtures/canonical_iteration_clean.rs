@@ -1,0 +1,16 @@
+pub struct Sketch {
+    counts: HashMap<u64, u64>,
+    total: f64,
+}
+
+impl Sketch {
+    pub fn estimate(&self) -> f64 {
+        let mut rows: Vec<(u64, u64)> = self.counts.iter().map(|(&i, &c)| (i, c)).collect();
+        rows.sort_unstable();
+        let mut acc = 0.0;
+        for (_, c) in rows {
+            acc += (c as f64) / self.total;
+        }
+        acc
+    }
+}

@@ -1,0 +1,8 @@
+pub fn decode(r: &mut Reader) -> Result<Frame, CodecError> {
+    let tag = r.u16().unwrap();
+    let body = &r.buf[4..8];
+    if tag == 0 {
+        unreachable!("tag zero is reserved");
+    }
+    Ok(Frame { tag, body: body.to_vec() })
+}

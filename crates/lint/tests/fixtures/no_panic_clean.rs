@@ -1,0 +1,13 @@
+pub fn decode(r: &mut Reader) -> Result<Frame, CodecError> {
+    let tag = r.u16()?;
+    let body = r.take(4)?;
+    if tag == 0 {
+        return Err(CodecError::Invalid {
+            what: "tag zero is reserved",
+        });
+    }
+    Ok(Frame {
+        tag,
+        body: body.to_vec(),
+    })
+}

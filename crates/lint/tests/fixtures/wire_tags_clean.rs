@@ -1,0 +1,11 @@
+impl WireCodec for AmsSketch {
+    const WIRE_TAG: u16 = 0x0205;
+
+    fn encode_into(&self, out: &mut Vec<u8>) {}
+}
+
+impl WireCodec for OtherSketch {
+    const WIRE_TAG: u16 = 0x0206;
+
+    fn encode_into(&self, out: &mut Vec<u8>) {}
+}

@@ -1,0 +1,5 @@
+impl WireCodec for RivalSketch {
+    const WIRE_TAG: u16 = 0x0205;
+
+    fn encode_into(&self, out: &mut Vec<u8>) {}
+}

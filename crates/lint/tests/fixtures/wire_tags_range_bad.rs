@@ -1,0 +1,5 @@
+impl WireCodec for StraySketch {
+    const WIRE_TAG: u16 = 0x0401;
+
+    fn encode_into(&self, out: &mut Vec<u8>) {}
+}

@@ -346,14 +346,14 @@ impl WireCodec for LevelSetEstimator {
         let slack = r.f64()?;
         let eta = r.f64()?;
         let n = r.u64()?;
-        if levels.is_empty() {
+        let Some((first, rest)) = levels.split_first() else {
             return Err(CodecError::Invalid {
                 what: "LevelSetEstimator with no levels",
             });
-        }
-        if levels
+        };
+        if rest
             .iter()
-            .any(|l| l.cs.width() != levels[0].cs.width() || l.cs.depth() != levels[0].cs.depth())
+            .any(|l| l.cs.width() != first.cs.width() || l.cs.depth() != first.cs.depth())
         {
             return Err(CodecError::Invalid {
                 what: "LevelSetEstimator levels disagree on sketch dimensions",

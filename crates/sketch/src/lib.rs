@@ -17,6 +17,8 @@
 //! | [`reservoir`] | reservoir sampling (R/L, weighted) | related-work substrate; powers the entropy estimator |
 //! | [`topk`] | candidate heavy-hitter trackers | turning point-query sketches into `O(1/α)`-item reporters |
 
+#![forbid(unsafe_code)]
+
 pub mod ams;
 pub mod countmin;
 pub mod countsketch;

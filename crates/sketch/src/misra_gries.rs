@@ -85,6 +85,7 @@ impl MisraGries {
     /// then subtract the `(k+1)`-st largest from all and drop non-positive).
     pub fn merge(&mut self, other: &MisraGries) {
         assert_eq!(self.k, other.k, "capacity mismatch");
+        // sss-lint: allow(canonical_iteration) — commutative u64 adds into the counter map; the summed state is iteration-order independent
         for (&i, &c) in &other.counters {
             *self.counters.entry(i).or_insert(0) += c;
         }

@@ -93,12 +93,14 @@ impl SpaceSaving {
             other.by_count.iter().next().map(|&(c, _)| c).unwrap_or(0)
         };
         let mut combined: Vec<(u64, (u64, u64))> = Vec::new();
+        // sss-lint: allow(canonical_iteration) — each id lands in `combined` exactly once and the (count desc, id asc) sort below canonicalizes before truncation
         for (&i, &(c, e)) in &self.table {
             match other.table.get(&i) {
                 Some(&(oc, oe)) => combined.push((i, (c + oc, e + oe))),
                 None => combined.push((i, (c + other_min, e + other_min))),
             }
         }
+        // sss-lint: allow(canonical_iteration) — same: unique ids, fully sorted before truncation
         for (&i, &(c, e)) in &other.table {
             if !self.table.contains_key(&i) {
                 combined.push((i, (c + self_min, e + self_min)));

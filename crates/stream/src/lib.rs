@@ -14,6 +14,8 @@
 //!   `ℓ`-wise collision counts `C_ℓ` at the heart of the paper's `F_k`
 //!   algorithm.
 
+#![forbid(unsafe_code)]
+
 pub mod exact;
 pub mod gen;
 pub mod sample_hold;

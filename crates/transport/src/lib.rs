@@ -31,6 +31,8 @@
 //! std-only constraint (`std::net` + `std::thread`, no external
 //! dependencies) matches the rest of the workspace.
 
+#![forbid(unsafe_code)]
+
 use std::fmt;
 use std::io;
 

@@ -339,7 +339,10 @@ pub fn encode_push_frame(site_id: u64, seq: u64, snapshot: &[u8]) -> Vec<u8> {
         }
 
         fn decode(_: &mut Reader) -> Result<Self, CodecError> {
-            unreachable!("PushRef is a borrowing encoder; decode via SnapshotPush")
+            // Borrowing encoder only — frames decode via `SnapshotPush`.
+            Err(CodecError::Invalid {
+                what: "PushRef does not decode; use SnapshotPush",
+            })
         }
     }
     PushRef {

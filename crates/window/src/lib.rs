@@ -39,6 +39,8 @@
 //! alerts), so windows checkpoint/restore and ship over
 //! `sss-transport` like every other part of the stack.
 
+#![forbid(unsafe_code)]
+
 mod decayed;
 mod query;
 mod sharded;

@@ -31,7 +31,7 @@ fn survey(label: &str, stream: &[u64], m: u64) {
 
     for &p in &[0.5f64, 0.1, 0.02] {
         let median = |errs: &mut Vec<f64>| {
-            errs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            errs.sort_by(|a, b| a.total_cmp(b));
             errs[errs.len() / 2]
         };
 

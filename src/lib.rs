@@ -83,6 +83,8 @@
 //!   surface emitting typed [`Alert`](window::Alert)s on bucket
 //!   rollover.
 
+#![forbid(unsafe_code)]
+
 pub use sss_codec as codec;
 pub use sss_core as core;
 pub use sss_hash as hash;

@@ -1,0 +1,18 @@
+//! Tier-1 gate: the workspace must be `sss-lint` clean. This is the
+//! same check CI's `lint` job runs via the CLI, wired into `cargo test`
+//! so a violation fails the suite locally too.
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let violations = sss_lint::lint_workspace(root).expect("walk workspace sources");
+    assert!(
+        violations.is_empty(),
+        "sss-lint violations (see crates/core/src/README.md, \"Invariants & static analysis\"):\n{}",
+        violations
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
