@@ -208,6 +208,10 @@ fn main() {
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"bench\": \"codec\",\n");
+    json.push_str(&format!(
+        "  \"schema_version\": {},\n",
+        sss_bench::schema::CODEC
+    ));
     json.push_str(&format!("  \"quick\": {quick},\n"));
     json.push_str(&format!("  \"stream_elements\": {n},\n"));
     json.push_str(&format!("  \"sampled_elements\": {},\n", sampled.len()));

@@ -283,6 +283,10 @@ fn main() {
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"bench\": \"transport\",\n");
+    json.push_str(&format!(
+        "  \"schema_version\": {},\n",
+        sss_bench::schema::TRANSPORT
+    ));
     json.push_str(&format!("  \"quick\": {quick},\n"));
     json.push_str(&format!("  \"stream_elements\": {n},\n"));
     json.push_str(&format!("  \"sampling_rate\": {P},\n"));

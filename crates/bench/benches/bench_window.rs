@@ -12,8 +12,16 @@
 //! * **Ingest overhead** — a [`WindowedMonitor`] routes every batch to
 //!   its epoch bucket (clock check + binary search over the live ring +
 //!   rollover bookkeeping) before the same `Monitor::update_batch` hot
-//!   path runs. The acceptance target: windowed ingest stays within
-//!   **1.3×** of a plain monitor fed the identical survivor stream.
+//!   path runs. The controlled baseline is **segmented**: one fresh
+//!   forked monitor per epoch, fed the identical survivor segments, so
+//!   both sides pay the same per-bucket warm-up (cold duplicate filter,
+//!   reservoir fill, bottom-k fill) and the ratio isolates the window
+//!   machinery itself. A scalar fallback in the windowed path would
+//!   blow straight past the pin. The acceptance target: windowed ingest
+//!   stays within **1.3×** of the segmented baseline. A whole-stream
+//!   monitor is also timed as an informational row — the batch kernels
+//!   amortise warm-up over stream length, so that ratio conflates
+//!   windowing cost with bucket-size effects and is not pinned.
 //! * **Query-fold latency** — answering a window query clones the
 //!   prototype and merges every live bucket, so cost scales with the
 //!   bucket count; measured at 1, 2, 4 and 8 live buckets.
@@ -76,6 +84,18 @@ fn main() {
         }
         m.samples_seen()
     });
+    g.bench("segmented_monitor_update_batch", || {
+        let proto = prototype();
+        let mut acc = 0u64;
+        for (ts, xs) in &batches {
+            let mut m = proto.fork_shard(*ts / span);
+            for chunk in xs.chunks(BATCH) {
+                m.update_batch(chunk);
+            }
+            acc += m.samples_seen();
+        }
+        acc
+    });
     g.bench("windowed_ingest_batch", || {
         let mut w = WindowedMonitor::new(prototype(), WindowConfig::new(BUCKETS, span));
         for (ts, xs) in &batches {
@@ -95,14 +115,19 @@ fn main() {
         w.total_ingested()
     });
 
-    let baseline = g.median_of("monitor_update_batch");
+    let whole_stream = g.median_of("monitor_update_batch");
+    let segmented = g.median_of("segmented_monitor_update_batch");
     let windowed = g.median_of("windowed_ingest_batch");
-    let ratio = windowed / baseline;
-    println!("\nwindowed/plain ingest ratio: {ratio:.3}x (target <= 1.3x)");
+    let ratio = windowed / segmented;
+    let whole_ratio = windowed / whole_stream;
+    println!(
+        "\nwindowed/segmented ingest ratio: {ratio:.3}x (target <= 1.3x; \
+         vs whole-stream monitor: {whole_ratio:.3}x, informational)"
+    );
     assert!(
         ratio <= 1.3,
-        "windowed ingest {windowed:.2} ns/elem exceeds 1.3x the plain \
-         monitor's {baseline:.2} ns/elem"
+        "windowed ingest {windowed:.2} ns/elem exceeds 1.3x the segmented \
+         baseline's {segmented:.2} ns/elem"
     );
 
     // Query-fold latency as the live ring grows: fill `b` epochs of a
@@ -134,6 +159,10 @@ fn main() {
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"bench\": \"window\",\n");
+    json.push_str(&format!(
+        "  \"schema_version\": {},\n",
+        sss_bench::schema::WINDOW
+    ));
     json.push_str(&format!("  \"quick\": {quick},\n"));
     json.push_str(&format!("  \"stream_elements\": {n},\n"));
     json.push_str(&format!("  \"sampling_rate\": {P},\n"));
@@ -142,7 +171,10 @@ fn main() {
     json.push_str(&format!("  \"window_buckets\": {BUCKETS},\n"));
     json.push_str("  \"ingest\": {\n");
     json.push_str(&format!(
-        "    \"monitor_update_batch_ns_per_elem\": {baseline:.2},\n"
+        "    \"monitor_update_batch_ns_per_elem\": {whole_stream:.2},\n"
+    ));
+    json.push_str(&format!(
+        "    \"segmented_monitor_ns_per_elem\": {segmented:.2},\n"
     ));
     json.push_str(&format!(
         "    \"windowed_ingest_batch_ns_per_elem\": {windowed:.2},\n"
@@ -152,6 +184,9 @@ fn main() {
         g.median_of("windowed_ingest_at_per_item")
     ));
     json.push_str(&format!("    \"windowed_over_plain\": {ratio:.3},\n"));
+    json.push_str(&format!(
+        "    \"windowed_over_whole_stream\": {whole_ratio:.3},\n"
+    ));
     json.push_str("    \"target_max_ratio\": 1.3\n");
     json.push_str("  },\n");
     json.push_str("  \"query_fold\": [\n");

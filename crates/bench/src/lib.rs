@@ -12,6 +12,28 @@ pub mod stats;
 pub mod table;
 pub mod timing;
 
+/// Schema versions of the committed `BENCH_*.json` trajectory files.
+///
+/// Every JSON-writing bench stamps `"schema_version"` with its constant
+/// here, and the `bench_schema_versions_current` test compares the
+/// committed files against these values — so changing a bench's JSON
+/// layout without bumping its constant *and* regenerating the committed
+/// file (a full, non-`--quick` run) fails CI instead of silently letting
+/// the trajectory drift from the binary that claims to produce it.
+pub mod schema {
+    /// `BENCH_codec.json` (written by `bench_codec`).
+    pub const CODEC: u32 = 2;
+    /// `BENCH_transport.json` (written by `bench_transport`).
+    pub const TRANSPORT: u32 = 2;
+    /// `BENCH_window.json` (written by `bench_window`). v3 pins the
+    /// windowed/segmented ratio (fresh forked monitor per epoch — the
+    /// warm-up-matched control) and demotes the whole-stream ratio to
+    /// an informational row.
+    pub const WINDOW: u32 = 3;
+    /// `BENCH_ingest.json` (written by `bench_ingest`).
+    pub const INGEST: u32 = 1;
+}
+
 pub use stats::{mean, quantile, std_dev, Summary};
 pub use table::Table;
 pub use timing::BenchGroup;

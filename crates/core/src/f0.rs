@@ -29,11 +29,33 @@ use crate::estimate::{Estimate, Guarantee, Statistic, SubsampledEstimator};
 /// let e = est.estimate();
 /// assert!(e >= 500.0 / 8.0 && e <= 500.0 * 8.0);
 /// ```
+/// Slots in the batch path's direct-mapped duplicate filter (256 KiB).
+/// Sized well above the hot-item working set of skewed streams so
+/// conflict evictions (which only cost re-hashing, never correctness)
+/// stay rare.
+const SEEN_SLOTS: usize = 32768;
+
 #[derive(Debug, Clone)]
 pub struct SampledF0Estimator {
     inner: MedianF0,
     p: f64,
     n_sampled: u64,
+    /// Direct-mapped filter over items the inner sketch has already
+    /// ingested, used by [`Self::update_batch`] to skip provable no-ops.
+    ///
+    /// Soundness: once a bottom-k copy has processed `x`, reprocessing it
+    /// can never change that copy again — the hash is either still in the
+    /// set (the insert is absorbed) or was evicted as the then-largest
+    /// value, in which case it stays at or above the rejection threshold
+    /// forever (the threshold only shrinks, including across merges). So a
+    /// cache hit suppresses an exact no-op, never an approximation.
+    ///
+    /// Ingestion scratch, not sketch state: never serialized (decoding
+    /// yields an empty filter, which is always sound — it only *misses*
+    /// skippable work) and excluded from [`Self::space_words`].
+    seen: Vec<u64>,
+    /// Scratch holding the filter survivors of the current chunk.
+    fresh: Vec<u64>,
 }
 
 impl SampledF0Estimator {
@@ -47,6 +69,8 @@ impl SampledF0Estimator {
             inner: MedianF0::with_error(0.25, delta, seed),
             p,
             n_sampled: 0,
+            seen: Vec::new(),
+            fresh: Vec::new(),
         }
     }
 
@@ -71,11 +95,32 @@ impl SampledF0Estimator {
         self.inner.update(x);
     }
 
-    /// Ingest a batch of consecutive elements of `L` (copy-major inner
-    /// loop; see [`MedianF0::update_batch`]).
+    /// Ingest a batch of consecutive elements of `L`.
+    ///
+    /// Items the duplicate filter proves already-seen are skipped before
+    /// the copy-major inner loop ([`MedianF0::update_batch`]) — on skewed
+    /// streams most occurrences are repeats, and a repeat is an exact
+    /// no-op for every bottom-k copy (see the `seen` field docs). The
+    /// result is bit-identical to per-item [`Self::update`] calls.
     pub fn update_batch(&mut self, xs: &[u64]) {
         self.n_sampled += xs.len() as u64;
-        self.inner.update_batch(xs);
+        if self.seen.is_empty() {
+            self.seen.resize(SEEN_SLOTS, u64::MAX);
+        }
+        self.fresh.clear();
+        for &x in xs {
+            // Fibonacci hashing; top bits index the power-of-two table.
+            let slot = (x.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 49) as usize;
+            // `u64::MAX` doubles as the empty-slot sentinel, so that one
+            // value is never considered cached (conservative: it is
+            // re-processed on every occurrence, which is merely slower).
+            if self.seen[slot] == x && x != u64::MAX {
+                continue;
+            }
+            self.seen[slot] = x;
+            self.fresh.push(x);
+        }
+        self.inner.update_batch(&self.fresh);
     }
 
     /// The streaming estimate `X ≈ F_0(L)` before rescaling.
@@ -175,6 +220,8 @@ impl WireCodec for SampledF0Estimator {
             inner,
             p,
             n_sampled,
+            seen: Vec::new(),
+            fresh: Vec::new(),
         })
     }
 }

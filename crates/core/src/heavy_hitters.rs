@@ -93,8 +93,8 @@ impl SampledF1HeavyHitters {
         self.inner.update(x);
     }
 
-    /// Ingest a batch of consecutive elements of `L` (row-major sketch
-    /// pass, end-of-batch candidate admission).
+    /// Ingest a batch of consecutive elements of `L` (fused sketch
+    /// kernel with inline per-item candidate admission).
     pub fn update_batch(&mut self, xs: &[u64]) {
         self.inner.update_batch(xs);
     }

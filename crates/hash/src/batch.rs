@@ -1,0 +1,250 @@
+//! SWAR-style batch hashing kernels — the blessed hot path for `update_batch`.
+//!
+//! Scalar hashing dominates batch ingestion: every item pays the `x mod
+//! (2^61 − 1)` input reduction once *per hash function*, and the compiler
+//! cannot keep the polynomial coefficients in registers across the
+//! item-major loops the sketches used to run. The kernels here fix both:
+//!
+//! * [`reduce_inputs`] hoists the input reduction so a chunk is reduced
+//!   **once** and the residues shared by every hash function of every row.
+//! * The `*_batch` methods on [`PairwiseHash`] / [`FourWiseSign`] evaluate
+//!   [`LANES`] independent field elements per iteration in straight-line
+//!   code over plain `u64`s (no `unsafe`, no SIMD intrinsics). The four
+//!   128-bit multiply/reduce chains have no data dependencies, so the CPU
+//!   overlaps them; the multipliers are read once and live in registers for
+//!   the whole pass.
+//!
+//! Every lane computes the *canonical* residue (`< 2^61 − 1`, exactly what
+//! the scalar paths produce), so batch results are bitwise identical to the
+//! scalar `hash_range` / `sign` calls — the equivalence tests below and the
+//! sketch-level batteries in `sss-sketch` pin this.
+//!
+//! `sss-lint`'s `batch_kernel` rule enforces that per-item `hash_range`
+//! calls never appear in `update_batch` bodies outside this module.
+
+use crate::mix::fingerprint64;
+use crate::poly::{mod_p61, PairwiseHash, MERSENNE_PRIME_61};
+use crate::sign::FourWiseSign;
+
+/// Number of independent field elements evaluated per straight-line
+/// iteration of the batch kernels.
+pub const LANES: usize = 4;
+
+/// Reduce a chunk of raw inputs into the hash field (`x mod (2^61 − 1)`),
+/// reusing `out`'s capacity. Residues computed here feed every `*_batch`
+/// kernel for the chunk, so each item is reduced once regardless of how many
+/// hash functions consume it.
+#[inline]
+pub fn reduce_inputs(xs: &[u64], out: &mut Vec<u64>) {
+    out.clear();
+    out.extend(xs.iter().map(|&x| PairwiseHash::reduce_input(x)));
+}
+
+/// One affine lane: `fingerprint64((a·xr + b) mod p)`.
+///
+/// `a·xr + b < p² + p < 2^122` fits a `u128`, so a single [`mod_p61`] yields
+/// the canonical residue — the same value the scalar
+/// [`PairwiseHash::hash_prereduced`] computes.
+#[inline(always)]
+fn affine_fp(a: u64, b: u64, xr: u64) -> u64 {
+    debug_assert!(xr < MERSENNE_PRIME_61);
+    fingerprint64(mod_p61((a as u128) * (xr as u128) + b as u128))
+}
+
+impl PairwiseHash {
+    /// Batch [`PairwiseHash::hash_range`] over prereduced inputs.
+    ///
+    /// `xrs` must hold residues from [`reduce_inputs`]; `out` must be at
+    /// least as long as `xrs` (extra tail entries are left untouched).
+    /// `out[i]` receives exactly `self.hash_range(x_i, range)`.
+    pub fn hash_range_batch(&self, xrs: &[u64], range: usize, out: &mut [usize]) {
+        debug_assert!(range > 0);
+        debug_assert!(out.len() >= xrs.len());
+        let (a, b) = self.affine();
+        let r = range as u128;
+        let mut chunks = xrs.chunks_exact(LANES);
+        let mut outs = out.chunks_exact_mut(LANES);
+        for (c, o) in (&mut chunks).zip(&mut outs) {
+            // Four independent multiply/reduce/mix chains; the CPU overlaps
+            // their 128-bit products while `a`/`b`/`r` stay in registers.
+            let h0 = affine_fp(a, b, c[0]);
+            let h1 = affine_fp(a, b, c[1]);
+            let h2 = affine_fp(a, b, c[2]);
+            let h3 = affine_fp(a, b, c[3]);
+            o[0] = (((h0 as u128) * r) >> 64) as usize;
+            o[1] = (((h1 as u128) * r) >> 64) as usize;
+            o[2] = (((h2 as u128) * r) >> 64) as usize;
+            o[3] = (((h3 as u128) * r) >> 64) as usize;
+        }
+        for (&xr, o) in chunks.remainder().iter().zip(outs.into_remainder()) {
+            *o = (((affine_fp(a, b, xr) as u128) * r) >> 64) as usize;
+        }
+    }
+
+    /// Batch `fingerprint64(hash(x))` over prereduced inputs — the KMV
+    /// ordering fingerprint. Same contract as
+    /// [`PairwiseHash::hash_range_batch`].
+    pub fn fingerprints_batch(&self, xrs: &[u64], out: &mut [u64]) {
+        debug_assert!(out.len() >= xrs.len());
+        let (a, b) = self.affine();
+        let mut chunks = xrs.chunks_exact(LANES);
+        let mut outs = out.chunks_exact_mut(LANES);
+        for (c, o) in (&mut chunks).zip(&mut outs) {
+            o[0] = affine_fp(a, b, c[0]);
+            o[1] = affine_fp(a, b, c[1]);
+            o[2] = affine_fp(a, b, c[2]);
+            o[3] = affine_fp(a, b, c[3]);
+        }
+        for (&xr, o) in chunks.remainder().iter().zip(outs.into_remainder()) {
+            *o = affine_fp(a, b, xr);
+        }
+    }
+}
+
+/// One degree-3 Horner lane, fused to a single reduction per step.
+///
+/// The scalar path reduces twice per step (`mul_mod` then a sum reduction);
+/// since `acc`, `xr` and every coefficient are canonical residues,
+/// `acc·xr + c < p² + p` fits a `u128` and one [`mod_p61`] lands on the same
+/// canonical value.
+#[inline(always)]
+fn horner3_sign(coeffs: &[u64], xr: u64) -> i64 {
+    debug_assert!(xr < MERSENNE_PRIME_61);
+    let mut acc: u64 = 0;
+    for &c in coeffs.iter().rev() {
+        acc = mod_p61((acc as u128) * (xr as u128) + c as u128);
+    }
+    if fingerprint64(acc) & 1 == 0 {
+        1
+    } else {
+        -1
+    }
+}
+
+impl FourWiseSign {
+    /// Batch [`FourWiseSign::sign`] over prereduced inputs. Same contract as
+    /// [`PairwiseHash::hash_range_batch`]; `out[i]` receives `±1`.
+    pub fn signs_batch(&self, xrs: &[u64], out: &mut [i64]) {
+        debug_assert!(out.len() >= xrs.len());
+        let coeffs = self.poly().coeffs();
+        let mut chunks = xrs.chunks_exact(LANES);
+        let mut outs = out.chunks_exact_mut(LANES);
+        for (c, o) in (&mut chunks).zip(&mut outs) {
+            o[0] = horner3_sign(coeffs, c[0]);
+            o[1] = horner3_sign(coeffs, c[1]);
+            o[2] = horner3_sign(coeffs, c[2]);
+            o[3] = horner3_sign(coeffs, c[3]);
+        }
+        for (&xr, o) in chunks.remainder().iter().zip(outs.into_remainder()) {
+            *o = horner3_sign(coeffs, xr);
+        }
+    }
+
+    /// Sum of [`FourWiseSign::sign`] over prereduced inputs — the AMS
+    /// tug-of-war inner loop, with no intermediate buffer.
+    pub fn sign_sum_batch(&self, xrs: &[u64]) -> i64 {
+        let coeffs = self.poly().coeffs();
+        let mut sum = 0i64;
+        let mut chunks = xrs.chunks_exact(LANES);
+        for c in &mut chunks {
+            sum += horner3_sign(coeffs, c[0])
+                + horner3_sign(coeffs, c[1])
+                + horner3_sign(coeffs, c[2])
+                + horner3_sign(coeffs, c[3]);
+        }
+        for &xr in chunks.remainder() {
+            sum += horner3_sign(coeffs, xr);
+        }
+        sum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inputs() -> Vec<u64> {
+        // Exercise the field boundary, the lane remainder, and plain values.
+        let mut xs: Vec<u64> = (0..1027u64).map(|i| i.wrapping_mul(0x9E37_79B9)).collect();
+        xs.extend([
+            0,
+            1,
+            MERSENNE_PRIME_61 - 1,
+            MERSENNE_PRIME_61,
+            MERSENNE_PRIME_61 + 1,
+            u64::MAX,
+        ]);
+        xs
+    }
+
+    #[test]
+    fn hash_range_batch_matches_scalar() {
+        let xs = inputs();
+        for seed in 0..8u64 {
+            let h = PairwiseHash::new(seed);
+            for range in [1usize, 2, 17, 1024, 1 << 20] {
+                let mut xr = Vec::new();
+                reduce_inputs(&xs, &mut xr);
+                let mut out = vec![0usize; xs.len()];
+                h.hash_range_batch(&xr, range, &mut out);
+                for (&x, &o) in xs.iter().zip(&out) {
+                    assert_eq!(o, h.hash_range(x, range), "seed {seed} range {range} x {x}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fingerprints_batch_matches_scalar() {
+        let xs = inputs();
+        for seed in 0..8u64 {
+            let h = PairwiseHash::new(seed);
+            let mut xr = Vec::new();
+            reduce_inputs(&xs, &mut xr);
+            let mut out = vec![0u64; xs.len()];
+            h.fingerprints_batch(&xr, &mut out);
+            for (&x, &o) in xs.iter().zip(&out) {
+                assert_eq!(o, fingerprint64(h.hash(x)), "seed {seed} x {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn signs_batch_matches_scalar() {
+        let xs = inputs();
+        for seed in 0..8u64 {
+            let s = FourWiseSign::new(seed);
+            let mut xr = Vec::new();
+            reduce_inputs(&xs, &mut xr);
+            let mut out = vec![0i64; xs.len()];
+            s.signs_batch(&xr, &mut out);
+            for (&x, &o) in xs.iter().zip(&out) {
+                assert_eq!(o, s.sign(x), "seed {seed} x {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn sign_sum_matches_scalar_sum() {
+        let xs = inputs();
+        for seed in 0..8u64 {
+            let s = FourWiseSign::new(seed);
+            let mut xr = Vec::new();
+            reduce_inputs(&xs, &mut xr);
+            let scalar: i64 = xs.iter().map(|&x| s.sign(x)).sum();
+            assert_eq!(s.sign_sum_batch(&xr), scalar, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn reduce_inputs_reuses_capacity() {
+        let mut out = Vec::new();
+        reduce_inputs(&[1, 2, 3], &mut out);
+        assert_eq!(out, vec![1, 2, 3]);
+        let cap = out.capacity();
+        reduce_inputs(&[u64::MAX], &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(out.capacity() >= cap.min(1));
+        assert_eq!(out[0], PairwiseHash::reduce_input(u64::MAX));
+    }
+}

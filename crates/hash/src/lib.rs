@@ -20,6 +20,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod batch;
 pub mod map;
 pub mod mix;
 pub mod poly;
@@ -27,6 +28,7 @@ pub mod rng;
 pub mod sign;
 pub mod tabulation;
 
+pub use batch::{reduce_inputs, LANES};
 pub use map::{fp_hash_map, fp_hash_set, FpHashMap, FpHashSet};
 pub use mix::{fingerprint64, reduce_range, to_unit_f64};
 pub use poly::{PairwiseHash, PolyHash, MERSENNE_PRIME_61};

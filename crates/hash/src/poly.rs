@@ -76,6 +76,13 @@ impl PolyHash {
         self.coeffs.len()
     }
 
+    /// The raw coefficients, constant term first (for the batch kernels in
+    /// [`crate::batch`], which keep them in registers across a lane pass).
+    #[inline]
+    pub(crate) fn coeffs(&self) -> &[u64] {
+        &self.coeffs
+    }
+
     /// Evaluate the polynomial at `x` (any `u64`; inputs ≥ p are first
     /// reduced, which preserves k-wise independence on `[p]` and remains a
     /// well-distributed function on the full `u64` domain for our universes
@@ -158,9 +165,15 @@ impl PairwiseHash {
     #[inline]
     pub fn hash_prereduced(&self, xr: u64) -> u64 {
         debug_assert!(xr < MERSENNE_PRIME_61);
-        let b = self.inner.coeffs[0];
-        let a = self.inner.coeffs[1];
+        let (a, b) = self.affine();
         mod_p61((a as u128) * (xr as u128) + b as u128)
+    }
+
+    /// The `(a, b)` of `h(x) = (a·x + b) mod (2^61 − 1)` (for the batch
+    /// kernels in [`crate::batch`]).
+    #[inline]
+    pub(crate) fn affine(&self) -> (u64, u64) {
+        (self.inner.coeffs[1], self.inner.coeffs[0])
     }
 
     /// Number of trailing zero bits of a 64-bit re-mix of `h(x)`;

@@ -23,6 +23,13 @@ impl FourWiseSign {
         }
     }
 
+    /// The degree-3 polynomial behind the sign (for the batch kernels in
+    /// [`crate::batch`]).
+    #[inline]
+    pub(crate) fn poly(&self) -> &PolyHash {
+        &self.poly
+    }
+
     /// The sign assigned to `x`, as `±1`.
     #[inline]
     pub fn sign(&self, x: u64) -> i64 {

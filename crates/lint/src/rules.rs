@@ -1,4 +1,4 @@
-//! The five rule passes. Each enforces one cross-cutting source
+//! The six rule passes. Each enforces one cross-cutting source
 //! invariant the compiler cannot check (see `crates/core/src/README.md`,
 //! "Invariants & static analysis"):
 //!
@@ -22,6 +22,10 @@
 //!    are globally unique, live in their owning crate's range, are
 //!    covered by the Monitor restore registry, and every monitor-level
 //!    codec type has a fixture in the committed corpus.
+//! 6. [`batch_kernel`](RULE_BATCH) — `update_batch` bodies never call
+//!    the per-item `hash_range`; batch paths hash whole chunks through
+//!    the SWAR kernels in `sss_hash::batch` (the blessed kernel module
+//!    itself is exempt).
 //!
 //! Audited exceptions are written in the source as
 //! `// sss-lint: allow(<rule>) — <reason>` on the flagged line or the
@@ -37,9 +41,17 @@ pub const RULE_ALLOC: &str = "bounded_decode_alloc";
 pub const RULE_NAN: &str = "nan_safe_ordering";
 pub const RULE_ITER: &str = "canonical_iteration";
 pub const RULE_TAGS: &str = "wire_tag_registry";
+pub const RULE_BATCH: &str = "batch_kernel";
 
 /// All rule ids, for `--list-rules` and pragma validation.
-pub const ALL_RULES: [&str; 5] = [RULE_NO_PANIC, RULE_ALLOC, RULE_NAN, RULE_ITER, RULE_TAGS];
+pub const ALL_RULES: [&str; 6] = [
+    RULE_NO_PANIC,
+    RULE_ALLOC,
+    RULE_NAN,
+    RULE_ITER,
+    RULE_TAGS,
+    RULE_BATCH,
+];
 
 /// One finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -684,6 +696,51 @@ pub fn check_canonical_iteration(file: &SourceFile, out: &mut Vec<Violation>) {
                     f.name
                 ),
             );
+        }
+    }
+    out.append(&mut rep.out);
+}
+
+// ---------------------------------------------------------------------
+// Rule 6: batch paths hash through the SWAR kernel
+// ---------------------------------------------------------------------
+
+/// The one module allowed to evaluate hashes per item inside a batch
+/// body: it *is* the kernel the rule points everyone else at.
+fn is_blessed_kernel(file: &SourceFile) -> bool {
+    file.path.ends_with("hash/src/batch.rs")
+}
+
+pub fn check_batch_kernel(file: &SourceFile, out: &mut Vec<Violation>) {
+    if is_blessed_kernel(file) {
+        return;
+    }
+    let mut rep = Reporter::new(file);
+    let toks = &file.tokens;
+    for f in &file.fns {
+        if f.is_test || !f.name.starts_with("update_batch") {
+            continue;
+        }
+        let Some((a, b)) = f.body else { continue };
+        for i in a..b {
+            if file.is_test_tok(i) {
+                continue;
+            }
+            let t = &toks[i];
+            if t.kind == TokKind::Ident
+                && t.text == "hash_range"
+                && i + 1 < b
+                && toks[i + 1].is_punct('(')
+            {
+                rep.report(
+                    RULE_BATCH,
+                    t.line,
+                    format!(
+                        "per-item `hash_range` call in batch path `{}`; hash the whole chunk through the SWAR kernels in sss_hash::batch (`hash_range_batch`/`signs_batch`) instead",
+                        f.name
+                    ),
+                );
+            }
         }
     }
     out.append(&mut rep.out);

@@ -1,0 +1,6 @@
+pub fn update_batch(&mut self, xs: &[u64]) {
+    for &x in xs {
+        let b = self.hash.hash_range(x, self.width);
+        self.counters[b] += 1;
+    }
+}

@@ -1,0 +1,16 @@
+pub fn update_batch(&mut self, xs: &[u64]) {
+    for chunk in xs.chunks(1024) {
+        reduce_inputs(chunk, &mut self.scratch.xr);
+        self.scratch.idx.resize(chunk.len(), 0);
+        self.hash
+            .hash_range_batch(&self.scratch.xr, self.width, &mut self.scratch.idx);
+        for &b in &self.scratch.idx {
+            self.counters[b] += 1;
+        }
+    }
+}
+
+pub fn update(&mut self, x: u64) {
+    let b = self.hash.hash_range(x, self.width);
+    self.counters[b] += 1;
+}

@@ -140,6 +140,32 @@ fn wire_tags_clean_is_clean() {
 }
 
 #[test]
+fn batch_kernel_bad_fires_on_per_item_hashing() {
+    let v = lint_one("sss-sketch", "batch_kernel_bad.rs");
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert_eq!(v[0].rule, "batch_kernel");
+    assert_eq!(v[0].line, 3);
+    assert!(
+        v[0].message.contains("hash_range_batch"),
+        "{}",
+        v[0].message
+    );
+}
+
+#[test]
+fn batch_kernel_clean_kernel_calls_and_scalar_update_pass() {
+    let v = lint_one("sss-sketch", "batch_kernel_clean.rs");
+    assert!(v.is_empty(), "{v:?}");
+}
+
+#[test]
+fn batch_kernel_blessed_module_is_exempt() {
+    let src = fixture("batch_kernel_bad.rs");
+    let v = lint_sources(&[("sss-hash", "crates/hash/src/batch.rs", &src)], &opts());
+    assert!(v.is_empty(), "{v:?}");
+}
+
+#[test]
 fn pragma_silences_an_audited_exception() {
     let src = "\
 pub fn decode(r: &mut Reader) -> Result<u16, CodecError> {

@@ -12,7 +12,9 @@
 //! original analysis requires.
 
 use sss_codec::{put_packed_u64s, put_varint_u64, CodecError, Reader, WireCodec};
-use sss_hash::{PairwiseHash, SplitMix64};
+use sss_hash::{reduce_inputs, PairwiseHash, SplitMix64};
+
+use crate::batch::{BatchScratch, BATCH_CHUNK};
 
 /// CountMin sketch over `u64` items with `u64` counts.
 ///
@@ -34,6 +36,7 @@ pub struct CountMin {
     hashes: Vec<PairwiseHash>,
     total: u64,
     conservative: bool,
+    scratch: BatchScratch,
 }
 
 impl CountMin {
@@ -47,6 +50,7 @@ impl CountMin {
             hashes: (0..depth).map(|_| PairwiseHash::new(sm.derive())).collect(),
             total: 0,
             conservative: false,
+            scratch: BatchScratch::default(),
         }
     }
 
@@ -92,27 +96,136 @@ impl CountMin {
     /// Add `count` occurrences of `x`.
     pub fn update(&mut self, x: u64, count: u64) {
         self.total += count;
+        let w = self.width;
         if self.conservative {
-            let est = self.query(x);
+            // Hash each row once and reuse the indices for both the minimum
+            // scan and the raise pass (the cells are the same ones `query`
+            // would visit, so there is no need to hash twice).
+            let Self {
+                counters,
+                hashes,
+                scratch,
+                ..
+            } = self;
+            scratch.idx.clear();
+            scratch
+                .idx
+                .extend(hashes.iter().map(|h| h.hash_range(x, w)));
+            let est = scratch
+                .idx
+                .iter()
+                .enumerate()
+                .map(|(r, &b)| counters[r * w + b])
+                .min()
+                .unwrap_or(0);
             let target = est + count;
-            for (r, h) in self.hashes.iter().enumerate() {
-                let c = &mut self.counters[r * self.width + h.hash_range(x, self.width)];
+            for (r, &b) in scratch.idx.iter().enumerate() {
+                let c = &mut counters[r * w + b];
                 *c = (*c).max(target);
             }
         } else {
             for (r, h) in self.hashes.iter().enumerate() {
-                self.counters[r * self.width + h.hash_range(x, self.width)] += count;
+                self.counters[r * w + h.hash_range(x, w)] += count;
             }
         }
     }
 
-    /// Add one occurrence each of a batch of items (same result as
-    /// one-by-one updates). Kept item-major: at the row widths this
-    /// workspace uses the counter rows are cache-resident, and a row-major
-    /// pass re-streams the batch once per row for no gain (measured).
+    /// Add one occurrence each of a batch of items — bitwise the same
+    /// counters as one-by-one updates.
+    ///
+    /// Structure-of-arrays pass: each chunk is reduced into the hash field
+    /// once, each row's bucket indices come from the SWAR kernel into
+    /// reusable scratch, and the counter grid is swept row-major with a
+    /// tight index+increment loop (counter additions commute, so the
+    /// row-major reorder is exact). Conservative sketches keep the counter
+    /// pass item-serial over the precomputed indices, since their updates
+    /// are order-dependent.
     pub fn update_batch(&mut self, xs: &[u64]) {
-        for &x in xs {
-            self.update(x, 1);
+        let w = self.width;
+        let d = self.hashes.len();
+        let Self {
+            counters,
+            hashes,
+            total,
+            conservative,
+            scratch,
+            ..
+        } = self;
+        if *conservative {
+            for chunk in xs.chunks(BATCH_CHUNK) {
+                let len = chunk.len();
+                reduce_inputs(chunk, &mut scratch.xr);
+                scratch.idx.resize(d * len, 0);
+                for (r, h) in hashes.iter().enumerate() {
+                    h.hash_range_batch(&scratch.xr, w, &mut scratch.idx[r * len..(r + 1) * len]);
+                }
+                for i in 0..len {
+                    let mut est = u64::MAX;
+                    for r in 0..d {
+                        est = est.min(counters[r * w + scratch.idx[r * len + i]]);
+                    }
+                    let target = est + 1;
+                    for r in 0..d {
+                        let c = &mut counters[r * w + scratch.idx[r * len + i]];
+                        *c = (*c).max(target);
+                    }
+                }
+                *total += len as u64;
+            }
+        } else {
+            for chunk in xs.chunks(BATCH_CHUNK) {
+                let len = chunk.len();
+                reduce_inputs(chunk, &mut scratch.xr);
+                scratch.idx.resize(len, 0);
+                for (r, h) in hashes.iter().enumerate() {
+                    h.hash_range_batch(&scratch.xr, w, &mut scratch.idx);
+                    let row = &mut counters[r * w..(r + 1) * w];
+                    for &b in &scratch.idx[..len] {
+                        row[b] += 1;
+                    }
+                }
+                *total += len as u64;
+            }
+        }
+    }
+
+    /// Batch update (one occurrence per item) that also reports each item's
+    /// post-update point query — exactly `update(x, 1)` followed by
+    /// `query(x)`, without hashing the item twice. The sink is invoked once
+    /// per item, in stream order, with `(x, n_after, est)` where `n_after`
+    /// is the stream length including `x`; running it inline avoids a
+    /// round-trip through an estimate buffer. Plain sketches only; this is
+    /// the heavy-hitter admission kernel.
+    pub(crate) fn update_batch_fold(&mut self, xs: &[u64], mut sink: impl FnMut(u64, u64, u64)) {
+        debug_assert!(!self.conservative);
+        let w = self.width;
+        let d = self.hashes.len();
+        let Self {
+            counters,
+            hashes,
+            total,
+            scratch,
+            ..
+        } = self;
+        for chunk in xs.chunks(BATCH_CHUNK) {
+            let len = chunk.len();
+            reduce_inputs(chunk, &mut scratch.xr);
+            scratch.idx.resize(d * len, 0);
+            for (r, h) in hashes.iter().enumerate() {
+                h.hash_range_batch(&scratch.xr, w, &mut scratch.idx[r * len..(r + 1) * len]);
+            }
+            // Item-serial so duplicates within the chunk observe each
+            // other's increments, exactly like the scalar path.
+            for (i, &x) in chunk.iter().enumerate() {
+                let mut est = u64::MAX;
+                for r in 0..d {
+                    let c = &mut counters[r * w + scratch.idx[r * len + i]];
+                    *c += 1;
+                    est = est.min(*c);
+                }
+                sink(x, *total + i as u64 + 1, est);
+            }
+            *total += len as u64;
         }
     }
 
@@ -191,6 +304,7 @@ impl WireCodec for CountMin {
             hashes,
             total,
             conservative,
+            scratch: BatchScratch::default(),
         })
     }
 }
@@ -303,35 +417,8 @@ mod tests {
         }
     }
 
-    #[test]
-    fn batch_equals_sequential() {
-        let mut rng = Xoshiro256pp::new(11);
-        let stream: Vec<u64> = (0..10_000).map(|_| rng.next_below(700)).collect();
-        let mut seq = CountMin::new(4, 128, 12);
-        for &x in &stream {
-            seq.update(x, 1);
-        }
-        let mut bat = CountMin::new(4, 128, 12);
-        for chunk in stream.chunks(333) {
-            bat.update_batch(chunk);
-        }
-        assert_eq!(seq.total(), bat.total());
-        for x in 0..700u64 {
-            assert_eq!(seq.query(x), bat.query(x));
-        }
-        // Conservative mode routes through the per-item path.
-        let mut c_seq = CountMin::new(4, 128, 13).conservative();
-        let mut c_bat = CountMin::new(4, 128, 13).conservative();
-        for &x in &stream {
-            c_seq.update(x, 1);
-        }
-        for chunk in stream.chunks(333) {
-            c_bat.update_batch(chunk);
-        }
-        for x in 0..700u64 {
-            assert_eq!(c_seq.query(x), c_bat.query(x));
-        }
-    }
+    // Batch-vs-scalar equivalence (plain and conservative) is pinned by
+    // the shared battery in tests/batch_equiv.rs (crate::equiv harness).
 
     #[test]
     #[should_panic(expected = "incompatible")]

@@ -119,12 +119,39 @@ impl SuffixReservoir {
     #[inline]
     fn update(&mut self, x: u64) {
         self.n += 1;
-        let n = self.n;
         // Suffix counters for any slots already holding x.
         if let Some(c) = self.tracker.get_mut(&x) {
             *c += 1;
         }
-        // Replacements due at this position.
+        self.replace_due(x);
+    }
+
+    /// [`Self::update`] with the next replacement position cached in the
+    /// caller's register, skipping the per-item heap peek. `next_due`
+    /// must equal [`Self::peek_due`]; it is refreshed whenever the heap
+    /// changes. Bit-identical to `update`.
+    #[inline]
+    fn update_cached(&mut self, x: u64, next_due: &mut u64) {
+        self.n += 1;
+        if let Some(c) = self.tracker.get_mut(&x) {
+            *c += 1;
+        }
+        if *next_due == self.n {
+            self.replace_due(x);
+            *next_due = self.peek_due();
+        }
+    }
+
+    /// The next pre-drawn replacement position (`u64::MAX` if none).
+    #[inline]
+    fn peek_due(&self) -> u64 {
+        self.due.peek().map_or(u64::MAX, |&Reverse((p, _))| p)
+    }
+
+    /// Process every slot whose pre-drawn replacement position equals the
+    /// current position: each adopts `x`.
+    fn replace_due(&mut self, x: u64) {
+        let n = self.n;
         while let Some(&Reverse((pos, idx))) = self.due.peek() {
             if pos != n {
                 debug_assert!(pos > n, "missed replacement at {pos} < {n}");
@@ -271,11 +298,140 @@ impl EntropyEstimator {
         }
     }
 
-    /// Ingest a batch of occurrences (same result as one-by-one updates;
-    /// the reservoir's replacement chain is inherently sequential).
+    /// Ingest a batch of occurrences — same state transitions as
+    /// one-by-one [`Self::update`] calls (the replacement chain is
+    /// inherently sequential), executed with cheaper bookkeeping:
+    ///
+    /// - Misra–Gries decrement-alls become a chunk-local *debt* counter
+    ///   checked against a histogram of counter values, turning the
+    ///   `O(k)` retain per cold item into `O(1)` array ops (counters are
+    ///   materialized once per chunk);
+    /// - the leader scan (`MisraGries::top`, an alloc + sort every
+    ///   [`LEADER_REFRESH`] items) becomes an incrementally maintained
+    ///   argmax — a uniform decrement preserves the ordering, so only
+    ///   increments can move it;
+    /// - the reservoirs' next replacement positions are cached in
+    ///   registers instead of peeking the due-heap per item.
     pub fn update_batch(&mut self, xs: &[u64]) {
-        for &x in xs {
-            self.update(x);
+        for chunk in xs.chunks(1024) {
+            self.update_chunk(chunk);
+        }
+    }
+
+    fn update_chunk(&mut self, chunk: &[u64]) {
+        use std::collections::hash_map::Entry;
+
+        let k = self.mg.k;
+        // Histogram of stored counter values that could reach zero this
+        // chunk (debt grows by at most one per item, so larger counters
+        // are untouchable and stay untracked).
+        let hist_len = chunk.len() + 2;
+        let mut hist = vec![0u32; hist_len];
+        // Chunk-local debt: every counter's effective value is
+        // `stored - debt`; entries with `stored <= debt` are dead (they
+        // read as absent and are purged at chunk end).
+        let mut debt: u64 = 0;
+        let mut dead: usize = 0;
+        let mut phys_len = self.mg.counters.len();
+        // Incremental argmax over (stored, item). Stored-value ordering
+        // among live entries is debt-invariant, and ties break like
+        // `MisraGries::top`: largest count, then smallest item.
+        let mut top: Option<(u64, u64)> = None;
+        // One pass seeds both the histogram and the argmax.
+        for (&i, &c) in &self.mg.counters {
+            if (c as usize) < hist_len {
+                hist[c as usize] += 1;
+            }
+            match top {
+                Some((ti, tc)) if c < tc || (c == tc && i > ti) => {}
+                _ => top = Some((i, c)),
+            }
+        }
+        let bump_top = |top: &mut Option<(u64, u64)>, i: u64, c: u64| match *top {
+            Some((ti, tc)) if c < tc || (c == tc && i > ti) => {}
+            _ => *top = Some((i, c)),
+        };
+        let mut plain_due = self.plain.peek_due();
+        let mut cond_due = self.cond.peek_due();
+
+        for &x in chunk {
+            self.n += 1;
+            // Misra–Gries step (same transitions as `MisraGries::update`).
+            self.mg.n += 1;
+            match self.mg.counters.entry(x) {
+                Entry::Occupied(mut e) => {
+                    let c = e.get_mut();
+                    if *c > debt {
+                        // Live hit: increment.
+                        let old = *c as usize;
+                        *c += 1;
+                        if old < hist_len {
+                            hist[old] -= 1;
+                            if old + 1 < hist_len {
+                                hist[old + 1] += 1;
+                            }
+                        }
+                        bump_top(&mut top, x, *c);
+                    } else if phys_len - dead < k {
+                        // Dead entry, room in the table: same as a fresh
+                        // insert at effective count 1, reusing the slot.
+                        *c = debt + 1;
+                        dead -= 1;
+                        hist[(debt + 1) as usize] += 1;
+                        bump_top(&mut top, x, debt + 1);
+                    } else {
+                        // Decrement-all: entries at effective 1 die.
+                        debt += 1;
+                        dead += hist[debt as usize] as usize;
+                    }
+                }
+                Entry::Vacant(v) => {
+                    if phys_len - dead < k {
+                        v.insert(debt + 1);
+                        phys_len += 1;
+                        hist[(debt + 1) as usize] += 1;
+                        bump_top(&mut top, x, debt + 1);
+                    } else {
+                        debt += 1;
+                        dead += hist[debt as usize] as usize;
+                    }
+                }
+            }
+            // Plain reservoir.
+            self.plain.update_cached(x, &mut plain_due);
+            // Leader refresh on the same cadence as the scalar path.
+            if self.n.is_multiple_of(LEADER_REFRESH) {
+                let candidate = match top {
+                    Some((i, s)) if s > debt => {
+                        let c = s - debt;
+                        ((c as f64 + self.mg.error_bound()) >= LEADER_SHARE * self.n as f64)
+                            .then_some((i, c))
+                    }
+                    _ => None,
+                };
+                self.apply_leader(candidate);
+                // A leader change resets the conditional reservoir.
+                cond_due = self.cond.peek_due();
+            }
+            // Conditional reservoir.
+            if let Some(z) = self.leader {
+                if x != z {
+                    self.cond_n += 1;
+                    self.cond.update_cached(x, &mut cond_due);
+                }
+            }
+        }
+        // Materialize the debt: identical contents to the scalar path's
+        // eager per-event retain.
+        if debt > 0 {
+            self.mg.counters.retain(|_, c| {
+                if *c > debt {
+                    *c -= debt;
+                    true
+                } else {
+                    false
+                }
+            });
         }
     }
 
@@ -284,6 +440,10 @@ impl EntropyEstimator {
             .mg
             .top()
             .filter(|&(_, c)| (c as f64 + self.mg.error_bound()) >= LEADER_SHARE * self.n as f64);
+        self.apply_leader(candidate);
+    }
+
+    fn apply_leader(&mut self, candidate: Option<(u64, u64)>) {
         match (self.leader, candidate) {
             (Some(z), Some((top, _))) if z == top => {}
             (_, Some((top, _))) => {
@@ -778,6 +938,11 @@ mod tests {
         assert_eq!(build(1), build(1));
         assert_ne!(build(1), build(2));
     }
+
+    // Batch-vs-scalar equivalence (MG debt-counter replay, leader
+    // transitions, both reservoirs) is pinned by the shared battery in
+    // tests/batch_equiv.rs (crate::equiv harness) on a leader-churning
+    // stream; snapshot comparison covers every serialized field.
 
     #[test]
     fn two_point_distribution() {

@@ -1,0 +1,83 @@
+//! Batch/scalar equivalence harness — test support, not sketch state.
+//!
+//! Every `update_batch` in the workspace promises *bitwise* the same
+//! state as the equivalent sequence of per-item updates. This module is
+//! the single assertion of that contract, shared by the `sss-sketch` and
+//! `sss-core` equivalence batteries (`tests/batch_equiv.rs` in each):
+//! for every seed and every chunk size, drive one copy scalar and one
+//! copy chunked over the same stream, then require their observations to
+//! match bit for bit *and* their encoded snapshots to match byte for
+//! byte. Snapshot equality is the strong check — it covers every field
+//! the wire format knows about, not just the headline estimate.
+
+use sss_codec::WireCodec;
+
+/// Stream seeds every equivalence check runs under.
+pub const SEEDS: [u64; 2] = [3, 17];
+
+/// Chunk sizes every equivalence check replays the stream with: the
+/// degenerate chunk, the SWAR lane width, odd stragglers, a size just
+/// off the internal `BATCH_CHUNK`, the exact `BATCH_CHUNK`, and one
+/// spanning multiple internal chunks.
+pub const CHUNK_SIZES: [usize; 7] = [1, 4, 7, 33, 1000, 1024, 4097];
+
+/// Assert that chunked ingestion is indistinguishable from per-item
+/// ingestion for `T`, over [`SEEDS`] × [`CHUNK_SIZES`].
+///
+/// * `stream` generates the input stream for a seed;
+/// * `build` constructs the estimator for a seed;
+/// * `scalar` applies one item the per-item way;
+/// * `batch` applies one chunk the batched way;
+/// * `observe` extracts the estimates/reports to compare bit-for-bit
+///   (encoded snapshots are compared on top, unconditionally).
+///
+/// An empty batch is interleaved into every chunked run to pin that
+/// `update_batch(&[])` is a no-op.
+pub fn assert_batch_equals_scalar<T: WireCodec>(
+    label: &str,
+    stream: impl Fn(u64) -> Vec<u64>,
+    build: impl Fn(u64) -> T,
+    scalar: impl Fn(&mut T, u64),
+    batch: impl Fn(&mut T, &[u64]),
+    observe: impl Fn(&T) -> Vec<f64>,
+) {
+    for &seed in &SEEDS {
+        let xs = stream(seed);
+        assert!(!xs.is_empty(), "{label}: stream(seed {seed}) is empty");
+        let mut reference = build(seed);
+        for &x in &xs {
+            scalar(&mut reference, x);
+        }
+        let want_obs: Vec<u64> = observe(&reference).iter().map(|v| v.to_bits()).collect();
+        let mut want_bytes = Vec::new();
+        reference.encode_into(&mut want_bytes);
+
+        for &size in &CHUNK_SIZES {
+            let mut candidate = build(seed);
+            batch(&mut candidate, &[]);
+            for chunk in xs.chunks(size) {
+                batch(&mut candidate, chunk);
+            }
+            let got_obs: Vec<u64> = observe(&candidate).iter().map(|v| v.to_bits()).collect();
+            assert_eq!(
+                got_obs, want_obs,
+                "{label}: observations diverge (seed {seed}, chunk size {size})"
+            );
+            let mut got_bytes = Vec::new();
+            candidate.encode_into(&mut got_bytes);
+            if got_bytes != want_bytes {
+                let at = got_bytes
+                    .iter()
+                    .zip(&want_bytes)
+                    .position(|(a, b)| a != b)
+                    .unwrap_or_else(|| got_bytes.len().min(want_bytes.len()));
+                panic!(
+                    "{label}: encoded snapshots diverge (seed {seed}, chunk size {size}): \
+                     scalar {} B vs batch {} B, first difference at byte {at}",
+                    want_bytes.len(),
+                    got_bytes.len(),
+                );
+            }
+        }
+    }
+}

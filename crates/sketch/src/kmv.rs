@@ -94,19 +94,26 @@ impl KmvSketch {
     /// hash field ([`PairwiseHash::reduce_input`]) — lets a bank of
     /// independent copies share the per-item domain reduction.
     fn update_batch_prereduced(&mut self, xrs: &[u64]) {
-        let mut iter = xrs.iter();
-        while self.smallest.len() < self.k {
-            match iter.next() {
-                Some(&xr) => {
-                    let h = sss_hash::fingerprint64(self.hash.hash_prereduced(xr));
-                    self.insert_hash(h);
-                }
-                None => return,
-            }
+        debug_assert!(xrs.len() <= 1024, "callers chunk to <= 1024 items");
+        let mut i = 0;
+        while self.smallest.len() < self.k && i < xrs.len() {
+            let h = sss_hash::fingerprint64(self.hash.hash_prereduced(xrs[i]));
+            self.insert_hash(h);
+            i += 1;
         }
+        let rest = &xrs[i..];
+        if rest.is_empty() {
+            return;
+        }
+        // Saturated tail: fingerprint the whole sub-chunk through the
+        // 4-lane SWAR kernel into a stack buffer, then scan in order with
+        // the rejection threshold in a register — same values, same
+        // insertion order as hashing one item at a time.
+        let mut fps = [0u64; 1024];
+        let fps = &mut fps[..rest.len()];
+        self.hash.fingerprints_batch(rest, fps);
         let mut max = *self.smallest.iter().next_back().expect("saturated");
-        for &xr in iter {
-            let h = sss_hash::fingerprint64(self.hash.hash_prereduced(xr));
+        for &h in fps.iter() {
             if h < max && self.smallest.insert(h) {
                 self.smallest.remove(&max);
                 max = *self.smallest.iter().next_back().expect("non-empty");
@@ -396,19 +403,8 @@ mod tests {
         assert!(rel < 0.25, "rel = {rel}");
     }
 
-    #[test]
-    fn batch_equals_sequential() {
-        let stream: Vec<u64> = (0..20_000u64).map(|i| i * 13 % 7_001).collect();
-        let mut seq = MedianF0::new(64, 5, 6);
-        for &x in &stream {
-            seq.update(x);
-        }
-        let mut bat = MedianF0::new(64, 5, 6);
-        for chunk in stream.chunks(999) {
-            bat.update_batch(chunk);
-        }
-        assert_eq!(seq.estimate(), bat.estimate());
-    }
+    // Batch-vs-scalar equivalence is pinned by the shared battery in
+    // tests/batch_equiv.rs (crate::equiv harness).
 
     #[test]
     fn empty_sketch_estimates_zero() {

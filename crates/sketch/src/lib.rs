@@ -20,9 +20,11 @@
 #![forbid(unsafe_code)]
 
 pub mod ams;
+pub(crate) mod batch;
 pub mod countmin;
 pub mod countsketch;
 pub mod entropy;
+pub mod equiv;
 pub mod hll;
 pub mod kmv;
 pub mod levelset;

@@ -14,9 +14,12 @@ use sss_hash::{fp_hash_map, FpHashMap};
 /// Misra–Gries summary with `k` counters.
 #[derive(Debug, Clone)]
 pub struct MisraGries {
-    k: usize,
-    counters: FpHashMap<u64, u64>,
-    n: u64,
+    // Fields are crate-visible for the entropy estimator's batch path,
+    // which replays the exact `update` transitions with cheaper
+    // bookkeeping (debt-counter decrement-alls, incremental argmax).
+    pub(crate) k: usize,
+    pub(crate) counters: FpHashMap<u64, u64>,
+    pub(crate) n: u64,
 }
 
 impl MisraGries {
