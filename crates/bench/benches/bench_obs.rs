@@ -1,0 +1,162 @@
+//! Observability overhead pricing: the same batch-ingestion workload as
+//! `bench_ingest`, run with the global metrics registry enabled vs
+//! disarmed via its kill-switch, with the ratio pinned and written to
+//! `BENCH_obs.json` at the workspace root.
+//!
+//! ```text
+//! cargo bench --bench bench_obs            # full workload, writes JSON
+//! cargo bench --bench bench_obs -- --quick # CI smoke
+//! ```
+//!
+//! Instrumentation in the hot path is a handful of relaxed atomic adds
+//! per *batch* (never per item), so the per-element cost amortises to
+//! fractions of a nanosecond. Acceptance: instrumented ingest is at most
+//! **1.03×** the uninstrumented path (1.05× under `--quick`, where the
+//! short workload inflates timer noise).
+//!
+//! Unlike `BenchGroup`'s back-to-back repetitions, the two modes here are
+//! measured in *interleaved* repetitions — enabled, disabled, enabled,
+//! disabled, … — so frequency scaling or a scheduler hiccup lands on both
+//! sides of the ratio instead of biasing one.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use sss_bench::schema;
+use sss_core::{Monitor, MonitorBuilder};
+use sss_obs::global;
+use sss_stream::{BernoulliSampler, StreamGen, ZipfStream};
+
+const P: f64 = 0.25;
+const BATCH: usize = 4096;
+
+/// Interleaved timed repetitions per mode (after one warm-up each).
+const REPS: usize = 9;
+
+/// Same four-estimator monitor as `bench_ingest`, so the absolute
+/// numbers are directly comparable across the two trajectories.
+fn full_monitor() -> Monitor {
+    MonitorBuilder::with_seed(P, 7)
+        .f0(0.05)
+        .fk(2)
+        .entropy(512)
+        .f1_heavy_hitters(0.05, 0.2, 0.05)
+        .build()
+}
+
+/// One full batch-ingest pass; returns samples_seen as the black-box
+/// observable.
+fn ingest_once(sampled: &[u64]) -> u64 {
+    let mut mon = full_monitor();
+    for chunk in sampled.chunks(BATCH) {
+        mon.update_batch(chunk);
+    }
+    mon.samples_seen()
+}
+
+/// Time one pass in ns/elem.
+fn time_once(sampled: &[u64], survivors: u64) -> f64 {
+    let t0 = Instant::now();
+    black_box(ingest_once(sampled));
+    t0.elapsed().as_nanos() as f64 / survivors as f64
+}
+
+fn median(times: &mut [f64]) -> f64 {
+    times.sort_by(|a, b| a.total_cmp(b));
+    times[times.len() / 2]
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let n: u64 = if quick { 120_000 } else { 400_000 };
+    let target = if quick { 1.05 } else { 1.03 };
+
+    let stream = ZipfStream::new(1 << 16, 1.2).generate(n, 42);
+    let sampled = BernoulliSampler::new(P, 43).sample_to_vec(&stream);
+    let survivors = sampled.len() as u64;
+
+    let reg = global();
+    let was_enabled = reg.enabled();
+
+    // Warm up both modes: page in code, fault in the registry slots.
+    reg.set_enabled(true);
+    black_box(ingest_once(&sampled));
+    reg.set_enabled(false);
+    black_box(ingest_once(&sampled));
+
+    println!(
+        "\n== obs_overhead ({survivors} survivors/run, median of {REPS} \
+         interleaved runs per mode) =="
+    );
+
+    let mut on_times = Vec::with_capacity(REPS);
+    let mut off_times = Vec::with_capacity(REPS);
+    for _ in 0..REPS {
+        reg.set_enabled(true);
+        on_times.push(time_once(&sampled, survivors));
+        reg.set_enabled(false);
+        off_times.push(time_once(&sampled, survivors));
+    }
+    reg.set_enabled(was_enabled);
+
+    let on = median(&mut on_times);
+    let off = median(&mut off_times);
+    let ratio = on / off;
+
+    println!("instrumented   {on:>10.2} ns/elem");
+    println!("uninstrumented {off:>10.2} ns/elem");
+    println!("overhead ratio {ratio:>10.3}x (budget <= {target}x)");
+
+    // How much the instrumented pass actually records, for the record:
+    // a non-trivial metric count proves the enabled runs were live.
+    let metrics_live = {
+        reg.set_enabled(true);
+        let snap = {
+            let r = global();
+            r.inc(sss_obs::MetricId::ObsSnapshotsTotal);
+            r.snapshot()
+        };
+        reg.set_enabled(was_enabled);
+        snap.counters.len() + snap.gauges.len() + snap.hists.len()
+    };
+
+    assert!(
+        ratio <= target,
+        "instrumented ingest at {on:.2} ns/elem is {ratio:.3}x the \
+         uninstrumented path's {off:.2} ns/elem (budget {target}x)"
+    );
+
+    // Machine-readable trajectory datapoint (hand-rolled JSON: the
+    // workspace is dependency-free by contract).
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"obs\",\n");
+    json.push_str(&format!("  \"schema_version\": {},\n", schema::OBS));
+    json.push_str(&format!("  \"quick\": {quick},\n"));
+    json.push_str(&format!("  \"stream_elements\": {n},\n"));
+    json.push_str(&format!("  \"sampling_rate\": {P},\n"));
+    json.push_str(&format!("  \"survivors\": {survivors},\n"));
+    json.push_str(&format!("  \"batch_size\": {BATCH},\n"));
+    json.push_str(&format!("  \"reps_per_mode\": {REPS},\n"));
+    json.push_str(&format!("  \"metrics_exported\": {metrics_live},\n"));
+    json.push_str("  \"overhead\": {\n");
+    json.push_str(&format!("    \"instrumented_ns_per_elem\": {on:.2},\n"));
+    json.push_str(&format!("    \"uninstrumented_ns_per_elem\": {off:.2},\n"));
+    json.push_str(&format!("    \"ratio\": {ratio:.3},\n"));
+    json.push_str("    \"budget_max_ratio\": 1.03\n");
+    json.push_str("  }\n}\n");
+
+    // The committed trajectory datapoint comes from the full workload;
+    // the --quick CI smoke must not clobber it.
+    if quick {
+        println!("\n--quick: skipping BENCH_obs.json write");
+    } else {
+        let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join("BENCH_obs.json");
+        match std::fs::write(&out, &json) {
+            Ok(()) => println!("\nwrote {}", out.display()),
+            Err(e) => eprintln!("\ncould not write {}: {e}", out.display()),
+        }
+    }
+}

@@ -32,6 +32,8 @@ pub mod schema {
     pub const WINDOW: u32 = 3;
     /// `BENCH_ingest.json` (written by `bench_ingest`).
     pub const INGEST: u32 = 1;
+    /// `BENCH_obs.json` (written by `bench_obs`).
+    pub const OBS: u32 = 1;
 }
 
 pub use stats::{mean, quantile, std_dev, Summary};

@@ -292,14 +292,21 @@ impl Monitor {
     /// the restore registry cannot decode).
     pub fn checkpoint_delta(&self, base: &[u8]) -> Result<Vec<u8>, CodecError> {
         let target = self.checkpoint()?;
-        Ok(snapshot_delta(base, &target))
+        let delta = snapshot_delta(base, &target);
+        sss_obs::global().add(sss_obs::MetricId::CodecDeltaBytesTotal, delta.len() as u64);
+        Ok(delta)
     }
 
     /// Rebuild the full checkpoint bytes a [`Monitor::checkpoint_delta`]
     /// frame encodes, given the same base it was computed against.
     /// Typed [`CodecError::BadBase`] when `base` is the wrong snapshot.
     pub fn apply_delta(base: &[u8], delta_frame: &[u8]) -> Result<Vec<u8>, CodecError> {
-        apply_snapshot_delta(base, delta_frame)
+        let full = apply_snapshot_delta(base, delta_frame)?;
+        sss_obs::global().add(
+            sss_obs::MetricId::CodecDeltaBytesTotal,
+            delta_frame.len() as u64,
+        );
+        Ok(full)
     }
 
     /// [`Monitor::apply_delta`] followed by [`Monitor::restore`].

@@ -41,6 +41,7 @@ use std::any::Any;
 
 use sss_codec::{put_len, CodecError, Reader, WireCodec};
 use sss_hash::{split_seed, SplitMix64};
+use sss_obs::MetricId;
 use sss_sketch::levelset::LevelSetConfig;
 
 use crate::entropy::SampledEntropyEstimator;
@@ -333,6 +334,8 @@ impl MonitorBuilder {
             seed: self.seed,
             entries: self.entries,
             samples: 0,
+            obs_pending: 0,
+            obs_batches: 0,
         }
     }
 }
@@ -345,7 +348,21 @@ pub struct Monitor {
     seed: u64,
     entries: Vec<Entry>,
     samples: u64,
+    /// Scalar-`update` items not yet flushed to the metrics registry
+    /// (scratch — excluded from the wire format and from merges; a
+    /// per-item atomic would tax the 10 ns scalar path, so items flush
+    /// in blocks of [`OBS_FLUSH_ITEMS`]).
+    obs_pending: u32,
+    /// `update_batch` calls since construction (scratch; schedules the
+    /// every-[`OBS_TIMING_SAMPLE`]-batches timing probe).
+    obs_batches: u64,
 }
+
+/// Scalar-path items per metrics flush.
+const OBS_FLUSH_ITEMS: u32 = 1024;
+
+/// One batch in this many carries the per-statistic timing probe.
+const OBS_TIMING_SAMPLE: u64 = 64;
 
 impl Monitor {
     /// The sampling rate all registered estimators correct for.
@@ -378,6 +395,14 @@ impl Monitor {
     /// Ingest one element of the sampled stream.
     pub fn update(&mut self, x: u64) {
         self.samples += 1;
+        // A registry RMW per scalar item would dominate the ~10 ns
+        // path; buffer locally and flush in blocks. A trailing
+        // sub-block stays unreported until the next flush or batch.
+        self.obs_pending += 1;
+        if self.obs_pending >= OBS_FLUSH_ITEMS {
+            sss_obs::global().add(MetricId::IngestItemsTotal, u64::from(self.obs_pending));
+            self.obs_pending = 0;
+        }
         for e in &mut self.entries {
             e.est.update(x);
         }
@@ -387,8 +412,42 @@ impl Monitor {
     /// Each estimator consumes the whole batch while its state is cache-
     /// resident, and the per-element virtual dispatch of [`Monitor::update`]
     /// is amortised over the batch.
+    ///
+    /// Observability: each call records batch count/size (a handful of
+    /// relaxed atomics per *batch*, priced by `bench_obs`), and every
+    /// [`OBS_TIMING_SAMPLE`]th batch additionally times each
+    /// estimator's update (`sss_ingest_slot_sampled_*`, labeled by
+    /// registration slot — slot order matches
+    /// [`Monitor::wire_layout`]).
     pub fn update_batch(&mut self, xs: &[u64]) {
         self.samples += xs.len() as u64;
+        let obs = sss_obs::global();
+        if obs.enabled() {
+            self.obs_batches = self.obs_batches.wrapping_add(1);
+            obs.add(
+                MetricId::IngestItemsTotal,
+                xs.len() as u64 + u64::from(self.obs_pending),
+            );
+            self.obs_pending = 0;
+            obs.inc(MetricId::IngestBatchesTotal);
+            obs.observe(MetricId::IngestBatchSize, xs.len() as u64);
+            if self.obs_batches.is_multiple_of(OBS_TIMING_SAMPLE) {
+                let t_batch = obs.timer();
+                for (slot, e) in self.entries.iter_mut().enumerate() {
+                    let t0 = std::time::Instant::now();
+                    e.est.update_batch(xs);
+                    let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                    obs.labeled_add(MetricId::IngestSlotSampledNanosTotal, slot as u64, ns);
+                    obs.labeled_add(
+                        MetricId::IngestSlotSampledItemsTotal,
+                        slot as u64,
+                        xs.len() as u64,
+                    );
+                }
+                obs.observe_since(MetricId::IngestBatchNanos, t_batch);
+                return;
+            }
+        }
         for e in &mut self.entries {
             e.est.update_batch(xs);
         }
@@ -521,7 +580,12 @@ impl Monitor {
     /// state still exists, instead of at restore time.
     pub fn checkpoint(&self) -> Result<Vec<u8>, CodecError> {
         self.validate_restorable()?;
-        Ok(self.encode_framed())
+        let obs = sss_obs::global();
+        let t0 = obs.timer();
+        let bytes = self.encode_framed();
+        obs.observe_since(MetricId::CodecEncodeNanos, t0);
+        obs.add(MetricId::CodecEncodeBytesTotal, bytes.len() as u64);
+        Ok(bytes)
     }
 
     /// Check that every registered estimator's wire tag is in the
@@ -547,7 +611,14 @@ impl Monitor {
     /// Snapshots from compatible builder configurations remain mergeable
     /// with live monitors ([`Monitor::try_merge`]).
     pub fn restore(bytes: &[u8]) -> Result<Monitor, CodecError> {
-        Monitor::decode_framed(bytes)
+        let obs = sss_obs::global();
+        let t0 = obs.timer();
+        let decoded = Monitor::decode_framed(bytes);
+        obs.observe_since(MetricId::CodecDecodeNanos, t0);
+        if decoded.is_ok() {
+            obs.add(MetricId::CodecDecodeBytesTotal, bytes.len() as u64);
+        }
+        decoded
     }
 
     /// `(label, wire tag)` rows of the registered estimators — the
@@ -611,6 +682,8 @@ impl WireCodec for Monitor {
             seed,
             entries,
             samples,
+            obs_pending: 0,
+            obs_batches: 0,
         })
     }
 }

@@ -34,6 +34,7 @@
 //! when shards see statistically similar slices — the round-robin
 //! partition below is chosen to make that true.
 
+use sss_obs::MetricId;
 use std::ops::Range;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
@@ -199,6 +200,11 @@ impl ShardedMonitor {
             .send(job)
             .expect("shard worker exited early (panicked?)");
         self.dispatched.fetch_add(n, Ordering::Relaxed);
+        let obs = sss_obs::global();
+        obs.inc(MetricId::ShardedJobsDispatchedTotal);
+        // Depth = dispatched − completed: `sync_channel` exposes no
+        // len, so occupancy is tracked from both ends of the queue.
+        obs.gauge_add(MetricId::ShardedQueueDepth, 1);
     }
 
     /// Feed a slice of the **raw** stream. The slice is copied into
@@ -240,10 +246,17 @@ impl ShardedMonitor {
     /// call [`ShardedMonitor::finish`] for the exact final answer.
     pub fn snapshot(&self) -> Monitor {
         let mut view = self.prototype.clone();
+        let mut merges = 0u64;
         for slot in self.snapshots.iter() {
             if let Some(shard) = slot.lock().expect("snapshot lock").as_ref() {
                 view.merge(shard);
+                merges += 1;
             }
+        }
+        let obs = sss_obs::global();
+        obs.add(MetricId::ShardedMergesTotal, merges);
+        if merges > 0 {
+            obs.event(sss_obs::EventKind::MergePerformed, merges, 0, "snapshot");
         }
         view
     }
@@ -271,9 +284,16 @@ impl ShardedMonitor {
         } = self;
         drop(txs); // closes every queue; workers drain and return
         let mut merged = prototype;
+        let mut merges = 0u64;
         for h in handles {
             let shard = h.join().expect("shard worker panicked");
             merged.merge(&shard);
+            merges += 1;
+        }
+        let obs = sss_obs::global();
+        obs.add(MetricId::ShardedMergesTotal, merges);
+        if merges > 0 {
+            obs.event(sss_obs::EventKind::MergePerformed, merges, 0, "finish");
         }
         merged
     }
@@ -291,6 +311,9 @@ fn worker_loop(
         sampler.sample_batches(job.as_slice(), cfg.sample_batch, |batch| {
             monitor.update_batch(batch);
         });
+        let obs = sss_obs::global();
+        obs.inc(MetricId::ShardedJobsCompletedTotal);
+        obs.gauge_add(MetricId::ShardedQueueDepth, -1);
         chunks += 1;
         if cfg.snapshot_every != 0 && chunks.is_multiple_of(cfg.snapshot_every) {
             *slot.lock().expect("snapshot lock") = Some(monitor.clone());

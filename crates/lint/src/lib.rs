@@ -33,7 +33,7 @@ use std::path::{Path, PathBuf};
 
 pub use rules::{
     FixtureManifest, LintOptions, Violation, ALL_RULES, RULE_ALLOC, RULE_BATCH, RULE_ITER,
-    RULE_NAN, RULE_NO_PANIC, RULE_TAGS,
+    RULE_METRICS, RULE_NAN, RULE_NO_PANIC, RULE_TAGS,
 };
 
 /// Everything the rule passes need: parsed sources plus fixture
@@ -56,6 +56,7 @@ pub fn lint(ws: &Workspace, opts: &LintOptions) -> Vec<Violation> {
         rules::check_batch_kernel(f, &mut out);
     }
     rules::check_wire_tags(&ws.files, &ws.manifests, opts, &mut out);
+    rules::check_metric_registry(&ws.files, &mut out);
     out.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
     out
 }

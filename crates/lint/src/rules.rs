@@ -1,4 +1,4 @@
-//! The six rule passes. Each enforces one cross-cutting source
+//! The seven rule passes. Each enforces one cross-cutting source
 //! invariant the compiler cannot check (see `crates/core/src/README.md`,
 //! "Invariants & static analysis"):
 //!
@@ -18,7 +18,7 @@
 //!    `HashSet` iteration inside `encode_into`/`merge`/`try_merge`/
 //!    `estimate` bodies unless the iteration feeds a sort within the
 //!    next two statements (the collect-then-sort idiom).
-//! 5. [`wire_tag_registry`](RULE_TAGS) — `0x01xx`–`0x06xx` wire tags
+//! 5. [`wire_tag_registry`](RULE_TAGS) — `0x01xx`–`0x07xx` wire tags
 //!    are globally unique, live in their owning crate's range, are
 //!    covered by the Monitor restore registry, and every monitor-level
 //!    codec type has a fixture in the committed corpus.
@@ -26,6 +26,10 @@
 //!    the per-item `hash_range`; batch paths hash whole chunks through
 //!    the SWAR kernels in `sss_hash::batch` (the blessed kernel module
 //!    itself is exempt).
+//! 7. [`metric_registry`](RULE_METRICS) — every metric declared in a
+//!    `metric_table!` carries a snake_case `sss_<subsystem>_*` name
+//!    with a known subsystem segment, counters end in `_total`, kinds
+//!    are Counter/Gauge/Histogram, and names are globally unique.
 //!
 //! Audited exceptions are written in the source as
 //! `// sss-lint: allow(<rule>) — <reason>` on the flagged line or the
@@ -42,15 +46,17 @@ pub const RULE_NAN: &str = "nan_safe_ordering";
 pub const RULE_ITER: &str = "canonical_iteration";
 pub const RULE_TAGS: &str = "wire_tag_registry";
 pub const RULE_BATCH: &str = "batch_kernel";
+pub const RULE_METRICS: &str = "metric_registry";
 
 /// All rule ids, for `--list-rules` and pragma validation.
-pub const ALL_RULES: [&str; 6] = [
+pub const ALL_RULES: [&str; 7] = [
     RULE_NO_PANIC,
     RULE_ALLOC,
     RULE_NAN,
     RULE_ITER,
     RULE_TAGS,
     RULE_BATCH,
+    RULE_METRICS,
 ];
 
 /// One finding.
@@ -103,13 +109,14 @@ impl Default for LintOptions {
 
 /// Per-crate wire-tag range ownership: crate name → the required high
 /// byte of its tags. Crates not listed here must not define tags.
-const TAG_RANGES: [(&str, u16); 6] = [
+const TAG_RANGES: [(&str, u16); 7] = [
     ("sss-hash", 1),
     ("sss-sketch", 2),
     ("sss-stream", 3),
     ("sss-core", 4),
     ("sss-transport", 5),
     ("sss-window", 6),
+    ("sss-obs", 7),
 ];
 
 struct Reporter<'a> {
@@ -824,7 +831,7 @@ pub fn check_wire_tags(
             let val_toks = &file.tokens[c.value.0..c.value.1];
             if val_toks.len() == 1 && val_toks[0].kind == TokKind::Num {
                 if let Some(v) = parse_u16_literal(&val_toks[0].text) {
-                    if (0x0100..=0x06FF).contains(&v) {
+                    if (0x0100..=0x07FF).contains(&v) {
                         defs.push(TagDef {
                             value: v,
                             owner: c.impl_type.clone().unwrap_or_else(|| c.name.clone()),
@@ -1028,6 +1035,155 @@ pub fn check_wire_tags(
                     ),
                 });
             }
+        }
+    }
+}
+
+/// Subsystem segments a metric name may carry (the second
+/// `_`-separated component after the `sss_` namespace) — one per
+/// instrumented layer. Extending the instrumentation to a new layer
+/// means extending this list in the same change.
+const METRIC_SUBSYSTEMS: [&str; 7] = [
+    "ingest",
+    "sampler",
+    "sharded",
+    "codec",
+    "transport",
+    "window",
+    "obs",
+];
+
+/// Rule 7: every metric declared through a `metric_table!` invocation
+/// follows the naming conventions and is globally unique. Parsed from
+/// the macro's token stream (`Variant => Kind "name": "help";`), the
+/// same audit pattern as the wire-tag registry: the declaration site
+/// IS the registry, so nothing can be declared outside it.
+pub fn check_metric_registry(files: &[SourceFile], out: &mut Vec<Violation>) {
+    struct MetricDef {
+        name: String,
+        path: PathBuf,
+        line: usize,
+    }
+    let mut defs: Vec<MetricDef> = Vec::new();
+
+    for file in files {
+        let toks = &file.tokens;
+        let mut i = 0;
+        while i + 2 < toks.len() {
+            // An invocation is `metric_table ! {`; the macro_rules
+            // definition tokenizes as `macro_rules ! metric_table {`
+            // and never matches this shape.
+            if !(toks[i].is_ident("metric_table")
+                && toks[i + 1].is_punct('!')
+                && toks[i + 2].is_punct('{'))
+            {
+                i += 1;
+                continue;
+            }
+            let open = i + 2;
+            let close = match matching(toks, open, '{', '}') {
+                Some(c) => c,
+                None => break,
+            };
+            let mut j = open + 1;
+            while j < close {
+                // Entries end in `;`, so one malformed entry cannot
+                // cascade its diagnostics into the next.
+                let end = (j..close).find(|&k| toks[k].is_punct(';')).unwrap_or(close);
+                let e = &toks[j..end];
+                if e.is_empty() {
+                    j = end + 1;
+                    continue;
+                }
+                let line = e[0].line;
+                let mut report = |msg: String| {
+                    if !file.allowed(line, RULE_METRICS) {
+                        out.push(Violation {
+                            rule: RULE_METRICS,
+                            path: file.path.clone(),
+                            line,
+                            message: msg,
+                        });
+                    }
+                };
+                let shape_ok = e.len() == 7
+                    && e[0].kind == TokKind::Ident
+                    && e[1].is_punct('=')
+                    && e[2].is_punct('>')
+                    && e[3].kind == TokKind::Ident
+                    && e[4].kind == TokKind::Str
+                    && e[5].is_punct(':')
+                    && e[6].kind == TokKind::Str;
+                if !shape_ok {
+                    report(
+                        "metric_table! entry does not match `Variant => Kind \"name\": \"help\";`"
+                            .to_string(),
+                    );
+                    j = end + 1;
+                    continue;
+                }
+                let kind = e[3].text.as_str();
+                let name = e[4].text.as_str();
+                if !matches!(kind, "Counter" | "Gauge" | "Histogram") {
+                    report(format!(
+                        "metric `{name}` has unknown kind `{kind}` (expected Counter, Gauge or Histogram)"
+                    ));
+                }
+                if name.is_empty()
+                    || !name
+                        .bytes()
+                        .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_')
+                {
+                    report(format!(
+                        "metric name `{name}` is not snake_case ([a-z0-9_] only)"
+                    ));
+                } else {
+                    match name.strip_prefix("sss_") {
+                        None => report(format!(
+                            "metric name `{name}` must start with the `sss_` namespace"
+                        )),
+                        Some(rest) => {
+                            let subsystem = rest.split('_').next().unwrap_or("");
+                            if !METRIC_SUBSYSTEMS.contains(&subsystem) {
+                                report(format!(
+                                    "metric `{name}` names unknown subsystem `{subsystem}` (expected one of {METRIC_SUBSYSTEMS:?})"
+                                ));
+                            }
+                        }
+                    }
+                    if kind == "Counter" && !name.ends_with("_total") {
+                        report(format!("counter `{name}` must end with `_total`"));
+                    }
+                }
+                defs.push(MetricDef {
+                    name: name.to_string(),
+                    path: file.path.clone(),
+                    line,
+                });
+                j = end + 1;
+            }
+            i = close + 1;
+        }
+    }
+
+    // Global uniqueness across every table in the scanned set.
+    let mut by_name: BTreeMap<&str, Vec<&MetricDef>> = BTreeMap::new();
+    for d in &defs {
+        by_name.entry(d.name.as_str()).or_default().push(d);
+    }
+    for (name, ds) in &by_name {
+        for d in &ds[1..] {
+            let first = ds[0];
+            out.push(Violation {
+                rule: RULE_METRICS,
+                path: d.path.clone(),
+                line: d.line,
+                message: format!(
+                    "metric name `{name}` already declared at {}:{}",
+                    first.path.display(),
+                    first.line
+                ),
+            });
         }
     }
 }

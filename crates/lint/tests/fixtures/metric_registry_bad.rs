@@ -1,0 +1,10 @@
+// One defect per entry, so the test can assert each diagnostic.
+metric_table! {
+    BadCase => Counter "sss_Ingest_items_total": "upper case in the name";
+    MissingSuffix => Counter "sss_ingest_items": "counter without the _total suffix";
+    WrongNamespace => Gauge "queue_depth": "missing the sss_ namespace";
+    UnknownSubsystem => Counter "sss_frobnicator_calls_total": "no such layer";
+    BadKind => Summary "sss_obs_lag_seconds": "kind outside Counter/Gauge/Histogram";
+    Dup => Counter "sss_obs_events_dropped_total": "first declaration";
+    DupAgain => Counter "sss_obs_events_dropped_total": "second declaration";
+}

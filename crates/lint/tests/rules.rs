@@ -166,6 +166,70 @@ fn batch_kernel_blessed_module_is_exempt() {
 }
 
 #[test]
+fn metric_registry_bad_fires_per_defect() {
+    let v = lint_one("sss-obs", "metric_registry_bad.rs");
+    assert!(v.iter().all(|x| x.rule == "metric_registry"), "{v:?}");
+    assert_eq!(v.len(), 6, "{v:?}");
+    assert!(
+        v.iter()
+            .any(|x| x.line == 3 && x.message.contains("not snake_case")),
+        "{v:?}"
+    );
+    assert!(
+        v.iter()
+            .any(|x| x.line == 4 && x.message.contains("must end with `_total`")),
+        "{v:?}"
+    );
+    assert!(
+        v.iter()
+            .any(|x| x.line == 5 && x.message.contains("`sss_` namespace")),
+        "{v:?}"
+    );
+    assert!(
+        v.iter()
+            .any(|x| x.line == 6 && x.message.contains("unknown subsystem `frobnicator`")),
+        "{v:?}"
+    );
+    assert!(
+        v.iter()
+            .any(|x| x.line == 7 && x.message.contains("unknown kind `Summary`")),
+        "{v:?}"
+    );
+    assert!(
+        v.iter()
+            .any(|x| x.line == 9 && x.message.contains("already declared")),
+        "{v:?}"
+    );
+}
+
+#[test]
+fn metric_registry_clean_is_clean() {
+    let v = lint_one("sss-obs", "metric_registry_clean.rs");
+    assert!(v.is_empty(), "{v:?}");
+}
+
+#[test]
+fn duplicate_metric_across_files_fires() {
+    let a = "metric_table! { A => Counter \"sss_obs_events_dropped_total\": \"one\"; }";
+    let b = "metric_table! { B => Counter \"sss_obs_events_dropped_total\": \"two\"; }";
+    let v = lint_sources(
+        &[
+            ("sss-obs", "metrics_a.rs", a),
+            ("sss-obs", "metrics_b.rs", b),
+        ],
+        &opts(),
+    );
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert_eq!(v[0].rule, "metric_registry");
+    assert_eq!(v[0].path.to_string_lossy(), "metrics_b.rs");
+    assert!(
+        v[0].message.contains("already declared at metrics_a.rs:1"),
+        "{}",
+        v[0].message
+    );
+}
+
+#[test]
 fn pragma_silences_an_audited_exception() {
     let src = "\
 pub fn decode(r: &mut Reader) -> Result<u16, CodecError> {

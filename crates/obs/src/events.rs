@@ -1,0 +1,173 @@
+//! Fixed-capacity ring-buffer event tracer.
+//!
+//! Metrics say *how much*; the event ring says *what happened last*.
+//! Each [`TraceEvent`] is a typed record — snapshot accepted/rejected
+//! (with the reject reason in `note`), merge performed, bucket
+//! rollover, alert fired, reconnect attempt — stamped with the
+//! registry's session-relative millisecond clock. The ring holds the
+//! newest `capacity` events; overflow evicts the oldest and bumps
+//! `sss_obs_events_dropped_total`, so the loss is itself observable.
+//!
+//! Recording takes a mutex: events are rare (rejects, alerts,
+//! reconnects — not per-item), so the ring stays off the ingest hot
+//! path by construction, not by cleverness.
+
+use std::collections::VecDeque;
+
+/// What kind of thing happened. Fieldless so wire export is one byte;
+/// the numeric payload slots `a`/`b` and the free-text `note` on
+/// [`TraceEvent`] carry the specifics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum EventKind {
+    /// A site's snapshot push was merged (`a` = site id, `b` = seq).
+    SnapshotAccepted = 0,
+    /// A push was rejected (`a` = site id, `note` = reason label).
+    SnapshotRejected = 1,
+    /// Shard or collector state was folded by a merge (`a` = count of
+    /// monitors merged).
+    MergePerformed = 2,
+    /// A windowed monitor closed an epoch (`a` = epoch, `b` = buckets
+    /// retired by the roll).
+    BucketRollover = 3,
+    /// A continuous query fired (`a` = epoch, `note` = query name).
+    AlertFired = 4,
+    /// A site client re-ran the handshake (`a` = attempt number).
+    ReconnectAttempt = 5,
+}
+
+impl EventKind {
+    /// Number of kinds (for wire-range validation).
+    pub const COUNT: u8 = 6;
+
+    /// Stable snake_case label used by renders and the wire format.
+    pub fn label(self) -> &'static str {
+        match self {
+            EventKind::SnapshotAccepted => "snapshot_accepted",
+            EventKind::SnapshotRejected => "snapshot_rejected",
+            EventKind::MergePerformed => "merge_performed",
+            EventKind::BucketRollover => "bucket_rollover",
+            EventKind::AlertFired => "alert_fired",
+            EventKind::ReconnectAttempt => "reconnect_attempt",
+        }
+    }
+
+    /// Inverse of the `repr(u8)` discriminant, for wire decode.
+    pub fn from_u8(raw: u8) -> Option<EventKind> {
+        match raw {
+            0 => Some(EventKind::SnapshotAccepted),
+            1 => Some(EventKind::SnapshotRejected),
+            2 => Some(EventKind::MergePerformed),
+            3 => Some(EventKind::BucketRollover),
+            4 => Some(EventKind::AlertFired),
+            5 => Some(EventKind::ReconnectAttempt),
+            _ => None,
+        }
+    }
+}
+
+/// One traced occurrence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Milliseconds since the owning registry was created (monotonic,
+    /// session-relative — survives nothing, means something).
+    pub at_ms: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// First numeric payload (site id, epoch, merge count, attempt).
+    pub a: u64,
+    /// Second numeric payload (seq, retired buckets), `0` if unused.
+    pub b: u64,
+    /// Free-text detail: reject reason label, query name; empty if
+    /// unused.
+    pub note: String,
+}
+
+/// The fixed-capacity ring. Owned by a [`crate::Registry`] behind a
+/// mutex; not `Sync` on its own.
+#[derive(Debug)]
+pub struct EventRing {
+    buf: VecDeque<TraceEvent>,
+    cap: usize,
+}
+
+impl EventRing {
+    /// A ring holding at most `cap` events (`cap` is clamped to ≥ 1).
+    pub fn new(cap: usize) -> Self {
+        let cap = cap.max(1);
+        EventRing {
+            buf: VecDeque::with_capacity(cap),
+            cap,
+        }
+    }
+
+    /// Append an event, returning how many old events were evicted to
+    /// make room (0 or 1 — the caller turns this into the dropped
+    /// counter).
+    pub fn push(&mut self, ev: TraceEvent) -> u64 {
+        let mut dropped = 0;
+        while self.buf.len() >= self.cap {
+            self.buf.pop_front();
+            dropped += 1;
+        }
+        self.buf.push_back(ev);
+        dropped
+    }
+
+    /// Oldest-first copy of the live events.
+    pub fn to_vec(&self) -> Vec<TraceEvent> {
+        self.buf.iter().cloned().collect()
+    }
+
+    /// Number of live events.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(a: u64) -> TraceEvent {
+        TraceEvent {
+            at_ms: a,
+            kind: EventKind::MergePerformed,
+            a,
+            b: 0,
+            note: String::new(),
+        }
+    }
+
+    #[test]
+    fn ring_keeps_newest() {
+        let mut r = EventRing::new(3);
+        let mut dropped = 0;
+        for i in 0..5 {
+            dropped += r.push(ev(i));
+        }
+        assert_eq!(dropped, 2);
+        let live: Vec<u64> = r.to_vec().iter().map(|e| e.a).collect();
+        assert_eq!(live, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn kind_roundtrips() {
+        for raw in 0..EventKind::COUNT {
+            let k = EventKind::from_u8(raw).unwrap();
+            assert_eq!(k as u8, raw);
+            assert!(!k.label().is_empty());
+        }
+        assert_eq!(EventKind::from_u8(EventKind::COUNT), None);
+    }
+}

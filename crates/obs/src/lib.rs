@@ -1,0 +1,40 @@
+//! `sss-obs` — workspace-wide observability.
+//!
+//! Everything the subsampled-streams system does — ingest batches,
+//! shard dispatch, checkpoint encodes, transport pushes, window
+//! rollovers — records into one process-wide [`Registry`]: atomic
+//! counters, gauges and log2-bucketed histograms (lock-free writes,
+//! internally-consistent reads) plus a fixed-capacity [`EventRing`]
+//! of typed trace events. The registry renders as Prometheus text or
+//! JSON, and snapshots are [`sss_codec::WireCodec`] (tag range
+//! `0x07xx`) so sites ship telemetry to the collector over the same
+//! framed wire as sketch snapshots.
+//!
+//! Design points:
+//!
+//! - **Central table.** Every metric is declared once in
+//!   [`names::ALL_METRICS`] via the `metric_table!` macro; sss-lint's
+//!   `metric_registry` rule audits the names (snake_case, known
+//!   subsystem prefix, globally unique, counters end `_total`).
+//! - **Priced overhead.** All recording is gated on a runtime
+//!   kill-switch ([`Registry::set_enabled`]); `bench_obs` runs the
+//!   ingest hot path with it on and off and `BENCH_obs.json` pins the
+//!   ratio at ≤ 1.03×. Hot paths record per *batch*, never per item.
+//! - **Isolation when needed.** [`global()`] is the default sink for
+//!   layer instrumentation; components that need isolated numbers
+//!   (each `CollectorServer`, parallel tests) own a [`Registry`] of
+//!   their own.
+
+#![forbid(unsafe_code)]
+
+pub mod events;
+pub mod names;
+pub mod registry;
+pub mod render;
+pub mod wire;
+
+pub use events::{EventKind, EventRing, TraceEvent};
+pub use names::{MetricId, MetricKind, ALL_METRICS};
+pub use registry::{bucket_of, bucket_upper, global, Registry, HIST_BUCKETS};
+pub use render::{render_json, render_prometheus};
+pub use wire::{EventSnapshot, HistSnapshot, MetricsSnapshot, TAG_METRICS_SNAPSHOT};

@@ -1,0 +1,237 @@
+//! Render surfaces: Prometheus text exposition and JSON.
+//!
+//! Both render a [`MetricsSnapshot`] — live registry or one decoded
+//! off the wire — so a collector shows its own telemetry and each
+//! site's pushed telemetry through the same code. The optional `site`
+//! argument stamps every series with a `site="<id>"` label, which is
+//! how per-site snapshots stay distinguishable on one scrape page.
+//!
+//! Prometheus specifics: `# HELP`/`# TYPE` come from the metric table
+//! ([`MetricId::by_name`]); names the table doesn't know (a newer
+//! site build) render as bare untyped series. Histograms expose
+//! cumulative `_bucket{le="..."}` series at the log2 boundaries that
+//! actually hold observations, plus `+Inf`, `_sum` and `_count`.
+
+use crate::names::MetricId;
+use crate::registry::bucket_upper;
+use crate::wire::MetricsSnapshot;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Escape a string for a JSON string literal (quotes not included).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The `{...}` label set for one series: the optional outer site
+/// label, then the metric's own label row, then `le` for histogram
+/// buckets. Returns an empty string when there are no labels.
+fn label_set(site: Option<u64>, own: Option<(&str, u64)>, le: Option<&str>) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    if let Some(id) = site {
+        // A site-keyed row inside a site-stamped snapshot keeps its
+        // own key — two `site` labels would be malformed.
+        if own.is_none_or(|(k, _)| k != "site") {
+            parts.push(format!("site=\"{id}\""));
+        }
+    }
+    if let Some((k, v)) = own {
+        parts.push(format!("{k}=\"{v}\""));
+    }
+    if let Some(le) = le {
+        parts.push(format!("le=\"{le}\""));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+fn push_meta(out: &mut String, name: &str) {
+    if let Some(id) = MetricId::by_name(name) {
+        let _ = writeln!(out, "# HELP {name} {}", id.help());
+        let _ = writeln!(out, "# TYPE {name} {}", id.kind().prom_type());
+    }
+}
+
+/// Render a snapshot as Prometheus text exposition (format 0.0.4).
+pub fn render_prometheus(s: &MetricsSnapshot, site: Option<u64>) -> String {
+    let mut labeled: BTreeMap<&str, Vec<(u64, u64)>> = BTreeMap::new();
+    for (name, label, value) in &s.labeled {
+        labeled.entry(name).or_default().push((*label, *value));
+    }
+    let mut out = String::new();
+
+    let scalar = |out: &mut String, name: &str, plain: String| {
+        push_meta(out, name);
+        if let Some(rows) = labeled.get(name) {
+            let key = MetricId::by_name(name).map_or("label", |id| id.label_key());
+            for (label, value) in rows {
+                let ls = label_set(site, Some((key, *label)), None);
+                let _ = writeln!(out, "{name}{ls} {value}");
+            }
+        } else {
+            let ls = label_set(site, None, None);
+            let _ = writeln!(out, "{name}{ls} {plain}");
+        }
+    };
+    for (name, v) in &s.counters {
+        scalar(&mut out, name, v.to_string());
+    }
+    for (name, v) in &s.gauges {
+        scalar(&mut out, name, v.to_string());
+    }
+    // Labeled rows whose name is not a table counter/gauge (telemetry
+    // from a newer build): untyped, but not silently dropped.
+    for (name, rows) in &labeled {
+        if s.counters.iter().any(|(n, _)| n == name) || s.gauges.iter().any(|(n, _)| n == name) {
+            continue;
+        }
+        for (label, value) in rows {
+            let ls = label_set(site, Some(("label", *label)), None);
+            let _ = writeln!(out, "{name}{ls} {value}");
+        }
+    }
+
+    for h in &s.hists {
+        push_meta(&mut out, &h.name);
+        let mut cum = 0u64;
+        for (i, c) in &h.buckets {
+            cum = cum.saturating_add(*c);
+            let upper = bucket_upper(usize::from(*i)).to_string();
+            let ls = label_set(site, None, Some(&upper));
+            let _ = writeln!(out, "{}_bucket{ls} {cum}", h.name);
+        }
+        let inf = label_set(site, None, Some("+Inf"));
+        let plain = label_set(site, None, None);
+        let _ = writeln!(out, "{}_bucket{inf} {}", h.name, h.count());
+        let _ = writeln!(out, "{}_sum{plain} {}", h.name, h.sum);
+        let _ = writeln!(out, "{}_count{plain} {}", h.name, h.count());
+    }
+    out
+}
+
+/// Render a snapshot as a self-contained JSON object.
+pub fn render_json(s: &MetricsSnapshot, site: Option<u64>) -> String {
+    let mut out = String::from("{");
+    let _ = write!(out, "\"session_ms\":{}", s.session_ms);
+    if let Some(id) = site {
+        let _ = write!(out, ",\"site\":{id}");
+    }
+
+    out.push_str(",\"counters\":{");
+    for (i, (name, v)) in s.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":{v}", json_escape(name));
+    }
+    out.push_str("},\"gauges\":{");
+    for (i, (name, v)) in s.gauges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":{v}", json_escape(name));
+    }
+    out.push_str("},\"labeled\":[");
+    for (i, (name, label, v)) in s.labeled.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let key = MetricId::by_name(name).map_or("label", |id| id.label_key());
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"{key}\":{label},\"value\":{v}}}",
+            json_escape(name)
+        );
+    }
+    out.push_str("],\"histograms\":[");
+    for (i, h) in s.hists.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"count\":{},\"sum\":{},\"buckets\":[",
+            json_escape(&h.name),
+            h.count(),
+            h.sum
+        );
+        for (j, (idx, c)) in h.buckets.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "[{idx},{c}]");
+        }
+        out.push_str("]}");
+    }
+    out.push_str("],\"events\":[");
+    for (i, e) in s.events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"at_ms\":{},\"kind\":\"{}\",\"a\":{},\"b\":{},\"note\":\"{}\"}}",
+            e.at_ms,
+            json_escape(&e.kind),
+            e.a,
+            e.b,
+            json_escape(&e.note)
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+    use crate::MetricId;
+
+    #[test]
+    fn prometheus_renders_typed_series() {
+        let r = Registry::new();
+        r.add(MetricId::IngestItemsTotal, 5);
+        r.observe(MetricId::IngestBatchSize, 4);
+        let text = render_prometheus(&r.snapshot(), None);
+        assert!(text.contains("# TYPE sss_ingest_items_total counter"));
+        assert!(text.contains("sss_ingest_items_total 5"));
+        assert!(text.contains("sss_ingest_batch_size_bucket{le=\"7\"} 1"));
+        assert!(text.contains("sss_ingest_batch_size_sum 4"));
+        assert!(text.contains("sss_ingest_batch_size_count 1"));
+    }
+
+    #[test]
+    fn site_label_stamps_every_series() {
+        let r = Registry::new();
+        r.add(MetricId::IngestItemsTotal, 1);
+        let text = render_prometheus(&r.snapshot(), Some(9));
+        assert!(text.contains("sss_ingest_items_total{site=\"9\"} 1"));
+    }
+
+    #[test]
+    fn json_escapes_notes() {
+        let r = Registry::new();
+        r.event(crate::EventKind::AlertFired, 1, 0, "line\"one\"\n");
+        let json = render_json(&r.snapshot(), None);
+        assert!(json.contains("\\\"one\\\"\\n"));
+        assert!(json.starts_with('{') && json.ends_with('}'));
+    }
+}

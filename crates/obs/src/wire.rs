@@ -1,0 +1,256 @@
+//! Wire export of metrics snapshots — the `0x07xx` tag range.
+//!
+//! A [`MetricsSnapshot`] is self-describing: metrics travel as
+//! `(name, value)` pairs rather than table ordinals, so a collector
+//! can decode telemetry from a site running a build with a different
+//! metric table (unknown names render as untyped series, missing ones
+//! simply don't appear). Histograms ship sparse (only non-zero
+//! buckets), events ship with their snake_case kind label.
+//!
+//! Decode obeys the workspace contract: never panics, never allocates
+//! beyond what the buffer length proves, validates every structural
+//! invariant (bucket indices strictly increasing and ≤ 64, non-zero
+//! sparse counts).
+
+use sss_codec::{put_len, put_u64, CodecError, Reader, WireCodec};
+
+/// Wire tag of [`MetricsSnapshot`].
+pub const TAG_METRICS_SNAPSHOT: u16 = 0x0701;
+
+/// One histogram, sparse: `(bucket index, count)` pairs for the
+/// non-zero log2 buckets, plus the sum of observed values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Exported metric name.
+    pub name: String,
+    /// Sum of all observed values (wraps on overflow, like the
+    /// underlying atomic).
+    pub sum: u64,
+    /// Non-zero buckets as `(index, count)`, index strictly
+    /// increasing, index ≤ 64.
+    pub buckets: Vec<(u8, u64)>,
+}
+
+impl HistSnapshot {
+    /// Total observation count, derived from the buckets so it can
+    /// never disagree with them.
+    pub fn count(&self) -> u64 {
+        self.buckets
+            .iter()
+            .fold(0u64, |acc, (_, c)| acc.saturating_add(*c))
+    }
+}
+
+impl WireCodec for HistSnapshot {
+    const MIN_WIRE_BYTES: usize = 24;
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.name.encode_into(out);
+        put_u64(out, self.sum);
+        put_len(out, self.buckets.len());
+        for (i, c) in &self.buckets {
+            out.push(*i);
+            put_u64(out, *c);
+        }
+    }
+
+    fn decode(r: &mut Reader) -> Result<Self, CodecError> {
+        let name = String::decode(r)?;
+        let sum = r.u64()?;
+        let n = r.len_prefix(9)?;
+        let mut buckets = Vec::with_capacity(n);
+        let mut prev: i32 = -1;
+        for _ in 0..n {
+            let i = r.u8()?;
+            let c = r.u64()?;
+            if i > 64 || i32::from(i) <= prev {
+                return Err(CodecError::Invalid {
+                    what: "histogram buckets must be strictly increasing indices ≤ 64",
+                });
+            }
+            if c == 0 {
+                return Err(CodecError::Invalid {
+                    what: "sparse histogram bucket with zero count",
+                });
+            }
+            prev = i32::from(i);
+            buckets.push((i, c));
+        }
+        Ok(HistSnapshot { name, sum, buckets })
+    }
+}
+
+/// One traced event in wire form: the kind travels as its snake_case
+/// label so decoders never reject kinds added by newer builds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventSnapshot {
+    /// Milliseconds since the recording registry was created.
+    pub at_ms: u64,
+    /// Snake_case kind label (`"alert_fired"`, ...).
+    pub kind: String,
+    /// First numeric payload.
+    pub a: u64,
+    /// Second numeric payload.
+    pub b: u64,
+    /// Free-text detail (reject reason, query name).
+    pub note: String,
+}
+
+impl WireCodec for EventSnapshot {
+    const MIN_WIRE_BYTES: usize = 40;
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        put_u64(out, self.at_ms);
+        self.kind.encode_into(out);
+        put_u64(out, self.a);
+        put_u64(out, self.b);
+        self.note.encode_into(out);
+    }
+
+    fn decode(r: &mut Reader) -> Result<Self, CodecError> {
+        Ok(EventSnapshot {
+            at_ms: r.u64()?,
+            kind: String::decode(r)?,
+            a: r.u64()?,
+            b: r.u64()?,
+            note: String::decode(r)?,
+        })
+    }
+}
+
+/// A full registry snapshot: every table metric (zeros included),
+/// labeled rows, sparse histograms and the live event ring.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    /// Registry age in ms when the snapshot was taken.
+    pub session_ms: u64,
+    /// Counter `(name, value)` pairs, table order.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge `(name, value)` pairs, table order.
+    pub gauges: Vec<(String, i64)>,
+    /// Labeled rows as `(name, label, value)`, `(id, label)`-ordered.
+    pub labeled: Vec<(String, u64, u64)>,
+    /// Histograms, table order.
+    pub hists: Vec<HistSnapshot>,
+    /// Live trace events, oldest first.
+    pub events: Vec<EventSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Value of a counter by exported name (`None` if absent).
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Value of a gauge by exported name (`None` if absent).
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// A histogram by exported name (`None` if absent).
+    pub fn hist(&self, name: &str) -> Option<&HistSnapshot> {
+        self.hists.iter().find(|h| h.name == name)
+    }
+}
+
+impl WireCodec for MetricsSnapshot {
+    const WIRE_TAG: u16 = TAG_METRICS_SNAPSHOT;
+    const MIN_WIRE_BYTES: usize = 48;
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        put_u64(out, self.session_ms);
+        put_len(out, self.counters.len());
+        for (name, v) in &self.counters {
+            name.encode_into(out);
+            put_u64(out, *v);
+        }
+        put_len(out, self.gauges.len());
+        for (name, v) in &self.gauges {
+            name.encode_into(out);
+            put_u64(out, *v as u64);
+        }
+        put_len(out, self.labeled.len());
+        for (name, label, v) in &self.labeled {
+            name.encode_into(out);
+            put_u64(out, *label);
+            put_u64(out, *v);
+        }
+        put_len(out, self.hists.len());
+        for h in &self.hists {
+            h.encode_into(out);
+        }
+        put_len(out, self.events.len());
+        for e in &self.events {
+            e.encode_into(out);
+        }
+    }
+
+    fn decode(r: &mut Reader) -> Result<Self, CodecError> {
+        let session_ms = r.u64()?;
+        let n = r.len_prefix(16)?;
+        let mut counters = Vec::with_capacity(n);
+        for _ in 0..n {
+            let name = String::decode(r)?;
+            counters.push((name, r.u64()?));
+        }
+        let n = r.len_prefix(16)?;
+        let mut gauges = Vec::with_capacity(n);
+        for _ in 0..n {
+            let name = String::decode(r)?;
+            gauges.push((name, r.u64()? as i64));
+        }
+        let n = r.len_prefix(24)?;
+        let mut labeled = Vec::with_capacity(n);
+        for _ in 0..n {
+            let name = String::decode(r)?;
+            let label = r.u64()?;
+            labeled.push((name, label, r.u64()?));
+        }
+        let n = r.len_prefix(HistSnapshot::MIN_WIRE_BYTES)?;
+        let mut hists = Vec::with_capacity(n);
+        for _ in 0..n {
+            hists.push(HistSnapshot::decode(r)?);
+        }
+        let n = r.len_prefix(EventSnapshot::MIN_WIRE_BYTES)?;
+        let mut events = Vec::with_capacity(n);
+        for _ in 0..n {
+            events.push(EventSnapshot::decode(r)?);
+        }
+        Ok(MetricsSnapshot {
+            session_ms,
+            counters,
+            gauges,
+            labeled,
+            hists,
+            events,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_snapshot_roundtrips() {
+        let s = MetricsSnapshot::default();
+        let bytes = s.encode_framed();
+        assert_eq!(MetricsSnapshot::decode_framed(&bytes).unwrap(), s);
+    }
+
+    #[test]
+    fn bad_bucket_order_rejected() {
+        let h = HistSnapshot {
+            name: "sss_ingest_batch_size".into(),
+            sum: 3,
+            buckets: vec![(2, 1), (1, 1)],
+        };
+        let mut out = Vec::new();
+        h.encode_into(&mut out);
+        let err = HistSnapshot::decode(&mut Reader::new(&out)).unwrap_err();
+        assert!(matches!(err, CodecError::Invalid { .. }), "{err:?}");
+    }
+}

@@ -19,6 +19,14 @@ use sss_hash::{split_seed, RngCore64, Xoshiro256pp};
 
 use crate::types::Item;
 
+/// One registry touch per sampling call (never per item): raw offered
+/// vs surviving counts for the slice/batch entry points.
+fn record_sampled(raw: u64, survivors: u64) {
+    let obs = sss_obs::global();
+    obs.add(sss_obs::MetricId::SamplerRawItemsTotal, raw);
+    obs.add(sss_obs::MetricId::SamplerSurvivorsTotal, survivors);
+}
+
 /// Bernoulli sampler with survival probability `p`.
 #[derive(Debug, Clone)]
 pub struct BernoulliSampler {
@@ -96,9 +104,12 @@ impl BernoulliSampler {
     /// not `O(|P|)`.
     pub fn sample_indexed<F: FnMut(usize, Item)>(&mut self, data: &[Item], mut f: F) {
         let n = data.len() as u64;
+        let mut survivors = 0u64;
         for pos in self.skip_positions(n) {
+            survivors += 1;
             f(pos as usize, data[pos as usize]);
         }
+        record_sampled(n, survivors);
     }
 
     /// Sample a borrowed slice, invoking `f` for every surviving element.
@@ -118,16 +129,20 @@ impl BernoulliSampler {
     pub fn sample_batches<F: FnMut(&[Item])>(&mut self, data: &[Item], batch: usize, mut f: F) {
         assert!(batch >= 1, "batch size must be positive");
         let mut buf: Vec<Item> = Vec::with_capacity(batch);
+        let mut survivors = 0u64;
         for pos in self.skip_positions(data.len() as u64) {
             buf.push(data[pos as usize]);
             if buf.len() == batch {
+                survivors += buf.len() as u64;
                 f(&buf);
                 buf.clear();
             }
         }
         if !buf.is_empty() {
+            survivors += buf.len() as u64;
             f(&buf);
         }
+        record_sampled(data.len() as u64, survivors);
     }
 
     /// Collect the sampled sub-stream of a slice into a `Vec`.

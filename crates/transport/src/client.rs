@@ -16,11 +16,12 @@ use std::time::Duration;
 
 use sss_codec::WireCodec;
 use sss_core::{snapshot_delta, Monitor};
+use sss_obs::{global, EventKind, MetricId, MetricsSnapshot};
 
 use crate::proto::{
-    encode_push_frame, read_frame, write_frame, AckStatus, Goodbye, Hello, HelloAck, SnapshotAck,
-    SnapshotDeltaPush, FEATURE_DELTA_PUSH, TAG_HELLO_ACK, TAG_SNAPSHOT_ACK,
-    TRANSPORT_PROTO_VERSION,
+    encode_push_frame, read_frame, write_frame, AckStatus, Goodbye, Hello, HelloAck, MetricsPush,
+    SnapshotAck, SnapshotDeltaPush, FEATURE_DELTA_PUSH, FEATURE_METRICS_PUSH, TAG_HELLO_ACK,
+    TAG_SNAPSHOT_ACK, TRANSPORT_PROTO_VERSION,
 };
 use crate::TransportError;
 
@@ -142,6 +143,13 @@ pub struct SiteClient {
     stats: ClientStats,
     /// Whether the current connection's hello ack granted delta pushes.
     delta_enabled: bool,
+    /// Whether the current connection's hello ack granted telemetry
+    /// pushes ([`SiteClient::push_metrics`]).
+    metrics_enabled: bool,
+    /// Sequence for telemetry pushes — separate from snapshot
+    /// sequences, because metrics are last-write-wins rather than
+    /// deduplicated and must not consume snapshot sequence numbers.
+    metrics_seq: u64,
     /// The last snapshot the collector accepted (sequence + bytes) —
     /// the base the next push is diffed against.
     acked: Option<(u64, Vec<u8>)>,
@@ -170,6 +178,8 @@ impl SiteClient {
             next_seq: 0,
             stats: ClientStats::default(),
             delta_enabled: false,
+            metrics_enabled: false,
+            metrics_seq: 0,
             acked: None,
         };
         client.with_retries(|c| {
@@ -277,6 +287,7 @@ impl SiteClient {
                     // advanced it, or it restarted): same sequence,
                     // full bytes.
                     self.stats.delta_fallbacks += 1;
+                    global().inc(MetricId::TransportDeltaFallbacksTotal);
                     attempt_delta = false;
                 }
                 AckOutcome::UnknownBase => {
@@ -294,6 +305,9 @@ impl SiteClient {
                 self.stats.snapshots_pushed += 1;
                 if was_delta {
                     self.stats.snapshots_delta += 1;
+                    global().inc(MetricId::TransportPushesDeltaTotal);
+                } else {
+                    global().inc(MetricId::TransportPushesFullTotal);
                 }
             }
             PushOutcome::Duplicate => self.stats.snapshots_duplicate += 1,
@@ -304,6 +318,57 @@ impl SiteClient {
         // back to full).
         self.acked = Some((seq, snapshot));
         Ok(outcome)
+    }
+
+    /// Push this site's telemetry snapshot (e.g.
+    /// `sss_obs::global().snapshot()`) to the collector, where it is
+    /// stored last-write-wins and served from the stats endpoint next
+    /// to the collector's own registry.
+    ///
+    /// Requires the hello to have negotiated the metrics-push feature
+    /// (always offered; a collector predating it declines). Telemetry
+    /// carries its own sequence counter — it never consumes snapshot
+    /// sequence numbers, and a retried push is harmless because the
+    /// collector overwrites rather than merges.
+    ///
+    /// # Errors
+    /// [`TransportError::Protocol`] if the collector did not grant the
+    /// feature; otherwise as [`SiteClient::push_wire`].
+    pub fn push_metrics(&mut self, snapshot: &MetricsSnapshot) -> Result<(), TransportError> {
+        self.with_retries(|c| c.ensure_connected())?;
+        if !self.metrics_enabled {
+            return Err(TransportError::Protocol {
+                what: "collector did not grant the metrics-push feature".to_string(),
+            });
+        }
+        let frame = MetricsPush {
+            site_id: self.cfg.site_id,
+            seq: self.metrics_seq,
+            snapshot: snapshot.clone(),
+        }
+        .encode_framed();
+        self.with_retries(|c| {
+            c.ensure_connected()?;
+            let t0 = global().timer();
+            let stream = c.conn.as_mut().expect("ensure_connected ran");
+            write_frame(stream, &frame)?;
+            c.stats.bytes_out += frame.len() as u64;
+            global().add(MetricId::TransportBytesOutTotal, frame.len() as u64);
+            let (fh, bytes) = read_frame(stream, c.cfg.max_frame_payload)?;
+            global().observe_since(MetricId::TransportPushRttNanos, t0);
+            if fh.tag != TAG_SNAPSHOT_ACK {
+                return Err(TransportError::Protocol {
+                    what: format!("expected SnapshotAck, got tag {:#06x}", fh.tag),
+                });
+            }
+            let ack = SnapshotAck::decode_framed(&bytes)?;
+            match ack.status {
+                AckStatus::Rejected => Err(TransportError::Rejected { reason: ack.reason }),
+                _ => Ok(()),
+            }
+        })?;
+        self.metrics_seq += 1;
+        Ok(())
     }
 
     /// Send a goodbye (best-effort) and drop the connection, returning
@@ -356,6 +421,7 @@ impl SiteClient {
                     last = e.to_string();
                     if attempt < attempts {
                         self.stats.retries += 1;
+                        global().inc(MetricId::TransportRetriesTotal);
                         std::thread::sleep(backoff);
                         backoff = (backoff * 2).min(retry.max_backoff);
                     }
@@ -371,6 +437,16 @@ impl SiteClient {
         if self.conn.is_some() {
             return Ok(());
         }
+        if self.handshakes > 0 {
+            // Dialing again after a successful session: a reconnect
+            // attempt, recorded whether or not the dial succeeds.
+            global().event(
+                EventKind::ReconnectAttempt,
+                self.cfg.site_id,
+                self.handshakes,
+                "",
+            );
+        }
         let stream = TcpStream::connect_timeout(&self.addr, self.cfg.connect_timeout)?;
         stream.set_nodelay(true)?;
         stream.set_read_timeout(Some(self.cfg.ack_timeout))?;
@@ -382,11 +458,14 @@ impl SiteClient {
             proto_version: TRANSPORT_PROTO_VERSION,
             site_id: self.cfg.site_id,
             site_name: self.cfg.site_name.clone(),
-            features: if self.cfg.delta_pushes {
-                FEATURE_DELTA_PUSH
-            } else {
-                0
-            },
+            // Telemetry pushes are always offered (they cost nothing
+            // until used); delta pushes only when configured.
+            features: FEATURE_METRICS_PUSH
+                | if self.cfg.delta_pushes {
+                    FEATURE_DELTA_PUSH
+                } else {
+                    0
+                },
         };
         write_frame(&mut stream, &hello.encode_framed())?;
         let (fh, bytes) = read_frame(&mut stream, self.cfg.max_frame_payload)?;
@@ -400,6 +479,7 @@ impl SiteClient {
             return Err(TransportError::HandshakeRefused { reason: ack.reason });
         }
         self.delta_enabled = self.cfg.delta_pushes && ack.features & FEATURE_DELTA_PUSH != 0;
+        self.metrics_enabled = ack.features & FEATURE_METRICS_PUSH != 0;
         // Fast-forward past the collector's dedup window: a restarted
         // site whose counter reset to 0 resumes where it left off
         // instead of pushing sequences the server would swallow as
@@ -408,6 +488,7 @@ impl SiteClient {
         self.handshakes += 1;
         if self.handshakes > 1 {
             self.stats.reconnects += 1;
+            global().inc(MetricId::TransportReconnectsTotal);
         }
         self.conn = Some(stream);
         Ok(())
@@ -417,9 +498,12 @@ impl SiteClient {
     fn push_once(&mut self, expected_seq: u64, frame: &[u8]) -> Result<AckOutcome, TransportError> {
         let cap = self.cfg.max_frame_payload;
         let stream = self.conn.as_mut().expect("ensure_connected ran");
+        let t0 = global().timer();
         write_frame(stream, frame)?;
         self.stats.bytes_out += frame.len() as u64;
+        global().add(MetricId::TransportBytesOutTotal, frame.len() as u64);
         let (fh, bytes) = read_frame(stream, cap)?;
+        global().observe_since(MetricId::TransportPushRttNanos, t0);
         if fh.tag != TAG_SNAPSHOT_ACK {
             return Err(TransportError::Protocol {
                 what: format!("expected SnapshotAck, got tag {:#06x}", fh.tag),

@@ -44,8 +44,9 @@ pub mod server;
 
 pub use client::{ClientConfig, ClientStats, PushOutcome, RetryPolicy, SiteClient};
 pub use proto::{
-    read_frame, write_frame, AckStatus, Goodbye, Hello, HelloAck, SnapshotAck, SnapshotDeltaPush,
-    SnapshotPush, FEATURE_DELTA_PUSH, SUPPORTED_FEATURES, TRANSPORT_PROTO_VERSION,
+    read_frame, write_frame, AckStatus, Goodbye, Hello, HelloAck, MetricsPush, SnapshotAck,
+    SnapshotDeltaPush, SnapshotPush, FEATURE_DELTA_PUSH, FEATURE_METRICS_PUSH, SUPPORTED_FEATURES,
+    TRANSPORT_PROTO_VERSION,
 };
 pub use server::{CollectorServer, RejectReason, ServerConfig, SiteTransportStats, TransportStats};
 

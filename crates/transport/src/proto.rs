@@ -37,6 +37,8 @@ use sss_codec::{
     parse_frame_header, put_len, CodecError, FrameHeader, Reader, WireCodec, FRAME_HEADER_BYTES,
 };
 
+use sss_obs::MetricsSnapshot;
+
 use crate::TransportError;
 
 /// Version of the *conversation* (message set and state machine),
@@ -52,8 +54,15 @@ pub const TRANSPORT_PROTO_VERSION: u16 = 1;
 /// sends deltas when the collector's [`HelloAck`] echoes this bit.
 pub const FEATURE_DELTA_PUSH: u64 = 1 << 0;
 
+/// Hello feature bit: the peer understands [`MetricsPush`] — sites may
+/// ship telemetry snapshots ([`sss_obs::MetricsSnapshot`]) next to
+/// sketch snapshots, and the collector retains the latest per site for
+/// its stats endpoint. A client only sends telemetry when the
+/// collector's [`HelloAck`] echoes this bit.
+pub const FEATURE_METRICS_PUSH: u64 = 1 << 1;
+
 /// Every feature bit this build implements.
-pub const SUPPORTED_FEATURES: u64 = FEATURE_DELTA_PUSH;
+pub const SUPPORTED_FEATURES: u64 = FEATURE_DELTA_PUSH | FEATURE_METRICS_PUSH;
 
 /// Wire tag of [`Hello`].
 pub const TAG_HELLO: u16 = 0x0501;
@@ -67,6 +76,8 @@ pub const TAG_SNAPSHOT_ACK: u16 = 0x0504;
 pub const TAG_GOODBYE: u16 = 0x0505;
 /// Wire tag of [`SnapshotDeltaPush`].
 pub const TAG_SNAPSHOT_DELTA_PUSH: u16 = 0x0506;
+/// Wire tag of [`MetricsPush`].
+pub const TAG_METRICS_PUSH: u16 = 0x0507;
 
 /// First message on every connection: the site introduces itself,
 /// states its protocol version and offers its optional capabilities.
@@ -238,6 +249,44 @@ impl WireCodec for SnapshotDeltaPush {
             seq,
             base_seq,
             delta,
+        })
+    }
+}
+
+/// Telemetry travelling site → collector: a metrics snapshot of the
+/// site's process-wide registry, sent only when the hello negotiated
+/// [`FEATURE_METRICS_PUSH`]. Delivery is last-write-wins, not
+/// exactly-once — the collector keeps the newest snapshot per site
+/// (guarded by `seq` so a reordered retry cannot replace a newer one)
+/// and never merges telemetry, so the snapshot dedup machinery does
+/// not apply. Acked with [`SnapshotAck`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsPush {
+    /// Must match the connection's [`Hello::site_id`].
+    pub site_id: u64,
+    /// Site-scoped telemetry sequence (independent of the snapshot
+    /// sequence); the collector stores a push only if `seq` is at or
+    /// above the last stored one.
+    pub seq: u64,
+    /// The telemetry itself, decoded inline (its layout is versioned by
+    /// the same `WIRE_VERSION` as the enclosing frame).
+    pub snapshot: MetricsSnapshot,
+}
+
+impl WireCodec for MetricsPush {
+    const WIRE_TAG: u16 = TAG_METRICS_PUSH;
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.site_id.encode_into(out);
+        self.seq.encode_into(out);
+        self.snapshot.encode_into(out);
+    }
+
+    fn decode(r: &mut Reader) -> Result<Self, CodecError> {
+        Ok(MetricsPush {
+            site_id: r.u64()?,
+            seq: r.u64()?,
+            snapshot: MetricsSnapshot::decode(r)?,
         })
     }
 }

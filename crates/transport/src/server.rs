@@ -27,12 +27,13 @@ use std::time::{Duration, Instant};
 
 use sss_codec::{CodecError, WireCodec};
 use sss_core::{Monitor, SnapshotDelta};
+use sss_obs::{render_json, render_prometheus, EventKind, MetricId, MetricsSnapshot, Registry};
 
 use crate::proto::AckStatus;
 use crate::proto::{
-    read_frame_inner, write_frame, FrameRead, Goodbye, Hello, HelloAck, SnapshotAck,
+    read_frame_inner, write_frame, FrameRead, Goodbye, Hello, HelloAck, MetricsPush, SnapshotAck,
     SnapshotDeltaPush, SnapshotPush, SEQ_UNKNOWN, SUPPORTED_FEATURES, TAG_GOODBYE, TAG_HELLO,
-    TAG_SNAPSHOT_DELTA_PUSH, TAG_SNAPSHOT_PUSH, TRANSPORT_PROTO_VERSION,
+    TAG_METRICS_PUSH, TAG_SNAPSHOT_DELTA_PUSH, TAG_SNAPSHOT_PUSH, TRANSPORT_PROTO_VERSION,
 };
 use crate::TransportError;
 
@@ -136,6 +137,29 @@ impl RejectReason {
     }
 }
 
+/// The registry counter behind each rejection reason. The per-reason
+/// counters live in the shared metric registry (one source of truth for
+/// [`TransportStats`], the wire export and the `/metrics` renders);
+/// this is the index mapping.
+fn reject_metric(reason: RejectReason) -> MetricId {
+    match reason {
+        RejectReason::BadMagic => MetricId::TransportRejectBadMagicTotal,
+        RejectReason::UnsupportedVersion => MetricId::TransportRejectUnsupportedVersionTotal,
+        RejectReason::TagMismatch => MetricId::TransportRejectTagMismatchTotal,
+        RejectReason::UnknownTag => MetricId::TransportRejectUnknownTagTotal,
+        RejectReason::Truncated => MetricId::TransportRejectTruncatedTotal,
+        RejectReason::TrailingBytes => MetricId::TransportRejectTrailingBytesTotal,
+        RejectReason::ChecksumMismatch => MetricId::TransportRejectChecksumMismatchTotal,
+        RejectReason::InvalidPayload => MetricId::TransportRejectInvalidPayloadTotal,
+        RejectReason::Oversize => MetricId::TransportRejectOversizeTotal,
+        RejectReason::MergeIncompatible => MetricId::TransportRejectMergeIncompatibleTotal,
+        RejectReason::SiteMismatch => MetricId::TransportRejectSiteMismatchTotal,
+        RejectReason::UnexpectedMessage => MetricId::TransportRejectUnexpectedMessageTotal,
+        RejectReason::HandshakeRefused => MetricId::TransportRejectHandshakeRefusedTotal,
+        RejectReason::UnknownBase => MetricId::TransportRejectUnknownBaseTotal,
+    }
+}
+
 /// Collector tuning knobs. Defaults suit a LAN deployment; tests dial
 /// the timeouts down.
 #[derive(Debug, Clone)]
@@ -153,6 +177,13 @@ pub struct ServerConfig {
     /// (full send buffer) fails the connection after this long instead
     /// of blocking its handler thread forever. Default 10 s.
     pub write_timeout: Duration,
+    /// Optional address for the HTTP stats endpoint (`GET /metrics` →
+    /// Prometheus text, `GET /metrics.json` → JSON; the collector's
+    /// own registry plus the latest telemetry pushed by each site).
+    /// `None` (the default) serves no endpoint; `"127.0.0.1:0"` binds
+    /// an OS-picked port, read back with
+    /// [`CollectorServer::stats_addr`].
+    pub stats_addr: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -162,6 +193,7 @@ impl Default for ServerConfig {
             poll_interval: Duration::from_millis(25),
             handshake_timeout: Duration::from_secs(10),
             write_timeout: Duration::from_secs(10),
+            stats_addr: None,
         }
     }
 }
@@ -179,7 +211,18 @@ pub struct SiteTransportStats {
     pub last_seq: Option<u64>,
     /// Frame bytes received from this site (accepted pushes only).
     pub bytes_in: u64,
-    /// Time since the site's last accepted snapshot (or hello).
+    /// Time since the site's last accepted snapshot (or hello),
+    /// measured on the collector registry's session clock (monotonic
+    /// milliseconds since this collector bound).
+    ///
+    /// **Restart semantics:** the underlying timestamp is a
+    /// session-relative offset, not a wall-clock time or a raw
+    /// [`Instant`] (which would be meaningless after checkpoint/restore
+    /// of collector state). Within one collector process the value is
+    /// exact; after a collector restart the session clock restarts too,
+    /// so the first row for a site reads as "seen at hello time" —
+    /// elapsed time across the restart gap is deliberately not
+    /// invented.
     pub since_last_seen: Duration,
 }
 
@@ -229,43 +272,83 @@ impl TransportStats {
     }
 }
 
+/// Per-site connection state. The counters live as shared registry
+/// cells — resolved once at hello via [`Registry::labeled_handle`],
+/// plain atomic adds afterwards — so the per-site rows in
+/// [`TransportStats`], the wire export and the `/metrics` renders all
+/// read the same storage. One source of truth, no parallel bookkeeping
+/// to drift.
 struct SiteState {
     name: String,
-    last_seq: Option<u64>,
-    accepted: u64,
-    bytes_in: u64,
+    /// `sss_transport_site_snapshots_total{site}` cell.
+    accepted: Arc<AtomicU64>,
+    /// `sss_transport_site_bytes_in_total{site}` cell.
+    bytes_in: Arc<AtomicU64>,
+    /// `sss_transport_site_last_seq{site}` cell. Stores `seq + 1`, with
+    /// `0` meaning "none accepted yet", so the gauge stays one plain
+    /// u64 cell. The `+ 1` cannot wrap: `SEQ_UNKNOWN` (`u64::MAX`) is
+    /// rejected before any accept.
+    last_seq_cell: Arc<AtomicU64>,
+    /// `sss_transport_site_last_seen_ms{site}` cell: session-relative
+    /// milliseconds (see [`SiteTransportStats::since_last_seen`] for
+    /// the restart semantics).
+    last_seen_ms: Arc<AtomicU64>,
     latest: Option<Monitor>,
     /// The framed checkpoint bytes behind `latest` — the base the next
     /// delta push from this site is applied against. `Arc` so a handler
     /// thread can diff outside the sites lock without a multi-MiB copy.
     latest_bytes: Option<Arc<Vec<u8>>>,
-    last_seen: Instant,
 }
 
-#[derive(Default)]
-struct Counters {
-    connections_accepted: AtomicU64,
-    connections_active: AtomicU64,
-    clean_closes: AtomicU64,
-    disconnects: AtomicU64,
-    snapshots_accepted: AtomicU64,
-    snapshots_duplicate: AtomicU64,
-    bytes_in: AtomicU64,
-    rejected: [AtomicU64; RejectReason::COUNT],
+impl SiteState {
+    fn new(reg: &Registry, site_id: u64, name: String) -> Self {
+        Self {
+            name,
+            accepted: reg.labeled_handle(MetricId::TransportSiteSnapshotsTotal, site_id),
+            bytes_in: reg.labeled_handle(MetricId::TransportSiteBytesInTotal, site_id),
+            last_seq_cell: reg.labeled_handle(MetricId::TransportSiteLastSeq, site_id),
+            last_seen_ms: reg.labeled_handle(MetricId::TransportSiteLastSeenMs, site_id),
+            latest: None,
+            latest_bytes: None,
+        }
+    }
+
+    /// Highest accepted sequence (`None` before the first).
+    fn last_seq(&self) -> Option<u64> {
+        self.last_seq_cell.load(Ordering::Relaxed).checked_sub(1)
+    }
+
+    fn set_last_seq(&self, seq: u64) {
+        self.last_seq_cell.store(seq + 1, Ordering::Relaxed);
+    }
+
+    /// Stamp "seen now" on the session clock.
+    fn touch(&self, reg: &Registry) {
+        self.last_seen_ms.store(reg.session_ms(), Ordering::Relaxed);
+    }
 }
 
 struct Shared {
     prototype: Monitor,
     cfg: ServerConfig,
     sites: Mutex<BTreeMap<u64, SiteState>>,
-    counters: Counters,
+    /// This collector's own metric registry — deliberately *not* the
+    /// process-global one, so concurrent collectors in one process (the
+    /// test suite, most of all) never share counters.
+    reg: Arc<Registry>,
+    /// Latest telemetry snapshot pushed by each site over
+    /// [`MetricsPush`]: `site_id → (seq, snapshot)`, last-write-wins
+    /// guarded by `seq` so a late retry never rolls the view backwards.
+    site_metrics: Mutex<BTreeMap<u64, (u64, MetricsSnapshot)>>,
     shutdown: AtomicBool,
     conn_handles: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl Shared {
     fn reject(&self, reason: RejectReason) {
-        self.counters.rejected[reason as usize].fetch_add(1, Ordering::Relaxed);
+        self.reg.inc(reject_metric(reason));
+        self.reg
+            .event(EventKind::SnapshotRejected, 0, 0, reason.label());
     }
 
     /// Count a failed read/decode; returns the reason when the error
@@ -301,7 +384,9 @@ impl Shared {
 pub struct CollectorServer {
     shared: Arc<Shared>,
     addr: SocketAddr,
+    stats_addr: Option<SocketAddr>,
     accept_handle: Option<JoinHandle<()>>,
+    stats_handle: Option<JoinHandle<()>>,
 }
 
 impl CollectorServer {
@@ -317,11 +402,24 @@ impl CollectorServer {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
+        let stats_listener = match &cfg.stats_addr {
+            Some(a) => {
+                let l = TcpListener::bind(a.as_str())?;
+                l.set_nonblocking(true)?;
+                Some(l)
+            }
+            None => None,
+        };
+        let stats_addr = match &stats_listener {
+            Some(l) => Some(l.local_addr()?),
+            None => None,
+        };
         let shared = Arc::new(Shared {
             prototype,
             cfg,
             sites: Mutex::new(BTreeMap::new()),
-            counters: Counters::default(),
+            reg: Arc::new(Registry::new()),
+            site_metrics: Mutex::new(BTreeMap::new()),
             shutdown: AtomicBool::new(false),
             conn_handles: Mutex::new(Vec::new()),
         });
@@ -329,16 +427,52 @@ impl CollectorServer {
         let accept_handle = std::thread::Builder::new()
             .name("sss-collector-accept".to_string())
             .spawn(move || accept_loop(listener, accept_shared))?;
+        let stats_handle = match stats_listener {
+            Some(l) => {
+                let stats_shared = Arc::clone(&shared);
+                Some(
+                    std::thread::Builder::new()
+                        .name("sss-collector-stats".to_string())
+                        .spawn(move || stats_loop(l, stats_shared))?,
+                )
+            }
+            None => None,
+        };
         Ok(Self {
             shared,
             addr,
+            stats_addr,
             accept_handle: Some(accept_handle),
+            stats_handle,
         })
     }
 
     /// The address the collector is listening on.
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The address the HTTP stats endpoint is listening on, when
+    /// [`ServerConfig::stats_addr`] asked for one.
+    pub fn stats_addr(&self) -> Option<SocketAddr> {
+        self.stats_addr
+    }
+
+    /// This collector's metric registry — per-server, not the
+    /// process-global one. Snapshot it for the wire export, or render
+    /// it directly.
+    pub fn registry(&self) -> &Registry {
+        &self.shared.reg
+    }
+
+    /// The latest telemetry snapshot each site pushed over
+    /// [`MetricsPush`], ascending `site_id`.
+    pub fn site_metrics(&self) -> Vec<(u64, MetricsSnapshot)> {
+        let metrics = self.shared.site_metrics.lock().expect("site metrics lock");
+        metrics
+            .iter()
+            .map(|(id, (_seq, snap))| (*id, snap.clone()))
+            .collect()
     }
 
     /// The collector view right now: a clone of the prototype with
@@ -361,28 +495,34 @@ impl CollectorServer {
         view
     }
 
-    /// Point-in-time transport counters and per-site rows.
+    /// Point-in-time transport counters and per-site rows. A thin view
+    /// over the collector's metric registry — the same cells the wire
+    /// export and `/metrics` renders read — kept as a typed struct so
+    /// existing callers keep their field access.
     pub fn stats(&self) -> TransportStats {
-        let c = &self.shared.counters;
+        let reg = &self.shared.reg;
         let sites = self.shared.sites.lock().expect("sites lock");
+        let now_ms = reg.session_ms();
         TransportStats {
-            connections_accepted: c.connections_accepted.load(Ordering::Relaxed),
-            connections_active: c.connections_active.load(Ordering::Relaxed),
-            clean_closes: c.clean_closes.load(Ordering::Relaxed),
-            disconnects: c.disconnects.load(Ordering::Relaxed),
-            snapshots_accepted: c.snapshots_accepted.load(Ordering::Relaxed),
-            snapshots_duplicate: c.snapshots_duplicate.load(Ordering::Relaxed),
-            bytes_in: c.bytes_in.load(Ordering::Relaxed),
-            rejected: std::array::from_fn(|i| c.rejected[i].load(Ordering::Relaxed)),
+            connections_accepted: reg.value(MetricId::TransportConnectionsTotal),
+            connections_active: reg.gauge_value(MetricId::TransportConnectionsActive).max(0) as u64,
+            clean_closes: reg.value(MetricId::TransportCleanClosesTotal),
+            disconnects: reg.value(MetricId::TransportDisconnectsTotal),
+            snapshots_accepted: reg.value(MetricId::TransportSnapshotsAcceptedTotal),
+            snapshots_duplicate: reg.value(MetricId::TransportSnapshotsDuplicateTotal),
+            bytes_in: reg.value(MetricId::TransportBytesInTotal),
+            rejected: std::array::from_fn(|i| reg.value(reject_metric(RejectReason::ALL[i]))),
             sites: sites
                 .iter()
                 .map(|(id, s)| SiteTransportStats {
                     site_id: *id,
                     name: s.name.clone(),
-                    snapshots_accepted: s.accepted,
-                    last_seq: s.last_seq,
-                    bytes_in: s.bytes_in,
-                    since_last_seen: s.last_seen.elapsed(),
+                    snapshots_accepted: s.accepted.load(Ordering::Relaxed),
+                    last_seq: s.last_seq(),
+                    bytes_in: s.bytes_in.load(Ordering::Relaxed),
+                    since_last_seen: Duration::from_millis(
+                        now_ms.saturating_sub(s.last_seen_ms.load(Ordering::Relaxed)),
+                    ),
                 })
                 .collect(),
         }
@@ -408,6 +548,9 @@ impl CollectorServer {
     fn wind_down(&mut self) {
         self.shared.shutdown.store(true, Ordering::Relaxed);
         if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.stats_handle.take() {
             let _ = h.join();
         }
         let handles: Vec<_> = self
@@ -439,10 +582,7 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
         }
         match listener.accept() {
             Ok((stream, _peer)) => {
-                shared
-                    .counters
-                    .connections_accepted
-                    .fetch_add(1, Ordering::Relaxed);
+                shared.reg.inc(MetricId::TransportConnectionsTotal);
                 let conn_shared = Arc::clone(&shared);
                 let handle = std::thread::Builder::new()
                     .name("sss-collector-conn".to_string())
@@ -477,17 +617,15 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
 
 fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) {
     shared
-        .counters
-        .connections_active
-        .fetch_add(1, Ordering::Relaxed);
+        .reg
+        .gauge_add(MetricId::TransportConnectionsActive, 1);
     let clean = serve(&mut stream, &shared);
     shared
-        .counters
-        .connections_active
-        .fetch_sub(1, Ordering::Relaxed);
+        .reg
+        .gauge_add(MetricId::TransportConnectionsActive, -1);
     match clean {
-        true => shared.counters.clean_closes.fetch_add(1, Ordering::Relaxed),
-        false => shared.counters.disconnects.fetch_add(1, Ordering::Relaxed),
+        true => shared.reg.inc(MetricId::TransportCleanClosesTotal),
+        false => shared.reg.inc(MetricId::TransportDisconnectsTotal),
     };
 }
 
@@ -520,23 +658,16 @@ fn serve(stream: &mut TcpStream, shared: &Shared) -> bool {
         Ok(FrameRead::Closed) => return true, // connected, said nothing, left
         Ok(FrameRead::Frame(fh, bytes)) if fh.tag == TAG_HELLO => {
             shared
-                .counters
-                .bytes_in
-                .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+                .reg
+                .add(MetricId::TransportBytesInTotal, bytes.len() as u64);
             match Hello::decode_framed(&bytes) {
                 Ok(hello) if hello.proto_version == TRANSPORT_PROTO_VERSION => {
                     let mut sites = shared.sites.lock().expect("sites lock");
-                    let entry = sites.entry(hello.site_id).or_insert_with(|| SiteState {
-                        name: hello.site_name.clone(),
-                        last_seq: None,
-                        accepted: 0,
-                        bytes_in: 0,
-                        latest: None,
-                        latest_bytes: None,
-                        last_seen: Instant::now(),
+                    let entry = sites.entry(hello.site_id).or_insert_with(|| {
+                        SiteState::new(&shared.reg, hello.site_id, hello.site_name.clone())
                     });
                     entry.name = hello.site_name.clone();
-                    entry.last_seen = Instant::now();
+                    entry.touch(&shared.reg);
                     // Tell the site where its sequence left off, so a
                     // restarted site (counter back at 0) fast-forwards
                     // past the dedup window instead of having its
@@ -544,7 +675,7 @@ fn serve(stream: &mut TcpStream, shared: &Shared) -> bool {
                     // (Saturating: SEQ_UNKNOWN is rejected at accept
                     // time, but a stored u64::MAX must still not panic
                     // the handler under debug assertions.)
-                    let resume_seq = entry.last_seq.map_or(0, |s| s.saturating_add(1));
+                    let resume_seq = entry.last_seq().map_or(0, |s| s.saturating_add(1));
                     drop(sites);
                     let ack = HelloAck {
                         accepted: true,
@@ -622,9 +753,8 @@ fn serve(stream: &mut TcpStream, shared: &Shared) -> bool {
             }
             Ok(FrameRead::Frame(fh, bytes)) => {
                 shared
-                    .counters
-                    .bytes_in
-                    .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+                    .reg
+                    .add(MetricId::TransportBytesInTotal, bytes.len() as u64);
                 match fh.tag {
                     TAG_SNAPSHOT_PUSH => {
                         let ack = match SnapshotPush::decode_framed(&bytes) {
@@ -660,6 +790,22 @@ fn serve(stream: &mut TcpStream, shared: &Shared) -> bool {
                             return false;
                         }
                     }
+                    TAG_METRICS_PUSH => {
+                        let ack = match MetricsPush::decode_framed(&bytes) {
+                            Ok(push) => handle_metrics_push(shared, site_id, push),
+                            Err(e) => {
+                                shared.reject(RejectReason::from_codec(&e));
+                                SnapshotAck {
+                                    seq: SEQ_UNKNOWN,
+                                    status: AckStatus::Rejected,
+                                    reason: format!("metrics push frame rejected: {e}"),
+                                }
+                            }
+                        };
+                        if write_frame(stream, &ack.encode_framed()).is_err() {
+                            return false;
+                        }
+                    }
                     TAG_GOODBYE => {
                         let _ = Goodbye::decode_framed(&bytes);
                         return true;
@@ -683,10 +829,7 @@ fn serve(stream: &mut TcpStream, shared: &Shared) -> bool {
 
 /// O(1) duplicate answer shared by both push paths.
 fn duplicate_ack(shared: &Shared, seq: u64) -> SnapshotAck {
-    shared
-        .counters
-        .snapshots_duplicate
-        .fetch_add(1, Ordering::Relaxed);
+    shared.reg.inc(MetricId::TransportSnapshotsDuplicateTotal);
     SnapshotAck {
         seq,
         status: AckStatus::Duplicate,
@@ -698,7 +841,7 @@ fn duplicate_ack(shared: &Shared, seq: u64) -> SnapshotAck {
 fn is_duplicate(shared: &Shared, site: u64, seq: u64) -> bool {
     let sites = shared.sites.lock().expect("sites lock");
     let entry = sites.get(&site).expect("site registered at hello");
-    matches!(entry.last_seq, Some(last) if seq <= last)
+    matches!(entry.last_seq(), Some(last) if seq <= last)
 }
 
 /// Reject pushes carrying the reserved sequence: `u64::MAX` is
@@ -796,8 +939,8 @@ fn handle_delta_push(
     let base: Arc<Vec<u8>> = {
         let sites = shared.sites.lock().expect("sites lock");
         let entry = sites.get(&session_site).expect("site registered at hello");
-        if entry.last_seq != Some(push.base_seq) {
-            let held = entry.last_seq;
+        if entry.last_seq() != Some(push.base_seq) {
+            let held = entry.last_seq();
             drop(sites);
             return unknown_base(format!(
                 "delta names base seq {} but the collector holds {:?}",
@@ -911,7 +1054,7 @@ fn accept_snapshot(
 
     // Re-check under the lock: a second connection for the same site
     // id could have advanced the sequence while we were decoding.
-    if matches!(entry.last_seq, Some(last) if seq <= last) {
+    if matches!(entry.last_seq(), Some(last) if seq <= last) {
         drop(sites);
         return duplicate_ack(shared, seq);
     }
@@ -920,20 +1063,166 @@ fn accept_snapshot(
     // Retain the framed bytes as the base for this site's next delta
     // push (one snapshot per site, the price of delta support).
     entry.latest_bytes = Some(Arc::new(snapshot));
-    entry.last_seq = Some(seq);
-    entry.accepted += 1;
-    entry.bytes_in += frame_bytes;
-    entry.last_seen = Instant::now();
+    entry.set_last_seq(seq);
+    entry.accepted.fetch_add(1, Ordering::Relaxed);
+    entry.bytes_in.fetch_add(frame_bytes, Ordering::Relaxed);
+    entry.touch(&shared.reg);
     drop(sites);
+    shared.reg.inc(MetricId::TransportSnapshotsAcceptedTotal);
     shared
-        .counters
-        .snapshots_accepted
-        .fetch_add(1, Ordering::Relaxed);
+        .reg
+        .event(EventKind::SnapshotAccepted, session_site, seq, "");
     SnapshotAck {
         seq,
         status: AckStatus::Accepted,
         reason: String::new(),
     }
+}
+
+/// Store one site telemetry push: last-write-wins guarded by `seq`, so
+/// a late retry never rolls the stored view backwards. No dedup window
+/// — telemetry is an overwrite, not a merge, so replaying a sequence
+/// is harmless and always acks `Accepted`.
+fn handle_metrics_push(shared: &Shared, session_site: u64, push: MetricsPush) -> SnapshotAck {
+    if push.site_id != session_site {
+        shared.reject(RejectReason::SiteMismatch);
+        return SnapshotAck {
+            seq: push.seq,
+            status: AckStatus::Rejected,
+            reason: format!(
+                "metrics push for site {} on a connection that authenticated as site {}",
+                push.site_id, session_site
+            ),
+        };
+    }
+    {
+        let mut metrics = shared.site_metrics.lock().expect("site metrics lock");
+        let slot = metrics
+            .entry(session_site)
+            .or_insert_with(|| (0, MetricsSnapshot::default()));
+        if push.seq >= slot.0 {
+            *slot = (push.seq, push.snapshot);
+        }
+    }
+    shared.reg.inc(MetricId::TransportMetricsPushesTotal);
+    SnapshotAck {
+        seq: push.seq,
+        status: AckStatus::Accepted,
+        reason: String::new(),
+    }
+}
+
+/// Accept loop for the HTTP stats endpoint. Requests are tiny and the
+/// renders are cheap, so each one is served inline on this thread —
+/// no handler pool, and shutdown needs to join exactly one thread.
+fn stats_loop(listener: TcpListener, shared: Arc<Shared>) {
+    loop {
+        if shared.shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => serve_stats(stream, &shared),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(shared.cfg.poll_interval);
+            }
+            Err(_) => std::thread::sleep(shared.cfg.poll_interval),
+        }
+    }
+}
+
+/// Answer one HTTP request: `GET /metrics` (Prometheus text) or
+/// `GET /metrics.json` (JSON). Minimal HTTP/1.0 — enough for a scraper
+/// or `curl`, not a web server: one request per connection, bounded
+/// head read, close after the response.
+fn serve_stats(mut stream: TcpStream, shared: &Shared) {
+    use std::io::{Read, Write};
+    if stream.set_nonblocking(false).is_err()
+        || stream
+            .set_read_timeout(Some(shared.cfg.handshake_timeout))
+            .is_err()
+        || stream
+            .set_write_timeout(Some(shared.cfg.write_timeout))
+            .is_err()
+    {
+        return;
+    }
+    let mut head = Vec::new();
+    let mut buf = [0u8; 1024];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                head.extend_from_slice(&buf[..n]);
+                if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() > (8 << 10) {
+                    break;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+    let line = head
+        .split(|&b| b == b'\r' || b == b'\n')
+        .next()
+        .unwrap_or(&[]);
+    let line = String::from_utf8_lossy(line);
+    let mut parts = line.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    let (status, content_type, body) = if method != "GET" {
+        (
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "method not allowed\n".to_string(),
+        )
+    } else {
+        match path {
+            "/metrics" => (
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                render_stats_prometheus(shared),
+            ),
+            "/metrics.json" => ("200 OK", "application/json", render_stats_json(shared)),
+            _ => (
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                "not found (try /metrics or /metrics.json)\n".to_string(),
+            ),
+        }
+    };
+    let resp = format!(
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.write_all(resp.as_bytes());
+}
+
+/// Prometheus text: the collector's own registry first, then the
+/// latest telemetry pushed by each site with every series stamped
+/// `site="<id>"`, so collector-side and site-side series with the same
+/// metric name never collide.
+fn render_stats_prometheus(shared: &Shared) -> String {
+    let mut out = render_prometheus(&shared.reg.snapshot(), None);
+    let metrics = shared.site_metrics.lock().expect("site metrics lock");
+    for (site, (_seq, snap)) in metrics.iter() {
+        out.push_str(&render_prometheus(snap, Some(*site)));
+    }
+    out
+}
+
+/// JSON: `{"collector": <snapshot>, "sites": [<snapshot>, ...]}`, the
+/// site snapshots each carrying their `site` id.
+fn render_stats_json(shared: &Shared) -> String {
+    let mut out = String::from("{\"collector\":");
+    out.push_str(&render_json(&shared.reg.snapshot(), None));
+    out.push_str(",\"sites\":[");
+    let metrics = shared.site_metrics.lock().expect("site metrics lock");
+    for (i, (site, (_seq, snap))) in metrics.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&render_json(snap, Some(*site)));
+    }
+    out.push_str("]}");
+    out
 }
 
 /// Best-effort handshake refusal: the peer may already be gone, or may

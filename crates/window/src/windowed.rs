@@ -5,6 +5,7 @@ use std::fmt;
 
 use sss_codec::{put_len, CodecError, Reader, WireCodec};
 use sss_core::{Estimate, MergeError, Monitor, Statistic};
+use sss_obs::{EventKind, MetricId};
 
 use crate::query::{Alert, Query, QuerySpec};
 
@@ -307,6 +308,7 @@ impl WindowedMonitor {
         let epoch = self.epoch_of(ts);
         if !self.route_to(epoch) {
             self.late_dropped += xs.len() as u64 - 1;
+            sss_obs::global().add(MetricId::WindowLateDropsTotal, xs.len() as u64 - 1);
             return;
         }
         self.total_ingested += xs.len() as u64;
@@ -343,6 +345,7 @@ impl WindowedMonitor {
         }
         if epoch < self.oldest_live_epoch() {
             self.late_dropped += 1;
+            sss_obs::global().inc(MetricId::WindowLateDropsTotal);
             return false;
         }
         true
@@ -355,26 +358,38 @@ impl WindowedMonitor {
     /// timestamps cannot make rolling `O(jump)` expensive.
     fn roll_to(&mut self, target: u64) {
         debug_assert!(self.started && target > self.cur_epoch);
+        let obs = sss_obs::global();
         if target - self.cur_epoch >= self.cfg.buckets as u64 {
             // Every live bucket falls out regardless of the epochs in
             // between: evaluate the pre-jump window once, retire it
             // wholesale. Query histories record the gap as a single
             // transition rather than one entry per empty epoch.
             self.eval_queries();
-            self.retired += self.buckets.len() as u64;
+            let retired_now = self.buckets.len() as u64;
+            self.retired += retired_now;
             self.buckets.clear();
             self.cur_epoch = target;
+            obs.inc(MetricId::WindowRolloversTotal);
+            obs.add(MetricId::WindowRetiredBucketsTotal, retired_now);
+            obs.event(EventKind::BucketRollover, target, retired_now, "jump");
             return;
         }
+        let mut rolls = 0u64;
+        let mut retired_now = 0u64;
         while self.cur_epoch < target {
             self.eval_queries();
             self.cur_epoch += 1;
+            rolls += 1;
             let oldest = self.oldest_live_epoch();
             while self.buckets.front().is_some_and(|b| b.epoch < oldest) {
                 self.buckets.pop_front();
                 self.retired += 1;
+                retired_now += 1;
             }
         }
+        obs.add(MetricId::WindowRolloversTotal, rolls);
+        obs.add(MetricId::WindowRetiredBucketsTotal, retired_now);
+        obs.event(EventKind::BucketRollover, target, retired_now, "");
     }
 
     fn eval_queries(&mut self) {
@@ -384,6 +399,9 @@ impl WindowedMonitor {
         let fold = self.fold();
         for q in &mut self.queries {
             if let Some(alert) = q.observe(self.cur_epoch, &fold) {
+                let obs = sss_obs::global();
+                obs.inc(MetricId::WindowAlertsTotal);
+                obs.event(EventKind::AlertFired, alert.epoch, 0, alert.query.as_str());
                 self.alerts.push(alert);
             }
         }

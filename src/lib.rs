@@ -81,13 +81,20 @@
 //!   through the merge algebra), the exponential-decay
 //!   [`DecayedMonitor`](window::DecayedMonitor), and a continuous-query
 //!   surface emitting typed [`Alert`](window::Alert)s on bucket
-//!   rollover.
+//!   rollover,
+//! * [`obs`] — the workspace-wide observability layer: a process-global
+//!   metric [`Registry`](obs::Registry) (atomic counters, gauges, log2
+//!   histograms) and event tracer every other crate records into,
+//!   Prometheus/JSON renders, and a wire-exportable
+//!   [`MetricsSnapshot`](obs::MetricsSnapshot) that sites push to the
+//!   collector's stats endpoint.
 
 #![forbid(unsafe_code)]
 
 pub use sss_codec as codec;
 pub use sss_core as core;
 pub use sss_hash as hash;
+pub use sss_obs as obs;
 pub use sss_sketch as sketch;
 pub use sss_stream as stream;
 pub use sss_transport as transport;

@@ -911,3 +911,191 @@ fn windowed_folds_ship_over_tcp_and_merge_bitwise() {
     let restored = WindowedMonitor::restore(&snap).expect("window restores");
     assert_eq!(restored.checkpoint().expect("re-checkpoint"), snap);
 }
+
+/// One HTTP/1.0 request against the collector's stats endpoint.
+fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
+    use std::io::{Read, Write};
+    let mut s = TcpStream::connect(addr).expect("connect stats endpoint");
+    write!(s, "GET {path} HTTP/1.0\r\n\r\n").expect("send request");
+    let mut buf = String::new();
+    s.read_to_string(&mut buf).expect("read response");
+    buf
+}
+
+/// Telemetry flows end to end: a site pushes its snapshot *and* its
+/// metrics, and the stats endpoint serves both renders — the
+/// collector's own registry (every declared metric, zeros included)
+/// plus the per-site telemetry stamped with a `site` label.
+#[test]
+fn metrics_push_and_stats_endpoint_serve_both_renders() {
+    use subsampled_streams::obs::global;
+
+    let cfg = ServerConfig {
+        stats_addr: Some("127.0.0.1:0".to_string()),
+        ..test_server_config()
+    };
+    let server = CollectorServer::bind("127.0.0.1:0", prototype(), cfg).expect("bind");
+    let stats_addr = server.stats_addr().expect("stats endpoint configured");
+
+    let stream = ZipfStream::new(1_000, 1.2).generate(20_000, 31);
+    let (_m, wire) = site_monitor(&stream, 7);
+    let mut client =
+        SiteClient::connect(server.local_addr(), test_client_config(9)).expect("connect");
+    assert_eq!(client.push_wire(wire).expect("push"), PushOutcome::Accepted);
+
+    // The site ships its own process-wide telemetry (which the ingest
+    // above instrumented) over the negotiated metrics-push feature.
+    client
+        .push_metrics(&global().snapshot())
+        .expect("metrics push");
+    client
+        .push_metrics(&global().snapshot())
+        .expect("second push overwrites");
+    client.close();
+
+    let site_metrics = server.site_metrics();
+    assert_eq!(site_metrics.len(), 1);
+    assert_eq!(site_metrics[0].0, 9);
+
+    // Prometheus render: ≥ 25 distinct collector-side metric names,
+    // plus the site's own series labeled site="9".
+    let prom = http_get(stats_addr, "/metrics");
+    assert!(prom.starts_with("HTTP/1.0 200 OK"), "{prom}");
+    let body = prom.split("\r\n\r\n").nth(1).expect("body");
+    let mut names: Vec<&str> = body
+        .lines()
+        .filter(|l| !l.starts_with('#') && !l.is_empty())
+        .map(|l| l.split(['{', ' ']).next().unwrap())
+        .collect();
+    names.sort_unstable();
+    names.dedup();
+    assert!(
+        names.len() >= 25,
+        "expected >= 25 distinct metrics, got {}: {names:?}",
+        names.len()
+    );
+    assert!(
+        body.contains("sss_transport_snapshots_accepted_total 1"),
+        "collector accept counter"
+    );
+    assert!(body.contains("site=\"9\""), "site-labeled series present");
+
+    // JSON render: collector object plus the pushed site snapshots.
+    let json = http_get(stats_addr, "/metrics.json");
+    assert!(json.starts_with("HTTP/1.0 200 OK"), "{json}");
+    let jbody = json.split("\r\n\r\n").nth(1).expect("body");
+    assert!(jbody.starts_with("{\"collector\":"), "{jbody}");
+    assert!(jbody.contains("\"sites\":[{"), "site snapshot present");
+    assert!(jbody.contains("\"site\":9"), "site id stamped");
+    let jnames = jbody.matches("sss_").count();
+    assert!(jnames >= 25, "JSON exposes >= 25 metrics, got {jnames}");
+
+    // Unknown paths 404 without wedging the endpoint.
+    let missing = http_get(stats_addr, "/nope");
+    assert!(missing.starts_with("HTTP/1.0 404"), "{missing}");
+    let again = http_get(stats_addr, "/metrics");
+    assert!(again.starts_with("HTTP/1.0 200 OK"));
+
+    server.shutdown();
+}
+
+/// `TransportStats` is a thin view over the collector registry: the
+/// struct fields, the per-site rows and the raw registry cells agree,
+/// and `since_last_seen` is session-relative (small right after a
+/// push, never an Instant artifact).
+#[test]
+fn transport_stats_is_a_view_over_the_registry() {
+    use subsampled_streams::obs::MetricId;
+
+    let server =
+        CollectorServer::bind("127.0.0.1:0", prototype(), test_server_config()).expect("bind");
+    let stream = ZipfStream::new(1_000, 1.2).generate(15_000, 37);
+    let (_m, wire) = site_monitor(&stream, 11);
+    let mut client =
+        SiteClient::connect(server.local_addr(), test_client_config(3)).expect("connect");
+    let bytes = wire.len();
+    assert_eq!(client.push_wire(wire).expect("push"), PushOutcome::Accepted);
+
+    let stats = server.stats();
+    let reg = server.registry();
+    assert_eq!(
+        stats.snapshots_accepted,
+        reg.value(MetricId::TransportSnapshotsAcceptedTotal)
+    );
+    assert_eq!(
+        stats.connections_accepted,
+        reg.value(MetricId::TransportConnectionsTotal)
+    );
+    assert_eq!(stats.bytes_in, reg.value(MetricId::TransportBytesInTotal));
+    assert_eq!(stats.sites.len(), 1);
+    let row = &stats.sites[0];
+    assert_eq!(row.site_id, 3);
+    assert_eq!(row.snapshots_accepted, 1);
+    assert_eq!(row.last_seq, Some(0));
+    assert!(row.bytes_in as usize > bytes, "frame bytes include header");
+    assert_eq!(
+        row.snapshots_accepted,
+        reg.labeled_value(MetricId::TransportSiteSnapshotsTotal, 3)
+    );
+    assert_eq!(
+        row.bytes_in,
+        reg.labeled_value(MetricId::TransportSiteBytesInTotal, 3)
+    );
+    // seq+1 storage: gauge cell reads 1 for accepted seq 0.
+    assert_eq!(reg.labeled_value(MetricId::TransportSiteLastSeq, 3), 1);
+    assert!(
+        row.since_last_seen < Duration::from_secs(30),
+        "session-relative offset, not a restored-Instant artifact: {:?}",
+        row.since_last_seen
+    );
+
+    // The accept left a trace event behind.
+    let events = reg.events();
+    assert!(
+        events.iter().any(
+            |e| e.kind == subsampled_streams::obs::EventKind::SnapshotAccepted
+                && e.a == 3
+                && e.b == 0
+        ),
+        "{events:?}"
+    );
+    client.close();
+    server.shutdown();
+}
+
+/// A metrics push whose site id disagrees with the hello is rejected
+/// and counted under the same reason counter as a mismatched snapshot.
+#[test]
+fn metrics_push_site_mismatch_is_rejected() {
+    use subsampled_streams::obs::global;
+    use subsampled_streams::transport::MetricsPush;
+
+    let server =
+        CollectorServer::bind("127.0.0.1:0", prototype(), test_server_config()).expect("bind");
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    let hello = Hello {
+        proto_version: TRANSPORT_PROTO_VERSION,
+        site_id: 1,
+        site_name: "drill".to_string(),
+        features: u64::MAX,
+    };
+    write_frame(&mut stream, &hello.encode_framed()).expect("hello");
+    let (_, bytes) = read_frame(&mut stream, 1 << 20).expect("hello ack");
+    let ack = HelloAck::decode_framed(&bytes).expect("ack decodes");
+    assert!(ack.accepted);
+
+    let push = MetricsPush {
+        site_id: 2, // not the session's site
+        seq: 0,
+        snapshot: global().snapshot(),
+    };
+    write_frame(&mut stream, &push.encode_framed()).expect("push");
+    let (_, bytes) = read_frame(&mut stream, 1 << 20).expect("push ack");
+    let ack = SnapshotAck::decode_framed(&bytes).expect("ack decodes");
+    assert_eq!(ack.status, AckStatus::Rejected);
+
+    let stats = server.stats();
+    assert_eq!(stats.rejected(RejectReason::SiteMismatch), 1);
+    assert!(server.site_metrics().is_empty());
+    server.shutdown();
+}
