@@ -50,7 +50,8 @@ fn main() {
     g.bench("single_thread", || {
         let mut m = proto(p);
         let mut sampler = BernoulliSampler::new(p, 43);
-        sampler.sample_batches(&stream, 1024, |chunk| m.update_batch(chunk));
+        // 4096 mirrors the ShardedConfig::new sample_batch default.
+        sampler.sample_batches(&stream, 4096, |chunk| m.update_batch(chunk));
         m.samples_seen()
     });
 
@@ -72,7 +73,7 @@ fn main() {
     // Consistency: merged sharded answers vs the single-threaded monitor.
     let mut single = proto(p);
     let mut sampler = BernoulliSampler::new(p, 43);
-    sampler.sample_batches(&stream, 1024, |chunk| single.update_batch(chunk));
+    sampler.sample_batches(&stream, 4096, |chunk| single.update_batch(chunk));
     let mut sm = ShardedMonitor::launch(&proto(p), 43, ShardedConfig::new(4));
     sm.ingest_shared(&stream);
     let merged = sm.finish();

@@ -34,6 +34,8 @@ pub mod schema {
     pub const INGEST: u32 = 1;
     /// `BENCH_obs.json` (written by `bench_obs`).
     pub const OBS: u32 = 1;
+    /// `BENCH_concurrent.json` (written by `bench_concurrent`).
+    pub const CONCURRENT: u32 = 1;
 }
 
 pub use stats::{mean, quantile, std_dev, Summary};

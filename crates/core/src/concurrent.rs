@@ -1,0 +1,570 @@
+//! Lock-free multi-threaded ingestion into **one** shared sketch state.
+//!
+//! [`crate::sharded::ShardedMonitor`] scales cores by replicating the
+//! whole monitor per worker and folding through the merge algebra —
+//! correct for everything, but sketch memory grows N× with thread count
+//! and `finish()` pays N merges. A [`ConcurrentMonitor`] takes the other
+//! route wherever the substrate allows it: the fixed-geometry counter
+//! grids (CountMin, CountSketch, AMS tug-of-war) become the
+//! shared-atomic variants of [`sss_sketch::atomic`], and every worker
+//! thread ingests into the *same* cells with relaxed `fetch_add`s. One
+//! grid, regardless of thread count.
+//!
+//! Not every estimator is a commutative counter grid, so each registered
+//! slot is routed to the cheapest strategy that preserves its answer:
+//!
+//! | Strategy | Slots | Why it is sound |
+//! |---|---|---|
+//! | shared-atomic | `F_1`/`F_2` heavy hitters, Rusu–Dobra `F_2` | cell-wise integer adds commute; any interleaving quiesces to the sequential grid bit for bit |
+//! | key-sharded | `F_0`, `F_k` (exact and sketched), naive baselines | items are partitioned by key hash, so each part owns a disjoint sub-multiset and the existing merge is exact (disjoint maps, bottom-k union, linear sketches) |
+//! | replicated | entropy, adaptive, unknown slots | entropy is *not* key-shardable (`H = Σ wᵢHᵢ + H(w)` loses the cross-partition term); thread-local replicas merge exactly like `ShardedMonitor` shards |
+//!
+//! **Quiesce-then-snapshot.** The shared state is only convertible after
+//! every writer thread is joined: [`ConcurrentMonitor::finish`] drops
+//! the queues, joins the workers (the happens-before edge that makes the
+//! final relaxed loads well-defined), converts each shared-atomic grid
+//! back to its plain estimator, merges the key-sharded parts and
+//! replicated locals, and returns an ordinary [`Monitor`] — codec,
+//! delta, transport and window layers work on it unchanged.
+//!
+//! **Seeding.** Shared-atomic and key-sharded slots keep the prototype's
+//! hash seeds (the grids *are* the prototype's grids; key-shard parts
+//! must agree with each other to merge). Replicated slots follow
+//! [`Monitor::fork_shard`]'s seed schedule exactly — worker `i` derives
+//! per-entry seeds from `SplitMix64::new(split_seed(builder_seed, i))`
+//! in registration order — so a `Replicated`-forced run is
+//! distributionally identical to a `ShardedMonitor` over the same
+//! worker partition.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use sss_codec::WireCodec;
+use sss_hash::{fingerprint64, split_seed, SplitMix64};
+use sss_obs::MetricId;
+use sss_sketch::{AtomicAmsF2, AtomicCmHeavyHitters, AtomicCsHeavyHitters, AtomicScratch};
+use sss_stream::{BernoulliSampler, Item};
+
+use crate::baselines::RusuDobraF2;
+use crate::heavy_hitters::{SampledF1HeavyHitters, SampledF2HeavyHitters};
+use crate::monitor::{DynEstimator, Monitor};
+use crate::sharded::Job;
+
+/// How a [`ConcurrentMonitor`] maps estimator slots onto threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ParallelStrategy {
+    /// Per-slot routing (the table in the module docs): shared-atomic
+    /// where the merge algebra is cell-wise addition, key-sharded where
+    /// a key partition merges exactly, replicated otherwise.
+    #[default]
+    Auto,
+    /// Like `Auto` — named for configs that want to state the intent
+    /// explicitly; reserved as the anchor if `Auto` ever learns to
+    /// measure and adapt.
+    SharedAtomic,
+    /// Force every slot onto thread-local replicas (the
+    /// `ShardedMonitor` memory/merge profile, without its dispatch
+    /// layer) — the control arm for benchmarks and equivalence tests.
+    Replicated,
+}
+
+/// Tuning knobs for a [`ConcurrentMonitor`]; mirrors
+/// [`crate::sharded::ShardedConfig`] where the knobs coincide.
+#[derive(Debug, Clone)]
+pub struct ConcurrentConfig {
+    /// Number of ingest threads (≥ 1).
+    pub threads: usize,
+    /// Bounded depth of each thread's chunk queue (backpressure).
+    pub queue_depth: usize,
+    /// Raw elements per dispatched chunk for unchunked slices.
+    pub dispatch_chunk: usize,
+    /// Batch size of the worker-side sampled feed.
+    pub sample_batch: usize,
+    /// Slot-to-thread mapping policy.
+    pub strategy: ParallelStrategy,
+}
+
+impl ConcurrentConfig {
+    /// Defaults for `threads` workers.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads >= 1, "need at least one ingest thread");
+        Self {
+            threads,
+            queue_depth: 4,
+            dispatch_chunk: 1 << 16,
+            sample_batch: 4096,
+            strategy: ParallelStrategy::Auto,
+        }
+    }
+}
+
+// Wire tags double as slot-type identifiers for strategy routing; this
+// is the same keying the checkpoint registry uses, so a slot the codec
+// can name, the router can route.
+const HH_F1: u16 = SampledF1HeavyHitters::WIRE_TAG;
+const HH_F2: u16 = SampledF2HeavyHitters::WIRE_TAG;
+const RUSU_DOBRA: u16 = RusuDobraF2::WIRE_TAG;
+const F0: u16 = crate::f0::SampledF0Estimator::WIRE_TAG;
+const FK_EXACT: u16 =
+    <crate::fk::SampledFkEstimator<crate::collisions::ExactCollisions> as WireCodec>::WIRE_TAG;
+const FK_SKETCHED: u16 =
+    <crate::fk::SampledFkEstimator<crate::collisions::LevelSetCollisions> as WireCodec>::WIRE_TAG;
+const NAIVE_FK: u16 = crate::baselines::NaiveScaledFk::WIRE_TAG;
+const NAIVE_F0: u16 = crate::baselines::NaiveScaledF0::WIRE_TAG;
+
+/// Shared per-slot ingestion state, index-aligned with the prototype's
+/// entries.
+enum SlotState {
+    /// `F_1` heavy hitters over a shared-atomic CountMin grid.
+    Cm(AtomicCmHeavyHitters),
+    /// `F_2` heavy hitters over a shared-atomic CountSketch grid.
+    Cs(AtomicCsHeavyHitters),
+    /// Rusu–Dobra `F_2`: shared-atomic AMS grid plus the sample counter
+    /// its inversion needs.
+    Ams {
+        ams: AtomicAmsF2,
+        n_sampled: AtomicU64,
+    },
+    /// Disjoint key partition: part `j` owns the items with
+    /// `fingerprint64(x) % parts == j`. One mutex per part; workers
+    /// group a batch by part first, so each lock is taken at most once
+    /// per batch.
+    KeySharded(Vec<Mutex<Box<dyn DynEstimator>>>),
+    /// Thread-local replicas (held by the workers, merged at quiesce).
+    Replicated,
+}
+
+struct Shared {
+    slots: Vec<SlotState>,
+    /// Sampled elements ingested across all workers.
+    samples: AtomicU64,
+}
+
+/// Route one prototype slot to its ingestion strategy.
+fn route_slot(est: &dyn DynEstimator, strategy: ParallelStrategy, parts: usize) -> SlotState {
+    if strategy == ParallelStrategy::Replicated {
+        return SlotState::Replicated;
+    }
+    match est.wire_tag() {
+        HH_F1 => {
+            let hh = est
+                .as_any()
+                .downcast_ref::<SampledF1HeavyHitters>()
+                .expect("HH_F1 tag on a non-F1 slot");
+            // A conservative-update CountMin cannot go shared-atomic
+            // (order-dependent) *or* merge; replicate and let the merge
+            // report the incompatibility, as ShardedMonitor would.
+            match AtomicCmHeavyHitters::from_plain(hh.inner()) {
+                Some(atomic) => SlotState::Cm(atomic),
+                None => SlotState::Replicated,
+            }
+        }
+        HH_F2 => {
+            let hh = est
+                .as_any()
+                .downcast_ref::<SampledF2HeavyHitters>()
+                .expect("HH_F2 tag on a non-F2 slot");
+            SlotState::Cs(AtomicCsHeavyHitters::from_plain(hh.inner()))
+        }
+        RUSU_DOBRA => {
+            let rd = est
+                .as_any()
+                .downcast_ref::<RusuDobraF2>()
+                .expect("RUSU_DOBRA tag on a non-RD slot");
+            SlotState::Ams {
+                ams: AtomicAmsF2::from_plain(rd.ams()),
+                n_sampled: AtomicU64::new(rd.samples_seen()),
+            }
+        }
+        F0 | FK_EXACT | FK_SKETCHED | NAIVE_FK | NAIVE_F0 => {
+            // Clones keep the prototype's seeds: parts must agree to
+            // merge, and a key partition is just a particular disjoint
+            // split, for which these merges are exact.
+            SlotState::KeySharded((0..parts).map(|_| Mutex::new(est.clone_box())).collect())
+        }
+        _ => SlotState::Replicated,
+    }
+}
+
+/// A worker's thread-local replicas at join time, in registration
+/// order: `None` for slots served entirely by shared state.
+type WorkerLocals = Vec<Option<Box<dyn DynEstimator>>>;
+
+/// The shared-state pipeline: raw (unsampled) stream in, one quiesced
+/// [`Monitor`] out.
+///
+/// ```no_run
+/// use sss_core::{ConcurrentConfig, ConcurrentMonitor, MonitorBuilder, Statistic};
+///
+/// let proto = MonitorBuilder::with_seed(0.1, 7).f0(0.05).fk(2).build();
+/// let mut cm = ConcurrentMonitor::launch(&proto, 99, ConcurrentConfig::new(4));
+/// cm.ingest(&[1, 2, 3, 4, 5, 6, 7, 8]); // raw stream elements
+/// let merged = cm.finish();
+/// let f2 = merged.estimate(Statistic::Fk(2)).unwrap();
+/// # let _ = f2;
+/// ```
+pub struct ConcurrentMonitor {
+    txs: Vec<SyncSender<Job>>,
+    handles: Vec<JoinHandle<WorkerLocals>>,
+    shared: Arc<Shared>,
+    dispatched: Arc<AtomicU64>,
+    prototype: Monitor,
+    cfg: ConcurrentConfig,
+    next_worker: usize,
+}
+
+impl ConcurrentMonitor {
+    /// Spawn the worker pipeline. `prototype` must be freshly built
+    /// (pre-ingestion); its grids become the shared state.
+    ///
+    /// # Panics
+    /// If the prototype has already ingested samples.
+    pub fn launch(prototype: &Monitor, sampler_seed: u64, cfg: ConcurrentConfig) -> Self {
+        assert!(
+            prototype.samples_seen() == 0,
+            "concurrent launch requires a pristine prototype monitor"
+        );
+        assert!(cfg.threads >= 1, "need at least one ingest thread");
+        let shared = Arc::new(Shared {
+            slots: prototype
+                .entries()
+                .iter()
+                .map(|e| route_slot(e.est.as_ref(), cfg.strategy, cfg.threads))
+                .collect(),
+            samples: AtomicU64::new(0),
+        });
+        let dispatched = Arc::new(AtomicU64::new(0));
+        let mut txs = Vec::with_capacity(cfg.threads);
+        let mut handles = Vec::with_capacity(cfg.threads);
+        for i in 0..cfg.threads {
+            let (tx, rx) = sync_channel::<Job>(cfg.queue_depth);
+            // Replicated slots follow fork_shard's schedule: one derived
+            // seed per entry in registration order (all slots advance
+            // the schedule so alignment is seed-for-seed, only the
+            // replicated ones actually clone).
+            let mut seeds = SplitMix64::new(split_seed(prototype.builder_seed(), i as u64));
+            let locals: WorkerLocals = prototype
+                .entries()
+                .iter()
+                .zip(shared.slots.iter())
+                .map(|(e, slot)| {
+                    let seed = seeds.derive();
+                    if matches!(slot, SlotState::Replicated) {
+                        let mut local = e.est.clone_box();
+                        local.reseed_shard_local_dyn(seed);
+                        Some(local)
+                    } else {
+                        None
+                    }
+                })
+                .collect();
+            let sampler = BernoulliSampler::new(prototype.p(), split_seed(sampler_seed, i as u64));
+            let state = Arc::clone(&shared);
+            let cfg_w = cfg.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("sss-conc-{i}"))
+                .spawn(move || worker_loop(i, locals, sampler, rx, &state, &cfg_w))
+                .expect("spawn concurrent worker");
+            txs.push(tx);
+            handles.push(handle);
+        }
+        Self {
+            txs,
+            handles,
+            shared,
+            dispatched,
+            prototype: prototype.clone(),
+            cfg,
+            next_worker: 0,
+        }
+    }
+
+    /// Number of ingest threads.
+    pub fn threads(&self) -> usize {
+        self.cfg.threads
+    }
+
+    /// The sampling rate every worker applies.
+    pub fn p(&self) -> f64 {
+        self.prototype.p()
+    }
+
+    /// Raw (pre-sampling) elements dispatched to workers so far.
+    pub fn raw_dispatched(&self) -> u64 {
+        self.dispatched.load(Ordering::Relaxed)
+    }
+
+    /// Sampled elements ingested into the shared state so far (racy
+    /// snapshot; trails dispatch by the in-flight queues).
+    pub fn samples_ingested(&self) -> u64 {
+        self.shared.samples.load(Ordering::Relaxed)
+    }
+
+    fn send(&mut self, job: Job) {
+        let n = job.as_slice().len() as u64;
+        let worker = self.next_worker;
+        self.next_worker = (self.next_worker + 1) % self.txs.len();
+        self.txs[worker]
+            .send(job)
+            .expect("concurrent worker exited early (panicked?)");
+        self.dispatched.fetch_add(n, Ordering::Relaxed);
+        let obs = sss_obs::global();
+        obs.inc(MetricId::ShardedJobsDispatchedTotal);
+        obs.gauge_add(MetricId::ShardedQueueDepth, 1);
+    }
+
+    /// Feed a slice of the **raw** stream (copied into
+    /// `dispatch_chunk`-sized jobs; blocks on full queues).
+    pub fn ingest(&mut self, raw: &[Item]) {
+        for chunk in raw.chunks(self.cfg.dispatch_chunk.max(1)) {
+            self.send(Job::Owned(chunk.to_vec()));
+        }
+    }
+
+    /// Feed an owned buffer as one job, no re-chunking.
+    pub fn ingest_vec(&mut self, raw: Vec<Item>) {
+        if !raw.is_empty() {
+            self.send(Job::Owned(raw));
+        }
+    }
+
+    /// Feed a shared buffer zero-copy (workers borrow ranges).
+    pub fn ingest_shared(&mut self, data: &Arc<Vec<Item>>) {
+        let len = data.len();
+        let step = self.cfg.dispatch_chunk.max(1);
+        let mut lo = 0usize;
+        while lo < len {
+            let hi = (lo + step).min(len);
+            self.send(Job::Shared(Arc::clone(data), lo..hi));
+            lo = hi;
+        }
+    }
+
+    /// Quiesce: drain the queues, join every writer thread, convert the
+    /// shared-atomic grids to their plain estimators, merge key-sharded
+    /// parts and replicated locals, and return the plain [`Monitor`].
+    pub fn finish(self) -> Monitor {
+        let ConcurrentMonitor {
+            txs,
+            handles,
+            shared,
+            prototype,
+            ..
+        } = self;
+        drop(txs); // closes every queue; workers drain and return locals
+        let worker_locals: Vec<WorkerLocals> = handles
+            .into_iter()
+            .map(|h| h.join().expect("concurrent worker panicked"))
+            .collect();
+
+        let mut merged = prototype;
+        let mut merges = 0u64;
+        for (i, slot) in shared.slots.iter().enumerate() {
+            match slot {
+                SlotState::Cm(atomic) => {
+                    let entry = &mut merged.entries_mut()[i];
+                    entry
+                        .est
+                        .as_any_mut()
+                        .downcast_mut::<SampledF1HeavyHitters>()
+                        .expect("Cm slot type changed under quiesce")
+                        .replace_inner(atomic.to_plain());
+                }
+                SlotState::Cs(atomic) => {
+                    let entry = &mut merged.entries_mut()[i];
+                    entry
+                        .est
+                        .as_any_mut()
+                        .downcast_mut::<SampledF2HeavyHitters>()
+                        .expect("Cs slot type changed under quiesce")
+                        .replace_inner(atomic.to_plain());
+                }
+                SlotState::Ams { ams, n_sampled } => {
+                    let entry = &mut merged.entries_mut()[i];
+                    entry
+                        .est
+                        .as_any_mut()
+                        .downcast_mut::<RusuDobraF2>()
+                        .expect("Ams slot type changed under quiesce")
+                        .install(ams.to_plain(), n_sampled.load(Ordering::Relaxed));
+                }
+                SlotState::KeySharded(parts) => {
+                    for part in parts {
+                        let part = part.lock().unwrap_or_else(|p| p.into_inner());
+                        let entry = &mut merged.entries_mut()[i];
+                        entry
+                            .est
+                            .merge_dyn(part.as_any(), &entry.label)
+                            .expect("key-shard parts share the prototype's config");
+                        merges += 1;
+                    }
+                }
+                SlotState::Replicated => {
+                    for locals in &worker_locals {
+                        let local = locals[i]
+                            .as_ref()
+                            .expect("replicated slot missing its worker local");
+                        let entry = &mut merged.entries_mut()[i];
+                        entry
+                            .est
+                            .merge_dyn(local.as_any(), &entry.label)
+                            .expect("replicas share the prototype's config");
+                        merges += 1;
+                    }
+                }
+            }
+        }
+        merged.set_samples(shared.samples.load(Ordering::Relaxed));
+        let obs = sss_obs::global();
+        obs.add(MetricId::ShardedMergesTotal, merges);
+        if merges > 0 {
+            obs.event(sss_obs::EventKind::MergePerformed, merges, 0, "quiesce");
+        }
+        merged
+    }
+}
+
+fn worker_loop(
+    worker: usize,
+    mut locals: WorkerLocals,
+    mut sampler: BernoulliSampler,
+    rx: Receiver<Job>,
+    shared: &Shared,
+    cfg: &ConcurrentConfig,
+) -> WorkerLocals {
+    let mut scratch = AtomicScratch::new();
+    // Per-part grouping buffers for key-sharded slots, reused across
+    // batches (one lock per non-empty part per batch, not per item).
+    let parts = cfg.threads;
+    let mut buckets: Vec<Vec<u64>> = (0..parts).map(|_| Vec::new()).collect();
+    while let Ok(job) = rx.recv() {
+        let mut items = 0u64;
+        sampler.sample_batches(job.as_slice(), cfg.sample_batch, |batch| {
+            items += batch.len() as u64;
+            let mut grouped = false;
+            for (i, slot) in shared.slots.iter().enumerate() {
+                match slot {
+                    SlotState::Cm(atomic) => atomic.update_batch(batch, &mut scratch),
+                    SlotState::Cs(atomic) => atomic.update_batch(batch, &mut scratch),
+                    SlotState::Ams { ams, n_sampled } => {
+                        ams.update_batch(batch, &mut scratch);
+                        n_sampled.fetch_add(batch.len() as u64, Ordering::Relaxed);
+                    }
+                    SlotState::KeySharded(slot_parts) => {
+                        if !grouped {
+                            for b in &mut buckets {
+                                b.clear();
+                            }
+                            for &x in batch {
+                                buckets[(fingerprint64(x) % parts as u64) as usize].push(x);
+                            }
+                            grouped = true;
+                        }
+                        for (part, bucket) in slot_parts.iter().zip(buckets.iter()) {
+                            if !bucket.is_empty() {
+                                part.lock()
+                                    .unwrap_or_else(|p| p.into_inner())
+                                    .update_batch(bucket);
+                            }
+                        }
+                    }
+                    SlotState::Replicated => {
+                        if let Some(local) = &mut locals[i] {
+                            local.update_batch(batch);
+                        }
+                    }
+                }
+            }
+            shared
+                .samples
+                .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        });
+        let obs = sss_obs::global();
+        obs.inc(MetricId::ShardedJobsCompletedTotal);
+        obs.gauge_add(MetricId::ShardedQueueDepth, -1);
+        obs.labeled_add(MetricId::IngestThreadItemsTotal, worker as u64, items);
+        let retries = scratch.take_cas_retries();
+        if retries > 0 {
+            obs.add(MetricId::IngestCasRetriesTotal, retries);
+        }
+    }
+    locals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimate::Statistic;
+    use crate::monitor::MonitorBuilder;
+    use sss_stream::{StreamGen, ZipfStream};
+
+    fn proto(p: f64) -> Monitor {
+        MonitorBuilder::with_seed(p, 41)
+            .f0(0.05)
+            .fk(2)
+            .entropy(768)
+            .f1_heavy_hitters(0.05, 0.2, 0.05)
+            .f2_heavy_hitters(0.4, 0.2, 0.05)
+            .build()
+    }
+
+    /// Shared-atomic grids keep the prototype's seeds, so at p = 1 and
+    /// any thread count the quiesced monitor's grid substrates must
+    /// match a sequential monitor bit for bit — stronger than the
+    /// sharded pipeline, whose forks reseed shard-local randomness.
+    #[test]
+    fn grid_substrates_quiesce_bitwise_at_p_one() {
+        let stream = Arc::new(ZipfStream::new(2_000, 1.2).generate(50_000, 3));
+        let mut single = proto(1.0);
+        single.update_batch(&stream);
+
+        for threads in [1usize, 2, 4] {
+            let mut cfg = ConcurrentConfig::new(threads);
+            cfg.dispatch_chunk = 4096;
+            let mut cm = ConcurrentMonitor::launch(&proto(1.0), 7, cfg);
+            cm.ingest_shared(&stream);
+            let merged = cm.finish();
+            assert_eq!(merged.samples_seen(), stream.len() as u64);
+            // Exact key-partition merges: F0 identical.
+            assert_eq!(
+                merged.estimate(Statistic::F0).unwrap().value,
+                single.estimate(Statistic::F0).unwrap().value,
+                "{threads} threads: F0 must partition exactly"
+            );
+            let f2_a = merged.estimate(Statistic::Fk(2)).unwrap().value;
+            let f2_b = single.estimate(Statistic::Fk(2)).unwrap().value;
+            assert!(
+                (f2_a - f2_b).abs() <= 1e-6 * f2_b.abs().max(1.0),
+                "{threads} threads: F2 {f2_a} vs {f2_b}"
+            );
+        }
+    }
+
+    #[test]
+    fn replicated_strategy_matches_auto_totals() {
+        let stream = Arc::new(ZipfStream::new(1_000, 1.1).generate(30_000, 5));
+        let mut cfg = ConcurrentConfig::new(2);
+        cfg.strategy = ParallelStrategy::Replicated;
+        let mut cm = ConcurrentMonitor::launch(&proto(1.0), 9, cfg);
+        cm.ingest_shared(&stream);
+        let merged = cm.finish();
+        assert_eq!(merged.samples_seen(), stream.len() as u64);
+        assert!(merged.estimate(Statistic::F0).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "pristine prototype")]
+    fn launch_rejects_ingested_prototype() {
+        let mut m = proto(0.5);
+        m.update(1);
+        let _ = ConcurrentMonitor::launch(&m, 1, ConcurrentConfig::new(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one ingest thread")]
+    fn zero_threads_rejected() {
+        let _ = ConcurrentConfig::new(0);
+    }
+}

@@ -76,6 +76,17 @@ impl SampledF1HeavyHitters {
         self.alpha
     }
 
+    /// The underlying CountMin reporter (concurrent pipeline promotes it
+    /// to a shared-atomic grid).
+    pub(crate) fn inner(&self) -> &CmHeavyHitters {
+        &self.inner
+    }
+
+    /// Install a quiesced reporter back, keeping the theorem parameters.
+    pub(crate) fn replace_inner(&mut self, inner: CmHeavyHitters) {
+        self.inner = inner;
+    }
+
     /// Elements of the sampled stream ingested.
     pub fn samples_seen(&self) -> u64 {
         self.inner.n()
@@ -220,6 +231,17 @@ impl SampledF2HeavyHitters {
     /// The target fraction `α` (relative to `√F_2(P)`).
     pub fn alpha(&self) -> f64 {
         self.alpha
+    }
+
+    /// The underlying CountSketch reporter (concurrent pipeline promotes
+    /// it to a shared-atomic grid).
+    pub(crate) fn inner(&self) -> &CsHeavyHitters {
+        &self.inner
+    }
+
+    /// Install a quiesced reporter back, keeping the theorem parameters.
+    pub(crate) fn replace_inner(&mut self, inner: CsHeavyHitters) {
+        self.inner = inner;
     }
 
     /// Elements of the sampled stream ingested.

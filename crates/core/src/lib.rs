@@ -49,6 +49,7 @@
 pub mod adaptive;
 pub mod baselines;
 pub mod collisions;
+pub mod concurrent;
 pub mod delta;
 pub mod entropy;
 pub mod estimate;
@@ -65,6 +66,7 @@ pub mod stirling;
 pub use adaptive::{AdaptiveF2Estimator, TargetCollisionsPolicy};
 pub use baselines::{NaiveScaledF0, NaiveScaledFk, RusuDobraF2};
 pub use collisions::{CollisionOracle, ExactCollisions, LevelSetCollisions};
+pub use concurrent::{ConcurrentConfig, ConcurrentMonitor, ParallelStrategy};
 pub use delta::{apply_snapshot_delta, snapshot_delta, SnapshotDelta};
 pub use entropy::SampledEntropyEstimator;
 pub use estimate::{

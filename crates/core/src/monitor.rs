@@ -61,13 +61,14 @@ use crate::params::ApproxParams;
 /// checkpointed and shipped ([`Monitor::checkpoint`]). Every estimator
 /// in the tree is plain data (no interior mutability), so the `Sync`
 /// bound costs nothing.
-trait DynEstimator: Send + Sync {
+pub(crate) trait DynEstimator: Send + Sync {
     fn update(&mut self, x: u64);
     fn update_batch(&mut self, xs: &[u64]);
     fn estimate(&self) -> Estimate;
     fn statistic(&self) -> Statistic;
     fn space_bytes(&self) -> usize;
     fn as_any(&self) -> &dyn Any;
+    fn as_any_mut(&mut self) -> &mut dyn Any;
     /// Whether `other` could merge into this slot (same concrete type and
     /// [`SubsampledEstimator::merge_compatible`]) — without mutating
     /// anything. Checked for *all* slots before any state is mutated, so
@@ -104,6 +105,10 @@ impl<T: SubsampledEstimator + Any + Clone + Send + Sync + WireCodec> DynEstimato
     }
 
     fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
         self
     }
 
@@ -203,9 +208,9 @@ fn decode_estimator(tag: u16, r: &mut Reader) -> Result<Box<dyn DynEstimator>, C
     })
 }
 
-struct Entry {
-    label: String,
-    est: Box<dyn DynEstimator>,
+pub(crate) struct Entry {
+    pub(crate) label: String,
+    pub(crate) est: Box<dyn DynEstimator>,
 }
 
 impl Clone for Entry {
@@ -619,6 +624,31 @@ impl Monitor {
             obs.add(MetricId::CodecDecodeBytesTotal, bytes.len() as u64);
         }
         decoded
+    }
+
+    /// The registered estimator slots, in registration order (the
+    /// concurrent pipeline's strategy router reads them).
+    pub(crate) fn entries(&self) -> &[Entry] {
+        &self.entries
+    }
+
+    /// Mutable slot access — the concurrent quiesce installs converted
+    /// shared-atomic state through this.
+    pub(crate) fn entries_mut(&mut self) -> &mut [Entry] {
+        &mut self.entries
+    }
+
+    /// The builder seed (per-worker seed derivation in the concurrent
+    /// pipeline follows [`Monitor::fork_shard`]'s contract).
+    pub(crate) fn builder_seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Set the monitor-level sample count — the concurrent quiesce's
+    /// final accounting step, after per-slot state was installed
+    /// directly rather than through `update`/`merge`.
+    pub(crate) fn set_samples(&mut self, n: u64) {
+        self.samples = n;
     }
 
     /// `(label, wire tag)` rows of the registered estimators — the

@@ -32,8 +32,8 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 pub use rules::{
-    FixtureManifest, LintOptions, Violation, ALL_RULES, RULE_ALLOC, RULE_BATCH, RULE_ITER,
-    RULE_METRICS, RULE_NAN, RULE_NO_PANIC, RULE_TAGS,
+    FixtureManifest, LintOptions, Violation, ALL_RULES, RULE_ALLOC, RULE_ATOMIC, RULE_BATCH,
+    RULE_ITER, RULE_METRICS, RULE_NAN, RULE_NO_PANIC, RULE_TAGS,
 };
 
 /// Everything the rule passes need: parsed sources plus fixture
@@ -54,6 +54,7 @@ pub fn lint(ws: &Workspace, opts: &LintOptions) -> Vec<Violation> {
         rules::check_nan_ordering(f, &mut out);
         rules::check_canonical_iteration(f, &mut out);
         rules::check_batch_kernel(f, &mut out);
+        rules::check_atomic_ordering(f, &mut out);
     }
     rules::check_wire_tags(&ws.files, &ws.manifests, opts, &mut out);
     rules::check_metric_registry(&ws.files, &mut out);

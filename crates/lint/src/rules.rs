@@ -1,4 +1,4 @@
-//! The seven rule passes. Each enforces one cross-cutting source
+//! The eight rule passes. Each enforces one cross-cutting source
 //! invariant the compiler cannot check (see `crates/core/src/README.md`,
 //! "Invariants & static analysis"):
 //!
@@ -30,6 +30,12 @@
 //!    `metric_table!` carries a snake_case `sss_<subsystem>_*` name
 //!    with a known subsystem segment, counters end in `_total`, kinds
 //!    are Counter/Gauge/Histogram, and names are globally unique.
+//! 8. [`atomic_ordering`](RULE_ATOMIC) — `Ordering::SeqCst` never
+//!    appears in non-test code (the workspace's shared state is
+//!    commutative counters; a seq-cst fence papers over a design bug),
+//!    and hot-path bodies (`update*`/`ingest*`) use only `Relaxed`
+//!    atomics — an acquire/release there needs a pragma explaining
+//!    what it synchronizes.
 //!
 //! Audited exceptions are written in the source as
 //! `// sss-lint: allow(<rule>) — <reason>` on the flagged line or the
@@ -47,9 +53,10 @@ pub const RULE_ITER: &str = "canonical_iteration";
 pub const RULE_TAGS: &str = "wire_tag_registry";
 pub const RULE_BATCH: &str = "batch_kernel";
 pub const RULE_METRICS: &str = "metric_registry";
+pub const RULE_ATOMIC: &str = "atomic_ordering";
 
 /// All rule ids, for `--list-rules` and pragma validation.
-pub const ALL_RULES: [&str; 7] = [
+pub const ALL_RULES: [&str; 8] = [
     RULE_NO_PANIC,
     RULE_ALLOC,
     RULE_NAN,
@@ -57,6 +64,7 @@ pub const ALL_RULES: [&str; 7] = [
     RULE_TAGS,
     RULE_BATCH,
     RULE_METRICS,
+    RULE_ATOMIC,
 ];
 
 /// One finding.
@@ -745,6 +753,70 @@ pub fn check_batch_kernel(file: &SourceFile, out: &mut Vec<Violation>) {
                     format!(
                         "per-item `hash_range` call in batch path `{}`; hash the whole chunk through the SWAR kernels in sss_hash::batch (`hash_range_batch`/`signs_batch`) instead",
                         f.name
+                    ),
+                );
+            }
+        }
+    }
+    out.append(&mut rep.out);
+}
+
+// ---------------------------------------------------------------------
+// Rule 8: atomic memory orderings
+// ---------------------------------------------------------------------
+
+/// Whether a function name marks an ingestion hot path for the
+/// `atomic_ordering` rule.
+fn is_hot_path_fn(f: &FnItem) -> bool {
+    f.name.starts_with("update") || f.name.starts_with("ingest")
+}
+
+pub fn check_atomic_ordering(file: &SourceFile, out: &mut Vec<Violation>) {
+    let mut rep = Reporter::new(file);
+    let toks = &file.tokens;
+    // SeqCst is banned everywhere outside tests: no invariant in this
+    // workspace needs a total order over unrelated atomics, so its
+    // appearance means either cargo-culting or an undiagnosed race.
+    for (i, t) in toks.iter().enumerate() {
+        if file.is_test_tok(i) {
+            continue;
+        }
+        if t.kind == TokKind::Ident && t.text == "SeqCst" {
+            rep.report(
+                RULE_ATOMIC,
+                t.line,
+                "`Ordering::SeqCst` in non-test code; the workspace's shared state is commutative counters — use `Relaxed` (or justify the fence with a pragma)".to_string(),
+            );
+        }
+    }
+    // Hot paths take only Relaxed: the quiesce join is the one
+    // happens-before edge the design relies on, so an acquire/release
+    // inside update/ingest bodies either does nothing or hides an
+    // undocumented protocol. Matching the `Ordering::X` path (rather
+    // than the bare ident) keeps prose and unrelated idents out.
+    for f in &file.fns {
+        if f.is_test || !is_hot_path_fn(f) {
+            continue;
+        }
+        let Some((a, b)) = f.body else { continue };
+        for i in a..b {
+            if file.is_test_tok(i) {
+                continue;
+            }
+            let t = &toks[i];
+            if t.kind == TokKind::Ident
+                && matches!(t.text.as_str(), "Acquire" | "Release" | "AcqRel")
+                && i >= a + 3
+                && toks[i - 1].is_punct(':')
+                && toks[i - 2].is_punct(':')
+                && toks[i - 3].is_ident("Ordering")
+            {
+                rep.report(
+                    RULE_ATOMIC,
+                    t.line,
+                    format!(
+                        "`Ordering::{}` on the hot path `{}`; ingestion atomics are `Relaxed` (the quiesce join is the only synchronization edge) — document any exception with a pragma",
+                        t.text, f.name
                     ),
                 );
             }

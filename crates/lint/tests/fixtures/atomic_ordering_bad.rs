@@ -1,0 +1,11 @@
+pub fn bump(&self) {
+    self.total.fetch_add(1, Ordering::SeqCst);
+}
+
+pub fn update_batch(&self, xs: &[u64]) {
+    for &x in xs {
+        let b = self.hash_for(x);
+        self.counters[b].fetch_add(1, Ordering::Release);
+        let _ = self.total.load(Ordering::Acquire);
+    }
+}

@@ -1,0 +1,27 @@
+pub fn update_batch(&self, xs: &[u64]) {
+    // Release the snapshot slot: readers pair with an Acquire load.
+    for &x in xs {
+        let b = self.hash_for(x);
+        self.counters[b].fetch_add(1, Ordering::Relaxed);
+    }
+    self.total.fetch_add(xs.len() as u64, Ordering::Relaxed);
+}
+
+pub fn publish(&self, epoch: u64) {
+    // Non-hot-path code may use acquire/release freely.
+    self.epoch.store(epoch, Ordering::Release);
+}
+
+pub fn ingest_shared(&self, xs: &[u64]) {
+    // sss-lint: allow(atomic_ordering) — publishes the watermark other threads acquire-load before reading the grid
+    self.watermark.fetch_max(xs.len() as u64, Ordering::Release);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn seqcst_in_tests_is_fine() {
+        let n = std::sync::atomic::AtomicU64::new(0);
+        n.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+    }
+}

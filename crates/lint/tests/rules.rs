@@ -166,6 +166,28 @@ fn batch_kernel_blessed_module_is_exempt() {
 }
 
 #[test]
+fn atomic_ordering_bad_fires_on_seqcst_and_hot_path_fences() {
+    let v = lint_one("sss-sketch", "atomic_ordering_bad.rs");
+    assert!(v.iter().all(|x| x.rule == "atomic_ordering"), "{v:?}");
+    let lines: Vec<usize> = v.iter().map(|x| x.line).collect();
+    assert_eq!(lines, vec![2, 8, 9], "{v:?}");
+    assert!(v[0].message.contains("SeqCst"), "{}", v[0].message);
+    assert!(
+        v[1].message
+            .contains("`Ordering::Release` on the hot path `update_batch`"),
+        "{}",
+        v[1].message
+    );
+    assert!(v[2].message.contains("Acquire"), "{}", v[2].message);
+}
+
+#[test]
+fn atomic_ordering_clean_relaxed_pragma_and_cold_paths_pass() {
+    let v = lint_one("sss-sketch", "atomic_ordering_clean.rs");
+    assert!(v.is_empty(), "{v:?}");
+}
+
+#[test]
 fn metric_registry_bad_fires_per_defect() {
     let v = lint_one("sss-obs", "metric_registry_bad.rs");
     assert!(v.iter().all(|x| x.rule == "metric_registry"), "{v:?}");

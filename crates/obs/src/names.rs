@@ -81,6 +81,8 @@ metric_table! {
     IngestBatchNanos => Histogram "sss_ingest_batch_nanos": "Whole-batch update latency in nanoseconds, sampled every 64th batch";
     IngestSlotSampledNanosTotal => Counter "sss_ingest_slot_sampled_nanos_total": "Per-statistic update nanoseconds from sampled batches, labeled by estimator slot";
     IngestSlotSampledItemsTotal => Counter "sss_ingest_slot_sampled_items_total": "Items covered by the sampled per-statistic timings, labeled by estimator slot";
+    IngestCasRetriesTotal => Counter "sss_ingest_cas_retries_total": "Compare-exchange retries in shared-atomic sketch updates (contention proxy)";
+    IngestThreadItemsTotal => Counter "sss_ingest_thread_items_total": "Sampled items ingested by concurrent workers, labeled by thread index";
     // ── sampler: Bernoulli sub-sampling front end ────────────────
     SamplerRawItemsTotal => Counter "sss_sampler_raw_items_total": "Raw stream items offered to Bernoulli samplers";
     SamplerSurvivorsTotal => Counter "sss_sampler_survivors_total": "Items surviving sub-sampling";
@@ -159,6 +161,8 @@ impl MetricId {
             "site"
         } else if n.contains("_slot_") {
             "slot"
+        } else if n.contains("_thread_") {
+            "thread"
         } else {
             "label"
         }

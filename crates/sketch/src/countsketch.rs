@@ -91,6 +91,57 @@ impl CountSketch {
         self.counters.len() + 2 * self.row_sumsq.len()
     }
 
+    /// Row bucket hashes (shared with the atomic variant).
+    pub(crate) fn bucket_hashes(&self) -> &[PairwiseHash] {
+        &self.bucket_hashes
+    }
+
+    /// Row sign hashes.
+    pub(crate) fn sign_hashes(&self) -> &[FourWiseSign] {
+        &self.sign_hashes
+    }
+
+    /// The raw row-major counter grid.
+    pub(crate) fn counters(&self) -> &[i64] {
+        &self.counters
+    }
+
+    /// Per-row Σc² aggregates.
+    pub(crate) fn row_sumsq(&self) -> &[u128] {
+        &self.row_sumsq
+    }
+
+    /// Reassemble a sketch from raw parts — the atomic variant's quiesce
+    /// path. `row_sumsq` is derived state recomputed from the grid,
+    /// exactly as merge and decode do.
+    pub(crate) fn from_parts(
+        width: usize,
+        counters: Vec<i64>,
+        bucket_hashes: Vec<PairwiseHash>,
+        sign_hashes: Vec<FourWiseSign>,
+        total: u64,
+    ) -> Self {
+        debug_assert_eq!(counters.len(), width * bucket_hashes.len());
+        debug_assert_eq!(bucket_hashes.len(), sign_hashes.len());
+        let row_sumsq: Vec<u128> = counters
+            .chunks_exact(width)
+            .map(|row| {
+                row.iter()
+                    .map(|&c| ((c as i128) * (c as i128)) as u128)
+                    .sum()
+            })
+            .collect();
+        Self {
+            width,
+            counters,
+            bucket_hashes,
+            sign_hashes,
+            row_sumsq,
+            total,
+            scratch: BatchScratch::default(),
+        }
+    }
+
     /// Add `count` occurrences of `x` (use negative for deletions; the
     /// sketch is a linear map so turnstile updates are supported).
     pub fn update(&mut self, x: u64, count: i64) {
@@ -322,7 +373,7 @@ impl WireCodec for CountSketch {
 /// Median of row aggregates, as `f64`: sorts in place, averages the two
 /// central order statistics for even lengths. Shared by [`CountSketch::f2_estimate`]
 /// and the batch admission kernel so both produce identical floats.
-fn median_u128_as_f64(rows: &mut [u128]) -> f64 {
+pub(crate) fn median_u128_as_f64(rows: &mut [u128]) -> f64 {
     rows.sort_unstable();
     let mid = rows.len() / 2;
     if rows.len() % 2 == 1 {
@@ -332,7 +383,7 @@ fn median_u128_as_f64(rows: &mut [u128]) -> f64 {
     }
 }
 
-fn median_i64(v: &mut [i64]) -> i64 {
+pub(crate) fn median_i64(v: &mut [i64]) -> i64 {
     let mid = v.len() / 2;
     let (_, m, _) = v.select_nth_unstable(mid);
     let m = *m;

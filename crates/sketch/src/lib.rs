@@ -16,10 +16,12 @@
 //! | [`entropy`] | CCM suffix-count estimator | multiplicative `H(g)` for Thm 5 |
 //! | [`reservoir`] | reservoir sampling (R/L, weighted) | related-work substrate; powers the entropy estimator |
 //! | [`topk`] | candidate heavy-hitter trackers | turning point-query sketches into `O(1/α)`-item reporters |
+//! | [`atomic`] | shared-atomic grid variants | lock-free multi-threaded ingestion into one sketch state |
 
 #![forbid(unsafe_code)]
 
 pub mod ams;
+pub mod atomic;
 pub(crate) mod batch;
 pub mod countmin;
 pub mod countsketch;
@@ -35,6 +37,10 @@ pub mod space_saving;
 pub mod topk;
 
 pub use ams::AmsF2;
+pub use atomic::{
+    AtomicAmsF2, AtomicCmHeavyHitters, AtomicCountMin, AtomicCountSketch, AtomicCsHeavyHitters,
+    AtomicScratch,
+};
 pub use countmin::CountMin;
 pub use countsketch::CountSketch;
 pub use entropy::EntropyEstimator;

@@ -73,6 +73,11 @@ impl TopKTracker {
         v.into_iter()
     }
 
+    /// The pruning capacity (used by the atomic quiesce rebuild).
+    pub(crate) fn cap(&self) -> usize {
+        self.cap
+    }
+
     /// Number of tracked candidates.
     pub fn len(&self) -> usize {
         self.est.len()
@@ -174,6 +179,22 @@ impl CmHeavyHitters {
     /// The reporting fraction `α`.
     pub fn alpha(&self) -> f64 {
         self.alpha
+    }
+
+    /// The backing sketch (shared with the atomic variant).
+    pub(crate) fn cm(&self) -> &CountMin {
+        &self.cm
+    }
+
+    /// The candidate table.
+    pub(crate) fn tracker(&self) -> &TopKTracker {
+        &self.tracker
+    }
+
+    /// Reassemble a reporter from raw parts — the atomic variant's
+    /// quiesce path.
+    pub(crate) fn from_parts(cm: CountMin, tracker: TopKTracker, alpha: f64) -> Self {
+        Self { cm, tracker, alpha }
     }
 
     /// Stream length ingested.
@@ -367,6 +388,28 @@ impl CsHeavyHitters {
     /// The reporting fraction `α`.
     pub fn alpha(&self) -> f64 {
         self.alpha
+    }
+
+    /// The backing sketch (shared with the atomic variant).
+    pub(crate) fn cs(&self) -> &CountSketch {
+        &self.cs
+    }
+
+    /// The candidate table.
+    pub(crate) fn tracker(&self) -> &TopKTracker {
+        &self.tracker
+    }
+
+    /// Reassemble a reporter from raw parts — the atomic variant's
+    /// quiesce path.
+    pub(crate) fn from_parts(cs: CountSketch, tracker: TopKTracker, alpha: f64) -> Self {
+        Self {
+            cs,
+            tracker,
+            alpha,
+            ests: Vec::new(),
+            f2s: Vec::new(),
+        }
     }
 
     /// Stream length ingested.

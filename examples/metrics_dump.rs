@@ -13,7 +13,9 @@
 //! Prometheus text exposition (default) or JSON (`--json`). The same two
 //! renders are what a `CollectorServer` serves from its stats endpoint.
 
-use subsampled_streams::core::{Monitor, MonitorBuilder};
+use std::sync::Arc;
+
+use subsampled_streams::core::{ConcurrentConfig, ConcurrentMonitor, Monitor, MonitorBuilder};
 use subsampled_streams::obs::{global, render_json, render_prometheus};
 use subsampled_streams::stream::{BernoulliSampler, StreamGen, ZipfStream};
 
@@ -35,6 +37,18 @@ fn main() {
     for chunk in sampled.chunks(4096) {
         monitor.update_batch(chunk);
     }
+
+    // A concurrent pass over the raw stream, so the shared-atomic
+    // counters are live: per-thread ingest volumes
+    // (sss_ingest_thread_items_total, labeled by thread) and the
+    // CAS-retry contention proxy (sss_ingest_cas_retries_total).
+    let proto = MonitorBuilder::with_seed(p, 7)
+        .f1_heavy_hitters(0.05, 0.2, 0.05)
+        .f2_heavy_hitters(0.4, 0.2, 0.05)
+        .build();
+    let mut conc = ConcurrentMonitor::launch(&proto, 17, ConcurrentConfig::new(2));
+    conc.ingest_shared(&Arc::new(stream));
+    let _ = conc.finish();
 
     // A codec round-trip, so the encode/decode metrics are live too.
     let frame = monitor.checkpoint().expect("all estimators restorable");

@@ -192,11 +192,12 @@ fn one_shard_equals_the_equivalent_single_threaded_run() {
     let sharded = sm.finish();
 
     // The same computation, inline: fork_shard(0) + split_seed(·, 0),
-    // sampled per 8192-element chunk exactly as the worker does.
+    // sampled per 8192-element chunk exactly as the worker does (4096 is
+    // the ShardedConfig::new sample_batch default).
     let mut single = full_proto(p).fork_shard(0);
     let mut sampler = BernoulliSampler::new(p, split_seed(sampler_seed, 0));
     for chunk in stream.chunks(8192) {
-        sampler.sample_batches(chunk, 1024, |batch| single.update_batch(batch));
+        sampler.sample_batches(chunk, 4096, |batch| single.update_batch(batch));
     }
 
     assert_eq!(sharded.samples_seen(), single.samples_seen());
